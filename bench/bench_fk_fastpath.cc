@@ -1,0 +1,76 @@
+// Experiment E4 (paper §6 / Example 1 claims): updates protected by
+// foreign keys reduce to trivial maintenance. Measures V3 maintenance
+// for part / customer / orders updates with FK exploitation on and off.
+//
+// Expected shape: with FKs, part and customer inserts are delta-only and
+// orders inserts are free; without FKs, the maintainer computes (empty)
+// join deltas and secondary fix-ups.
+
+#include "bench_util.h"
+#include "ivm/maintainer.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  std::printf("TPC-H SF=%.3f\n", options.scale_factor);
+  TpchInstance instance(options);
+
+  ViewDef v3 = tpch::MakeV3(instance.catalog);
+  MaintenanceOptions with_fk;
+  MaintenanceOptions without_fk;
+  without_fk.exploit_foreign_keys = false;
+  ViewMaintainer fk_maintainer(&instance.catalog, v3, with_fk);
+  ViewMaintainer nofk_maintainer(&instance.catalog, v3, without_fk);
+  fk_maintainer.InitializeView();
+  nofk_maintainer.InitializeView();
+
+  const int64_t batch = 1000;
+  PrintHeader("FK fast path: V3 maintenance with/without FK exploitation",
+              {"Update", "WithFK", "NoFK", "Speedup"});
+
+  auto measure = [&](const std::string& label, const std::string& table,
+                     std::vector<Row> rows) {
+    Table* base = instance.catalog.GetTable(table);
+    std::vector<Row> inserted = ApplyBaseInsert(base, rows);
+    double fk_ms = TimeMs([&] { fk_maintainer.OnInsert(table, inserted); });
+    double nofk_ms =
+        TimeMs([&] { nofk_maintainer.OnInsert(table, inserted); });
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                  nofk_ms / std::max(fk_ms, 1e-3));
+    PrintRow({label, FormatMs(fk_ms), FormatMs(nofk_ms), speedup});
+
+    // Restore.
+    std::vector<Row> keys;
+    const std::vector<int>& key_pos = base->key_positions();
+    for (const Row& row : inserted) {
+      Row key;
+      for (int p : key_pos) key.push_back(row[static_cast<size_t>(p)]);
+      keys.push_back(std::move(key));
+    }
+    std::vector<Row> deleted = ApplyBaseDelete(base, keys);
+    fk_maintainer.OnDelete(table, deleted);
+    nofk_maintainer.OnDelete(table, deleted);
+  };
+
+  measure("part+1000", "part", instance.refresh->NewParts(batch));
+  measure("customer+1000", "customer", instance.refresh->NewCustomers(batch));
+  measure("orders+1000", "orders", instance.refresh->NewOrders(batch));
+  measure("lineitem+1000", "lineitem", instance.refresh->NewLineitems(batch));
+
+  std::printf(
+      "\nWith FKs: orders updates are proven view-neutral (Thm 3), part\n"
+      "and customer inserts collapse to the delta itself (SimplifyTree);\n"
+      "lineitem updates are unaffected by the optimization.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ojv
+
+int main(int argc, char** argv) { return ojv::bench::Run(argc, argv); }

@@ -1,0 +1,115 @@
+// Experiment E7 (paper §4.1): the left-deep conversion of ΔV^D. The
+// bushy delta tree joins base tables against each other (R fo S in the
+// paper's example), producing large intermediate results even for tiny
+// deltas; the left-deep tree keeps intermediates proportional to |ΔT|.
+//
+// Uses a V1-shaped view over TPC-H-sized synthetic tables so the bushy
+// plan really must materialize a base-table-only join.
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ivm/maintainer.h"
+
+namespace ojv {
+namespace bench {
+namespace {
+
+// V1 over synthetic tables R, S, T, U (see paper Example 2), sized so
+// that R fo S is expensive to build from scratch.
+void CreateSyntheticTables(Catalog* catalog, int64_t rows, Rng* rng) {
+  for (const char* name : {"R", "S", "T", "U"}) {
+    std::string p(1, static_cast<char>(std::tolower(name[0])));
+    catalog->CreateTable(
+        name,
+        Schema({ColumnDef{p + "_id", ValueType::kInt64, false},
+                ColumnDef{p + "_a", ValueType::kInt64, true},
+                ColumnDef{p + "_b", ValueType::kInt64, true}}),
+        {p + "_id"});
+    Table* table = catalog->GetTable(name);
+    for (int64_t i = 0; i < rows; ++i) {
+      table->Insert(Row{Value::Int64(i), Value::Int64(rng->Uniform(0, rows)),
+                        Value::Int64(rng->Uniform(0, rows))});
+    }
+  }
+}
+
+ViewDef MakeView(const Catalog& catalog) {
+  auto eq = [](const char* t1, const char* c1, const char* t2,
+               const char* c2) {
+    return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                               ScalarExpr::Column(t2, c2));
+  };
+  RelExprPtr rs = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("R"),
+                                RelExpr::Scan("S"), eq("R", "r_a", "S", "s_a"));
+  RelExprPtr tu = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("T"),
+                                RelExpr::Scan("U"), eq("T", "t_a", "U", "u_a"));
+  RelExprPtr tree =
+      RelExpr::Join(JoinKind::kLeftOuter, rs, tu, eq("R", "r_b", "T", "t_b"));
+  std::vector<ColumnRef> output;
+  for (const char* name : {"R", "S", "T", "U"}) {
+    std::string p(1, static_cast<char>(std::tolower(name[0])));
+    output.push_back({name, p + "_id"});
+    output.push_back({name, p + "_a"});
+    output.push_back({name, p + "_b"});
+  }
+  return ViewDef("v1_synth", tree, output, catalog);
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  const int64_t rows = static_cast<int64_t>(2000000 * options.scale_factor);
+  std::printf("V1-shaped view, %lld rows per table\n",
+              static_cast<long long>(rows));
+
+  Rng rng(options.seed);
+  Catalog catalog;
+  CreateSyntheticTables(&catalog, rows, &rng);
+  ViewDef view = MakeView(catalog);
+
+  MaintenanceOptions left_deep_options;
+  MaintenanceOptions bushy_options;
+  bushy_options.use_left_deep = false;
+  ViewMaintainer left_deep(&catalog, view, left_deep_options);
+  ViewMaintainer bushy(&catalog, view, bushy_options);
+  left_deep.InitializeView();
+  bushy.InitializeView();
+
+  std::printf("bushy ΔV^D:     %s\n",
+              bushy.delta_expr("T")->ToString().c_str());
+  std::printf("left-deep ΔV^D: %s\n",
+              left_deep.delta_expr("T")->ToString().c_str());
+
+  PrintHeader("Left-deep vs bushy ΔV^D (insertions into T)",
+              {"Rows", "LeftDeep", "Bushy", "Bushy/LD"});
+  Table* t = catalog.GetTable("T");
+  int64_t next_key = rows + 1;
+  for (int64_t batch : options.batches) {
+    std::vector<Row> rows_batch;
+    for (int64_t i = 0; i < batch; ++i) {
+      rows_batch.push_back(Row{Value::Int64(next_key++),
+                               Value::Int64(rng.Uniform(0, rows)),
+                               Value::Int64(rng.Uniform(0, rows))});
+    }
+    std::vector<Row> inserted = ApplyBaseInsert(t, rows_batch);
+    double ld_ms = TimeMs([&] { left_deep.OnInsert("T", inserted); });
+    double bushy_ms = TimeMs([&] { bushy.OnInsert("T", inserted); });
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.1fx",
+                  bushy_ms / std::max(ld_ms, 1e-3));
+    PrintRow({FormatCount(batch), FormatMs(ld_ms), FormatMs(bushy_ms),
+              ratio});
+
+    std::vector<Row> keys;
+    for (const Row& row : inserted) keys.push_back(Row{row[0]});
+    std::vector<Row> deleted = ApplyBaseDelete(t, keys);
+    left_deep.OnDelete("T", deleted);
+    bushy.OnDelete("T", deleted);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ojv
+
+int main(int argc, char** argv) { return ojv::bench::Run(argc, argv); }

@@ -1,0 +1,58 @@
+// Experiment E6 (paper §5.2 vs §5.3): computing the secondary delta from
+// the materialized view (semijoin/antijoin of ΔV^D against the view's
+// indexes) versus from base tables. The paper: "it is usually cheaper to
+// use the view but the optimizer should choose in a cost-based manner."
+
+#include "bench_util.h"
+#include "ivm/maintainer.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  std::printf("TPC-H SF=%.3f\n", options.scale_factor);
+  TpchInstance instance(options);
+  Table* lineitem = instance.catalog.GetTable("lineitem");
+
+  ViewDef v3 = tpch::MakeV3(instance.catalog);
+  MaintenanceOptions from_view;
+  from_view.secondary_strategy = SecondaryStrategy::kFromView;
+  MaintenanceOptions from_base;
+  from_base.secondary_strategy = SecondaryStrategy::kFromBaseTables;
+  ViewMaintainer view_maintainer(&instance.catalog, v3, from_view);
+  ViewMaintainer base_maintainer(&instance.catalog, v3, from_base);
+  view_maintainer.InitializeView();
+  base_maintainer.InitializeView();
+
+  PrintHeader("Secondary delta strategy: insertions into lineitem",
+              {"Rows", "FromView", "FromBase", "2ndView", "2ndBase"});
+  for (int64_t batch : options.batches) {
+    std::vector<Row> inserted =
+        ApplyBaseInsert(lineitem, instance.refresh->NewLineitems(batch));
+
+    MaintenanceStats vs, bs;
+    double view_ms =
+        TimeMs([&] { vs = view_maintainer.OnInsert("lineitem", inserted); });
+    double base_ms =
+        TimeMs([&] { bs = base_maintainer.OnInsert("lineitem", inserted); });
+    PrintRow({FormatCount(batch), FormatMs(view_ms), FormatMs(base_ms),
+              FormatMs(vs.secondary_micros / 1000.0),
+              FormatMs(bs.secondary_micros / 1000.0)});
+
+    std::vector<Row> keys;
+    for (const Row& row : inserted) keys.push_back(Row{row[0], row[3]});
+    std::vector<Row> deleted = ApplyBaseDelete(lineitem, keys);
+    view_maintainer.OnDelete("lineitem", deleted);
+    base_maintainer.OnDelete("lineitem", deleted);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ojv
+
+int main(int argc, char** argv) { return ojv::bench::Run(argc, argv); }

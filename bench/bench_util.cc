@@ -1,0 +1,80 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace ojv {
+namespace bench {
+
+BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--sf=", 5) == 0) {
+      options.scale_factor = std::atof(arg + 5);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      options.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--batches=", 10) == 0) {
+      options.batches.clear();
+      const char* p = arg + 10;
+      while (*p != '\0') {
+        options.batches.push_back(std::atoll(p));
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) break;
+        p = comma + 1;
+      }
+    }
+  }
+  return options;
+}
+
+TpchInstance::TpchInstance(const BenchOptions& options) {
+  tpch::CreateSchema(&catalog);
+  tpch::DbgenOptions dbgen_options;
+  dbgen_options.scale_factor = options.scale_factor;
+  dbgen_options.seed = options.seed;
+  dbgen = std::make_unique<tpch::Dbgen>(dbgen_options);
+  dbgen->Populate(&catalog);
+  refresh = std::make_unique<tpch::RefreshStream>(&catalog, dbgen.get(),
+                                                  options.seed + 1);
+}
+
+double TimeMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const std::string& c : columns) {
+    std::printf("%16s", c.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%16s", "---------------");
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) {
+    std::printf("%16s", c.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", ms);
+  return buf;
+}
+
+std::string FormatCount(int64_t n) { return std::to_string(n); }
+
+}  // namespace bench
+}  // namespace ojv

@@ -1,0 +1,55 @@
+#ifndef OJV_BENCH_BENCH_UTIL_H_
+#define OJV_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "tpch/dbgen.h"
+#include "tpch/refresh.h"
+#include "tpch/tpch_schema.h"
+
+namespace ojv {
+namespace bench {
+
+/// Command-line knobs shared by all paper-table benchmarks:
+///   --sf=<double>      TPC-H scale factor (default 0.05)
+///   --seed=<uint64>    generator seed
+///   --batches=a,b,c    insert/delete batch sizes (default 60,600,6000;
+///                      pass --batches=60,600,6000,60000 for the full
+///                      sweep of the paper — the GK baseline takes
+///                      minutes at 60000)
+struct BenchOptions {
+  double scale_factor = 0.05;
+  uint64_t seed = 19940601;
+  std::vector<int64_t> batches = {60, 600, 6000};
+
+  static BenchOptions Parse(int argc, char** argv);
+};
+
+/// A populated TPC-H database plus its refresh stream.
+struct TpchInstance {
+  Catalog catalog;
+  std::unique_ptr<tpch::Dbgen> dbgen;
+  std::unique_ptr<tpch::RefreshStream> refresh;
+
+  explicit TpchInstance(const BenchOptions& options);
+};
+
+/// Milliseconds spent in fn.
+double TimeMs(const std::function<void()>& fn);
+
+/// Fixed-width table printing helpers.
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns);
+void PrintRow(const std::vector<std::string>& cells);
+std::string FormatMs(double ms);
+std::string FormatCount(int64_t n);
+
+}  // namespace bench
+}  // namespace ojv
+
+#endif  // OJV_BENCH_BENCH_UTIL_H_

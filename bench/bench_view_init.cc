@@ -1,0 +1,62 @@
+// Initial materialization cost: full computation of the paper's views
+// (outer-join view, its inner-join core, and the aggregated dashboard).
+// Not a paper figure, but the baseline every incremental number in
+// EXPERIMENTS.md is implicitly compared against: maintenance only pays
+// off if it beats re-running this.
+
+#include "bench_util.h"
+#include "ivm/aggregate_view.h"
+#include "ivm/maintainer.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  std::printf("TPC-H SF=%.3f\n", options.scale_factor);
+  TpchInstance instance(options);
+
+  PrintHeader("Initial materialization",
+              {"View", "Rows", "Time"});
+
+  {
+    ViewDef v3 = tpch::MakeV3(instance.catalog);
+    ViewMaintainer maintainer(&instance.catalog, v3, MaintenanceOptions());
+    double ms = TimeMs([&] { maintainer.InitializeView(); });
+    PrintRow({"v3", FormatCount(maintainer.view().size()), FormatMs(ms)});
+  }
+  {
+    ViewDef core = tpch::MakeV3(instance.catalog).CoreView(instance.catalog);
+    ViewMaintainer maintainer(&instance.catalog, core, MaintenanceOptions());
+    double ms = TimeMs([&] { maintainer.InitializeView(); });
+    PrintRow({"v3_core", FormatCount(maintainer.view().size()),
+              FormatMs(ms)});
+  }
+  {
+    ViewDef oj = tpch::MakeOjView(instance.catalog);
+    ViewMaintainer maintainer(&instance.catalog, oj, MaintenanceOptions());
+    double ms = TimeMs([&] { maintainer.InitializeView(); });
+    PrintRow({"oj_view", FormatCount(maintainer.view().size()),
+              FormatMs(ms)});
+  }
+  {
+    std::vector<ColumnRef> group_by = {{"customer", "c_mktsegment"}};
+    std::vector<AggregateSpec> aggs = {
+        {AggregateSpec::Kind::kCountStar, {}, "rows"},
+        {AggregateSpec::Kind::kSum, {"lineitem", "l_extendedprice"},
+         "revenue"}};
+    AggViewMaintainer agg(&instance.catalog, tpch::MakeV3(instance.catalog),
+                          group_by, aggs);
+    double ms = TimeMs([&] { agg.InitializeView(); });
+    PrintRow({"v3_by_segment", FormatCount(agg.num_groups()), FormatMs(ms)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ojv
+
+int main(int argc, char** argv) { return ojv::bench::Run(argc, argv); }

@@ -1,0 +1,151 @@
+// A tour of the paper's figures, printed as text:
+//  - Example 2's normal form of view V1 and Figure 1(a)/(b) graphs
+//  - Figure 2/3: the ΔV^D transformation and its left-deep form
+//  - Example 10: foreign-key SimplifyTree
+//  - Figure 4: V2's original and reduced maintenance graphs
+
+#include <cstdio>
+
+#include "ivm/explain.h"
+#include "ivm/left_deep.h"
+#include "ivm/maintainer.h"
+#include "ivm/primary_delta.h"
+#include "ivm/simplify_tree.h"
+#include "normalform/jdnf.h"
+#include "normalform/maintenance_graph.h"
+#include "normalform/subsumption_graph.h"
+#include "tpch/tpch_schema.h"
+#include "tpch/views.h"
+
+using namespace ojv;
+
+namespace {
+
+// The abstract R,S,T,U tables of the running example.
+void CreateRstu(Catalog* catalog) {
+  for (const char* name : {"R", "S", "T", "U"}) {
+    std::string p(1, static_cast<char>(std::tolower(name[0])));
+    catalog->CreateTable(
+        name,
+        Schema({ColumnDef{p + "_id", ValueType::kInt64, false},
+                ColumnDef{p + "_a", ValueType::kInt64, true},
+                ColumnDef{p + "_b", ValueType::kInt64, true}}),
+        {p + "_id"});
+  }
+}
+
+ViewDef MakeV1(const Catalog& catalog) {
+  auto eq = [](const char* t1, const char* c1, const char* t2,
+               const char* c2) {
+    return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                               ScalarExpr::Column(t2, c2));
+  };
+  RelExprPtr rs = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("R"),
+                                RelExpr::Scan("S"), eq("R", "r_a", "S", "s_a"));
+  RelExprPtr tu = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("T"),
+                                RelExpr::Scan("U"), eq("T", "t_a", "U", "u_a"));
+  RelExprPtr tree =
+      RelExpr::Join(JoinKind::kLeftOuter, rs, tu, eq("R", "r_b", "T", "t_b"));
+  std::vector<ColumnRef> output;
+  for (const char* name : {"R", "S", "T", "U"}) {
+    std::string p(1, static_cast<char>(std::tolower(name[0])));
+    output.push_back({name, p + "_id"});
+    output.push_back({name, p + "_a"});
+    output.push_back({name, p + "_b"});
+  }
+  return ViewDef("v1", tree, output, catalog);
+}
+
+}  // namespace
+
+int main() {
+  Catalog rstu;
+  CreateRstu(&rstu);
+  ViewDef v1 = MakeV1(rstu);
+
+  std::printf("V1 = %s\n", v1.tree()->ToString().c_str());
+
+  // --- Example 2: join-disjunctive normal form ---
+  std::vector<Term> terms = ComputeJdnf(v1.tree(), rstu);
+  std::printf("\nnormal form (Example 2): %zu terms\n", terms.size());
+  for (const Term& term : terms) {
+    std::printf("  %-12s with %zu predicate(s)\n", term.Label().c_str(),
+                term.predicates.size());
+  }
+
+  // --- Figure 1(a): subsumption graph ---
+  SubsumptionGraph sgraph(terms);
+  std::printf("\nsubsumption graph (Figure 1a):\n%s",
+              sgraph.ToString(terms).c_str());
+
+  // --- Figure 1(b): maintenance graph for updates of T ---
+  MaintenanceGraph mgraph(terms, sgraph, "T", rstu);
+  std::printf("\nmaintenance graph for T (Figure 1b): %s\n",
+              mgraph.ToString(terms).c_str());
+
+  // --- Figure 2: the ΔV^D transformation ---
+  RelExprPtr delta = BuildPrimaryDeltaExpr(v1, "T");
+  std::printf("\nFigure 2 (commute + weaken + substitute):\n");
+  std::printf("  V1            = %s\n", v1.tree()->ToString().c_str());
+  std::printf("  dV1_D (bushy) = %s\n", delta->ToString().c_str());
+
+  // --- Figure 3: left-deep conversion ---
+  std::printf("  dV1_D (left-deep, eq. 6) = %s\n",
+              ToLeftDeep(delta)->ToString().c_str());
+
+  // --- Example 10: FK SimplifyTree (add U.u_b -> T.t_id and join on it)
+  Catalog rstu_fk;
+  CreateRstu(&rstu_fk);
+  rstu_fk.AddForeignKey({"U", {"u_b"}, "T", {"t_id"}});
+  auto eq = [](const char* t1, const char* c1, const char* t2,
+               const char* c2) {
+    return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                               ScalarExpr::Column(t2, c2));
+  };
+  RelExprPtr rs =
+      RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("R"),
+                    RelExpr::Scan("S"), eq("R", "r_a", "S", "s_a"));
+  RelExprPtr tu =
+      RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("T"),
+                    RelExpr::Scan("U"), eq("T", "t_id", "U", "u_b"));
+  RelExprPtr tree =
+      RelExpr::Join(JoinKind::kLeftOuter, rs, tu, eq("R", "r_b", "T", "t_b"));
+  std::vector<ColumnRef> output;
+  for (const char* name : {"R", "S", "T", "U"}) {
+    std::string p(1, static_cast<char>(std::tolower(name[0])));
+    output.push_back({name, p + "_id"});
+    output.push_back({name, p + "_a"});
+    output.push_back({name, p + "_b"});
+  }
+  ViewDef v1fk("v1_fk", tree, output, rstu_fk);
+  RelExprPtr delta_fk = BuildPrimaryDeltaExpr(v1fk, "T");
+  SimplifyResult simplified = SimplifyDeltaTree(
+      delta_fk, FkChildrenJoinedOnKey(v1fk, "T", rstu_fk));
+  std::printf("\nExample 10 (FK U.u_b -> T.t_id):\n");
+  std::printf("  before SimplifyTree: %s\n", delta_fk->ToString().c_str());
+  std::printf("  after  SimplifyTree: %s (%d join eliminated)\n",
+              simplified.expr->ToString().c_str(),
+              simplified.joins_eliminated);
+
+  // --- Figure 4: V2 maintenance graphs ---
+  Catalog tpch_catalog;
+  tpch::CreateSchema(&tpch_catalog);
+  ViewDef v2 = tpch::MakeV2(tpch_catalog);
+  std::vector<Term> v2_terms = ComputeJdnf(v2.tree(), tpch_catalog);
+  SubsumptionGraph v2_sgraph(v2_terms);
+  MaintenanceGraphOptions no_fk;
+  no_fk.exploit_foreign_keys = false;
+  MaintenanceGraph original(v2_terms, v2_sgraph, "orders", tpch_catalog,
+                            no_fk);
+  MaintenanceGraph reduced(v2_terms, v2_sgraph, "orders", tpch_catalog);
+  std::printf("\nV2 maintenance graphs for updates of orders (Figure 4):\n");
+  std::printf("  original: %s\n", original.ToString(v2_terms).c_str());
+  std::printf("  reduced:  %s\n", reduced.ToString(v2_terms).c_str());
+
+  // --- EXPLAIN: the full maintenance report for Example 1's view ---
+  ViewDef oj_view = tpch::MakeOjView(tpch_catalog);
+  ViewMaintainer maintainer(&tpch_catalog, oj_view, MaintenanceOptions());
+  std::printf("\n================ EXPLAIN oj_view ================\n%s",
+              ExplainMaintenance(maintainer).c_str());
+  return 0;
+}

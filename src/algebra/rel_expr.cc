@@ -1,0 +1,174 @@
+#include "algebra/rel_expr.h"
+
+#include "common/check.h"
+
+namespace ojv {
+
+const char* JoinKindName(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner:
+      return "join";
+    case JoinKind::kLeftOuter:
+      return "lojn";
+    case JoinKind::kRightOuter:
+      return "rojn";
+    case JoinKind::kFullOuter:
+      return "fojn";
+    case JoinKind::kLeftSemi:
+      return "semijn";
+    case JoinKind::kLeftAnti:
+      return "antijn";
+  }
+  return "?";
+}
+
+std::set<std::string> RelExpr::ReferencedTables() const {
+  std::set<std::string> out;
+  if (kind_ == RelKind::kScan || kind_ == RelKind::kDeltaScan) {
+    out.insert(table_);
+    return out;
+  }
+  for (const RelExprPtr& c : children_) {
+    auto sub = c->ReferencedTables();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+bool RelExpr::ContainsDelta() const {
+  if (kind_ == RelKind::kDeltaScan) return true;
+  for (const RelExprPtr& c : children_) {
+    if (c->ContainsDelta()) return true;
+  }
+  return false;
+}
+
+std::string RelExpr::ToString() const {
+  switch (kind_) {
+    case RelKind::kScan:
+      return table_;
+    case RelKind::kDeltaScan:
+      return "d" + table_;
+    case RelKind::kSelect:
+      return "sel[" + predicate_->ToString() + "](" + input()->ToString() + ")";
+    case RelKind::kProject: {
+      std::string cols;
+      for (size_t i = 0; i < projection_.size(); ++i) {
+        if (i > 0) cols += ",";
+        cols += projection_[i].ToString();
+      }
+      return "proj[" + cols + "](" + input()->ToString() + ")";
+    }
+    case RelKind::kJoin:
+      return "(" + left()->ToString() + " " + JoinKindName(join_kind_) + " " +
+             right()->ToString() + ")";
+    case RelKind::kDedup:
+      return "dedup(" + input()->ToString() + ")";
+    case RelKind::kSubsumeRemove:
+      return "unsub(" + input()->ToString() + ")";
+    case RelKind::kOuterUnion:
+      return "(" + left()->ToString() + " ounion " + right()->ToString() + ")";
+    case RelKind::kMinUnion:
+      return "(" + left()->ToString() + " munion " + right()->ToString() + ")";
+    case RelKind::kNullIf: {
+      std::string tabs;
+      for (const std::string& t : null_tables_) {
+        if (!tabs.empty()) tabs += ",";
+        tabs += t;
+      }
+      return "nullif[" + tabs + "; keep " + predicate_->ToString() + "](" +
+             input()->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+RelExprPtr RelExpr::Scan(std::string table) {
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kScan;
+  e->table_ = std::move(table);
+  return e;
+}
+
+RelExprPtr RelExpr::DeltaScan(std::string table) {
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kDeltaScan;
+  e->table_ = std::move(table);
+  return e;
+}
+
+RelExprPtr RelExpr::Select(RelExprPtr input, ScalarExprPtr predicate) {
+  OJV_CHECK(input != nullptr && predicate != nullptr, "null select operand");
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kSelect;
+  e->children_ = {std::move(input)};
+  e->predicate_ = std::move(predicate);
+  return e;
+}
+
+RelExprPtr RelExpr::Project(RelExprPtr input, std::vector<ColumnRef> columns) {
+  OJV_CHECK(input != nullptr && !columns.empty(), "bad project");
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kProject;
+  e->children_ = {std::move(input)};
+  e->projection_ = std::move(columns);
+  return e;
+}
+
+RelExprPtr RelExpr::Join(JoinKind kind, RelExprPtr left, RelExprPtr right,
+                         ScalarExprPtr predicate) {
+  OJV_CHECK(left != nullptr && right != nullptr, "null join operand");
+  OJV_CHECK(predicate != nullptr, "joins require a predicate");
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kJoin;
+  e->join_kind_ = kind;
+  e->children_ = {std::move(left), std::move(right)};
+  e->predicate_ = std::move(predicate);
+  return e;
+}
+
+RelExprPtr RelExpr::Dedup(RelExprPtr input) {
+  OJV_CHECK(input != nullptr, "null dedup operand");
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kDedup;
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+RelExprPtr RelExpr::SubsumeRemove(RelExprPtr input) {
+  OJV_CHECK(input != nullptr, "null unsub operand");
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kSubsumeRemove;
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+RelExprPtr RelExpr::OuterUnion(RelExprPtr left, RelExprPtr right) {
+  OJV_CHECK(left != nullptr && right != nullptr, "null union operand");
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kOuterUnion;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+RelExprPtr RelExpr::MinUnion(RelExprPtr left, RelExprPtr right) {
+  OJV_CHECK(left != nullptr && right != nullptr, "null union operand");
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kMinUnion;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+RelExprPtr RelExpr::NullIf(RelExprPtr input, std::set<std::string> null_tables,
+                           ScalarExprPtr predicate) {
+  OJV_CHECK(input != nullptr && predicate != nullptr, "null nullif operand");
+  OJV_CHECK(!null_tables.empty(), "nullif requires target tables");
+  auto e = std::shared_ptr<RelExpr>(new RelExpr());
+  e->kind_ = RelKind::kNullIf;
+  e->children_ = {std::move(input)};
+  e->null_tables_ = std::move(null_tables);
+  e->predicate_ = std::move(predicate);
+  return e;
+}
+
+}  // namespace ojv

@@ -1,0 +1,110 @@
+#ifndef OJV_ALGEBRA_REL_EXPR_H_
+#define OJV_ALGEBRA_REL_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/scalar_expr.h"
+
+namespace ojv {
+
+/// Relational operators. This is exactly the algebra of the paper:
+/// selection, projection, the four join types, semijoin / antijoin,
+/// outer union (⊎), removal of subsumed tuples (↓), minimum union (⊕),
+/// duplicate elimination (δ), and the null-if operator (λ) introduced for
+/// the left-deep conversion rules.
+enum class RelKind {
+  kScan,        // base table
+  kDeltaScan,   // the update delta of a base table, bound at eval time
+  kSelect,
+  kProject,
+  kJoin,
+  kDedup,          // δ: duplicate elimination
+  kSubsumeRemove,  // ↓: removal of subsumed tuples
+  kOuterUnion,     // ⊎
+  kMinUnion,       // ⊕ = (l ⊎ r)↓
+  kNullIf,         // λ: null out a table set on rows failing a predicate
+};
+
+enum class JoinKind {
+  kInner,
+  kLeftOuter,
+  kRightOuter,
+  kFullOuter,
+  kLeftSemi,
+  kLeftAnti,
+};
+
+const char* JoinKindName(JoinKind kind);
+
+class RelExpr;
+using RelExprPtr = std::shared_ptr<const RelExpr>;
+
+/// Immutable relational expression tree. Rewrites (commuting joins,
+/// outer-join weakening, left-deep conversion, FK simplification) build
+/// new trees sharing untouched subtrees.
+class RelExpr {
+ public:
+  RelKind kind() const { return kind_; }
+
+  // kScan / kDeltaScan
+  const std::string& table() const { return table_; }
+
+  // Unary operators
+  const RelExprPtr& input() const { return children_[0]; }
+  // kJoin / unions
+  const RelExprPtr& left() const { return children_[0]; }
+  const RelExprPtr& right() const { return children_[1]; }
+  const std::vector<RelExprPtr>& children() const { return children_; }
+
+  // kSelect / kJoin / kNullIf
+  const ScalarExprPtr& predicate() const { return predicate_; }
+  // kJoin
+  JoinKind join_kind() const { return join_kind_; }
+  // kProject
+  const std::vector<ColumnRef>& projection() const { return projection_; }
+  // kNullIf: tables whose columns are nulled when predicate is not true
+  const std::set<std::string>& null_tables() const { return null_tables_; }
+
+  /// Base tables mentioned anywhere below (delta scans count as their
+  /// table: the delta has the table's schema and tag).
+  std::set<std::string> ReferencedTables() const;
+
+  /// True if a kDeltaScan appears anywhere below.
+  bool ContainsDelta() const;
+
+  /// Compact algebra rendering, e.g.
+  /// "((dT lojn U) join R) lojn S".
+  std::string ToString() const;
+
+  // --- factories ---
+  static RelExprPtr Scan(std::string table);
+  static RelExprPtr DeltaScan(std::string table);
+  static RelExprPtr Select(RelExprPtr input, ScalarExprPtr predicate);
+  static RelExprPtr Project(RelExprPtr input, std::vector<ColumnRef> columns);
+  static RelExprPtr Join(JoinKind kind, RelExprPtr left, RelExprPtr right,
+                         ScalarExprPtr predicate);
+  static RelExprPtr Dedup(RelExprPtr input);
+  static RelExprPtr SubsumeRemove(RelExprPtr input);
+  static RelExprPtr OuterUnion(RelExprPtr left, RelExprPtr right);
+  static RelExprPtr MinUnion(RelExprPtr left, RelExprPtr right);
+  static RelExprPtr NullIf(RelExprPtr input, std::set<std::string> null_tables,
+                           ScalarExprPtr predicate);
+
+ private:
+  RelExpr() = default;
+
+  RelKind kind_ = RelKind::kScan;
+  std::string table_;
+  std::vector<RelExprPtr> children_;
+  ScalarExprPtr predicate_;
+  JoinKind join_kind_ = JoinKind::kInner;
+  std::vector<ColumnRef> projection_;
+  std::set<std::string> null_tables_;
+};
+
+}  // namespace ojv
+
+#endif  // OJV_ALGEBRA_REL_EXPR_H_

@@ -1,0 +1,202 @@
+#include "algebra/scalar_expr.h"
+
+#include "common/check.h"
+
+namespace ojv {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::set<std::string> ScalarExpr::ReferencedTables() const {
+  std::vector<ColumnRef> cols;
+  CollectColumns(&cols);
+  std::set<std::string> tables;
+  for (const ColumnRef& c : cols) tables.insert(c.table);
+  return tables;
+}
+
+void ScalarExpr::CollectColumns(std::vector<ColumnRef>* out) const {
+  if (kind_ == ScalarKind::kColumn) {
+    out->push_back(column_);
+    return;
+  }
+  for (const ScalarExprPtr& c : children_) c->CollectColumns(out);
+}
+
+bool ScalarExpr::IsNullRejectingOn(const std::string& table) const {
+  switch (kind_) {
+    case ScalarKind::kColumn:
+    case ScalarKind::kLiteral:
+      return false;
+    case ScalarKind::kCompare:
+      // A comparison is unknown (not true) as soon as either side is NULL,
+      // so it rejects NULLs of any table it references.
+      return ReferencedTables().count(table) > 0;
+    case ScalarKind::kAnd: {
+      // A conjunction rejects NULLs of `table` if any conjunct does.
+      for (const ScalarExprPtr& c : children_) {
+        if (c->IsNullRejectingOn(table)) return true;
+      }
+      return false;
+    }
+    case ScalarKind::kOr: {
+      // A disjunction rejects only if every disjunct does.
+      for (const ScalarExprPtr& c : children_) {
+        if (!c->IsNullRejectingOn(table)) return false;
+      }
+      return !children_.empty();
+    }
+    case ScalarKind::kNot:
+    case ScalarKind::kIsNull:
+      // NOT p / IS NULL can be *true* on NULL input; conservatively not
+      // null-rejecting.
+      return false;
+  }
+  return false;
+}
+
+bool ScalarExpr::Equals(const ScalarExpr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ScalarKind::kColumn:
+      return column_ == other.column_;
+    case ScalarKind::kLiteral:
+      return literal_ == other.literal_;
+    case ScalarKind::kCompare:
+      if (compare_op_ != other.compare_op_) return false;
+      break;
+    default:
+      break;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+std::string ScalarExpr::ToString() const {
+  switch (kind_) {
+    case ScalarKind::kColumn:
+      return column_.ToString();
+    case ScalarKind::kLiteral:
+      return literal_.ToString();
+    case ScalarKind::kCompare:
+      return left()->ToString() + " " + CompareOpName(compare_op_) + " " +
+             right()->ToString();
+    case ScalarKind::kAnd:
+    case ScalarKind::kOr: {
+      std::string sep = kind_ == ScalarKind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ScalarKind::kNot:
+      return "NOT (" + child()->ToString() + ")";
+    case ScalarKind::kIsNull:
+      return child()->ToString() + " IS NULL";
+  }
+  return "?";
+}
+
+ScalarExprPtr ScalarExpr::Column(std::string table, std::string column) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kColumn;
+  e->column_ = ColumnRef{std::move(table), std::move(column)};
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Literal(Value v) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Compare(CompareOp op, ScalarExprPtr l,
+                                  ScalarExprPtr r) {
+  OJV_CHECK(l != nullptr && r != nullptr, "null compare operand");
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kCompare;
+  e->compare_op_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::And(std::vector<ScalarExprPtr> children) {
+  OJV_CHECK(!children.empty(), "empty AND");
+  if (children.size() == 1) return children[0];
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kAnd;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Or(std::vector<ScalarExprPtr> children) {
+  OJV_CHECK(!children.empty(), "empty OR");
+  if (children.size() == 1) return children[0];
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kOr;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Not(ScalarExprPtr child) {
+  OJV_CHECK(child != nullptr, "null NOT operand");
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kNot;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::IsNull(ScalarExprPtr child) {
+  OJV_CHECK(child != nullptr, "null IS NULL operand");
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kIsNull;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::ColumnsEqual(const ColumnRef& a, const ColumnRef& b) {
+  return Compare(CompareOp::kEq, Column(a.table, a.column),
+                 Column(b.table, b.column));
+}
+
+std::vector<ScalarExprPtr> SplitConjuncts(const ScalarExprPtr& expr) {
+  std::vector<ScalarExprPtr> out;
+  if (expr == nullptr) return out;
+  if (expr->kind() == ScalarKind::kAnd) {
+    for (const ScalarExprPtr& c : expr->children()) {
+      auto sub = SplitConjuncts(c);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  } else {
+    out.push_back(expr);
+  }
+  return out;
+}
+
+ScalarExprPtr MakeConjunction(std::vector<ScalarExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  return ScalarExpr::And(std::move(conjuncts));
+}
+
+}  // namespace ojv

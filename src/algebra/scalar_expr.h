@@ -1,0 +1,116 @@
+#ifndef OJV_ALGEBRA_SCALAR_EXPR_H_
+#define OJV_ALGEBRA_SCALAR_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ojv {
+
+/// A column reference qualified by base-table name. Views reference each
+/// table at most once (paper §2), so the table name identifies the
+/// binding uniquely throughout planning and execution.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+  bool operator<(const ColumnRef& o) const {
+    return table != o.table ? table < o.table : column < o.column;
+  }
+  std::string ToString() const { return table + "." + column; }
+};
+
+enum class ScalarKind {
+  kColumn,
+  kLiteral,
+  kCompare,
+  kAnd,
+  kOr,
+  kNot,
+  kIsNull,
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+class ScalarExpr;
+using ScalarExprPtr = std::shared_ptr<const ScalarExpr>;
+
+/// Immutable scalar expression tree with SQL three-valued semantics.
+///
+/// The evaluator (exec/) compiles these against a bound schema; here we
+/// only provide structure, printing, and the static analyses the
+/// maintenance algorithms need (referenced tables, null-rejection).
+class ScalarExpr {
+ public:
+  ScalarKind kind() const { return kind_; }
+
+  // kColumn
+  const ColumnRef& column() const { return column_; }
+  // kLiteral
+  const Value& literal() const { return literal_; }
+  // kCompare
+  CompareOp compare_op() const { return compare_op_; }
+  const ScalarExprPtr& left() const { return children_[0]; }
+  const ScalarExprPtr& right() const { return children_[1]; }
+  // kAnd / kOr
+  const std::vector<ScalarExprPtr>& children() const { return children_; }
+  // kNot / kIsNull
+  const ScalarExprPtr& child() const { return children_[0]; }
+
+  /// All base tables whose columns appear in this expression.
+  std::set<std::string> ReferencedTables() const;
+
+  /// All column references in this expression.
+  void CollectColumns(std::vector<ColumnRef>* out) const;
+
+  /// True if the expression is null-rejecting on `table`: it cannot
+  /// evaluate to true when every column of `table` is NULL. All view
+  /// predicates are required to be null-rejecting on every table they
+  /// reference (paper §2); this analysis verifies that property for the
+  /// conservative class we accept (conjunctions of comparisons).
+  bool IsNullRejectingOn(const std::string& table) const;
+
+  /// Structural equality.
+  bool Equals(const ScalarExpr& other) const;
+
+  std::string ToString() const;
+
+  // --- factories ---
+  static ScalarExprPtr Column(std::string table, std::string column);
+  static ScalarExprPtr Literal(Value v);
+  static ScalarExprPtr Compare(CompareOp op, ScalarExprPtr l, ScalarExprPtr r);
+  static ScalarExprPtr And(std::vector<ScalarExprPtr> children);
+  static ScalarExprPtr Or(std::vector<ScalarExprPtr> children);
+  static ScalarExprPtr Not(ScalarExprPtr child);
+  static ScalarExprPtr IsNull(ScalarExprPtr child);
+
+  /// eq(a, b) convenience.
+  static ScalarExprPtr ColumnsEqual(const ColumnRef& a, const ColumnRef& b);
+
+ private:
+  ScalarExpr() = default;
+
+  ScalarKind kind_ = ScalarKind::kLiteral;
+  ColumnRef column_;
+  Value literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  std::vector<ScalarExprPtr> children_;
+};
+
+/// Flattens nested ANDs into a conjunct list. A null expr yields {}.
+std::vector<ScalarExprPtr> SplitConjuncts(const ScalarExprPtr& expr);
+
+/// Rebuilds a conjunction; {} yields nullptr (meaning TRUE).
+ScalarExprPtr MakeConjunction(std::vector<ScalarExprPtr> conjuncts);
+
+}  // namespace ojv
+
+#endif  // OJV_ALGEBRA_SCALAR_EXPR_H_

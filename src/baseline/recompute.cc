@@ -1,0 +1,20 @@
+#include "baseline/recompute.h"
+
+#include "exec/evaluator.h"
+
+namespace ojv {
+
+Relation RecomputeView(const Catalog& catalog, const ViewDef& view) {
+  Evaluator evaluator(&catalog);
+  return evaluator.EvalToRelation(view.WithProjection());
+}
+
+bool ViewMatchesRecompute(const Catalog& catalog, const ViewDef& view,
+                          const MaterializedView& materialized,
+                          std::string* diff) {
+  Relation expected = RecomputeView(catalog, view);
+  Relation actual = materialized.AsRelation();
+  return SameBag(expected, actual, diff);
+}
+
+}  // namespace ojv

@@ -1,0 +1,61 @@
+#include "catalog/schema.h"
+
+#include "common/check.h"
+
+namespace ojv {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      OJV_CHECK(columns_[i].name != columns_[j].name, "duplicate column name");
+    }
+  }
+}
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  int i = Find(name);
+  OJV_CHECK(i >= 0, "unknown column");
+  return i;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ValueTypeName(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+size_t HashRowAt(const Row& row, const std::vector<int>& positions) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (int p : positions) {
+    h ^= row[static_cast<size_t>(p)].Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool RowsEqualAt(const Row& a, const Row& b, const std::vector<int>& pos_a,
+                 const std::vector<int>& pos_b) {
+  OJV_CHECK(pos_a.size() == pos_b.size(), "position list size mismatch");
+  for (size_t i = 0; i < pos_a.size(); ++i) {
+    if (a[static_cast<size_t>(pos_a[i])] != b[static_cast<size_t>(pos_b[i])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ojv

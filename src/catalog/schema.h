@@ -1,0 +1,52 @@
+#ifndef OJV_CATALOG_SCHEMA_H_
+#define OJV_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ojv {
+
+/// Definition of one base-table column.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  bool nullable = true;
+};
+
+/// An ordered list of columns. Lookup is by name; positions are stable.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Returns the position of `name`, or -1 if absent.
+  int Find(const std::string& name) const;
+
+  /// Returns the position of `name`; aborts if absent.
+  int IndexOf(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// A row is one value per schema column.
+using Row = std::vector<Value>;
+
+/// Hash of a row prefix/projection given column positions.
+size_t HashRowAt(const Row& row, const std::vector<int>& positions);
+
+/// Equality of two rows on the given column positions (NULL == NULL).
+bool RowsEqualAt(const Row& a, const Row& b, const std::vector<int>& pos_a,
+                 const std::vector<int>& pos_b);
+
+}  // namespace ojv
+
+#endif  // OJV_CATALOG_SCHEMA_H_

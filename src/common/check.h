@@ -1,0 +1,28 @@
+#ifndef OJV_COMMON_CHECK_H_
+#define OJV_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ojv {
+
+/// Internal-invariant checking. These guard programming errors (malformed
+/// plans, schema mismatches), not data errors, so they abort rather than
+/// return a status. The message should say which invariant broke.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "OJV_CHECK failed at %s:%d: (%s) %s\n", file, line,
+               expr, msg);
+  std::abort();
+}
+
+}  // namespace ojv
+
+#define OJV_CHECK(expr, msg)                               \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::ojv::CheckFailed(__FILE__, __LINE__, #expr, msg);  \
+    }                                                      \
+  } while (0)
+
+#endif  // OJV_COMMON_CHECK_H_

@@ -1,0 +1,69 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace ojv {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  s0_ = SplitMix64(&sm);
+  s1_ = SplitMix64(&sm);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  OJV_CHECK(lo <= hi, "empty range");
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling for an unbiased bounded draw.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string Rng::Text(int min_len, int max_len) {
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    if (i > 0 && i % 6 == 5) {
+      out.push_back(' ');
+    } else {
+      out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  uint64_t seed = Next() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  return Rng(seed);
+}
+
+}  // namespace ojv

@@ -1,0 +1,81 @@
+#include "common/value.h"
+
+#include <cstdio>
+
+namespace ojv {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kFloat64:
+      return "FLOAT64";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  return float64();
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_string() != other.is_string()) return false;
+  if (is_string()) return string() == other.string();
+  if (is_int64() && other.is_int64()) return int64() == other.int64();
+  return AsDouble() == other.AsDouble();
+}
+
+int Value::SortCompare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (is_string() && other.is_string()) {
+    return string().compare(other.string());
+  }
+  if (is_string()) return 1;   // strings after numbers
+  if (other.is_string()) return -1;
+  if (is_int64() && other.is_int64()) {
+    if (int64() < other.int64()) return -1;
+    return int64() == other.int64() ? 0 : 1;
+  }
+  double a = AsDouble();
+  double b = other.AsDouble();
+  if (a < b) return -1;
+  return a == b ? 0 : 1;
+}
+
+bool Value::SqlCompare(const Value& other, int* result) const {
+  if (is_null() || other.is_null()) return false;
+  *result = SortCompare(other);
+  return true;
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_string()) return std::hash<std::string>{}(string());
+  if (is_int64()) return std::hash<int64_t>{}(int64());
+  // Hash doubles through their numeric value so 1 and 1.0 collide with
+  // equal ints per operator==.
+  double d = float64();
+  if (d == static_cast<int64_t>(d)) {
+    return std::hash<int64_t>{}(static_cast<int64_t>(d));
+  }
+  return std::hash<double>{}(d);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_string()) return string();
+  if (is_int64()) return std::to_string(int64());
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", float64());
+  return buf;
+}
+
+}  // namespace ojv

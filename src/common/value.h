@@ -1,0 +1,110 @@
+#ifndef OJV_COMMON_VALUE_H_
+#define OJV_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+
+namespace ojv {
+
+/// Logical column types supported by the engine.
+///
+/// kDate is stored as an int64 count of days since 1970-01-01 but is kept
+/// as a distinct logical type so schemas print and validate naturally.
+enum class ValueType {
+  kInt64,
+  kFloat64,
+  kString,
+  kDate,
+};
+
+/// Returns a human-readable name ("INT64", "FLOAT64", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A single SQL value: NULL, 64-bit integer, double, or string.
+///
+/// Value implements SQL semantics where they matter for view maintenance:
+/// comparisons involving NULL are "unknown" (surfaced by the scalar
+/// evaluator as a null Value), while SortCompare/Hash provide a total
+/// order in which NULL sorts first and compares equal to itself, which is
+/// what indexes, duplicate elimination, and subsumption checks need.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) {
+    Value val;
+    val.rep_ = v;
+    return val;
+  }
+  static Value Float64(double v) {
+    Value val;
+    val.rep_ = v;
+    return val;
+  }
+  static Value String(std::string v) {
+    Value val;
+    val.rep_ = std::make_shared<const std::string>(std::move(v));
+    return val;
+  }
+  /// Dates share the int64 representation (days since epoch).
+  static Value Date(int64_t days) { return Int64(days); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_float64() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const {
+    return std::holds_alternative<std::shared_ptr<const std::string>>(rep_);
+  }
+
+  /// Accessors abort if the value holds a different alternative; callers
+  /// are expected to have validated types at plan time.
+  int64_t int64() const { return std::get<int64_t>(rep_); }
+  double float64() const { return std::get<double>(rep_); }
+  const std::string& string() const {
+    return *std::get<std::shared_ptr<const std::string>>(rep_);
+  }
+
+  /// Numeric view used by arithmetic and cross-type comparisons.
+  double AsDouble() const;
+
+  /// Strict equality used by row identity, indexes and duplicate
+  /// elimination: NULL == NULL is true here (unlike SQL `=`).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order: NULL first, then by type-coerced value. Used for
+  /// sorting and deterministic output; not SQL comparison semantics.
+  /// Returns <0, 0, >0.
+  int SortCompare(const Value& other) const;
+
+  /// SQL three-valued comparison. Returns 0/-1/+1 via *result and true,
+  /// or returns false when the comparison is unknown (an operand is NULL).
+  bool SqlCompare(const Value& other, int* result) const;
+
+  /// Hash consistent with operator== (NULLs hash to a fixed sentinel).
+  size_t Hash() const;
+
+  /// Debug / output rendering; NULL prints as "NULL".
+  std::string ToString() const;
+
+ private:
+  // Strings are shared and immutable: rows are copied throughout join
+  // pipelines and view storage, and a refcount bump beats a heap copy.
+  std::variant<std::monostate, int64_t, double,
+               std::shared_ptr<const std::string>>
+      rep_;
+};
+
+/// Hash functor usable with unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ojv
+
+#endif  // OJV_COMMON_VALUE_H_

@@ -1,0 +1,114 @@
+#include "exec/bound_scalar.h"
+
+#include "common/check.h"
+
+namespace ojv {
+
+BoundScalar BoundScalar::Compile(const ScalarExprPtr& expr,
+                                 const BoundSchema& schema) {
+  OJV_CHECK(expr != nullptr, "null scalar expression");
+  BoundScalar out;
+  out.kind_ = expr->kind();
+  switch (expr->kind()) {
+    case ScalarKind::kColumn:
+      out.position_ = schema.IndexOf(expr->column());
+      break;
+    case ScalarKind::kLiteral:
+      out.literal_ = expr->literal();
+      break;
+    case ScalarKind::kCompare:
+      out.compare_op_ = expr->compare_op();
+      out.children_.push_back(Compile(expr->left(), schema));
+      out.children_.push_back(Compile(expr->right(), schema));
+      break;
+    case ScalarKind::kAnd:
+    case ScalarKind::kOr:
+      for (const ScalarExprPtr& c : expr->children()) {
+        out.children_.push_back(Compile(c, schema));
+      }
+      break;
+    case ScalarKind::kNot:
+    case ScalarKind::kIsNull:
+      out.children_.push_back(Compile(expr->child(), schema));
+      break;
+  }
+  return out;
+}
+
+Value BoundScalar::Eval(const Row& row) const {
+  switch (kind_) {
+    case ScalarKind::kColumn:
+      return row[static_cast<size_t>(position_)];
+    case ScalarKind::kLiteral:
+      return literal_;
+    case ScalarKind::kCompare: {
+      Value l = children_[0].Eval(row);
+      Value r = children_[1].Eval(row);
+      int cmp = 0;
+      if (!l.SqlCompare(r, &cmp)) return Value::Null();
+      bool result = false;
+      switch (compare_op_) {
+        case CompareOp::kEq:
+          result = cmp == 0;
+          break;
+        case CompareOp::kNe:
+          result = cmp != 0;
+          break;
+        case CompareOp::kLt:
+          result = cmp < 0;
+          break;
+        case CompareOp::kLe:
+          result = cmp <= 0;
+          break;
+        case CompareOp::kGt:
+          result = cmp > 0;
+          break;
+        case CompareOp::kGe:
+          result = cmp >= 0;
+          break;
+      }
+      return Value::Int64(result ? 1 : 0);
+    }
+    case ScalarKind::kAnd: {
+      bool any_unknown = false;
+      for (const BoundScalar& c : children_) {
+        Value v = c.Eval(row);
+        if (v.is_null()) {
+          any_unknown = true;
+        } else if (v.int64() == 0) {
+          return Value::Int64(0);
+        }
+      }
+      return any_unknown ? Value::Null() : Value::Int64(1);
+    }
+    case ScalarKind::kOr: {
+      bool any_unknown = false;
+      for (const BoundScalar& c : children_) {
+        Value v = c.Eval(row);
+        if (v.is_null()) {
+          any_unknown = true;
+        } else if (v.int64() != 0) {
+          return Value::Int64(1);
+        }
+      }
+      return any_unknown ? Value::Null() : Value::Int64(0);
+    }
+    case ScalarKind::kNot: {
+      Value v = children_[0].Eval(row);
+      if (v.is_null()) return Value::Null();
+      return Value::Int64(v.int64() == 0 ? 1 : 0);
+    }
+    case ScalarKind::kIsNull: {
+      Value v = children_[0].Eval(row);
+      return Value::Int64(v.is_null() ? 1 : 0);
+    }
+  }
+  return Value::Null();
+}
+
+bool BoundScalar::EvalBool(const Row& row) const {
+  Value v = Eval(row);
+  return !v.is_null() && v.int64() != 0;
+}
+
+}  // namespace ojv

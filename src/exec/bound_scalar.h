@@ -1,0 +1,45 @@
+#ifndef OJV_EXEC_BOUND_SCALAR_H_
+#define OJV_EXEC_BOUND_SCALAR_H_
+
+#include <memory>
+#include <vector>
+
+#include "algebra/scalar_expr.h"
+#include "exec/relation.h"
+
+namespace ojv {
+
+/// A scalar expression compiled against a bound schema: column references
+/// are resolved to row positions once, so per-row evaluation does no name
+/// lookups. Evaluation follows SQL three-valued logic; `EvalBool` returns
+/// true only when the expression evaluates to TRUE (UNKNOWN behaves like
+/// FALSE, which is what makes all our predicates null-rejecting).
+class BoundScalar {
+ public:
+  /// Compiles `expr` against `schema`. Aborts if a referenced column is
+  /// not present in the schema.
+  static BoundScalar Compile(const ScalarExprPtr& expr,
+                             const BoundSchema& schema);
+
+  /// Three-valued evaluation; NULL Value encodes UNKNOWN for booleans,
+  /// which are otherwise int64 0/1.
+  Value Eval(const Row& row) const;
+
+  /// True iff Eval(row) is a non-null truthy value.
+  bool EvalBool(const Row& row) const;
+
+  /// Default-constructed instance evaluates as the literal NULL; useful
+  /// as a placeholder before Compile.
+  BoundScalar() = default;
+
+ private:
+  ScalarKind kind_ = ScalarKind::kLiteral;
+  int position_ = -1;  // kColumn
+  Value literal_;      // kLiteral
+  CompareOp compare_op_ = CompareOp::kEq;
+  std::vector<BoundScalar> children_;
+};
+
+}  // namespace ojv
+
+#endif  // OJV_EXEC_BOUND_SCALAR_H_

@@ -1,0 +1,604 @@
+#include "exec/evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "exec/bound_scalar.h"
+
+namespace ojv {
+namespace {
+
+// Hash of row values at given positions (NULL hashes to a sentinel).
+size_t HashAt(const Row& row, const std::vector<int>& positions) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (int p : positions) {
+    h ^= row[static_cast<size_t>(p)].Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool AnyNullAt(const Row& row, const std::vector<int>& positions) {
+  for (int p : positions) {
+    if (row[static_cast<size_t>(p)].is_null()) return true;
+  }
+  return false;
+}
+
+bool EqualAt(const Row& a, const std::vector<int>& pa, const Row& b,
+             const std::vector<int>& pb) {
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (a[static_cast<size_t>(pa[i])] != b[static_cast<size_t>(pb[i])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Non-null column bitmask of a row, as a string key.
+std::string NullMask(const Row& row) {
+  std::string mask(row.size(), '0');
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null()) mask[i] = '1';
+  }
+  return mask;
+}
+
+bool IsStrictSubsetMask(const std::string& small, const std::string& big) {
+  bool strict = false;
+  for (size_t i = 0; i < small.size(); ++i) {
+    if (small[i] == '1' && big[i] == '0') return false;
+    if (small[i] == '0' && big[i] == '1') strict = true;
+  }
+  return strict;
+}
+
+size_t HashFullRow(const Row& row) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Wraps a caller-owned relation without taking ownership.
+std::shared_ptr<const Relation> NonOwning(const Relation* relation) {
+  return std::shared_ptr<const Relation>(relation, [](const Relation*) {});
+}
+
+std::shared_ptr<const Relation> Owned(Relation relation) {
+  return std::make_shared<const Relation>(std::move(relation));
+}
+
+}  // namespace
+
+std::shared_ptr<const Relation> TableRelationCache::Get(const Table& table) {
+  Entry& entry = entries_[table.name()];
+  if (entry.relation == nullptr || entry.version != table.version()) {
+    entry.relation =
+        std::make_shared<const Relation>(Evaluator::RelationFrom(table));
+    entry.version = table.version();
+  }
+  return entry.relation;
+}
+
+BoundSchema Evaluator::SchemaFor(const Table& table) {
+  BoundSchema schema;
+  for (int i = 0; i < table.schema().num_columns(); ++i) {
+    const ColumnDef& def = table.schema().column(i);
+    int key_ordinal = -1;
+    for (size_t k = 0; k < table.key_positions().size(); ++k) {
+      if (table.key_positions()[k] == i) {
+        key_ordinal = static_cast<int>(k);
+      }
+    }
+    schema.AddColumn(
+        BoundColumn{table.name(), def.name, def.type, key_ordinal});
+  }
+  return schema;
+}
+
+Relation Evaluator::RelationFrom(const Table& table) {
+  Relation rel(SchemaFor(table));
+  rel.mutable_rows()->reserve(static_cast<size_t>(table.size()));
+  table.ForEach([&](const Row& row) { rel.Add(row); });
+  return rel;
+}
+
+std::shared_ptr<const Relation> Evaluator::Eval(const RelExprPtr& expr) const {
+  OJV_CHECK(expr != nullptr, "null relational expression");
+  switch (expr->kind()) {
+    case RelKind::kScan:
+      return EvalScan(*expr);
+    case RelKind::kDeltaScan:
+      return EvalDeltaScan(*expr);
+    case RelKind::kSelect:
+      return Owned(EvalSelect(*expr));
+    case RelKind::kProject:
+      return Owned(EvalProject(*expr));
+    case RelKind::kJoin:
+      return Owned(EvalJoin(*expr));
+    case RelKind::kDedup:
+      return Owned(DedupRows(*Eval(expr->input())));
+    case RelKind::kSubsumeRemove:
+      return Owned(RemoveSubsumed(*Eval(expr->input())));
+    case RelKind::kOuterUnion:
+      return Owned(OuterUnionOf(*Eval(expr->left()), *Eval(expr->right())));
+    case RelKind::kMinUnion:
+      return Owned(RemoveSubsumed(
+          OuterUnionOf(*Eval(expr->left()), *Eval(expr->right()))));
+    case RelKind::kNullIf:
+      return Owned(EvalNullIf(*expr));
+  }
+  OJV_CHECK(false, "unreachable");
+}
+
+std::shared_ptr<const Relation> Evaluator::EvalScan(const RelExpr& expr) const {
+  auto it = overrides_.find(expr.table());
+  if (it != overrides_.end()) return NonOwning(it->second);
+  const Table* table = catalog_->GetTable(expr.table());
+  if (cache_ != nullptr) return cache_->Get(*table);
+  return Owned(RelationFrom(*table));
+}
+
+std::shared_ptr<const Relation> Evaluator::EvalDeltaScan(
+    const RelExpr& expr) const {
+  auto it = deltas_.find(expr.table());
+  OJV_CHECK(it != deltas_.end(), "unbound delta scan");
+  return NonOwning(it->second);
+}
+
+Relation Evaluator::EvalSelect(const RelExpr& expr) const {
+  std::shared_ptr<const Relation> in = Eval(expr.input());
+  BoundScalar pred = BoundScalar::Compile(expr.predicate(), in->schema());
+  Relation out(in->schema());
+  for (const Row& row : in->rows()) {
+    if (pred.EvalBool(row)) out.Add(row);
+  }
+  return out;
+}
+
+Relation Evaluator::EvalProject(const RelExpr& expr) const {
+  std::shared_ptr<const Relation> in = Eval(expr.input());
+  BoundSchema schema;
+  std::vector<int> positions;
+  for (const ColumnRef& ref : expr.projection()) {
+    int p = in->schema().IndexOf(ref);
+    positions.push_back(p);
+    schema.AddColumn(in->schema().column(p));
+  }
+  Relation out(std::move(schema));
+  for (const Row& row : in->rows()) {
+    Row projected;
+    projected.reserve(positions.size());
+    for (int p : positions) projected.push_back(row[static_cast<size_t>(p)]);
+    out.Add(std::move(projected));
+  }
+  return out;
+}
+
+Relation Evaluator::EvalJoin(const RelExpr& expr) const {
+  std::shared_ptr<const Relation> lp = Eval(expr.left());
+  std::shared_ptr<const Relation> rp = Eval(expr.right());
+  const Relation& l = *lp;
+  const Relation& r = *rp;
+  const JoinKind kind = expr.join_kind();
+  const bool semi_or_anti =
+      kind == JoinKind::kLeftSemi || kind == JoinKind::kLeftAnti;
+
+  // Combined schema (left columns then right columns).
+  BoundSchema combined;
+  for (const BoundColumn& c : l.schema().columns()) combined.AddColumn(c);
+  for (const BoundColumn& c : r.schema().columns()) {
+    OJV_CHECK(l.schema().Find(c.table, c.column) < 0,
+              "join inputs must have disjoint columns");
+    combined.AddColumn(c);
+  }
+
+  // Split the predicate into hashable equality conjuncts and a residual.
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  std::vector<ScalarExprPtr> residual_conjuncts;
+  for (const ScalarExprPtr& c : SplitConjuncts(expr.predicate())) {
+    bool handled = false;
+    if (c->kind() == ScalarKind::kCompare &&
+        c->compare_op() == CompareOp::kEq &&
+        c->left()->kind() == ScalarKind::kColumn &&
+        c->right()->kind() == ScalarKind::kColumn) {
+      int ll = l.schema().Find(c->left()->column());
+      int lr = r.schema().Find(c->right()->column());
+      int rl = l.schema().Find(c->right()->column());
+      int rr = r.schema().Find(c->left()->column());
+      if (ll >= 0 && lr >= 0) {
+        left_keys.push_back(ll);
+        right_keys.push_back(lr);
+        handled = true;
+      } else if (rl >= 0 && rr >= 0) {
+        left_keys.push_back(rl);
+        right_keys.push_back(rr);
+        handled = true;
+      }
+    }
+    if (!handled) residual_conjuncts.push_back(c);
+  }
+  ScalarExprPtr residual_expr = MakeConjunction(residual_conjuncts);
+
+  if (join_algorithm_ == JoinAlgorithm::kSortMerge && !left_keys.empty() &&
+      !semi_or_anti) {
+    return EvalSortMergeJoin(expr, l, r, left_keys, right_keys,
+                             residual_expr);
+  }
+
+  BoundScalar residual;
+  bool has_residual = residual_expr != nullptr;
+  if (has_residual) residual = BoundScalar::Compile(residual_expr, combined);
+
+  // Inner joins are symmetric: build the hash table over the smaller
+  // input and probe with the larger (output column order is unchanged).
+  if (kind == JoinKind::kInner && !left_keys.empty() && l.size() < r.size()) {
+    std::unordered_multimap<size_t, int64_t> build;
+    build.reserve(static_cast<size_t>(l.size()));
+    for (int64_t i = 0; i < l.size(); ++i) {
+      if (!AnyNullAt(l.row(i), left_keys)) {
+        build.emplace(HashAt(l.row(i), left_keys), i);
+      }
+    }
+    Relation out(combined);
+    const int lcols = l.schema().num_columns();
+    const int rcols = r.schema().num_columns();
+    Row combined_row(static_cast<size_t>(lcols + rcols));
+    for (int64_t ri = 0; ri < r.size(); ++ri) {
+      const Row& rrow = r.row(ri);
+      if (AnyNullAt(rrow, right_keys)) continue;
+      auto range = build.equal_range(HashAt(rrow, right_keys));
+      for (auto it = range.first; it != range.second; ++it) {
+        const Row& lrow = l.row(it->second);
+        if (!EqualAt(lrow, left_keys, rrow, right_keys)) continue;
+        for (int i = 0; i < lcols; ++i) {
+          combined_row[static_cast<size_t>(i)] = lrow[static_cast<size_t>(i)];
+        }
+        for (int i = 0; i < rcols; ++i) {
+          combined_row[static_cast<size_t>(lcols + i)] =
+              rrow[static_cast<size_t>(i)];
+        }
+        if (has_residual && !residual.EvalBool(combined_row)) continue;
+        out.Add(combined_row);
+      }
+    }
+    return out;
+  }
+
+  // Build hash table over the right input (skips NULL keys: SQL equality
+  // can never match them).
+  std::unordered_multimap<size_t, int64_t> hash;
+  if (!left_keys.empty()) {
+    hash.reserve(static_cast<size_t>(r.size()));
+    for (int64_t i = 0; i < r.size(); ++i) {
+      if (!AnyNullAt(r.row(i), right_keys)) {
+        hash.emplace(HashAt(r.row(i), right_keys), i);
+      }
+    }
+  }
+
+  Relation out(semi_or_anti ? l.schema() : combined);
+  std::vector<char> right_matched(static_cast<size_t>(r.size()), 0);
+  const int lcols = l.schema().num_columns();
+  const int rcols = r.schema().num_columns();
+
+  Row combined_row(static_cast<size_t>(lcols + rcols));
+  auto try_match = [&](const Row& lrow, int64_t ri, bool* matched_out) {
+    const Row& rrow = r.row(ri);
+    if (!left_keys.empty() && !EqualAt(lrow, left_keys, rrow, right_keys)) {
+      return;
+    }
+    if (has_residual || !semi_or_anti) {
+      for (int i = 0; i < lcols; ++i) {
+        combined_row[static_cast<size_t>(i)] = lrow[static_cast<size_t>(i)];
+      }
+      for (int i = 0; i < rcols; ++i) {
+        combined_row[static_cast<size_t>(lcols + i)] =
+            rrow[static_cast<size_t>(i)];
+      }
+    }
+    if (has_residual && !residual.EvalBool(combined_row)) return;
+    *matched_out = true;
+    right_matched[static_cast<size_t>(ri)] = 1;
+    if (kind == JoinKind::kInner || kind == JoinKind::kLeftOuter ||
+        kind == JoinKind::kRightOuter || kind == JoinKind::kFullOuter) {
+      out.Add(combined_row);
+    }
+  };
+
+  for (int64_t li = 0; li < l.size(); ++li) {
+    const Row& lrow = l.row(li);
+    bool matched = false;
+    if (!left_keys.empty()) {
+      if (!AnyNullAt(lrow, left_keys)) {
+        auto range = hash.equal_range(HashAt(lrow, left_keys));
+        for (auto it = range.first; it != range.second; ++it) {
+          try_match(lrow, it->second, &matched);
+          if (matched && semi_or_anti) break;
+        }
+      }
+    } else {
+      for (int64_t ri = 0; ri < r.size(); ++ri) {
+        try_match(lrow, ri, &matched);
+        if (matched && semi_or_anti) break;
+      }
+    }
+    switch (kind) {
+      case JoinKind::kLeftOuter:
+      case JoinKind::kFullOuter:
+        if (!matched) {
+          Row row = lrow;
+          row.resize(static_cast<size_t>(lcols + rcols), Value::Null());
+          out.Add(std::move(row));
+        }
+        break;
+      case JoinKind::kLeftSemi:
+        if (matched) out.Add(lrow);
+        break;
+      case JoinKind::kLeftAnti:
+        if (!matched) out.Add(lrow);
+        break;
+      default:
+        break;
+    }
+  }
+  if (kind == JoinKind::kRightOuter || kind == JoinKind::kFullOuter) {
+    for (int64_t ri = 0; ri < r.size(); ++ri) {
+      if (!right_matched[static_cast<size_t>(ri)]) {
+        Row row(static_cast<size_t>(lcols), Value::Null());
+        const Row& rrow = r.row(ri);
+        row.insert(row.end(), rrow.begin(), rrow.end());
+        out.Add(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+Relation Evaluator::EvalNullIf(const RelExpr& expr) const {
+  std::shared_ptr<const Relation> in = Eval(expr.input());
+  BoundScalar pred = BoundScalar::Compile(expr.predicate(), in->schema());
+  // Positions of columns belonging to the nulled tables.
+  std::vector<int> null_positions;
+  for (int i = 0; i < in->schema().num_columns(); ++i) {
+    if (expr.null_tables().count(in->schema().column(i).table) > 0) {
+      null_positions.push_back(i);
+    }
+  }
+  Relation out(in->schema());
+  for (const Row& row : in->rows()) {
+    if (pred.EvalBool(row)) {
+      out.Add(row);
+    } else {
+      Row nulled = row;
+      for (int p : null_positions) {
+        nulled[static_cast<size_t>(p)] = Value::Null();
+      }
+      out.Add(std::move(nulled));
+    }
+  }
+  return out;
+}
+
+Relation Evaluator::EvalSortMergeJoin(
+    const RelExpr& expr, const Relation& l, const Relation& r,
+    const std::vector<int>& left_keys, const std::vector<int>& right_keys,
+    const ScalarExprPtr& residual_expr) const {
+  const JoinKind kind = expr.join_kind();
+  BoundSchema combined;
+  for (const BoundColumn& c : l.schema().columns()) combined.AddColumn(c);
+  for (const BoundColumn& c : r.schema().columns()) combined.AddColumn(c);
+  BoundScalar residual;
+  const bool has_residual = residual_expr != nullptr;
+  if (has_residual) residual = BoundScalar::Compile(residual_expr, combined);
+
+  // Sort row indexes by key; NULL keys sort first and are skipped by the
+  // merge (SQL equality never matches them) but still surface through
+  // the outer-join passes below.
+  auto order_by = [](const Relation& rel, const std::vector<int>& keys) {
+    std::vector<int64_t> idx(static_cast<size_t>(rel.size()));
+    for (int64_t i = 0; i < rel.size(); ++i) idx[static_cast<size_t>(i)] = i;
+    std::sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
+      for (int k : keys) {
+        int c = rel.row(a)[static_cast<size_t>(k)].SortCompare(
+            rel.row(b)[static_cast<size_t>(k)]);
+        if (c != 0) return c < 0;
+      }
+      return a < b;
+    });
+    return idx;
+  };
+  std::vector<int64_t> li = order_by(l, left_keys);
+  std::vector<int64_t> ri = order_by(r, right_keys);
+
+  auto key_null = [](const Relation& rel, int64_t row,
+                     const std::vector<int>& keys) {
+    for (int k : keys) {
+      if (rel.row(row)[static_cast<size_t>(k)].is_null()) return true;
+    }
+    return false;
+  };
+  auto compare = [&](int64_t lr, int64_t rr) {
+    for (size_t k = 0; k < left_keys.size(); ++k) {
+      int c = l.row(lr)[static_cast<size_t>(left_keys[k])].SortCompare(
+          r.row(rr)[static_cast<size_t>(right_keys[k])]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+
+  Relation out(combined);
+  std::vector<char> left_matched(static_cast<size_t>(l.size()), 0);
+  std::vector<char> right_matched(static_cast<size_t>(r.size()), 0);
+  const int lcols = l.schema().num_columns();
+  const int rcols = r.schema().num_columns();
+  Row combined_row(static_cast<size_t>(lcols + rcols));
+
+  size_t a = 0;
+  size_t b = 0;
+  while (a < li.size() && key_null(l, li[a], left_keys)) ++a;
+  while (b < ri.size() && key_null(r, ri[b], right_keys)) ++b;
+  while (a < li.size() && b < ri.size()) {
+    int c = compare(li[a], ri[b]);
+    if (c < 0) {
+      ++a;
+      continue;
+    }
+    if (c > 0) {
+      ++b;
+      continue;
+    }
+    // Equal-key groups: cross product.
+    size_t a_end = a;
+    while (a_end < li.size() && compare(li[a_end], ri[b]) == 0) ++a_end;
+    size_t b_end = b;
+    while (b_end < ri.size() && compare(li[a], ri[b_end]) == 0) ++b_end;
+    for (size_t i = a; i < a_end; ++i) {
+      const Row& lrow = l.row(li[i]);
+      for (size_t j = b; j < b_end; ++j) {
+        const Row& rrow = r.row(ri[j]);
+        for (int x = 0; x < lcols; ++x) {
+          combined_row[static_cast<size_t>(x)] = lrow[static_cast<size_t>(x)];
+        }
+        for (int x = 0; x < rcols; ++x) {
+          combined_row[static_cast<size_t>(lcols + x)] =
+              rrow[static_cast<size_t>(x)];
+        }
+        if (has_residual && !residual.EvalBool(combined_row)) continue;
+        left_matched[static_cast<size_t>(li[i])] = 1;
+        right_matched[static_cast<size_t>(ri[j])] = 1;
+        out.Add(combined_row);
+      }
+    }
+    a = a_end;
+    b = b_end;
+  }
+
+  if (kind == JoinKind::kLeftOuter || kind == JoinKind::kFullOuter) {
+    for (int64_t i = 0; i < l.size(); ++i) {
+      if (!left_matched[static_cast<size_t>(i)]) {
+        Row row = l.row(i);
+        row.resize(static_cast<size_t>(lcols + rcols), Value::Null());
+        out.Add(std::move(row));
+      }
+    }
+  }
+  if (kind == JoinKind::kRightOuter || kind == JoinKind::kFullOuter) {
+    for (int64_t i = 0; i < r.size(); ++i) {
+      if (!right_matched[static_cast<size_t>(i)]) {
+        Row row(static_cast<size_t>(lcols), Value::Null());
+        const Row& rrow = r.row(i);
+        row.insert(row.end(), rrow.begin(), rrow.end());
+        out.Add(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+Relation Evaluator::DedupRows(Relation input) {
+  std::unordered_multimap<size_t, size_t> seen;
+  std::vector<Row> kept;
+  for (Row& row : *input.mutable_rows()) {
+    size_t h = HashFullRow(row);
+    bool duplicate = false;
+    auto range = seen.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (kept[it->second] == row) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      seen.emplace(h, kept.size());
+      kept.push_back(std::move(row));
+    }
+  }
+  *input.mutable_rows() = std::move(kept);
+  return input;
+}
+
+Relation Evaluator::RemoveSubsumed(Relation input) {
+  const std::vector<Row>& rows = input.rows();
+  if (rows.empty()) return input;
+
+  // Group row indexes by non-null mask.
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  std::vector<std::string> masks(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    masks[i] = NullMask(rows[i]);
+    groups[masks[i]].push_back(i);
+  }
+  if (groups.size() == 1) return input;  // identical masks cannot subsume
+
+  // For each mask, find the strict-superset masks and test membership of
+  // each row's non-null projection among superset rows.
+  std::vector<char> drop(rows.size(), 0);
+  for (const auto& [mask, indexes] : groups) {
+    std::vector<int> proj;
+    for (size_t c = 0; c < mask.size(); ++c) {
+      if (mask[c] == '1') proj.push_back(static_cast<int>(c));
+    }
+    for (const auto& [other_mask, other_indexes] : groups) {
+      if (!IsStrictSubsetMask(mask, other_mask)) continue;
+      // Hash the superset group's rows projected onto `proj`.
+      std::unordered_multimap<size_t, size_t> table;
+      table.reserve(other_indexes.size());
+      for (size_t oi : other_indexes) {
+        table.emplace(HashAt(rows[oi], proj), oi);
+      }
+      for (size_t i : indexes) {
+        if (drop[i]) continue;
+        auto range = table.equal_range(HashAt(rows[i], proj));
+        for (auto it = range.first; it != range.second; ++it) {
+          if (EqualAt(rows[i], proj, rows[it->second], proj)) {
+            drop[i] = 1;
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::vector<Row> kept;
+  kept.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!drop[i]) kept.push_back(rows[i]);
+  }
+  *input.mutable_rows() = std::move(kept);
+  return input;
+}
+
+Relation Evaluator::OuterUnionOf(const Relation& a, const Relation& b) {
+  BoundSchema schema = a.schema();
+  for (const BoundColumn& c : b.schema().columns()) {
+    if (schema.Find(c.table, c.column) < 0) schema.AddColumn(c);
+  }
+  Relation out(schema);
+  const int total = schema.num_columns();
+  for (const Row& row : a.rows()) {
+    Row padded = row;
+    padded.resize(static_cast<size_t>(total), Value::Null());
+    out.Add(std::move(padded));
+  }
+  // Map b's columns into the combined schema.
+  std::vector<int> to_combined;
+  for (const BoundColumn& c : b.schema().columns()) {
+    to_combined.push_back(schema.Find(c.table, c.column));
+  }
+  for (const Row& row : b.rows()) {
+    Row mapped(static_cast<size_t>(total), Value::Null());
+    for (size_t i = 0; i < row.size(); ++i) {
+      mapped[static_cast<size_t>(to_combined[i])] = row[i];
+    }
+    out.Add(std::move(mapped));
+  }
+  return out;
+}
+
+}  // namespace ojv

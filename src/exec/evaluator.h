@@ -1,0 +1,116 @@
+#ifndef OJV_EXEC_EVALUATOR_H_
+#define OJV_EXEC_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "algebra/rel_expr.h"
+#include "catalog/catalog.h"
+#include "exec/relation.h"
+
+namespace ojv {
+
+/// Version-checked cache of base tables materialized as tagged
+/// relations. A maintenance operation evaluates several expressions over
+/// the same (unchanging) base tables; the cache makes each table's
+/// materialization once per table version instead of once per scan.
+class TableRelationCache {
+ public:
+  /// Returns the relation for `table`'s current contents; rebuilt only
+  /// when the table's version changed since the last call.
+  std::shared_ptr<const Relation> Get(const Table& table);
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    std::shared_ptr<const Relation> relation;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Executes relational expression trees against a catalog.
+///
+/// Joins with equality conjuncts run as hash joins; otherwise nested
+/// loops. Delta scans resolve through named bindings supplied by the
+/// caller (the maintainer binds ΔT under the table's own name, and the
+/// secondary-delta machinery binds intermediates like "#primary").
+/// Table overrides let a caller evaluate a subtree against a substituted
+/// table state (the Griffin–Kumar baseline uses this for pre-update
+/// states). Results are shared pointers so scan outputs (cached base
+/// tables, bound deltas) are never copied.
+class Evaluator {
+ public:
+  /// Physical join algorithm for equality joins. kHash (default) builds
+  /// a hash table on one input; kSortMerge sorts both inputs on the
+  /// equality keys and merges — same results, different cost profile
+  /// (used for cross-validation and by the operator benchmarks).
+  enum class JoinAlgorithm { kHash, kSortMerge };
+
+  explicit Evaluator(const Catalog* catalog) : catalog_(catalog) {}
+
+  void set_join_algorithm(JoinAlgorithm algorithm) {
+    join_algorithm_ = algorithm;
+  }
+
+  /// Binds the relation produced for DeltaScan(name). The relation must
+  /// outlive the evaluator's uses.
+  void BindDelta(const std::string& name, const Relation* delta) {
+    deltas_[name] = delta;
+  }
+
+  /// Substitutes `relation` for Scan(table) during evaluation.
+  void OverrideTable(const std::string& table, const Relation* relation) {
+    overrides_[table] = relation;
+  }
+
+  void ClearOverrides() { overrides_.clear(); }
+
+  /// Uses `cache` for base-table scans (optional; not owned).
+  void set_table_cache(TableRelationCache* cache) { cache_ = cache; }
+
+  /// Evaluates the tree; the result may alias a cached or bound
+  /// relation and must be treated as immutable.
+  std::shared_ptr<const Relation> Eval(const RelExprPtr& expr) const;
+
+  /// Convenience: evaluates and deep-copies the result.
+  Relation EvalToRelation(const RelExprPtr& expr) const { return *Eval(expr); }
+
+  /// Tagged bound schema for a base table (columns carry key ordinals).
+  static BoundSchema SchemaFor(const Table& table);
+
+  /// Materializes a base table as a tagged relation.
+  static Relation RelationFrom(const Table& table);
+
+  /// Removal of subsumed tuples (the ↓ operator), exposed for reuse.
+  static Relation RemoveSubsumed(Relation input);
+
+  /// Duplicate elimination (the δ operator), exposed for reuse.
+  static Relation DedupRows(Relation input);
+
+  /// Outer union ⊎ of two relations (schema = union of tagged columns).
+  static Relation OuterUnionOf(const Relation& a, const Relation& b);
+
+ private:
+  std::shared_ptr<const Relation> EvalScan(const RelExpr& expr) const;
+  std::shared_ptr<const Relation> EvalDeltaScan(const RelExpr& expr) const;
+  Relation EvalSelect(const RelExpr& expr) const;
+  Relation EvalSortMergeJoin(const RelExpr& expr, const Relation& l,
+                             const Relation& r,
+                             const std::vector<int>& left_keys,
+                             const std::vector<int>& right_keys,
+                             const ScalarExprPtr& residual_expr) const;
+  Relation EvalProject(const RelExpr& expr) const;
+  Relation EvalJoin(const RelExpr& expr) const;
+  Relation EvalNullIf(const RelExpr& expr) const;
+
+  const Catalog* catalog_;
+  std::map<std::string, const Relation*> deltas_;
+  std::map<std::string, const Relation*> overrides_;
+  TableRelationCache* cache_ = nullptr;
+  JoinAlgorithm join_algorithm_ = JoinAlgorithm::kHash;
+};
+
+}  // namespace ojv
+
+#endif  // OJV_EXEC_EVALUATOR_H_

@@ -1,0 +1,158 @@
+#include "exec/relation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ojv {
+
+const std::vector<int> BoundSchema::kEmptyPositions;
+
+void BoundSchema::AddColumn(BoundColumn col) {
+  std::string table = col.table;
+  int key_ordinal = col.key_ordinal;
+  columns_.push_back(std::move(col));
+  TableInfo& info = tables_[table];
+  if (key_ordinal >= 0) {
+    if (static_cast<size_t>(key_ordinal) >= info.key_positions.size()) {
+      info.key_positions.resize(static_cast<size_t>(key_ordinal) + 1, -1);
+    }
+    info.key_positions[static_cast<size_t>(key_ordinal)] =
+        static_cast<int>(columns_.size()) - 1;
+  }
+}
+
+int BoundSchema::Find(const std::string& table,
+                      const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].table == table && columns_[i].column == column) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int BoundSchema::IndexOf(const ColumnRef& ref) const {
+  int i = Find(ref);
+  OJV_CHECK(i >= 0, "column not found in bound schema");
+  return i;
+}
+
+bool BoundSchema::HasTable(const std::string& table) const {
+  return tables_.find(table) != tables_.end();
+}
+
+std::vector<std::string> BoundSchema::Tables() const {
+  std::vector<std::string> out;
+  for (const auto& [name, info] : tables_) out.push_back(name);
+  return out;
+}
+
+const std::vector<int>& BoundSchema::KeyPositions(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return kEmptyPositions;
+  for (int p : it->second.key_positions) {
+    if (p < 0) return kEmptyPositions;
+  }
+  if (it->second.key_positions.empty()) return kEmptyPositions;
+  return it->second.key_positions;
+}
+
+bool BoundSchema::HasFullKey(const std::string& table) const {
+  return !KeyPositions(table).empty();
+}
+
+std::string BoundSchema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].ToString();
+  }
+  return out + "]";
+}
+
+bool Relation::IsNullExtendedOn(const Row& row,
+                                const std::string& table) const {
+  const std::vector<int>& keys = schema_.KeyPositions(table);
+  OJV_CHECK(!keys.empty(), "null-extension test requires the table's key");
+  // A table is either fully present or fully null in a tuple; the first
+  // key column decides.
+  return row[static_cast<size_t>(keys[0])].is_null();
+}
+
+std::string Relation::ToString(bool sorted) const {
+  std::vector<Row> rows = rows_;
+  if (sorted) SortRows(&rows);
+  std::string out = schema_.ToString();
+  out += "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void SortRows(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].SortCompare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+}
+
+bool SameBag(const Relation& a, const Relation& b, std::string* diff) {
+  if (a.schema().num_columns() != b.schema().num_columns()) {
+    if (diff != nullptr) {
+      *diff = "schema arity mismatch: " + a.schema().ToString() + " vs " +
+              b.schema().ToString();
+    }
+    return false;
+  }
+  // Map b's columns to a's order.
+  std::vector<int> remap;
+  for (int i = 0; i < a.schema().num_columns(); ++i) {
+    const BoundColumn& col = a.schema().column(i);
+    int j = b.schema().Find(col.table, col.column);
+    if (j < 0) {
+      if (diff != nullptr) *diff = "missing column " + col.ToString();
+      return false;
+    }
+    remap.push_back(j);
+  }
+  std::vector<Row> rows_a = a.rows();
+  std::vector<Row> rows_b;
+  rows_b.reserve(b.rows().size());
+  for (const Row& row : b.rows()) {
+    Row mapped;
+    mapped.reserve(remap.size());
+    for (int j : remap) mapped.push_back(row[static_cast<size_t>(j)]);
+    rows_b.push_back(std::move(mapped));
+  }
+  SortRows(&rows_a);
+  SortRows(&rows_b);
+  if (rows_a == rows_b) return true;
+  if (diff != nullptr) {
+    *diff = "row multisets differ: " + std::to_string(rows_a.size()) +
+            " vs " + std::to_string(rows_b.size()) + " rows";
+    // Find the first difference for debuggability.
+    for (size_t i = 0; i < rows_a.size() && i < rows_b.size(); ++i) {
+      if (rows_a[i] != rows_b[i]) {
+        std::string ra, rb;
+        for (const Value& v : rows_a[i]) ra += v.ToString() + "|";
+        for (const Value& v : rows_b[i]) rb += v.ToString() + "|";
+        *diff += "\n first diff at sorted row " + std::to_string(i) + ":\n  " +
+                 ra + "\n  " + rb;
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ojv

@@ -1,0 +1,69 @@
+#ifndef OJV_IO_CSV_H_
+#define OJV_IO_CSV_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "exec/relation.h"
+
+namespace ojv {
+namespace io {
+
+/// Delimited-text import/export for tables and relations.
+///
+/// The default format is TPC-H dbgen's `.tbl`: one row per line, fields
+/// separated by '|', with a trailing separator and no header or quoting
+/// (dbgen data never contains the delimiter). With `header=true` and
+/// `delimiter=','` it reads/writes plain CSV with a header row; fields
+/// containing the delimiter, quotes, or newlines are double-quoted with
+/// "" escaping on write and unescaped on read.
+struct TextFormat {
+  char delimiter = '|';
+  bool header = false;
+  bool trailing_delimiter = true;  // dbgen writes "a|b|c|"
+  /// Spelling of NULL fields. dbgen has no NULLs; for round-tripping
+  /// relations we write this marker (and read it back as NULL).
+  std::string null_marker = "\\N";
+};
+
+/// Writes all live rows of `table` to `path`. Values are rendered per
+/// their declared column type (dates as YYYY-MM-DD). Returns false and
+/// fills *error on I/O failure.
+bool WriteTable(const Table& table, const std::string& path,
+                const TextFormat& format, std::string* error);
+
+/// Appends rows parsed from `path` into `table` (types taken from the
+/// table's schema; empty field or the null marker = NULL, rejected for
+/// non-nullable columns). Returns false and fills *error on parse or
+/// constraint failure; on failure the table keeps the rows loaded so
+/// far.
+bool LoadTable(Table* table, const std::string& path,
+               const TextFormat& format, std::string* error);
+
+/// Writes a relation snapshot (e.g. a materialized view's contents).
+/// A header is always written for relations: "table.column" names.
+bool WriteRelation(const Relation& relation, const std::string& path,
+                   const TextFormat& format, std::string* error);
+
+/// Reads rows previously written by WriteRelation back into `rows`,
+/// validating the header against `schema` (same tagged columns in the
+/// same order). Types are taken from the schema. Used to restore
+/// materialized views without recomputation.
+bool LoadRelationRows(const std::string& path, const BoundSchema& schema,
+                      const TextFormat& format, std::vector<Row>* rows,
+                      std::string* error);
+
+/// Writes every table of the catalog as <dir>/<table>.tbl. Creates the
+/// directory if needed.
+bool DumpCatalog(const Catalog& catalog, const std::string& dir,
+                 const TextFormat& format, std::string* error);
+
+/// Loads every <dir>/<table>.tbl present into the (already created)
+/// tables of `catalog`. Missing files are skipped silently.
+bool LoadCatalog(Catalog* catalog, const std::string& dir,
+                 const TextFormat& format, std::string* error);
+
+}  // namespace io
+}  // namespace ojv
+
+#endif  // OJV_IO_CSV_H_

@@ -1,0 +1,56 @@
+#ifndef OJV_IO_STATEMENT_LOG_H_
+#define OJV_IO_STATEMENT_LOG_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ivm/database.h"
+
+namespace ojv {
+namespace io {
+
+/// Append-only statement log for a Database — the durability half of
+/// the warm-restart story: dump the catalog once, log every statement,
+/// and replay the log after a restart to reach the same state (with all
+/// views maintained incrementally along the way).
+///
+/// Format: one header line per statement
+///   #stmt <INSERT|DELETE|UPDATE> <table> <row-count>
+/// followed by the rows in .tbl format (for UPDATE: the key rows, then a
+/// second "#rows" header and the new rows).
+class StatementLog {
+ public:
+  /// Opens (appends to) the log at `path`. Check ok() before use.
+  explicit StatementLog(const std::string& path);
+
+  bool ok() const { return out_.is_open() && out_.good(); }
+
+  /// Records a statement. Rows are full rows for INSERT, key rows for
+  /// DELETE, and (keys, new_rows) for UPDATE. The schema is needed to
+  /// render typed values.
+  void LogInsert(const Table& table, const std::vector<Row>& rows);
+  void LogDelete(const Table& table, const std::vector<Row>& keys);
+  void LogUpdate(const Table& table, const std::vector<Row>& keys,
+                 const std::vector<Row>& new_rows);
+
+  /// Flushes buffered statements to disk.
+  void Flush() { out_.flush(); }
+
+ private:
+  void WriteRows(const std::vector<Row>& rows,
+                 const std::vector<ValueType>& types);
+
+  std::ofstream out_;
+};
+
+/// Replays a statement log against `db` (whose catalog must already hold
+/// the schema and the pre-log data). Returns false and fills *error on
+/// parse failures or rejected statements.
+bool ReplayStatementLog(const std::string& path, Database* db,
+                        std::string* error);
+
+}  // namespace io
+}  // namespace ojv
+
+#endif  // OJV_IO_STATEMENT_LOG_H_

@@ -1,0 +1,405 @@
+#include "ivm/aggregate_view.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+#include "exec/evaluator.h"
+
+namespace ojv {
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+Relation EvaluateBaseView(const Catalog& catalog, const ViewDef& view) {
+  Evaluator evaluator(&catalog);
+  return evaluator.EvalToRelation(view.WithProjection());
+}
+
+}  // namespace
+
+AggViewMaintainer::AggViewMaintainer(const Catalog* catalog, ViewDef base,
+                                     std::vector<ColumnRef> group_by,
+                                     std::vector<AggregateSpec> aggregates,
+                                     MaintenanceOptions options)
+    : catalog_(catalog),
+      group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {
+  // Aggregation views always compute ΔV^I from base tables (§3.3/§5.3).
+  options.secondary_strategy = SecondaryStrategy::kFromBaseTables;
+  inner_ = std::make_unique<ViewMaintainer>(catalog, base, options);
+  if (options.exploit_foreign_keys) {
+    MaintenanceOptions fkfree = options;
+    fkfree.exploit_foreign_keys = false;
+    fkfree_inner_ =
+        std::make_unique<ViewMaintainer>(catalog, std::move(base), fkfree);
+  }
+
+  const BoundSchema& schema = inner_->view_def().output_schema();
+  OJV_CHECK(!group_by_.empty(), "aggregation view requires group-by columns");
+  for (const ColumnRef& ref : group_by_) {
+    group_positions_.push_back(schema.IndexOf(ref));
+  }
+  for (const AggregateSpec& spec : aggregates_) {
+    OJV_CHECK(!spec.name.empty(), "aggregate requires an output name");
+    if (spec.kind == AggregateSpec::Kind::kCountStar) {
+      agg_positions_.push_back(-1);
+    } else {
+      agg_positions_.push_back(schema.IndexOf(spec.column));
+    }
+  }
+}
+
+void AggViewMaintainer::ExposeNotNullCounts() {
+  OJV_CHECK(notnull_tables_.empty(), "already exposed");
+  OJV_CHECK(groups_.empty(), "must be configured before InitializeView");
+  // A table is null-extendable iff some term of the normal form omits it.
+  const BoundSchema& schema = inner_->view_def().output_schema();
+  for (const std::string& table : inner_->view_def().tables()) {
+    bool omitted_somewhere = false;
+    for (const Term& term : inner_->terms()) {
+      if (term.source.count(table) == 0) {
+        omitted_somewhere = true;
+        break;
+      }
+    }
+    if (omitted_somewhere) {
+      // Count via COUNT(key0): piggyback on the aggregate machinery.
+      AggregateSpec spec;
+      spec.kind = AggregateSpec::Kind::kCount;
+      const std::vector<int>& keys = schema.KeyPositions(table);
+      const BoundColumn& col = schema.column(keys[0]);
+      spec.column = ColumnRef{col.table, col.column};
+      spec.name = "notnull_" + table;
+      agg_positions_.push_back(schema.IndexOf(spec.column));
+      aggregates_.push_back(std::move(spec));
+      notnull_tables_.emplace_back(table, keys[0]);
+    }
+  }
+}
+
+void AggViewMaintainer::ApplyRow(const Row& row, int sign,
+                                 GroupMap* groups) const {
+  Row key;
+  key.reserve(group_positions_.size());
+  for (int p : group_positions_) key.push_back(row[static_cast<size_t>(p)]);
+  Accumulator& acc = (*groups)[key];
+  if (acc.sums.empty()) {
+    acc.sums.assign(aggregates_.size(), 0.0);
+    acc.nonnull.assign(aggregates_.size(), 0);
+    acc.extremes.assign(aggregates_.size(), Value::Null());
+  }
+  acc.row_count += sign;
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (agg_positions_[i] < 0) continue;  // COUNT(*) uses row_count
+    const Value& v = row[static_cast<size_t>(agg_positions_[i])];
+    if (v.is_null()) continue;
+    acc.nonnull[i] += sign;
+    switch (aggregates_[i].kind) {
+      case AggregateSpec::Kind::kSum:
+        acc.sums[i] += sign * v.AsDouble();
+        break;
+      case AggregateSpec::Kind::kMin:
+      case AggregateSpec::Kind::kMax: {
+        const bool is_min = aggregates_[i].kind == AggregateSpec::Kind::kMin;
+        if (sign > 0) {
+          // Inserts tighten the extreme directly.
+          if (acc.extremes[i].is_null() ||
+              (is_min ? v.SortCompare(acc.extremes[i]) < 0
+                      : v.SortCompare(acc.extremes[i]) > 0)) {
+            acc.extremes[i] = v;
+          }
+        } else if (!acc.extremes[i].is_null() &&
+                   v.SortCompare(acc.extremes[i]) == 0) {
+          // The extreme left: not self-maintainable; mark for a
+          // per-group recomputation.
+          acc.dirty = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  OJV_CHECK(acc.row_count >= 0, "negative group count");
+  if (acc.row_count == 0) groups->erase(key);
+}
+
+void AggViewMaintainer::ApplyDeltaRows(const Relation& delta, int sign) {
+  for (const Row& row : delta.rows()) ApplyRow(row, sign, &groups_);
+}
+
+void AggViewMaintainer::InitializeView() {
+  groups_.clear();
+  Relation contents = EvaluateBaseView(*catalog_, inner_->view_def());
+  for (const Row& row : contents.rows()) ApplyRow(row, +1, &groups_);
+}
+
+MaintenanceStats AggViewMaintainer::OnInsert(const std::string& table,
+                                             const std::vector<Row>& rows,
+                                             PlanPolicy policy) {
+  ViewMaintainer* planner =
+      policy == PlanPolicy::kConstraintFree && fkfree_inner_ != nullptr
+          ? fkfree_inner_.get()
+          : inner_.get();
+  return Maintain(planner, table, rows, /*is_insert=*/true);
+}
+
+MaintenanceStats AggViewMaintainer::OnDelete(const std::string& table,
+                                             const std::vector<Row>& rows,
+                                             PlanPolicy policy) {
+  ViewMaintainer* planner =
+      policy == PlanPolicy::kConstraintFree && fkfree_inner_ != nullptr
+          ? fkfree_inner_.get()
+          : inner_.get();
+  return Maintain(planner, table, rows, /*is_insert=*/false);
+}
+
+MaintenanceStats AggViewMaintainer::OnUpdate(const std::string& table,
+                                             const std::vector<Row>& old_rows,
+                                             const std::vector<Row>& new_rows) {
+  ViewMaintainer* planner =
+      fkfree_inner_ != nullptr ? fkfree_inner_.get() : inner_.get();
+  MaintenanceStats del = Maintain(planner, table, old_rows,
+                                  /*is_insert=*/false);
+  MaintenanceStats ins = Maintain(planner, table, new_rows,
+                                  /*is_insert=*/true);
+  MaintenanceStats stats;
+  stats.delta_rows = del.delta_rows + ins.delta_rows;
+  stats.primary_rows = del.primary_rows + ins.primary_rows;
+  stats.secondary_rows = del.secondary_rows + ins.secondary_rows;
+  stats.primary_micros = del.primary_micros + ins.primary_micros;
+  stats.apply_micros = del.apply_micros + ins.apply_micros;
+  stats.secondary_micros = del.secondary_micros + ins.secondary_micros;
+  stats.total_micros = del.total_micros + ins.total_micros;
+  return stats;
+}
+
+MaintenanceStats AggViewMaintainer::Maintain(ViewMaintainer* planner,
+                                             const std::string& table,
+                                             const std::vector<Row>& rows,
+                                             bool is_insert) {
+  MaintenanceStats stats;
+  stats.delta_rows = static_cast<int64_t>(rows.size());
+  auto total_start = std::chrono::steady_clock::now();
+  if (rows.empty() || planner->DeltaIsEmpty(table)) {
+    stats.fk_fast_path = planner->DeltaIsEmpty(table);
+    stats.total_micros = MicrosSince(total_start);
+    return stats;
+  }
+
+  Relation delta_t(Evaluator::SchemaFor(*catalog_->GetTable(table)));
+  for (const Row& row : rows) delta_t.Add(row);
+
+  // Primary delta, aggregated and merged with the update's sign.
+  auto primary_start = std::chrono::steady_clock::now();
+  Relation primary = planner->ComputePrimaryDeltaRelation(table, delta_t);
+  stats.primary_rows = primary.size();
+  stats.primary_micros = MicrosSince(primary_start);
+
+  auto apply_start = std::chrono::steady_clock::now();
+  ApplyDeltaRows(primary, is_insert ? +1 : -1);
+  stats.apply_micros = MicrosSince(apply_start);
+
+  // Secondary delta from base tables, applied with the opposite sign:
+  // after an insertion, subsumed orphans leave the (pre-aggregation)
+  // view; after a deletion, new orphans enter it.
+  SecondaryDeltaEngine* secondary = planner->secondary_engine(table);
+  if (secondary != nullptr) {
+    auto secondary_start = std::chrono::steady_clock::now();
+    std::vector<Row> candidates =
+        secondary->CandidatesFromBaseTables(primary, delta_t, is_insert);
+    for (const Row& row : candidates) {
+      ApplyRow(row, is_insert ? -1 : +1, &groups_);
+    }
+    stats.secondary_rows = static_cast<int64_t>(candidates.size());
+    stats.secondary_micros = MicrosSince(secondary_start);
+  }
+  if (HasMinMax()) {
+    auto refresh_start = std::chrono::steady_clock::now();
+    RefreshDirtyGroups();
+    stats.secondary_micros += MicrosSince(refresh_start);
+  }
+  stats.total_micros = MicrosSince(total_start);
+  return stats;
+}
+
+Relation AggViewMaintainer::GroupsToRelation(const GroupMap& groups) const {
+  const BoundSchema& base_schema = inner_->view_def().output_schema();
+  BoundSchema schema;
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    BoundColumn col = base_schema.column(group_positions_[i]);
+    col.key_ordinal = -1;
+    schema.AddColumn(col);
+  }
+  schema.AddColumn(BoundColumn{"#agg", "row_count", ValueType::kInt64, -1});
+  for (const AggregateSpec& spec : aggregates_) {
+    schema.AddColumn(BoundColumn{"#agg", spec.name, ValueType::kFloat64, -1});
+  }
+  Relation out(schema);
+  for (const auto& [key, acc] : groups) {
+    Row row = key;
+    row.push_back(Value::Int64(acc.row_count));
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      switch (aggregates_[i].kind) {
+        case AggregateSpec::Kind::kCountStar:
+          row.push_back(Value::Int64(acc.row_count));
+          break;
+        case AggregateSpec::Kind::kCount:
+          row.push_back(Value::Int64(acc.nonnull[i]));
+          break;
+        case AggregateSpec::Kind::kSum:
+          row.push_back(acc.nonnull[i] == 0 ? Value::Null()
+                                            : Value::Float64(acc.sums[i]));
+          break;
+        case AggregateSpec::Kind::kMin:
+        case AggregateSpec::Kind::kMax:
+          row.push_back(acc.nonnull[i] == 0 ? Value::Null()
+                                            : acc.extremes[i]);
+          break;
+      }
+    }
+    out.Add(std::move(row));
+  }
+  return out;
+}
+
+bool AggViewMaintainer::HasMinMax() const {
+  for (const AggregateSpec& spec : aggregates_) {
+    if (spec.kind == AggregateSpec::Kind::kMin ||
+        spec.kind == AggregateSpec::Kind::kMax) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AggViewMaintainer::RefreshDirtyGroups() {
+  bool any_dirty = false;
+  for (const auto& [key, acc] : groups_) {
+    if (acc.dirty) {
+      any_dirty = true;
+      break;
+    }
+  }
+  if (!any_dirty) return;
+  // One pass over the base view recomputes the extremes of every dirty
+  // group (counts and sums are still exact and untouched).
+  for (auto& [key, acc] : groups_) {
+    if (!acc.dirty) continue;
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      if (aggregates_[i].kind == AggregateSpec::Kind::kMin ||
+          aggregates_[i].kind == AggregateSpec::Kind::kMax) {
+        acc.extremes[i] = Value::Null();
+      }
+    }
+  }
+  Relation contents = EvaluateBaseView(*catalog_, inner_->view_def());
+  for (const Row& row : contents.rows()) {
+    Row key;
+    key.reserve(group_positions_.size());
+    for (int p : group_positions_) key.push_back(row[static_cast<size_t>(p)]);
+    auto it = groups_.find(key);
+    if (it == groups_.end() || !it->second.dirty) continue;
+    Accumulator& acc = it->second;
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      const bool is_min = aggregates_[i].kind == AggregateSpec::Kind::kMin;
+      if (!is_min && aggregates_[i].kind != AggregateSpec::Kind::kMax) {
+        continue;
+      }
+      const Value& v = row[static_cast<size_t>(agg_positions_[i])];
+      if (v.is_null()) continue;
+      if (acc.extremes[i].is_null() ||
+          (is_min ? v.SortCompare(acc.extremes[i]) < 0
+                  : v.SortCompare(acc.extremes[i]) > 0)) {
+        acc.extremes[i] = v;
+      }
+    }
+  }
+  for (auto& [key, acc] : groups_) acc.dirty = false;
+}
+
+Relation AggViewMaintainer::AsRelation() const {
+  // Dirty MIN/MAX groups are refreshed lazily by maintenance; a const
+  // snapshot of a dirty state would be stale, so maintenance refreshes
+  // eagerly at the end of each statement (see Maintain).
+  return GroupsToRelation(groups_);
+}
+
+Relation AggViewMaintainer::Recompute() const {
+  GroupMap groups;
+  Relation contents = EvaluateBaseView(*catalog_, inner_->view_def());
+  for (const Row& row : contents.rows()) ApplyRow(row, +1, &groups);
+  return GroupsToRelation(groups);
+}
+
+bool AggViewMaintainer::MatchesRecompute(double rel_tol,
+                                         std::string* diff) const {
+  GroupMap expected;
+  Relation contents = EvaluateBaseView(*catalog_, inner_->view_def());
+  for (const Row& row : contents.rows()) ApplyRow(row, +1, &expected);
+
+  auto describe_key = [](const Row& key) {
+    std::string out;
+    for (const Value& v : key) out += v.ToString() + "|";
+    return out;
+  };
+  if (expected.size() != groups_.size()) {
+    if (diff != nullptr) {
+      *diff = "group count mismatch: " + std::to_string(groups_.size()) +
+              " maintained vs " + std::to_string(expected.size()) +
+              " recomputed";
+    }
+    return false;
+  }
+  for (const auto& [key, exp] : expected) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      if (diff != nullptr) *diff = "missing group " + describe_key(key);
+      return false;
+    }
+    const Accumulator& got = it->second;
+    if (got.row_count != exp.row_count || got.nonnull != exp.nonnull) {
+      if (diff != nullptr) {
+        *diff = "count mismatch in group " + describe_key(key);
+      }
+      return false;
+    }
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      if (aggregates_[i].kind != AggregateSpec::Kind::kMin &&
+          aggregates_[i].kind != AggregateSpec::Kind::kMax) {
+        continue;
+      }
+      if (got.nonnull[i] > 0 && got.extremes[i] != exp.extremes[i]) {
+        if (diff != nullptr) {
+          *diff = "min/max mismatch in group " + describe_key(key) + ": " +
+                  got.extremes[i].ToString() + " vs " +
+                  exp.extremes[i].ToString();
+        }
+        return false;
+      }
+    }
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      if (aggregates_[i].kind != AggregateSpec::Kind::kSum) continue;
+      double scale = std::max({std::abs(exp.sums[i]), std::abs(got.sums[i]),
+                               1.0});
+      if (std::abs(exp.sums[i] - got.sums[i]) > rel_tol * scale) {
+        if (diff != nullptr) {
+          *diff = "sum mismatch in group " + describe_key(key) + ": " +
+                  std::to_string(got.sums[i]) + " vs " +
+                  std::to_string(exp.sums[i]);
+        }
+        return false;
+      }
+    }
+  }
+  if (diff != nullptr) diff->clear();
+  return true;
+}
+
+}  // namespace ojv

@@ -1,0 +1,422 @@
+#include "ivm/database.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ojv {
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ViewMaintainer* Database::CreateMaterializedView(
+    ViewDef view, const MaintenanceOptions* options) {
+  std::string name = view.name();
+  OJV_CHECK(views_.find(name) == views_.end() &&
+                agg_views_.find(name) == agg_views_.end(),
+            "duplicate view name");
+  auto maintainer = std::make_unique<ViewMaintainer>(
+      &catalog_, std::move(view), options != nullptr ? *options
+                                                     : default_options_);
+  maintainer->InitializeView();
+  ViewMaintainer* raw = maintainer.get();
+  views_[name] = std::move(maintainer);
+  return raw;
+}
+
+AggViewMaintainer* Database::CreateAggregateView(
+    ViewDef base, std::vector<ColumnRef> group_by,
+    std::vector<AggregateSpec> aggregates, const MaintenanceOptions* options) {
+  std::string name = base.name();
+  OJV_CHECK(views_.find(name) == views_.end() &&
+                agg_views_.find(name) == agg_views_.end(),
+            "duplicate view name");
+  auto maintainer = std::make_unique<AggViewMaintainer>(
+      &catalog_, std::move(base), std::move(group_by), std::move(aggregates),
+      options != nullptr ? *options : default_options_);
+  maintainer->InitializeView();
+  AggViewMaintainer* raw = maintainer.get();
+  agg_views_[name] = std::move(maintainer);
+  return raw;
+}
+
+ViewMaintainer* Database::GetView(const std::string& name) {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+AggViewMaintainer* Database::GetAggregateView(const std::string& name) {
+  auto it = agg_views_.find(name);
+  return it == agg_views_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ViewMaintainer*> Database::Views() {
+  std::vector<ViewMaintainer*> out;
+  out.reserve(views_.size());
+  for (auto& [name, view] : views_) out.push_back(view.get());
+  return out;
+}
+
+bool Database::DropView(const std::string& name) {
+  stats_.erase(name);
+  return views_.erase(name) > 0 || agg_views_.erase(name) > 0;
+}
+
+bool Database::RowSatisfiesForeignKeys(const std::string& table,
+                                       const Row& row) {
+  const Table* child = catalog_.GetTable(table);
+  for (const ForeignKey& fk : catalog_.foreign_keys()) {
+    if (fk.child_table != table) continue;
+    Row parent_key;
+    parent_key.reserve(fk.child_columns.size());
+    bool any_null = false;
+    for (const std::string& col : fk.child_columns) {
+      const Value& v = row[static_cast<size_t>(child->schema().IndexOf(col))];
+      if (v.is_null()) any_null = true;
+      parent_key.push_back(v);
+    }
+    if (any_null) continue;  // NULL FK references nothing
+    if (catalog_.GetTable(fk.parent_table)->FindByKey(parent_key) == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<const ForeignKey*, std::vector<Row>>>
+Database::ReferencingRows(const std::string& table,
+                          const std::vector<Row>& keys) {
+  std::vector<std::pair<const ForeignKey*, std::vector<Row>>> out;
+  const Table* parent = catalog_.GetTable(table);
+  for (const ForeignKey* fk : catalog_.ForeignKeysReferencing(table)) {
+    const Table* child = catalog_.GetTable(fk->child_table);
+    std::vector<int> fk_positions;
+    for (const std::string& col : fk->child_columns) {
+      fk_positions.push_back(child->schema().IndexOf(col));
+    }
+    // Hash the deleted keys for the scan below.
+    std::vector<Row> hits;
+    child->ForEach([&](const Row& row) {
+      Row ref;
+      ref.reserve(fk_positions.size());
+      for (int p : fk_positions) {
+        const Value& v = row[static_cast<size_t>(p)];
+        if (v.is_null()) return;
+        ref.push_back(v);
+      }
+      for (const Row& key : keys) {
+        if (key == ref) {
+          hits.push_back(row);
+          return;
+        }
+      }
+    });
+    if (!hits.empty()) out.emplace_back(fk, std::move(hits));
+  }
+  (void)parent;
+  return out;
+}
+
+void Database::Accumulate(const std::string& view,
+                          const MaintenanceStats& stats) {
+  ViewStats& total = stats_[view];
+  ++total.statements;
+  total.delta_rows += stats.delta_rows;
+  total.primary_rows += stats.primary_rows;
+  total.secondary_rows += stats.secondary_rows;
+  total.micros += stats.total_micros;
+}
+
+std::string Database::StatsReport() const {
+  std::ostringstream out;
+  out << "view                stmts      delta    primary  secondary"
+      << "    total-ms" << '\n';
+  for (const auto& [name, s] : stats_) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-18s %6lld %10lld %10lld %10lld %11.2f\n",
+                  name.c_str(), static_cast<long long>(s.statements),
+                  static_cast<long long>(s.delta_rows),
+                  static_cast<long long>(s.primary_rows),
+                  static_cast<long long>(s.secondary_rows),
+                  s.micros / 1000.0);
+    out << line;
+  }
+  return out.str();
+}
+
+void Database::MaintainInsert(const std::string& table,
+                              const std::vector<Row>& rows,
+                              StatementResult* result) {
+  auto start = std::chrono::steady_clock::now();
+  for (auto& [name, view] : views_) {
+    if (view->view_def().tables().count(table) > 0) {
+      Accumulate(name, view->OnInsert(table, rows, CurrentPolicy()));
+    }
+  }
+  for (auto& [name, view] : agg_views_) {
+    if (view->base_view().tables().count(table) > 0) {
+      Accumulate(name, view->OnInsert(table, rows, CurrentPolicy()));
+    }
+  }
+  result->maintenance_micros += MicrosSince(start);
+}
+
+void Database::MaintainDelete(const std::string& table,
+                              const std::vector<Row>& rows,
+                              StatementResult* result) {
+  auto start = std::chrono::steady_clock::now();
+  for (auto& [name, view] : views_) {
+    if (view->view_def().tables().count(table) > 0) {
+      Accumulate(name, view->OnDelete(table, rows, CurrentPolicy()));
+    }
+  }
+  for (auto& [name, view] : agg_views_) {
+    if (view->base_view().tables().count(table) > 0) {
+      Accumulate(name, view->OnDelete(table, rows, CurrentPolicy()));
+    }
+  }
+  result->maintenance_micros += MicrosSince(start);
+}
+
+Database::StatementResult Database::Insert(const std::string& table,
+                                           const std::vector<Row>& rows) {
+  StatementResult result;
+  if (!catalog_.HasTable(table)) {
+    result.error = "unknown table " + table;
+    return result;
+  }
+  Table* base = catalog_.GetTable(table);
+  std::vector<Row> accepted;
+  accepted.reserve(rows.size());
+  for (const Row& row : rows) {
+    if (static_cast<int>(row.size()) != base->schema().num_columns() ||
+        (!in_transaction_ && !RowSatisfiesForeignKeys(table, row)) ||
+        !base->Insert(row)) {
+      ++result.rows_rejected;
+      continue;
+    }
+    accepted.push_back(row);
+  }
+  result.rows_affected = static_cast<int64_t>(accepted.size());
+  if (!accepted.empty()) {
+    MaintainInsert(table, accepted, &result);
+    if (in_transaction_) {
+      undo_log_.push_back(
+          {UndoEntry::Kind::kDeleteInserted, table, accepted, {}});
+    }
+  }
+  return result;
+}
+
+Database::StatementResult Database::Delete(const std::string& table,
+                                           const std::vector<Row>& keys) {
+  StatementResult result;
+  if (!catalog_.HasTable(table)) {
+    result.error = "unknown table " + table;
+    return result;
+  }
+  // Referential integrity first: blocking children reject the whole
+  // statement; cascading children are deleted (and their views
+  // maintained) before the parents. Inside a transaction the checks are
+  // deferred to Commit and cascades are suppressed (SQL defers the
+  // constraint action too).
+  std::vector<std::pair<const ForeignKey*, std::vector<Row>>> referencing;
+  if (!in_transaction_) referencing = ReferencingRows(table, keys);
+  for (const auto& [fk, child_rows] : referencing) {
+    if (!fk->cascading_delete) {
+      result.error = "delete from " + table + " violates FK from " +
+                     fk->child_table;
+      return result;
+    }
+  }
+  for (const auto& [fk, child_rows] : referencing) {
+    Table* child = catalog_.GetTable(fk->child_table);
+    std::vector<Row> child_keys;
+    child_keys.reserve(child_rows.size());
+    for (const Row& row : child_rows) {
+      Row key;
+      for (int p : child->key_positions()) {
+        key.push_back(row[static_cast<size_t>(p)]);
+      }
+      child_keys.push_back(std::move(key));
+    }
+    // Recursive delete handles chains of cascading constraints.
+    StatementResult cascaded = Delete(fk->child_table, child_keys);
+    if (!cascaded.ok()) {
+      result.error = cascaded.error;
+      return result;
+    }
+    result.rows_affected += cascaded.rows_affected;
+    result.maintenance_micros += cascaded.maintenance_micros;
+  }
+
+  Table* base = catalog_.GetTable(table);
+  std::vector<Row> deleted = ApplyBaseDelete(base, keys);
+  result.rows_rejected +=
+      static_cast<int64_t>(keys.size() - deleted.size());
+  result.rows_affected += static_cast<int64_t>(deleted.size());
+  if (!deleted.empty()) {
+    MaintainDelete(table, deleted, &result);
+    if (in_transaction_) {
+      undo_log_.push_back(
+          {UndoEntry::Kind::kReinsertDeleted, table, deleted, {}});
+    }
+  }
+  return result;
+}
+
+Database::StatementResult Database::Update(const std::string& table,
+                                           const std::vector<Row>& keys,
+                                           const std::vector<Row>& new_rows) {
+  StatementResult result;
+  if (!catalog_.HasTable(table)) {
+    result.error = "unknown table " + table;
+    return result;
+  }
+  if (keys.size() != new_rows.size()) {
+    result.error = "update arity mismatch";
+    return result;
+  }
+  Table* base = catalog_.GetTable(table);
+  // Keys must be unchanged (key updates would interact with FKs; model
+  // them as explicit delete+insert statements instead).
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t k = 0; k < base->key_positions().size(); ++k) {
+      const Value& new_key =
+          new_rows[i][static_cast<size_t>(base->key_positions()[k])];
+      if (new_key != keys[i][k]) {
+        result.error = "update may not change key columns";
+        return result;
+      }
+    }
+    if (!in_transaction_ && !RowSatisfiesForeignKeys(table, new_rows[i])) {
+      result.error = "updated row violates a foreign key";
+      return result;
+    }
+  }
+
+  std::vector<Row> old_rows;
+  std::vector<Row> applied_new;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Row old_row;
+    if (!base->DeleteByKey(keys[i], &old_row)) {
+      ++result.rows_rejected;
+      continue;
+    }
+    OJV_CHECK(base->Insert(new_rows[i]), "reinsert under same key");
+    old_rows.push_back(std::move(old_row));
+    applied_new.push_back(new_rows[i]);
+  }
+  result.rows_affected = static_cast<int64_t>(applied_new.size());
+  if (applied_new.empty()) return result;
+
+  auto start = std::chrono::steady_clock::now();
+  for (auto& [name, view] : views_) {
+    if (view->view_def().tables().count(table) > 0) {
+      Accumulate(name, view->OnUpdate(table, old_rows, applied_new));
+    }
+  }
+  for (auto& [name, view] : agg_views_) {
+    if (view->base_view().tables().count(table) > 0) {
+      Accumulate(name, view->OnUpdate(table, old_rows, applied_new));
+    }
+  }
+  result.maintenance_micros += MicrosSince(start);
+  if (in_transaction_ && !applied_new.empty()) {
+    undo_log_.push_back(
+        {UndoEntry::Kind::kReverseUpdate, table, applied_new, old_rows});
+  }
+  return result;
+}
+
+bool Database::BeginTransaction() {
+  if (in_transaction_) return false;
+  in_transaction_ = true;
+  undo_log_.clear();
+  return true;
+}
+
+Database::StatementResult Database::Commit() {
+  StatementResult result;
+  if (!in_transaction_) {
+    result.error = "no open transaction";
+    return result;
+  }
+  std::string violation;
+  if (!catalog_.CheckForeignKeys(&violation)) {
+    Rollback();
+    result.error = "commit aborted: " + violation;
+    return result;
+  }
+  in_transaction_ = false;
+  undo_log_.clear();
+  return result;
+}
+
+void Database::Rollback() {
+  OJV_CHECK(in_transaction_, "no open transaction");
+  // Replay inverses newest-first; maintenance stays constraint-free
+  // (in_transaction_ remains set until we are done).
+  StatementResult scratch;
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    Table* base = catalog_.GetTable(it->table);
+    switch (it->kind) {
+      case UndoEntry::Kind::kDeleteInserted: {
+        std::vector<Row> keys;
+        for (const Row& row : it->rows) {
+          Row key;
+          for (int p : base->key_positions()) {
+            key.push_back(row[static_cast<size_t>(p)]);
+          }
+          keys.push_back(std::move(key));
+        }
+        std::vector<Row> deleted = ApplyBaseDelete(base, keys);
+        OJV_CHECK(deleted.size() == keys.size(), "rollback delete mismatch");
+        MaintainDelete(it->table, deleted, &scratch);
+        break;
+      }
+      case UndoEntry::Kind::kReinsertDeleted: {
+        std::vector<Row> inserted = ApplyBaseInsert(base, it->rows);
+        OJV_CHECK(inserted.size() == it->rows.size(),
+                  "rollback insert mismatch");
+        MaintainInsert(it->table, inserted, &scratch);
+        break;
+      }
+      case UndoEntry::Kind::kReverseUpdate: {
+        std::vector<Row> keys;
+        for (const Row& row : it->rows) {
+          Row key;
+          for (int p : base->key_positions()) {
+            key.push_back(row[static_cast<size_t>(p)]);
+          }
+          keys.push_back(std::move(key));
+        }
+        std::vector<Row> current;
+        ApplyBaseUpdate(base, keys, it->old_rows, &current);
+        for (auto& [name, view] : views_) {
+          if (view->view_def().tables().count(it->table) > 0) {
+            view->OnUpdate(it->table, current, it->old_rows);
+          }
+        }
+        for (auto& [name, view] : agg_views_) {
+          if (view->base_view().tables().count(it->table) > 0) {
+            view->OnUpdate(it->table, current, it->old_rows);
+          }
+        }
+        break;
+      }
+    }
+  }
+  undo_log_.clear();
+  in_transaction_ = false;
+}
+
+}  // namespace ojv

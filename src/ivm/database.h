@@ -1,0 +1,152 @@
+#ifndef OJV_IVM_DATABASE_H_
+#define OJV_IVM_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivm/aggregate_view.h"
+#include "ivm/maintainer.h"
+#include "ivm/view_def.h"
+
+namespace ojv {
+
+/// Statement-level facade over a catalog and its materialized views —
+/// the moral equivalent of the paper's trigger + stored-procedure setup
+/// on SQL Server: every insert/delete/update statement checks foreign
+/// keys, applies the change to the base table, and brings every
+/// registered view (row-level and aggregated) up to date incrementally.
+class Database {
+ public:
+  explicit Database(MaintenanceOptions default_options = MaintenanceOptions())
+      : default_options_(default_options) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Creates and materializes a view; returns its maintainer. The view
+  /// is maintained by every subsequent statement.
+  ViewMaintainer* CreateMaterializedView(
+      ViewDef view, const MaintenanceOptions* options = nullptr);
+
+  /// Creates and materializes an aggregation view.
+  AggViewMaintainer* CreateAggregateView(
+      ViewDef base, std::vector<ColumnRef> group_by,
+      std::vector<AggregateSpec> aggregates,
+      const MaintenanceOptions* options = nullptr);
+
+  ViewMaintainer* GetView(const std::string& name);
+  AggViewMaintainer* GetAggregateView(const std::string& name);
+
+  /// Drops a registered view. Returns false if unknown.
+  bool DropView(const std::string& name);
+
+  /// Outcome of one statement.
+  struct StatementResult {
+    int64_t rows_affected = 0;        // base-table rows
+    int64_t rows_rejected = 0;        // duplicates / missing keys / FK
+    double maintenance_micros = 0;    // summed over all views
+    std::string error;                // non-empty => statement rejected
+    bool ok() const { return error.empty(); }
+  };
+
+  /// Inserts rows, enforcing declared foreign keys (rows referencing
+  /// missing parents are rejected row-by-row), then maintains all views.
+  StatementResult Insert(const std::string& table,
+                         const std::vector<Row>& rows);
+
+  /// Deletes rows by key. Rejects the whole statement if a deletion
+  /// would break a (non-cascading) foreign key; with cascading
+  /// constraints, referencing rows are deleted too — and their views
+  /// maintained — before the parent rows.
+  StatementResult Delete(const std::string& table,
+                         const std::vector<Row>& keys);
+
+  /// Updates rows by key (delete+insert pair, §6 caveat 1 honored by
+  /// the maintainers). Key columns must be unchanged.
+  StatementResult Update(const std::string& table,
+                         const std::vector<Row>& keys,
+                         const std::vector<Row>& new_rows);
+
+  /// Registered row-level views, for planners (e.g. view matching) that
+  /// want to scan candidates.
+  std::vector<ViewMaintainer*> Views();
+
+  // --- multi-statement transactions (§6 caveat 3) ---
+  //
+  // Inside a transaction, foreign-key checking is deferred: statements
+  // skip per-row enforcement and view maintenance runs on the
+  // constraint-free plan sets (a deferrable constraint may be violated
+  // between statements, so the FK optimizations are off). Commit()
+  // validates every declared constraint; a violation rolls the whole
+  // transaction back — base tables and views — via inverse statements.
+
+  /// Starts a transaction. Returns false if one is already open.
+  bool BeginTransaction();
+
+  /// Validates deferred constraints and finishes the transaction. On
+  /// violation the transaction is rolled back and the result carries
+  /// the error.
+  StatementResult Commit();
+
+  /// Reverts every statement of the open transaction (inverse order).
+  void Rollback();
+
+  bool in_transaction() const { return in_transaction_; }
+
+  /// Cumulative maintenance counters per view since creation, rendered
+  /// as a table: statements observed, delta/primary/secondary row
+  /// totals, and total maintenance time.
+  std::string StatsReport() const;
+
+ private:
+  // FK child check for inserted rows of `table`; true if row valid.
+  bool RowSatisfiesForeignKeys(const std::string& table, const Row& row);
+  // Referencing child rows that block / cascade a parent delete.
+  std::vector<std::pair<const ForeignKey*, std::vector<Row>>>
+  ReferencingRows(const std::string& table, const std::vector<Row>& keys);
+
+  void MaintainInsert(const std::string& table, const std::vector<Row>& rows,
+                      StatementResult* result);
+  void MaintainDelete(const std::string& table, const std::vector<Row>& rows,
+                      StatementResult* result);
+
+  PlanPolicy CurrentPolicy() const {
+    return in_transaction_ ? PlanPolicy::kConstraintFree
+                           : PlanPolicy::kDefault;
+  }
+
+  Catalog catalog_;
+  MaintenanceOptions default_options_;
+  std::map<std::string, std::unique_ptr<ViewMaintainer>> views_;
+  std::map<std::string, std::unique_ptr<AggViewMaintainer>> agg_views_;
+
+  struct ViewStats {
+    int64_t statements = 0;
+    int64_t delta_rows = 0;
+    int64_t primary_rows = 0;
+    int64_t secondary_rows = 0;
+    double micros = 0;
+  };
+  void Accumulate(const std::string& view, const MaintenanceStats& stats);
+
+  std::map<std::string, ViewStats> stats_;
+
+  struct UndoEntry {
+    enum class Kind { kDeleteInserted, kReinsertDeleted, kReverseUpdate };
+    Kind kind;
+    std::string table;
+    std::vector<Row> rows;      // inserted rows / deleted rows / new rows
+    std::vector<Row> old_rows;  // kReverseUpdate only
+  };
+  bool in_transaction_ = false;
+  std::vector<UndoEntry> undo_log_;
+};
+
+}  // namespace ojv
+
+#endif  // OJV_IVM_DATABASE_H_

@@ -1,0 +1,80 @@
+#include "ivm/explain.h"
+
+#include <sstream>
+
+namespace ojv {
+namespace {
+
+void AppendTermLine(std::ostringstream& out, const Term& term) {
+  out << "  " << term.Label();
+  if (!term.predicates.empty()) {
+    out << "  where ";
+    for (size_t i = 0; i < term.predicates.size(); ++i) {
+      if (i > 0) out << " AND ";
+      out << term.predicates[i]->ToString();
+    }
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+std::string ExplainNormalForm(const ViewMaintainer& maintainer) {
+  std::ostringstream out;
+  const std::vector<Term>& terms = maintainer.terms();
+  out << "view " << maintainer.view_def().name() << " = "
+      << maintainer.view_def().tree()->ToString() << "\n";
+  out << "normal form (" << terms.size() << " terms):\n";
+  for (const Term& term : terms) AppendTermLine(out, term);
+  out << "subsumption graph:\n";
+  std::string edges = maintainer.subsumption_graph().ToString(terms);
+  std::istringstream lines(edges);
+  std::string line;
+  while (std::getline(lines, line)) out << "  " << line << "\n";
+  return out.str();
+}
+
+std::string ExplainMaintenance(const ViewMaintainer& maintainer) {
+  std::ostringstream out;
+  out << ExplainNormalForm(maintainer);
+  const std::vector<Term>& terms = maintainer.terms();
+
+  for (const std::string& table : maintainer.view_def().tables()) {
+    out << "\non update of " << table << ":\n";
+    if (maintainer.DeltaIsEmpty(table)) {
+      out << "  no-op: every directly affected term is protected by a\n"
+          << "  foreign key (Theorem 3); the view cannot change.\n";
+      continue;
+    }
+    const MaintenanceGraph& graph = maintainer.maintenance_graph(table);
+    out << "  directly affected:";
+    for (int i : graph.DirectTerms()) {
+      out << " " << terms[static_cast<size_t>(i)].Label();
+    }
+    out << "\n";
+    const RelExprPtr& delta = maintainer.delta_expr(table);
+    out << "  primary delta  = " << delta->ToString() << "\n";
+    if (delta->kind() == RelKind::kDeltaScan ||
+        (delta->kind() == RelKind::kSelect &&
+         delta->input()->kind() == RelKind::kDeltaScan)) {
+      out << "  fast path: the delta expression is the (filtered) delta\n"
+          << "  itself; no joins are needed.\n";
+    }
+    if (graph.IndirectTerms().empty()) {
+      out << "  secondary delta: none (no indirectly affected terms)\n";
+    } else {
+      out << "  secondary delta (orphan clean-up):\n";
+      for (int i : graph.IndirectTerms()) {
+        out << "    " << terms[static_cast<size_t>(i)].Label()
+            << " orphans, via directly affected parent(s)";
+        for (int parent : graph.DirectParents(i)) {
+          out << " " << terms[static_cast<size_t>(parent)].Label();
+        }
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ojv

@@ -1,0 +1,23 @@
+#ifndef OJV_IVM_EXPLAIN_H_
+#define OJV_IVM_EXPLAIN_H_
+
+#include <string>
+
+#include "ivm/maintainer.h"
+
+namespace ojv {
+
+/// Renders a human-readable maintenance report for a view: its normal
+/// form, subsumption graph, and — per base table — the affected-term
+/// classification, the ΔV^D expression (after FK simplification and
+/// left-deep conversion), and the secondary-delta work list. This is the
+/// library's EXPLAIN: what will happen when each table is updated, and
+/// why.
+std::string ExplainMaintenance(const ViewMaintainer& maintainer);
+
+/// The normal-form section only (terms + subsumption edges).
+std::string ExplainNormalForm(const ViewMaintainer& maintainer);
+
+}  // namespace ojv
+
+#endif  // OJV_IVM_EXPLAIN_H_

@@ -1,0 +1,162 @@
+#include "ivm/left_deep.h"
+
+#include "common/check.h"
+
+namespace ojv {
+namespace {
+
+bool IsLeaf(const RelExprPtr& e) {
+  return e->kind() == RelKind::kScan || e->kind() == RelKind::kDeltaScan;
+}
+
+// A right operand needing no pull: a base table, possibly selected.
+bool IsSimpleRight(const RelExprPtr& e) {
+  if (IsLeaf(e)) return true;
+  return e->kind() == RelKind::kSelect && IsLeaf(e->input());
+}
+
+// δ then ↓ after a null-if: removes the duplicates λ creates and the
+// null-extended rows that are subsumed by a surviving match.
+RelExprPtr FixUp(RelExprPtr e, std::set<std::string> null_tables,
+                 ScalarExprPtr keep_pred) {
+  return RelExpr::SubsumeRemove(RelExpr::Dedup(
+      RelExpr::NullIf(std::move(e), std::move(null_tables),
+                      std::move(keep_pred))));
+}
+
+// Flips a join's operands: lo <-> ro; inner/fo are symmetric.
+RelExprPtr CommuteJoin(const RelExprPtr& join) {
+  JoinKind kind = join->join_kind();
+  if (kind == JoinKind::kLeftOuter) kind = JoinKind::kRightOuter;
+  else if (kind == JoinKind::kRightOuter) kind = JoinKind::kLeftOuter;
+  return RelExpr::Join(kind, join->right(), join->left(), join->predicate());
+}
+
+bool Intersects(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  for (const std::string& t : a) {
+    if (b.count(t) > 0) return true;
+  }
+  return false;
+}
+
+// Builds a left-deep form of `left kind right ON pred`, where `left` is
+// already left-deep and `kind` is inner or left-outer (the only kinds on
+// a ΔV^D main path). Falls back to the bushy join when the paper's
+// binary-predicate assumption does not let a rule fire.
+RelExprPtr JoinLD(JoinKind kind, RelExprPtr left, RelExprPtr right,
+                  ScalarExprPtr pred) {
+  OJV_CHECK(kind == JoinKind::kInner || kind == JoinKind::kLeftOuter,
+            "main-path joins must be inner or left-outer");
+  if (IsSimpleRight(right)) {
+    return RelExpr::Join(kind, std::move(left), std::move(right), pred);
+  }
+
+  if (right->kind() == RelKind::kSelect) {
+    RelExprPtr e2 = right->input();
+    ScalarExprPtr p2 = right->predicate();
+    if (kind == JoinKind::kInner) {
+      // σ commutes with inner join: hoist it onto the main path.
+      return RelExpr::Select(JoinLD(kind, std::move(left), e2, pred), p2);
+    }
+    // Rule 1: e1 lo (σp2 e2) = δ λ^{e2.*}_{¬p2}(e1 lo e2).
+    std::set<std::string> e2_tables = e2->ReferencedTables();
+    RelExprPtr joined = JoinLD(kind, std::move(left), e2, pred);
+    return FixUp(std::move(joined), std::move(e2_tables), p2);
+  }
+
+  OJV_CHECK(right->kind() == RelKind::kJoin,
+            "unexpected right operand in delta tree");
+
+  // Orient the right join so the main predicate references its left
+  // side (the paper states the rules for p(1,2)).
+  std::set<std::string> pred_tables = pred->ReferencedTables();
+  std::set<std::string> e2_tables = right->left()->ReferencedTables();
+  std::set<std::string> e3_tables = right->right()->ReferencedTables();
+  bool hits_e2 = Intersects(pred_tables, e2_tables);
+  bool hits_e3 = Intersects(pred_tables, e3_tables);
+  if (hits_e2 && hits_e3) {
+    // The main predicate spans both sides of the right join; no rule
+    // applies. Keep the (still correct) bushy join.
+    return RelExpr::Join(kind, std::move(left), std::move(right),
+                         std::move(pred));
+  }
+  if (!hits_e2 && hits_e3) {
+    return JoinLD(kind, std::move(left), CommuteJoin(right), std::move(pred));
+  }
+
+  RelExprPtr e2 = right->left();
+  RelExprPtr e3 = right->right();
+  ScalarExprPtr p23 = right->predicate();
+  JoinKind k2 = right->join_kind();
+  OJV_CHECK(k2 == JoinKind::kInner || k2 == JoinKind::kLeftOuter ||
+                k2 == JoinKind::kRightOuter || k2 == JoinKind::kFullOuter,
+            "unexpected join kind in right operand");
+
+  if (kind == JoinKind::kInner) {
+    // Tuples of the right operand that are null-extended on e2 can never
+    // satisfy the (null-rejecting) main predicate, so ro degenerates to
+    // inner and fo/lo to lo:
+    //   e1 join (e2 join/ro e3) = (e1 join e2) join e3
+    //   e1 join (e2 lo/fo   e3) = (e1 join e2) lo   e3
+    RelExprPtr first = JoinLD(JoinKind::kInner, std::move(left), e2, pred);
+    JoinKind next = (k2 == JoinKind::kInner || k2 == JoinKind::kRightOuter)
+                        ? JoinKind::kInner
+                        : JoinKind::kLeftOuter;
+    return JoinLD(next, std::move(first), e3, p23);
+  }
+
+  // kind == lo.
+  if (k2 == JoinKind::kLeftOuter || k2 == JoinKind::kFullOuter) {
+    // Rules 2 and 3: e1 lo (e2 lo/fo e3) = (e1 lo e2) lo e3. (For fo, the
+    // e3-only tuples are null on e2, fail the main predicate, and a left
+    // outer join discards unmatched right tuples anyway.)
+    RelExprPtr first = JoinLD(JoinKind::kLeftOuter, std::move(left), e2, pred);
+    return JoinLD(JoinKind::kLeftOuter, std::move(first), e3, p23);
+  }
+  // Rules 4 and 5: e1 lo (e2 ro/join e3)
+  //   = δ λ^{e2.*,e3.*}_{¬p23}((e1 lo e2) lo e3).
+  std::set<std::string> null_tables = e2_tables;
+  null_tables.insert(e3_tables.begin(), e3_tables.end());
+  RelExprPtr first = JoinLD(JoinKind::kLeftOuter, std::move(left), e2, pred);
+  RelExprPtr second = JoinLD(JoinKind::kLeftOuter, std::move(first), e3, p23);
+  return FixUp(std::move(second), std::move(null_tables), p23);
+}
+
+}  // namespace
+
+RelExprPtr ToLeftDeep(const RelExprPtr& delta_expr) {
+  OJV_CHECK(delta_expr != nullptr, "null delta expression");
+  switch (delta_expr->kind()) {
+    case RelKind::kScan:
+    case RelKind::kDeltaScan:
+      return delta_expr;
+    case RelKind::kSelect:
+      return RelExpr::Select(ToLeftDeep(delta_expr->input()),
+                             delta_expr->predicate());
+    case RelKind::kJoin:
+      return JoinLD(delta_expr->join_kind(), ToLeftDeep(delta_expr->left()),
+                    delta_expr->right(), delta_expr->predicate());
+    default:
+      OJV_CHECK(false, "unexpected node in delta expression");
+  }
+}
+
+bool IsLeftDeep(const RelExprPtr& expr) {
+  switch (expr->kind()) {
+    case RelKind::kScan:
+    case RelKind::kDeltaScan:
+      return true;
+    case RelKind::kSelect:
+    case RelKind::kDedup:
+    case RelKind::kSubsumeRemove:
+    case RelKind::kNullIf:
+      return IsLeftDeep(expr->input());
+    case RelKind::kJoin:
+      return IsLeftDeep(expr->left()) && IsSimpleRight(expr->right());
+    default:
+      return false;
+  }
+}
+
+}  // namespace ojv

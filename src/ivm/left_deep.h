@@ -1,0 +1,45 @@
+#ifndef OJV_IVM_LEFT_DEEP_H_
+#define OJV_IVM_LEFT_DEEP_H_
+
+#include "algebra/rel_expr.h"
+
+namespace ojv {
+
+/// Converts a ΔV^D expression (output of BuildPrimaryDeltaExpr: leftmost
+/// path of selects / inner joins / left outer joins over a delta leaf)
+/// into a left-deep tree: the right operand of every join is a single
+/// base-table scan, possibly under a selection (paper §4.1).
+///
+/// The rewrite repeatedly pulls the top operator of a complex right
+/// operand onto the main path using the paper's associativity rules,
+/// assuming — as the paper does — that all predicates are binary and
+/// null-rejecting:
+///
+///   main op  right top        result
+///   -------  ---------        ------------------------------------------
+///   lo       σp2(e2) complex  rule 1: λ + δ fix-up after pulling σ
+///   lo       e2 fo e3         rule 2: (e1 lo e2) lo e3
+///   lo       e2 lo e3         rule 3: (e1 lo e2) lo e3
+///   lo       e2 ro e3         rule 4: λ^{e2,e3}_{¬p23} + δ over lo-lo
+///   lo       e2 join e3       rule 5: λ^{e2,e3}_{¬p23} + δ over lo-lo
+///   join     σp2(e2) complex  hoist the selection above the join
+///   join     e2 fo e3         (e1 join e2) lo e3
+///   join     e2 lo e3         (e1 join e2) lo e3
+///   join     e2 ro e3         (e1 join e2) join e3
+///   join     e2 join e3       (e1 join e2) join e3
+///
+/// The λ (null-if) operator nulls the pulled tables on rows where the
+/// pulled predicate is not true; the fix-up δ here is duplicate
+/// elimination followed by removal of subsumed tuples, which restores
+/// minimum-union semantics (a row null-extended by λ may coexist with a
+/// surviving match for the same left tuple, and multiple failing matches
+/// produce identical rows).
+RelExprPtr ToLeftDeep(const RelExprPtr& delta_expr);
+
+/// True if every join in the tree has a scan / delta-scan / select-over-
+/// scan right operand (i.e. the tree is left-deep).
+bool IsLeftDeep(const RelExprPtr& expr);
+
+}  // namespace ojv
+
+#endif  // OJV_IVM_LEFT_DEEP_H_

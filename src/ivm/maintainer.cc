@@ -1,0 +1,284 @@
+#include "ivm/maintainer.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "ivm/left_deep.h"
+#include "ivm/primary_delta.h"
+#include "ivm/simplify_tree.h"
+
+namespace ojv {
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const ViewMaintainer::TablePlan& ViewMaintainer::PlanSet::For(
+    const std::string& table) const {
+  auto it = plans.find(table);
+  OJV_CHECK(it != plans.end(), "table not referenced by view");
+  return it->second;
+}
+
+ViewMaintainer::ViewMaintainer(const Catalog* catalog, ViewDef view,
+                               MaintenanceOptions options)
+    : catalog_(catalog), view_def_(std::move(view)), options_(options) {
+  BuildPlanSet(options_.exploit_foreign_keys, &main_);
+  if (options_.exploit_foreign_keys) {
+    // OnUpdate must run without constraint-based reasoning (§6 caveat 1).
+    BuildPlanSet(/*use_fks=*/false, &update_);
+  }
+  view_store_ = std::make_unique<MaterializedView>(view_def_.output_schema());
+}
+
+void ViewMaintainer::BuildPlanSet(bool use_fks, PlanSet* out) {
+  JdnfOptions jdnf_options;
+  jdnf_options.exploit_foreign_keys = use_fks;
+  out->terms = ComputeJdnf(view_def_.tree(), *catalog_, jdnf_options);
+  out->sgraph = std::make_unique<SubsumptionGraph>(out->terms);
+
+  for (const std::string& table : view_def_.tables()) {
+    TablePlan plan;
+    MaintenanceGraphOptions mg_options;
+    mg_options.exploit_foreign_keys = use_fks;
+    plan.graph = std::make_unique<MaintenanceGraph>(
+        out->terms, *out->sgraph, table, *catalog_, mg_options);
+    if (plan.graph->DirectTerms().empty()) {
+      // Theorem 3 eliminated every directly affected term: updates of
+      // this table cannot change the view at all.
+      plan.delta_empty = true;
+    } else {
+      RelExprPtr expr = BuildPrimaryDeltaExpr(view_def_, table);
+      if (use_fks) {
+        SimplifyResult simplified = SimplifyDeltaTree(
+            expr, FkChildrenJoinedOnKey(view_def_, table, *catalog_));
+        if (simplified.empty) {
+          plan.delta_empty = true;
+          expr = nullptr;
+        } else {
+          expr = simplified.expr;
+        }
+      }
+      if (expr != nullptr && options_.use_left_deep) {
+        expr = ToLeftDeep(expr);
+      }
+      plan.delta_expr = expr;
+    }
+    if (!plan.delta_empty) {
+      plan.secondary = std::make_unique<SecondaryDeltaEngine>(
+          view_def_, *catalog_, out->terms, *plan.graph, table);
+      plan.secondary->set_table_cache(&table_cache_);
+    }
+    out->plans.emplace(table, std::move(plan));
+  }
+}
+
+void ViewMaintainer::InitializeView() {
+  view_store_ = std::make_unique<MaterializedView>(view_def_.output_schema());
+  Evaluator evaluator(catalog_);
+  evaluator.set_table_cache(&table_cache_);
+  Relation contents = evaluator.EvalToRelation(view_def_.WithProjection());
+  for (const Row& row : contents.rows()) {
+    view_store_->Insert(row);
+  }
+}
+
+void ViewMaintainer::RestoreView(const std::vector<Row>& rows) {
+  view_store_ = std::make_unique<MaterializedView>(view_def_.output_schema());
+  for (const Row& row : rows) {
+    view_store_->Insert(row);
+  }
+}
+
+const MaintenanceGraph& ViewMaintainer::maintenance_graph(
+    const std::string& table) const {
+  return *main_.For(table).graph;
+}
+
+const RelExprPtr& ViewMaintainer::delta_expr(const std::string& table) const {
+  return main_.For(table).delta_expr;
+}
+
+Relation ViewMaintainer::ComputePrimaryDelta(const TablePlan& plan,
+                                             const Relation& delta_t) {
+  Evaluator evaluator(catalog_);
+  evaluator.set_table_cache(&table_cache_);
+  // The delta leaf is named after the updated table.
+  for (const std::string& table : view_def_.tables()) {
+    if (delta_t.schema().HasTable(table)) {
+      evaluator.BindDelta(table, &delta_t);
+    }
+  }
+  std::shared_ptr<const Relation> raw_ptr = evaluator.Eval(plan.delta_expr);
+  const Relation& raw = *raw_ptr;
+
+  // Align to the view's output schema; tables eliminated by SimplifyTree
+  // are null-extended.
+  const BoundSchema& out_schema = view_def_.output_schema();
+  Relation aligned(out_schema);
+  std::vector<int> source_positions;
+  for (const BoundColumn& col : out_schema.columns()) {
+    source_positions.push_back(raw.schema().Find(col.table, col.column));
+  }
+  for (const Row& row : raw.rows()) {
+    Row out(static_cast<size_t>(out_schema.num_columns()), Value::Null());
+    for (size_t i = 0; i < source_positions.size(); ++i) {
+      if (source_positions[i] >= 0) {
+        out[i] = row[static_cast<size_t>(source_positions[i])];
+      }
+    }
+    aligned.Add(std::move(out));
+  }
+  return aligned;
+}
+
+bool ViewMaintainer::DeltaIsEmpty(const std::string& table) const {
+  return main_.For(table).delta_empty;
+}
+
+Relation ViewMaintainer::ComputePrimaryDeltaRelation(const std::string& table,
+                                                     const Relation& delta_t) {
+  const TablePlan& plan = main_.For(table);
+  OJV_CHECK(!plan.delta_empty, "delta is provably empty");
+  return ComputePrimaryDelta(plan, delta_t);
+}
+
+SecondaryDeltaEngine* ViewMaintainer::secondary_engine(
+    const std::string& table) {
+  auto it = main_.plans.find(table);
+  OJV_CHECK(it != main_.plans.end(), "table not referenced by view");
+  return it->second.secondary.get();
+}
+
+MaintenanceStats ViewMaintainer::OnInsert(const std::string& table,
+                                          const std::vector<Row>& rows,
+                                          PlanPolicy policy) {
+  return Maintain(SetFor(policy).For(table), table, rows,
+                  /*is_insert=*/true);
+}
+
+MaintenanceStats ViewMaintainer::OnDelete(const std::string& table,
+                                          const std::vector<Row>& rows,
+                                          PlanPolicy policy) {
+  return Maintain(SetFor(policy).For(table), table, rows,
+                  /*is_insert=*/false);
+}
+
+MaintenanceStats ViewMaintainer::OnUpdate(const std::string& table,
+                                          const std::vector<Row>& old_rows,
+                                          const std::vector<Row>& new_rows) {
+  const PlanSet& set = SetFor(PlanPolicy::kConstraintFree);
+  MaintenanceStats del =
+      Maintain(set.For(table), table, old_rows, /*is_insert=*/false);
+  MaintenanceStats ins =
+      Maintain(set.For(table), table, new_rows, /*is_insert=*/true);
+  MaintenanceStats stats;
+  stats.delta_rows = del.delta_rows + ins.delta_rows;
+  stats.primary_rows = del.primary_rows + ins.primary_rows;
+  stats.secondary_rows = del.secondary_rows + ins.secondary_rows;
+  stats.direct_terms = ins.direct_terms;
+  stats.indirect_terms = ins.indirect_terms;
+  stats.primary_micros = del.primary_micros + ins.primary_micros;
+  stats.apply_micros = del.apply_micros + ins.apply_micros;
+  stats.secondary_micros = del.secondary_micros + ins.secondary_micros;
+  stats.total_micros = del.total_micros + ins.total_micros;
+  return stats;
+}
+
+MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
+                                          const std::string& table,
+                                          const std::vector<Row>& rows,
+                                          bool is_insert) {
+  MaintenanceStats stats;
+  stats.delta_rows = static_cast<int64_t>(rows.size());
+  if (plan.graph != nullptr) {
+    stats.direct_terms = static_cast<int>(plan.graph->DirectTerms().size());
+    stats.indirect_terms =
+        static_cast<int>(plan.graph->IndirectTerms().size());
+  }
+  auto total_start = std::chrono::steady_clock::now();
+
+  if (plan.delta_empty || rows.empty()) {
+    stats.fk_fast_path = plan.delta_empty;
+    stats.total_micros = MicrosSince(total_start);
+    return stats;
+  }
+
+  // ΔT as a tagged relation.
+  Relation delta_t(Evaluator::SchemaFor(*catalog_->GetTable(table)));
+  for (const Row& row : rows) delta_t.Add(row);
+
+  // Step 1: compute the primary delta.
+  auto primary_start = std::chrono::steady_clock::now();
+  Relation primary = ComputePrimaryDelta(plan, delta_t);
+  stats.primary_rows = primary.size();
+  stats.fk_fast_path =
+      plan.delta_expr->kind() == RelKind::kDeltaScan ||
+      (plan.delta_expr->kind() == RelKind::kSelect &&
+       plan.delta_expr->input()->kind() == RelKind::kDeltaScan);
+  stats.primary_micros = MicrosSince(primary_start);
+
+  // Step 2: apply it.
+  auto apply_start = std::chrono::steady_clock::now();
+  if (is_insert) {
+    for (const Row& row : primary.rows()) view_store_->Insert(row);
+  } else {
+    for (const Row& row : primary.rows()) {
+      OJV_CHECK(view_store_->DeleteMatching(row),
+                "primary delta row missing from view");
+    }
+  }
+  stats.apply_micros = MicrosSince(apply_start);
+
+  // Step 3: secondary delta for indirectly affected terms.
+  if (plan.secondary != nullptr && stats.indirect_terms > 0) {
+    auto secondary_start = std::chrono::steady_clock::now();
+    if (is_insert) {
+      stats.secondary_rows = plan.secondary->ApplyAfterInsert(
+          options_.secondary_strategy, primary, delta_t, view_store_.get());
+    } else {
+      stats.secondary_rows = plan.secondary->ApplyAfterDelete(
+          options_.secondary_strategy, primary, view_store_.get());
+    }
+    stats.secondary_micros = MicrosSince(secondary_start);
+  }
+  stats.total_micros = MicrosSince(total_start);
+  return stats;
+}
+
+std::vector<Row> ApplyBaseInsert(Table* table, const std::vector<Row>& rows) {
+  std::vector<Row> inserted;
+  inserted.reserve(rows.size());
+  for (const Row& row : rows) {
+    if (table->Insert(row)) inserted.push_back(row);
+  }
+  return inserted;
+}
+
+std::vector<Row> ApplyBaseDelete(Table* table, const std::vector<Row>& keys) {
+  std::vector<Row> deleted;
+  deleted.reserve(keys.size());
+  for (const Row& key : keys) {
+    Row full;
+    if (table->DeleteByKey(key, &full)) deleted.push_back(std::move(full));
+  }
+  return deleted;
+}
+
+void ApplyBaseUpdate(Table* table, const std::vector<Row>& keys,
+                     const std::vector<Row>& new_rows,
+                     std::vector<Row>* old_rows) {
+  OJV_CHECK(keys.size() == new_rows.size(), "update arity mismatch");
+  *old_rows = ApplyBaseDelete(table, keys);
+  OJV_CHECK(old_rows->size() == keys.size(), "update of missing row");
+  for (const Row& row : new_rows) {
+    OJV_CHECK(table->Insert(row), "update collides with existing key");
+  }
+}
+
+}  // namespace ojv

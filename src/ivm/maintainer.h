@@ -1,0 +1,183 @@
+#ifndef OJV_IVM_MAINTAINER_H_
+#define OJV_IVM_MAINTAINER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/evaluator.h"
+#include "ivm/materialized_view.h"
+#include "ivm/secondary_delta.h"
+#include "ivm/view_def.h"
+#include "normalform/jdnf.h"
+#include "normalform/maintenance_graph.h"
+#include "normalform/subsumption_graph.h"
+
+namespace ojv {
+
+/// Knobs for the maintenance procedure; defaults match the paper's
+/// algorithm. Turning knobs off is used by the ablation benchmarks.
+struct MaintenanceOptions {
+  /// Convert ΔV^D to a left-deep tree (§4.1).
+  bool use_left_deep = true;
+  /// Exploit foreign keys: term pruning in the normal form, Theorem 3
+  /// maintenance-graph reduction, and SimplifyTree on ΔV^D (§6).
+  bool exploit_foreign_keys = true;
+  /// Where to compute ΔV^I from (§5.2 vs §5.3).
+  SecondaryStrategy secondary_strategy = SecondaryStrategy::kFromView;
+};
+
+/// Which plan set a maintenance call uses. kConstraintFree selects the
+/// FK-free plans (unpruned normal form, no Theorem 3 / SimplifyTree):
+/// required while a deferrable constraint may be violated — UPDATE
+/// pairs (§6 caveat 1) and statements inside multi-statement
+/// transactions with deferred checking (§6 caveat 3).
+enum class PlanPolicy { kDefault, kConstraintFree };
+
+/// Counters and timings for one maintenance operation.
+struct MaintenanceStats {
+  int64_t delta_rows = 0;        // |ΔT|
+  int64_t primary_rows = 0;      // |ΔV^D|
+  int64_t secondary_rows = 0;    // orphans fixed up
+  int direct_terms = 0;
+  int indirect_terms = 0;
+  bool fk_fast_path = false;     // SimplifyTree proved ΔV^D ≡ ΔT or ∅
+  double primary_micros = 0;     // compute ΔV^D
+  double apply_micros = 0;       // apply ΔV^D to the view
+  double secondary_micros = 0;   // compute + apply ΔV^I
+  double total_micros = 0;
+};
+
+/// Incremental maintainer for one materialized SPOJ view.
+///
+/// Contract: the caller applies the base-table update first (the paper's
+/// procedures run against post-update base tables) and then hands the
+/// update to the maintainer:
+///
+///   inserted = ApplyBaseInsert(catalog.GetTable("lineitem"), rows);
+///   maintainer.OnInsert("lineitem", inserted);
+///
+/// All per-table plans (normal form, graphs, delta expressions) are
+/// computed once, up front.
+class ViewMaintainer {
+ public:
+  ViewMaintainer(const Catalog* catalog, ViewDef view,
+                 MaintenanceOptions options = MaintenanceOptions());
+
+  /// Fully computes the view contents (used for initialization and as
+  /// the oracle in tests).
+  void InitializeView();
+
+  /// Warm restart: installs previously saved view contents (e.g. from
+  /// io::LoadRelationRows) instead of recomputing. Rows must be in the
+  /// view's output schema; duplicate keys abort. The caller is
+  /// responsible for the snapshot matching the base tables' state.
+  void RestoreView(const std::vector<Row>& rows);
+
+  const MaterializedView& view() const { return *view_store_; }
+  const ViewDef& view_def() const { return view_def_; }
+  const std::vector<Term>& terms() const { return main_.terms; }
+  const SubsumptionGraph& subsumption_graph() const { return *main_.sgraph; }
+  const MaintenanceGraph& maintenance_graph(const std::string& table) const;
+
+  /// The (simplified, possibly left-deep) ΔV^D expression used for
+  /// updates of `table`; null when the FK fast path proves it empty.
+  const RelExprPtr& delta_expr(const std::string& table) const;
+
+  /// Maintains the view after `rows` were inserted into `table`.
+  MaintenanceStats OnInsert(const std::string& table,
+                            const std::vector<Row>& rows,
+                            PlanPolicy policy = PlanPolicy::kDefault);
+
+  /// Maintains the view after rows were deleted from `table`; `rows`
+  /// must be the full deleted rows.
+  MaintenanceStats OnDelete(const std::string& table,
+                            const std::vector<Row>& rows,
+                            PlanPolicy policy = PlanPolicy::kDefault);
+
+  /// Maintains the view after an UPDATE statement, modeled as
+  /// delete(old_rows) + insert(new_rows) — both already applied to the
+  /// base table. Per §6 caveat 1, foreign-key optimizations are disabled
+  /// for this pair: between the deletion and the reinsertion the
+  /// constraint need not hold, so a separate FK-free plan set (with the
+  /// unpruned normal form) is used.
+  MaintenanceStats OnUpdate(const std::string& table,
+                            const std::vector<Row>& old_rows,
+                            const std::vector<Row>& new_rows);
+
+  // --- plan access for wrappers (aggregation views) and benchmarks ---
+
+  /// True when updates of `table` provably cannot change the view.
+  bool DeltaIsEmpty(const std::string& table) const;
+
+  /// Evaluates ΔV^D for an update of `table`, aligned to the view's
+  /// output schema. `delta_t` must be tagged with the table's schema.
+  Relation ComputePrimaryDeltaRelation(const std::string& table,
+                                       const Relation& delta_t);
+
+  /// The secondary-delta engine for updates of `table` (null when the
+  /// delta is provably empty).
+  SecondaryDeltaEngine* secondary_engine(const std::string& table);
+
+ private:
+  struct TablePlan {
+    std::unique_ptr<MaintenanceGraph> graph;
+    RelExprPtr delta_expr;  // null => provably empty delta
+    bool delta_empty = false;
+    std::unique_ptr<SecondaryDeltaEngine> secondary;
+  };
+
+  /// A complete set of maintenance plans under one FK policy. The
+  /// FK-free set has its own normal form: FK term pruning is also a
+  /// constraint-dependent optimization.
+  struct PlanSet {
+    std::vector<Term> terms;
+    std::unique_ptr<SubsumptionGraph> sgraph;
+    std::map<std::string, TablePlan> plans;
+
+    const TablePlan& For(const std::string& table) const;
+  };
+
+  void BuildPlanSet(bool use_fks, PlanSet* out);
+
+  const PlanSet& SetFor(PlanPolicy policy) const {
+    return policy == PlanPolicy::kConstraintFree &&
+                   options_.exploit_foreign_keys
+               ? update_
+               : main_;
+  }
+
+  MaintenanceStats Maintain(const TablePlan& plan, const std::string& table,
+                            const std::vector<Row>& rows, bool is_insert);
+  // Evaluates ΔV^D and aligns it to the view's output schema.
+  Relation ComputePrimaryDelta(const TablePlan& plan, const Relation& delta_t);
+
+  const Catalog* catalog_;
+  ViewDef view_def_;
+  MaintenanceOptions options_;
+  PlanSet main_;
+  /// FK-free plans for OnUpdate; empty when main_ is already FK-free.
+  PlanSet update_;
+  std::unique_ptr<MaterializedView> view_store_;
+  /// Base tables materialized once per table version and shared across
+  /// the primary- and secondary-delta evaluations of an operation.
+  TableRelationCache table_cache_;
+};
+
+/// Inserts rows into a base table; returns the rows actually inserted
+/// (duplicate keys are skipped).
+std::vector<Row> ApplyBaseInsert(Table* table, const std::vector<Row>& rows);
+
+/// Deletes rows by key from a base table; returns the full deleted rows.
+std::vector<Row> ApplyBaseDelete(Table* table, const std::vector<Row>& keys);
+
+/// Updates rows by key: deletes `keys` and inserts `new_rows`. Returns
+/// the full pre-update rows through *old_rows.
+void ApplyBaseUpdate(Table* table, const std::vector<Row>& keys,
+                     const std::vector<Row>& new_rows,
+                     std::vector<Row>* old_rows);
+
+}  // namespace ojv
+
+#endif  // OJV_IVM_MAINTAINER_H_

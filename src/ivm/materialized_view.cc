@@ -1,0 +1,167 @@
+#include "ivm/materialized_view.h"
+
+#include "common/check.h"
+
+namespace ojv {
+namespace {
+
+size_t HashPositions(const Row& row, const std::vector<int>& positions) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (int p : positions) {
+    h ^= row[static_cast<size_t>(p)].Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool AnyNullAtPositions(const Row& row, const std::vector<int>& positions) {
+  for (int p : positions) {
+    if (row[static_cast<size_t>(p)].is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MaterializedView::MaterializedView(BoundSchema schema)
+    : schema_(std::move(schema)) {
+  for (const std::string& table : schema_.Tables()) {
+    const std::vector<int>& keys = schema_.KeyPositions(table);
+    OJV_CHECK(!keys.empty(), "view schema must expose every table's key");
+    table_keys_.emplace_back(table, keys);
+    full_key_positions_.insert(full_key_positions_.end(), keys.begin(),
+                               keys.end());
+  }
+  table_indexes_.resize(table_keys_.size());
+}
+
+size_t MaterializedView::FullKeyHash(const Row& row) const {
+  return HashPositions(row, full_key_positions_);
+}
+
+bool MaterializedView::FullKeyEquals(const Row& a, const Row& b) const {
+  for (int p : full_key_positions_) {
+    if (a[static_cast<size_t>(p)] != b[static_cast<size_t>(p)]) return false;
+  }
+  return true;
+}
+
+void MaterializedView::Insert(Row row) {
+  OJV_CHECK(static_cast<int>(row.size()) == schema_.num_columns(),
+            "view row arity mismatch");
+  size_t h = FullKeyHash(row);
+  auto range = full_index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    OJV_CHECK(!FullKeyEquals(rows_[static_cast<size_t>(it->second)], row),
+              "duplicate view row key");
+  }
+  int64_t id;
+  if (!free_.empty()) {
+    id = static_cast<int64_t>(free_.back());
+    free_.pop_back();
+    rows_[static_cast<size_t>(id)] = std::move(row);
+    live_[static_cast<size_t>(id)] = 1;
+  } else {
+    id = static_cast<int64_t>(rows_.size());
+    rows_.push_back(std::move(row));
+    live_.push_back(1);
+  }
+  const Row& stored = rows_[static_cast<size_t>(id)];
+  full_index_.emplace(h, id);
+  for (size_t t = 0; t < table_keys_.size(); ++t) {
+    // NULL keys are never matched by lookups (SQL equality), so rows
+    // null-extended on a table are not entered into that table's index —
+    // otherwise every orphan lands in one degenerate hash chain and
+    // deletion becomes linear in the orphan count.
+    if (!AnyNullAtPositions(stored, table_keys_[t].second)) {
+      table_indexes_[t].emplace(HashPositions(stored, table_keys_[t].second),
+                                id);
+    }
+  }
+  ++live_count_;
+}
+
+bool MaterializedView::DeleteMatching(const Row& row) {
+  size_t h = FullKeyHash(row);
+  auto range = full_index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    int64_t id = it->second;
+    if (live_[static_cast<size_t>(id)] &&
+        FullKeyEquals(rows_[static_cast<size_t>(id)], row)) {
+      DeleteById(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MaterializedView::DeleteById(int64_t id) {
+  OJV_CHECK(live_[static_cast<size_t>(id)], "deleting dead view row");
+  const Row& row = rows_[static_cast<size_t>(id)];
+  // Remove index entries.
+  size_t h = FullKeyHash(row);
+  auto range = full_index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == id) {
+      full_index_.erase(it);
+      break;
+    }
+  }
+  for (size_t t = 0; t < table_keys_.size(); ++t) {
+    if (AnyNullAtPositions(row, table_keys_[t].second)) continue;  // unindexed
+    size_t th = HashPositions(row, table_keys_[t].second);
+    auto trange = table_indexes_[t].equal_range(th);
+    for (auto it = trange.first; it != trange.second; ++it) {
+      if (it->second == id) {
+        table_indexes_[t].erase(it);
+        break;
+      }
+    }
+  }
+  rows_[static_cast<size_t>(id)].clear();
+  live_[static_cast<size_t>(id)] = 0;
+  free_.push_back(static_cast<size_t>(id));
+  --live_count_;
+}
+
+std::vector<int64_t> MaterializedView::LookupByTableKey(
+    const std::string& table, const Row& probe,
+    const std::vector<int>& probe_positions) const {
+  std::vector<int64_t> out;
+  for (int p : probe_positions) {
+    if (probe[static_cast<size_t>(p)].is_null()) return out;
+  }
+  for (size_t t = 0; t < table_keys_.size(); ++t) {
+    if (table_keys_[t].first != table) continue;
+    const std::vector<int>& view_pos = table_keys_[t].second;
+    OJV_CHECK(view_pos.size() == probe_positions.size(),
+              "table key arity mismatch");
+    size_t h = HashPositions(probe, probe_positions);
+    auto range = table_indexes_[t].equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      int64_t id = it->second;
+      if (!live_[static_cast<size_t>(id)]) continue;
+      const Row& row = rows_[static_cast<size_t>(id)];
+      bool equal = true;
+      for (size_t i = 0; i < view_pos.size(); ++i) {
+        const Value& a = row[static_cast<size_t>(view_pos[i])];
+        const Value& b = probe[static_cast<size_t>(probe_positions[i])];
+        if (a.is_null() || b.is_null() || a != b) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) out.push_back(id);
+    }
+    return out;
+  }
+  OJV_CHECK(false, "unknown table in view");
+}
+
+Relation MaterializedView::AsRelation() const {
+  Relation rel(schema_);
+  ForEach([&](int64_t, const Row& row) { rel.Add(row); });
+  return rel;
+}
+
+}  // namespace ojv

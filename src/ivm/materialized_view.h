@@ -1,0 +1,81 @@
+#ifndef OJV_IVM_MATERIALIZED_VIEW_H_
+#define OJV_IVM_MATERIALIZED_VIEW_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/relation.h"
+
+namespace ojv {
+
+/// Storage for a materialized SPOJ view.
+///
+/// Rows are indexed by the view's unique clustered key — the
+/// concatenation of every referenced table's key columns, where NULLs
+/// (null-extended tables) participate as ordinary sentinel values — and
+/// by a secondary hash index per table key, which is what makes the
+/// paper's secondary-delta "clean-up" deletes (Q3/Q4 in §7) cheap.
+class MaterializedView {
+ public:
+  explicit MaterializedView(BoundSchema schema);
+
+  const BoundSchema& schema() const { return schema_; }
+  int64_t size() const { return live_count_; }
+
+  /// Inserts a row (arity must match the schema). Aborts on duplicate
+  /// full key: the maintenance algebra never inserts a row twice.
+  void Insert(Row row);
+
+  /// Deletes the row whose full key matches `row`'s (only the key
+  /// positions of `row` are consulted). Returns false if absent.
+  bool DeleteMatching(const Row& row);
+
+  /// Row ids whose `table` key columns equal the key columns found in
+  /// `probe` at `probe_positions`. NULL keys never match (SQL equality).
+  std::vector<int64_t> LookupByTableKey(const std::string& table,
+                                        const Row& probe,
+                                        const std::vector<int>& probe_positions) const;
+
+  /// All live row ids whose `table` key is NULL (orphans of terms not
+  /// containing `table` cannot be found this way; use scans).
+  const Row& row(int64_t id) const { return rows_[static_cast<size_t>(id)]; }
+  bool live(int64_t id) const { return live_[static_cast<size_t>(id)] != 0; }
+
+  /// Deletes a row by id (must be live).
+  void DeleteById(int64_t id);
+
+  /// Snapshot as a relation (tagged with the view's schema).
+  Relation AsRelation() const;
+
+  /// Visits all live rows.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (live_[i]) fn(static_cast<int64_t>(i), rows_[i]);
+    }
+  }
+
+ private:
+  size_t FullKeyHash(const Row& row) const;
+  bool FullKeyEquals(const Row& a, const Row& b) const;
+  size_t TableKeyHash(const Row& row, const std::vector<int>& positions) const;
+
+  BoundSchema schema_;
+  std::vector<int> full_key_positions_;   // concatenated table keys
+  // Per table: key positions in the view schema.
+  std::vector<std::pair<std::string, std::vector<int>>> table_keys_;
+
+  std::vector<Row> rows_;
+  std::vector<char> live_;
+  std::vector<size_t> free_;
+  int64_t live_count_ = 0;
+
+  std::unordered_multimap<size_t, int64_t> full_index_;
+  // One secondary index per table (parallel to table_keys_).
+  std::vector<std::unordered_multimap<size_t, int64_t>> table_indexes_;
+};
+
+}  // namespace ojv
+
+#endif  // OJV_IVM_MATERIALIZED_VIEW_H_

@@ -1,0 +1,81 @@
+#include "ivm/primary_delta.h"
+
+#include "common/check.h"
+
+namespace ojv {
+namespace {
+
+bool SubtreeContains(const RelExprPtr& expr, const std::string& table) {
+  return expr->ReferencedTables().count(table) > 0;
+}
+
+// Applies steps 1+2+3 in one recursive pass. `make_delta` selects between
+// DeltaScan (ΔV^D) and Scan (V^D) at the leaf.
+RelExprPtr Transform(const RelExprPtr& expr, const std::string& table,
+                     bool make_delta) {
+  switch (expr->kind()) {
+    case RelKind::kScan:
+      OJV_CHECK(expr->table() == table, "transform reached the wrong leaf");
+      return make_delta ? RelExpr::DeltaScan(table) : expr;
+    case RelKind::kSelect:
+      // Selections on the path distribute over the delta (σp(e ± Δe) =
+      // σp e ± σp Δe) and are kept in place.
+      return RelExpr::Select(Transform(expr->input(), table, make_delta),
+                             expr->predicate());
+    case RelKind::kJoin: {
+      const bool on_left = SubtreeContains(expr->left(), table);
+      const bool on_right = SubtreeContains(expr->right(), table);
+      OJV_CHECK(on_left != on_right, "updated table must be on exactly one side");
+      JoinKind kind = expr->join_kind();
+      if (on_left) {
+        // fo -> lo, ro -> inner (unmatched right tuples are null-extended
+        // on T and can never contribute to V^D).
+        JoinKind converted = kind;
+        if (kind == JoinKind::kFullOuter) converted = JoinKind::kLeftOuter;
+        if (kind == JoinKind::kRightOuter) converted = JoinKind::kInner;
+        return RelExpr::Join(converted,
+                             Transform(expr->left(), table, make_delta),
+                             expr->right(), expr->predicate());
+      }
+      // Commute so the T side becomes the left input (lo <-> ro), then
+      // apply the same weakening: original lo (T right) -> ro -> inner;
+      // original ro (T right) -> lo -> lo; fo -> fo -> lo.
+      JoinKind converted = JoinKind::kInner;
+      switch (kind) {
+        case JoinKind::kInner:
+        case JoinKind::kLeftOuter:
+          converted = JoinKind::kInner;
+          break;
+        case JoinKind::kRightOuter:
+        case JoinKind::kFullOuter:
+          converted = JoinKind::kLeftOuter;
+          break;
+        default:
+          OJV_CHECK(false, "unexpected join kind in view tree");
+      }
+      return RelExpr::Join(converted,
+                           Transform(expr->right(), table, make_delta),
+                           expr->left(), expr->predicate());
+    }
+    default:
+      OJV_CHECK(false, "unexpected node in view tree");
+  }
+}
+
+}  // namespace
+
+RelExprPtr BuildPrimaryDeltaExpr(const ViewDef& view,
+                                 const std::string& updated_table) {
+  OJV_CHECK(view.tables().count(updated_table) > 0,
+            "view does not reference the updated table");
+  return Transform(view.tree(), updated_table, /*make_delta=*/true);
+}
+
+RelExprPtr BuildDirectPartExpr(const ViewDef& view,
+                               const std::string& updated_table) {
+  OJV_CHECK(view.tables().count(updated_table) > 0,
+            "view does not reference the updated table");
+  return Transform(view.tree(), updated_table, /*make_delta=*/false);
+}
+
+}  // namespace ojv

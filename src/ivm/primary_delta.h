@@ -1,0 +1,37 @@
+#ifndef OJV_IVM_PRIMARY_DELTA_H_
+#define OJV_IVM_PRIMARY_DELTA_H_
+
+#include <string>
+
+#include "algebra/rel_expr.h"
+#include "ivm/view_def.h"
+
+namespace ojv {
+
+/// Constructs the ΔV^D expression of paper §4 for an update of
+/// `updated_table`:
+///
+///  1. Commute joins along the path from the updated table to the root so
+///     the updated side is always the left input (flipping left outer ↔
+///     right outer).
+///  2. Along that path, weaken full outer joins to left outer joins and
+///     right outer joins to inner joins — discarding exactly the tuples
+///     that are null-extended on the updated table and hence can never be
+///     part of V^D.
+///  3. Substitute ΔT (a delta scan) for the table's scan.
+///
+/// The resulting tree has only selects, inner joins and left outer joins
+/// on its leftmost path, with the delta as the leftmost leaf. No
+/// projection is applied; the caller projects to the view's output.
+RelExprPtr BuildPrimaryDeltaExpr(const ViewDef& view,
+                                 const std::string& updated_table);
+
+/// Same rewrite but keeping the base-table scan instead of the delta:
+/// the V^D expression itself (equation (3) in the paper). Used by tests
+/// to validate V^D = ⊕ of directly affected terms.
+RelExprPtr BuildDirectPartExpr(const ViewDef& view,
+                               const std::string& updated_table);
+
+}  // namespace ojv
+
+#endif  // OJV_IVM_PRIMARY_DELTA_H_

@@ -1,0 +1,461 @@
+#include "ivm/secondary_delta.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "exec/evaluator.h"
+
+namespace ojv {
+namespace {
+
+size_t HashPositions(const Row& row, const std::vector<int>& positions) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (int p : positions) {
+    h ^= row[static_cast<size_t>(p)].Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// nn(t): the table's first key column (non-nullable in the base table) is
+// non-null in the row.
+ScalarExprPtr NonNullTest(const BoundSchema& schema, const std::string& table) {
+  const std::vector<int>& keys = schema.KeyPositions(table);
+  OJV_CHECK(!keys.empty(), "null test requires the table's key in the view");
+  const BoundColumn& col = schema.column(keys[0]);
+  return ScalarExpr::Not(
+      ScalarExpr::IsNull(ScalarExpr::Column(col.table, col.column)));
+}
+
+ScalarExprPtr NullTest(const BoundSchema& schema, const std::string& table) {
+  const std::vector<int>& keys = schema.KeyPositions(table);
+  OJV_CHECK(!keys.empty(), "null test requires the table's key in the view");
+  const BoundColumn& col = schema.column(keys[0]);
+  return ScalarExpr::IsNull(ScalarExpr::Column(col.table, col.column));
+}
+
+}  // namespace
+
+SecondaryDeltaEngine::SecondaryDeltaEngine(const ViewDef& view_def,
+                                           const Catalog& catalog,
+                                           const std::vector<Term>& terms,
+                                           const MaintenanceGraph& graph,
+                                           const std::string& updated_table)
+    : view_def_(view_def),
+      catalog_(catalog),
+      terms_(terms),
+      graph_(graph),
+      updated_table_(updated_table) {
+  for (int i : graph.IndirectTerms()) {
+    TermPlan plan;
+    plan.term_index = i;
+    const Term& term = terms_[static_cast<size_t>(i)];
+    for (const std::string& t : term.source) plan.ti_tables.push_back(t);
+    for (const std::string& t : view_def_.tables()) {
+      if (term.source.count(t) == 0) plan.null_tables.push_back(t);
+    }
+    plan.direct_parents = graph.DirectParents(i);
+    OJV_CHECK(!plan.direct_parents.empty(),
+              "indirect term must have a directly affected parent");
+    for (int parent : graph.IndirectParents(i)) {
+      for (const std::string& t :
+           terms_[static_cast<size_t>(parent)].source) {
+        if (term.source.count(t) == 0) plan.indirect_parent_extra.insert(t);
+      }
+    }
+    plans_.push_back(std::move(plan));
+  }
+}
+
+bool SecondaryDeltaEngine::RowNonNullOn(const Row& row,
+                                        const std::string& table) const {
+  const std::vector<int>& keys = view_def_.output_schema().KeyPositions(table);
+  return !row[static_cast<size_t>(keys[0])].is_null();
+}
+
+bool SecondaryDeltaEngine::SatisfiesPi(const Row& delta_row,
+                                       const TermPlan& plan) const {
+  // Pi = ∨ over directly affected parents Ek of nn(Tk).
+  for (int parent : plan.direct_parents) {
+    bool all_non_null = true;
+    for (const std::string& t : terms_[static_cast<size_t>(parent)].source) {
+      if (!RowNonNullOn(delta_row, t)) {
+        all_non_null = false;
+        break;
+      }
+    }
+    if (all_non_null) return true;
+  }
+  return false;
+}
+
+bool SecondaryDeltaEngine::IsOrphanOf(const Row& view_row,
+                                      const TermPlan& plan) const {
+  for (const std::string& t : plan.ti_tables) {
+    if (!RowNonNullOn(view_row, t)) return false;
+  }
+  for (const std::string& t : plan.null_tables) {
+    if (RowNonNullOn(view_row, t)) return false;
+  }
+  return true;
+}
+
+bool SecondaryDeltaEngine::TiKeysMatch(const Row& a, const Row& b,
+                                       const TermPlan& plan) const {
+  const BoundSchema& schema = view_def_.output_schema();
+  for (const std::string& t : plan.ti_tables) {
+    for (int p : schema.KeyPositions(t)) {
+      const Value& va = a[static_cast<size_t>(p)];
+      const Value& vb = b[static_cast<size_t>(p)];
+      if (va.is_null() || vb.is_null() || va != vb) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int64_t> SecondaryDeltaEngine::LookupTi(
+    const MaterializedView& view, const Row& probe,
+    const TermPlan& plan) const {
+  const std::string& first = plan.ti_tables[0];
+  const std::vector<int>& keys = view_def_.output_schema().KeyPositions(first);
+  std::vector<int64_t> hits = view.LookupByTableKey(first, probe, keys);
+  std::vector<int64_t> out;
+  for (int64_t id : hits) {
+    if (TiKeysMatch(view.row(id), probe, plan)) out.push_back(id);
+  }
+  return out;
+}
+
+
+std::vector<Row> SecondaryDeltaEngine::CandidatesFromBaseTables(
+    const Relation& primary_delta, const Relation& delta_t, bool is_insert) {
+  std::vector<Row> out;
+  for (const TermPlan& plan : plans_) {
+    std::vector<Row> candidates =
+        ComputeFromBaseTables(plan, primary_delta, delta_t, is_insert);
+    out.insert(out.end(), std::make_move_iterator(candidates.begin()),
+               std::make_move_iterator(candidates.end()));
+  }
+  return out;
+}
+
+SecondaryStrategy SecondaryDeltaEngine::ResolveStrategy(
+    SecondaryStrategy requested, int64_t primary_rows) const {
+  if (requested != SecondaryStrategy::kAuto) return requested;
+  // Base-table plan cost: every parent fragment re-joins its Rk tables
+  // with the updated table's state. View plan cost: one indexed probe
+  // per delta row per term. Sum both over the indirect terms and pick.
+  int64_t base_cost = 0;
+  for (const TermPlan& plan : plans_) {
+    for (int parent_index : plan.direct_parents) {
+      const Term& parent = terms_[static_cast<size_t>(parent_index)];
+      for (const std::string& t : parent.source) {
+        if (t == updated_table_ ||
+            std::find(plan.ti_tables.begin(), plan.ti_tables.end(), t) ==
+                plan.ti_tables.end()) {
+          base_cost += catalog_.GetTable(t)->size();
+        }
+      }
+    }
+  }
+  int64_t view_cost = primary_rows * static_cast<int64_t>(plans_.size());
+  return view_cost <= base_cost ? SecondaryStrategy::kFromView
+                                : SecondaryStrategy::kFromBaseTables;
+}
+
+int64_t SecondaryDeltaEngine::ApplyAfterInsert(SecondaryStrategy strategy,
+                                               const Relation& primary_delta,
+                                               const Relation& delta_t,
+                                               MaterializedView* view) {
+  strategy = ResolveStrategy(strategy, primary_delta.size());
+  int64_t affected = 0;
+  for (const TermPlan& plan : plans_) {
+    if (strategy == SecondaryStrategy::kFromView) {
+      affected += DeleteOrphansFromView(plan, primary_delta, view);
+    } else {
+      std::vector<Row> candidates = ComputeFromBaseTables(
+          plan, primary_delta, delta_t, /*is_insert=*/true);
+      affected += DeleteCandidateOrphans(candidates, plan, view);
+    }
+  }
+  return affected;
+}
+
+int64_t SecondaryDeltaEngine::ApplyAfterDelete(SecondaryStrategy strategy,
+                                               const Relation& primary_delta,
+                                               MaterializedView* view) {
+  strategy = ResolveStrategy(strategy, primary_delta.size());
+  int64_t affected = 0;
+  for (const TermPlan& plan : plans_) {
+    if (strategy == SecondaryStrategy::kFromView) {
+      affected += InsertOrphansFromView(plan, primary_delta, view);
+    } else {
+      Relation empty_delta;
+      std::vector<Row> candidates = ComputeFromBaseTables(
+          plan, primary_delta, empty_delta, /*is_insert=*/false);
+      affected += InsertCandidateOrphans(candidates, plan, view);
+    }
+  }
+  return affected;
+}
+
+int64_t SecondaryDeltaEngine::DeleteOrphansFromView(
+    const TermPlan& plan, const Relation& primary_delta,
+    MaterializedView* view) {
+  // ΔDi = σ_{nn(Ti) ∧ n(Si)}(V + ΔV^D) ⋉_{eq(Ti)} σ_{Pi} ΔV^D,
+  // driven from the (small) delta side through the view's Ti-key index.
+  std::unordered_set<int64_t> to_delete;
+  for (const Row& delta_row : primary_delta.rows()) {
+    if (!SatisfiesPi(delta_row, plan)) continue;
+    for (int64_t id : LookupTi(*view, delta_row, plan)) {
+      if (IsOrphanOf(view->row(id), plan)) to_delete.insert(id);
+    }
+  }
+  for (int64_t id : to_delete) view->DeleteById(id);
+  return static_cast<int64_t>(to_delete.size());
+}
+
+int64_t SecondaryDeltaEngine::InsertOrphansFromView(
+    const TermPlan& plan, const Relation& primary_delta,
+    MaterializedView* view) {
+  // ΔDi = (δ π_{Ti.*} σ_{Pi} ΔV^D) ▷_{eq(Ti)} (V − ΔV^D):
+  // project deleted parent tuples onto Ti, dedup, then keep only those
+  // with no remaining view row sharing the Ti key.
+  const BoundSchema& schema = view_def_.output_schema();
+  std::vector<int> ti_positions;
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    bool in_ti = false;
+    for (const std::string& t : plan.ti_tables) {
+      if (schema.column(i).table == t) in_ti = true;
+    }
+    if (in_ti) ti_positions.push_back(i);
+  }
+
+  std::vector<Row> candidates;
+  std::unordered_multimap<size_t, size_t> seen;
+  for (const Row& delta_row : primary_delta.rows()) {
+    if (!SatisfiesPi(delta_row, plan)) continue;
+    Row candidate(static_cast<size_t>(schema.num_columns()), Value::Null());
+    for (int p : ti_positions) {
+      candidate[static_cast<size_t>(p)] = delta_row[static_cast<size_t>(p)];
+    }
+    size_t h = HashPositions(candidate, ti_positions);
+    bool duplicate = false;
+    auto range = seen.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (candidates[it->second] == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      seen.emplace(h, candidates.size());
+      candidates.push_back(std::move(candidate));
+    }
+  }
+
+  int64_t inserted = 0;
+  for (Row& candidate : candidates) {
+    if (LookupTi(*view, candidate, plan).empty()) {
+      view->Insert(std::move(candidate));
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+std::vector<Row> SecondaryDeltaEngine::ComputeFromBaseTables(
+    const TermPlan& plan, const Relation& primary_delta,
+    const Relation& delta_t, bool is_insert) {
+  const BoundSchema& schema = view_def_.output_schema();
+  const Term& term = terms_[static_cast<size_t>(plan.term_index)];
+
+  Evaluator evaluator(&catalog_);
+  evaluator.set_table_cache(cache_);
+  evaluator.BindDelta("#primary", &primary_delta);
+
+  // For an insertion, the paper's expressions need the *pre-insert*
+  // state T± ▷ eq(T) ΔT. Rather than materializing it, the ΔT keys are
+  // re-tagged under a pseudo table so the current table can be
+  // anti-joined against them (a table cannot join itself under one tag).
+  Relation delta_keys;
+  ScalarExprPtr delta_key_pred;
+  if (is_insert) {
+    const Table* base = catalog_.GetTable(updated_table_);
+    BoundSchema key_schema;
+    std::vector<ScalarExprPtr> key_eq;
+    for (size_t k = 0; k < base->key_columns().size(); ++k) {
+      const std::string& col = base->key_columns()[k];
+      key_schema.AddColumn(BoundColumn{
+          "#dt", col,
+          base->schema().column(base->key_positions()[k]).type, -1});
+      key_eq.push_back(ScalarExpr::Compare(
+          CompareOp::kEq, ScalarExpr::Column(updated_table_, col),
+          ScalarExpr::Column("#dt", col)));
+    }
+    delta_keys = Relation(key_schema);
+    for (const Row& row : delta_t.rows()) {
+      Row key;
+      for (int pos : base->key_positions()) {
+        key.push_back(row[static_cast<size_t>(pos)]);
+      }
+      delta_keys.Add(std::move(key));
+    }
+    delta_key_pred = MakeConjunction(key_eq);
+    evaluator.BindDelta("#dtkeys", &delta_keys);
+  }
+
+  // Qi = nn(Ti) ∧ n(extra tables of indirectly affected parents).
+  std::vector<ScalarExprPtr> qi;
+  for (const std::string& t : plan.ti_tables) {
+    qi.push_back(NonNullTest(schema, t));
+  }
+  for (const std::string& t : plan.indirect_parent_extra) {
+    qi.push_back(NullTest(schema, t));
+  }
+
+  // Candidates: δ π_{Ti.*} σ_{Qi} ΔV^D — evaluated first so the parent
+  // fragments below can be pruned against them.
+  std::vector<ColumnRef> ti_columns;
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    const BoundColumn& col = schema.column(i);
+    if (term.source.count(col.table) > 0) {
+      ti_columns.push_back(ColumnRef{col.table, col.column});
+    }
+  }
+  Relation candidates = evaluator.EvalToRelation(RelExpr::Dedup(
+      RelExpr::Project(RelExpr::Select(RelExpr::DeltaScan("#primary"),
+                                       MakeConjunction(qi)),
+                       ti_columns)));
+  if (candidates.empty()) return {};
+  evaluator.BindDelta("#cands", &candidates);
+
+  // One anti-semijoin per directly affected parent. The anti-join only
+  // cares about parent-fragment rows that can match *some* candidate, so
+  // each fragment input that the anti-join predicate touches is first
+  // semijoined against the candidates — turning "join the base tables"
+  // into "probe the base tables against a small hash" (the paper's
+  // future-work remark about reusing partial results).
+  RelExprPtr expr = RelExpr::DeltaScan("#cands");
+  for (int parent_index : plan.direct_parents) {
+    const Term& parent = terms_[static_cast<size_t>(parent_index)];
+    std::set<std::string> rk;
+    for (const std::string& t : parent.source) {
+      if (term.source.count(t) == 0 && t != updated_table_) rk.insert(t);
+    }
+    // Classify the parent's conjuncts (paper §5.3 notation).
+    std::vector<ScalarExprPtr> q_rk, q_t, q_rk_t, q_ip;
+    for (const ScalarExprPtr& c : parent.predicates) {
+      std::set<std::string> refs = c->ReferencedTables();
+      bool in_si = false, in_rk = false, in_t = false;
+      for (const std::string& r : refs) {
+        if (term.source.count(r) > 0) in_si = true;
+        if (rk.count(r) > 0) in_rk = true;
+        if (r == updated_table_) in_t = true;
+      }
+      if (in_si && (in_rk || in_t)) {
+        q_ip.push_back(c);
+      } else if (in_rk && in_t) {
+        q_rk_t.push_back(c);
+      } else if (in_rk) {
+        q_rk.push_back(c);
+      } else if (in_t && refs.size() == 1) {
+        q_t.push_back(c);
+      }
+      // Conjuncts entirely within Si already hold for the candidates.
+    }
+    OJV_CHECK(!q_ip.empty(),
+              "parent term must connect to the candidate's tables");
+
+    // Split the anti-join conjuncts by which fragment side they prune.
+    std::vector<ScalarExprPtr> q_ip_t, q_ip_rk;
+    for (const ScalarExprPtr& c : q_ip) {
+      bool touches_t = c->ReferencedTables().count(updated_table_) > 0;
+      (touches_t ? q_ip_t : q_ip_rk).push_back(c);
+    }
+
+    RelExprPtr t_side = RelExpr::Scan(updated_table_);
+    if (!q_t.empty()) t_side = RelExpr::Select(t_side, MakeConjunction(q_t));
+    if (!q_ip_t.empty()) {
+      t_side = RelExpr::Join(JoinKind::kLeftSemi, t_side,
+                             RelExpr::DeltaScan("#cands"),
+                             MakeConjunction(q_ip_t));
+    }
+    if (is_insert) {
+      // Restrict to the pre-insert rows: drop the ones in ΔT.
+      t_side = RelExpr::Join(JoinKind::kLeftAnti, t_side,
+                             RelExpr::DeltaScan("#dtkeys"), delta_key_pred);
+    }
+
+    RelExprPtr parent_expr;
+    if (rk.empty()) {
+      parent_expr = t_side;
+    } else {
+      Term rk_term;
+      rk_term.source = rk;
+      rk_term.predicates = q_rk;
+      RelExprPtr rk_expr = rk_term.ToRelExpr();
+      if (!q_ip_rk.empty()) {
+        rk_expr = RelExpr::Join(JoinKind::kLeftSemi, rk_expr,
+                                RelExpr::DeltaScan("#cands"),
+                                MakeConjunction(q_ip_rk));
+      }
+      ScalarExprPtr join_pred = q_rk_t.empty()
+                                    ? ScalarExpr::Literal(Value::Int64(1))
+                                    : MakeConjunction(q_rk_t);
+      parent_expr =
+          RelExpr::Join(JoinKind::kInner, rk_expr, t_side, join_pred);
+    }
+    expr = RelExpr::Join(JoinKind::kLeftAnti, expr, parent_expr,
+                         MakeConjunction(q_ip));
+  }
+
+  Relation result = evaluator.EvalToRelation(expr);
+
+  // Null-extend candidates to the full view schema.
+  std::vector<Row> out;
+  out.reserve(static_cast<size_t>(result.size()));
+  std::vector<int> target_positions;
+  for (const BoundColumn& col : result.schema().columns()) {
+    target_positions.push_back(
+        schema.IndexOf(ColumnRef{col.table, col.column}));
+  }
+  for (const Row& row : result.rows()) {
+    Row candidate(static_cast<size_t>(schema.num_columns()), Value::Null());
+    for (size_t i = 0; i < row.size(); ++i) {
+      candidate[static_cast<size_t>(target_positions[i])] = row[i];
+    }
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+int64_t SecondaryDeltaEngine::DeleteCandidateOrphans(
+    const std::vector<Row>& candidates, const TermPlan& plan,
+    MaterializedView* view) {
+  std::unordered_set<int64_t> to_delete;
+  for (const Row& candidate : candidates) {
+    for (int64_t id : LookupTi(*view, candidate, plan)) {
+      if (IsOrphanOf(view->row(id), plan)) to_delete.insert(id);
+    }
+  }
+  for (int64_t id : to_delete) view->DeleteById(id);
+  return static_cast<int64_t>(to_delete.size());
+}
+
+int64_t SecondaryDeltaEngine::InsertCandidateOrphans(
+    const std::vector<Row>& candidates, const TermPlan& plan,
+    MaterializedView* view) {
+  int64_t inserted = 0;
+  for (const Row& candidate : candidates) {
+    if (LookupTi(*view, candidate, plan).empty()) {
+      view->Insert(candidate);
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace ojv

@@ -1,0 +1,120 @@
+#include "ivm/simplify_tree.h"
+
+#include "common/check.h"
+#include "normalform/maintenance_graph.h"
+
+namespace ojv {
+namespace {
+
+bool PredicateTouches(const ScalarExprPtr& pred,
+                      const std::set<std::string>& tables) {
+  for (const std::string& t : pred->ReferencedTables()) {
+    if (tables.count(t) > 0) return true;
+  }
+  return false;
+}
+
+bool ViewContainsFkJoin(const ViewDef& view, const ForeignKey& fk) {
+  for (size_t i = 0; i < fk.child_columns.size(); ++i) {
+    ColumnRef child{fk.child_table, fk.child_columns[i]};
+    ColumnRef parent{fk.parent_table, fk.parent_columns[i]};
+    bool found = false;
+    for (const ScalarExprPtr& conjunct : view.conjuncts()) {
+      if (conjunct->kind() != ScalarKind::kCompare ||
+          conjunct->compare_op() != CompareOp::kEq ||
+          conjunct->left()->kind() != ScalarKind::kColumn ||
+          conjunct->right()->kind() != ScalarKind::kColumn) {
+        continue;
+      }
+      const ColumnRef& l = conjunct->left()->column();
+      const ColumnRef& r = conjunct->right()->column();
+      if ((l == child && r == parent) || (l == parent && r == child)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::set<std::string> FkChildrenJoinedOnKey(const ViewDef& view,
+                                            const std::string& updated_table,
+                                            const Catalog& catalog) {
+  std::set<std::string> out;
+  for (const ForeignKey* fk : catalog.ForeignKeysReferencing(updated_table)) {
+    if (!ForeignKeyUsableForMaintenance(*fk)) continue;
+    if (view.tables().count(fk->child_table) == 0) continue;
+    if (ViewContainsFkJoin(view, *fk)) out.insert(fk->child_table);
+  }
+  return out;
+}
+
+SimplifyResult SimplifyDeltaTree(const RelExprPtr& delta_expr,
+                                 std::set<std::string> initial_children) {
+  SimplifyResult result;
+  if (initial_children.empty()) {
+    result.expr = delta_expr;
+    return result;
+  }
+  std::set<std::string> s = std::move(initial_children);
+
+  // Recursive lambda over the main (left) path.
+  struct Walker {
+    std::set<std::string>* s;
+    int eliminated = 0;
+    bool empty = false;
+
+    RelExprPtr Walk(const RelExprPtr& expr) {
+      switch (expr->kind()) {
+        case RelKind::kDeltaScan:
+        case RelKind::kScan:
+          return expr;
+        case RelKind::kSelect: {
+          RelExprPtr in = Walk(expr->input());
+          if (empty) return nullptr;
+          if (PredicateTouches(expr->predicate(), *s)) {
+            empty = true;
+            return nullptr;
+          }
+          return RelExpr::Select(in, expr->predicate());
+        }
+        case RelKind::kJoin: {
+          RelExprPtr left = Walk(expr->left());
+          if (empty) return nullptr;
+          const bool touches = PredicateTouches(expr->predicate(), *s);
+          if (!touches) {
+            return RelExpr::Join(expr->join_kind(), left, expr->right(),
+                                 expr->predicate());
+          }
+          if (expr->join_kind() == JoinKind::kInner) {
+            empty = true;
+            return nullptr;
+          }
+          OJV_CHECK(expr->join_kind() == JoinKind::kLeftOuter,
+                    "main path may contain only inner and left outer joins");
+          // Drop the join; the discarded right operand's tables are now
+          // known to be entirely null in the delta.
+          for (const std::string& t : expr->right()->ReferencedTables()) {
+            s->insert(t);
+          }
+          ++eliminated;
+          return left;
+        }
+        default:
+          OJV_CHECK(false, "unexpected node on delta main path");
+      }
+    }
+  };
+
+  Walker walker{&s};
+  RelExprPtr expr = walker.Walk(delta_expr);
+  result.empty = walker.empty;
+  result.joins_eliminated = walker.eliminated;
+  result.expr = walker.empty ? nullptr : expr;
+  return result;
+}
+
+}  // namespace ojv

@@ -1,0 +1,46 @@
+#ifndef OJV_IVM_SIMPLIFY_TREE_H_
+#define OJV_IVM_SIMPLIFY_TREE_H_
+
+#include <set>
+#include <string>
+
+#include "algebra/rel_expr.h"
+#include "catalog/catalog.h"
+#include "ivm/view_def.h"
+
+namespace ojv {
+
+/// Result of the foreign-key simplification of a ΔV^D tree (paper §6.1).
+struct SimplifyResult {
+  /// Simplified expression; null when the whole delta is provably empty.
+  RelExprPtr expr;
+  /// True when the delta is empty and no maintenance work is needed.
+  bool empty = false;
+  /// Number of join operators eliminated.
+  int joins_eliminated = 0;
+};
+
+/// Tables S whose foreign key to `updated_table` is joined on in the
+/// view: no tuple of ΔT can join with any tuple of such a table (a
+/// matching child row would violate the constraint before an insert /
+/// after a delete). Only constraints usable for maintenance (no cascade,
+/// not deferrable) qualify, and the view must contain the full FK
+/// equijoin among its conjuncts.
+std::set<std::string> FkChildrenJoinedOnKey(const ViewDef& view,
+                                            const std::string& updated_table,
+                                            const Catalog& catalog);
+
+/// The paper's SimplifyTree procedure, applied to the (bushy) ΔV^D tree
+/// before left-deep conversion. Walks the main path from the delta leaf
+/// to the root with the growing set S of provably-non-joining tables:
+///  - a select or inner join whose predicate references a table in S can
+///    never be satisfied → the whole delta is empty;
+///  - a left outer join whose predicate references a table in S never
+///    finds a match → drop the join, pass the left input through, and add
+///    all tables of the discarded right operand to S.
+SimplifyResult SimplifyDeltaTree(const RelExprPtr& delta_expr,
+                                 std::set<std::string> initial_children);
+
+}  // namespace ojv
+
+#endif  // OJV_IVM_SIMPLIFY_TREE_H_

@@ -1,0 +1,40 @@
+#ifndef OJV_NORMALFORM_JDNF_H_
+#define OJV_NORMALFORM_JDNF_H_
+
+#include <vector>
+
+#include "algebra/rel_expr.h"
+#include "catalog/catalog.h"
+#include "normalform/term.h"
+
+namespace ojv {
+
+/// Options controlling normal-form construction.
+struct JdnfOptions {
+  /// Prune terms whose net contribution is provably empty because a
+  /// foreign key guarantees every tuple is subsumed by a parent term
+  /// (e.g. the {orders,lineitem} term of Example 1). Requires the FK
+  /// child columns to be NOT NULL and the constraint not deferrable.
+  bool exploit_foreign_keys = true;
+};
+
+/// Converts an SPOJ join tree (scans, selects, inner/left/right/full
+/// outer joins; no projection) to join-disjunctive normal form
+/// (Galindo-Legaria). Terms are returned children-before-parents is NOT
+/// guaranteed; order is deterministic.
+///
+/// The construction is the bottom-up "multiplication" of the paper's
+/// Example 2: each join combines one term from each side and keeps the
+/// combination only when the join predicate's referenced tables are all
+/// present (null-rejecting predicates discard the rest); outer joins
+/// additionally preserve the terms of the non-reduced side(s).
+std::vector<Term> ComputeJdnf(const RelExprPtr& tree, const Catalog& catalog,
+                              const JdnfOptions& options = JdnfOptions());
+
+/// Returns the index of the term with the given source set, or -1.
+int FindTerm(const std::vector<Term>& terms,
+             const std::set<std::string>& source);
+
+}  // namespace ojv
+
+#endif  // OJV_NORMALFORM_JDNF_H_

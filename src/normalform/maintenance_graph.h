@@ -1,0 +1,81 @@
+#ifndef OJV_NORMALFORM_MAINTENANCE_GRAPH_H_
+#define OJV_NORMALFORM_MAINTENANCE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "normalform/subsumption_graph.h"
+#include "normalform/term.h"
+
+namespace ojv {
+
+/// How an update of table T affects a term (paper §3.1).
+enum class AffectKind {
+  kDirect,      // T is among the term's source tables
+  kIndirect,    // T is in the source of at least one immediate parent
+  kUnaffected,
+};
+
+const char* AffectKindName(AffectKind kind);
+
+/// Options for building the maintenance graph.
+struct MaintenanceGraphOptions {
+  /// Apply Theorem 3: a directly affected term is in fact unaffected if
+  /// its source contains a table R with a foreign key to the updated
+  /// table T, joined on that FK in the term. Eliminating such nodes may
+  /// orphan indirectly affected nodes, which are then also eliminated
+  /// ("reduced maintenance graph", §6.2).
+  bool exploit_foreign_keys = true;
+};
+
+/// Classification of every term for an update of one base table, plus the
+/// per-term directly-affected parent sets needed by the secondary delta.
+class MaintenanceGraph {
+ public:
+  /// `terms` + `graph` describe the view's normal form; `updated_table`
+  /// is the table being inserted into / deleted from.
+  MaintenanceGraph(const std::vector<Term>& terms,
+                   const SubsumptionGraph& graph,
+                   const std::string& updated_table, const Catalog& catalog,
+                   const MaintenanceGraphOptions& options =
+                       MaintenanceGraphOptions());
+
+  AffectKind Kind(int term_index) const {
+    return kinds_[static_cast<size_t>(term_index)];
+  }
+
+  /// Indexes of directly affected terms (after any FK reduction).
+  const std::vector<int>& DirectTerms() const { return direct_; }
+  /// Indexes of indirectly affected terms (after any FK reduction).
+  const std::vector<int>& IndirectTerms() const { return indirect_; }
+
+  /// pard(n): the directly affected immediate parents of term n.
+  const std::vector<int>& DirectParents(int term_index) const {
+    return direct_parents_[static_cast<size_t>(term_index)];
+  }
+  /// pari(n): the indirectly affected immediate parents of term n.
+  const std::vector<int>& IndirectParents(int term_index) const {
+    return indirect_parents_[static_cast<size_t>(term_index)];
+  }
+
+  /// Text form "{C,O,L}:D {C}:I ..." sorted; tests compare against the
+  /// paper's Figures 1(b) and 4.
+  std::string ToString(const std::vector<Term>& terms) const;
+
+ private:
+  std::vector<AffectKind> kinds_;
+  std::vector<int> direct_;
+  std::vector<int> indirect_;
+  std::vector<std::vector<int>> direct_parents_;
+  std::vector<std::vector<int>> indirect_parents_;
+};
+
+/// True when the §6 FK optimizations may use this constraint for the
+/// given operation (paper's caveats: no cascading deletes, not
+/// deferrable; the delete+insert caveat is handled by the maintainer).
+bool ForeignKeyUsableForMaintenance(const ForeignKey& fk);
+
+}  // namespace ojv
+
+#endif  // OJV_NORMALFORM_MAINTENANCE_GRAPH_H_

@@ -1,0 +1,53 @@
+#include "normalform/subsumption_graph.h"
+
+#include <algorithm>
+
+namespace ojv {
+
+SubsumptionGraph::SubsumptionGraph(const std::vector<Term>& terms) {
+  const int n = static_cast<int>(terms.size());
+  parents_.resize(static_cast<size_t>(n));
+  children_.resize(static_cast<size_t>(n));
+  for (int child = 0; child < n; ++child) {
+    for (int parent = 0; parent < n; ++parent) {
+      if (!terms[static_cast<size_t>(child)].IsStrictSubsetOf(
+              terms[static_cast<size_t>(parent)])) {
+        continue;
+      }
+      // Minimality: no intermediate term strictly between them.
+      bool minimal = true;
+      for (int mid = 0; mid < n && minimal; ++mid) {
+        if (mid == child || mid == parent) continue;
+        if (terms[static_cast<size_t>(child)].IsStrictSubsetOf(
+                terms[static_cast<size_t>(mid)]) &&
+            terms[static_cast<size_t>(mid)].IsStrictSubsetOf(
+                terms[static_cast<size_t>(parent)])) {
+          minimal = false;
+        }
+      }
+      if (minimal) {
+        parents_[static_cast<size_t>(child)].push_back(parent);
+        children_[static_cast<size_t>(parent)].push_back(child);
+      }
+    }
+  }
+}
+
+std::string SubsumptionGraph::ToString(const std::vector<Term>& terms) const {
+  std::vector<std::string> lines;
+  for (int child = 0; child < num_nodes(); ++child) {
+    for (int parent : Parents(child)) {
+      lines.push_back(terms[static_cast<size_t>(parent)].Label() + " -> " +
+                      terms[static_cast<size_t>(child)].Label());
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ojv

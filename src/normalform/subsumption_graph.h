@@ -1,0 +1,43 @@
+#ifndef OJV_NORMALFORM_SUBSUMPTION_GRAPH_H_
+#define OJV_NORMALFORM_SUBSUMPTION_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "normalform/term.h"
+
+namespace ojv {
+
+/// The subsumption graph of a normal form (paper Definition 2.1): one
+/// node per term; an edge from ni to nj when Si is a *minimal* strict
+/// superset of Sj among the term source sets. Tuples of a term can only
+/// be subsumed by tuples of (transitive) parent terms, and checking
+/// immediate parents suffices (Lemma 1).
+class SubsumptionGraph {
+ public:
+  explicit SubsumptionGraph(const std::vector<Term>& terms);
+
+  int num_nodes() const { return static_cast<int>(parents_.size()); }
+
+  /// Immediate parents of term i (indexes into the term vector).
+  const std::vector<int>& Parents(int i) const {
+    return parents_[static_cast<size_t>(i)];
+  }
+  /// Immediate children of term i.
+  const std::vector<int>& Children(int i) const {
+    return children_[static_cast<size_t>(i)];
+  }
+
+  /// Graphviz-ish text rendering: one "parent -> child" line per edge,
+  /// using term labels, sorted. Used in tests against the paper's
+  /// Figure 1(a).
+  std::string ToString(const std::vector<Term>& terms) const;
+
+ private:
+  std::vector<std::vector<int>> parents_;
+  std::vector<std::vector<int>> children_;
+};
+
+}  // namespace ojv
+
+#endif  // OJV_NORMALFORM_SUBSUMPTION_GRAPH_H_

@@ -1,0 +1,142 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace ojv {
+namespace sql {
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* keywords = new std::set<std::string>{
+      "CREATE", "VIEW",  "AS",    "SELECT", "FROM",  "WHERE", "JOIN",
+      "INNER",  "LEFT",  "RIGHT", "FULL",   "OUTER", "ON",    "AND",
+      "BETWEEN", "DATE", "GROUP", "BY",     "COUNT", "SUM",   "AVG",
+      "MIN",    "MAX",
+      "IS",     "NOT",   "NULL",  "OR"};
+  return *keywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper) {
+  return Keywords().count(upper) > 0;
+}
+
+bool Lex(const std::string& sql, std::vector<Token>* tokens,
+         std::string* error) {
+  tokens->clear();
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !seen_dot))) {
+        if (sql[i] == '.') seen_dot = true;
+        ++i;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = sql.substr(start, i - start);
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        if (error != nullptr) {
+          *error = "unterminated string literal at position " +
+                   std::to_string(token.position);
+        }
+        return false;
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(value);
+    } else {
+      token.kind = TokenKind::kSymbol;
+      // Two-character operators first.
+      if (i + 1 < n) {
+        std::string two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          token.text = two == "!=" ? "<>" : two;
+          i += 2;
+          tokens->push_back(std::move(token));
+          continue;
+        }
+      }
+      switch (c) {
+        case '(':
+        case ')':
+        case ',':
+        case '.':
+        case '*':
+        case '=':
+        case '<':
+        case '>':
+          token.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          if (error != nullptr) {
+            *error = std::string("unexpected character '") + c +
+                     "' at position " + std::to_string(token.position);
+          }
+          return false;
+      }
+    }
+    tokens->push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(n);
+  tokens->push_back(std::move(end));
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace sql
+}  // namespace ojv

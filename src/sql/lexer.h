@@ -1,0 +1,38 @@
+#ifndef OJV_SQL_LEXER_H_
+#define OJV_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace ojv {
+namespace sql {
+
+/// Token categories for the view-definition dialect.
+enum class TokenKind {
+  kIdentifier,  // table / column / alias names (case preserved)
+  kKeyword,     // SELECT, FROM, JOIN, ... (upper-cased in `text`)
+  kNumber,      // integer or decimal literal
+  kString,      // '...' with '' escaping
+  kSymbol,      // ( ) , . * and comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // keyword: upper-case; symbol: canonical spelling
+  int position = 0;  // byte offset, for error messages
+};
+
+/// Splits `sql` into tokens. Errors (unterminated string, stray
+/// character) are reported through *error with a position; returns false
+/// and leaves *tokens unusable in that case.
+bool Lex(const std::string& sql, std::vector<Token>* tokens,
+         std::string* error);
+
+/// True if `word` is one of the dialect's reserved words.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace sql
+}  // namespace ojv
+
+#endif  // OJV_SQL_LEXER_H_

@@ -1,0 +1,277 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/date.h"
+
+namespace ojv {
+namespace tpch {
+namespace {
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",         "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",          "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",         "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",          "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// region of each nation, per the spec.
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kInstruct[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                           "TAKE BACK RETURN"};
+const char* kModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                        "FOB"};
+const char* kTypeSyllable1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                                "ECONOMY", "PROMO"};
+const char* kTypeSyllable2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                "BRUSHED"};
+const char* kTypeSyllable3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyllable1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainerSyllable2[] = {"CASE", "BOX", "BAG", "JAR", "PKG",
+                                     "PACK", "CAN", "DRUM"};
+const char* kBrandMfgr[] = {"#1", "#2", "#3", "#4", "#5"};
+const char* kColors[] = {"almond", "antique", "aquamarine", "azure", "beige",
+                         "bisque", "black",   "blanched",   "blue",  "blush",
+                         "brown",  "burlywood", "burnished", "chartreuse",
+                         "chiffon", "chocolate", "coral",    "cornflower"};
+
+int64_t StartDate() { return ParseDate("1992-01-01"); }
+int64_t EndDate() { return ParseDate("1998-08-02"); }
+
+// Spec formula for p_retailprice, applied to a key scrambled into the
+// SF=1 key domain so the price *distribution* (≈ 900.00..2098.99, about
+// half below 2000) is the same at every scale factor. At tiny scales the
+// raw formula would put every part below 2000 and V3's filter would
+// never reject anything.
+double RetailPrice(int64_t partkey) {
+  int64_t effective = (partkey * 7919) % 200000 + 1;
+  return (90000.0 + static_cast<double>((effective / 10) % 20001) +
+          100.0 * static_cast<double>(effective % 1000)) /
+         100.0;
+}
+
+std::string Pick(const char* const* pool, int n, Rng* rng) {
+  return pool[rng->Uniform(0, n - 1)];
+}
+
+std::string Phone(Rng* rng) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(rng->Uniform(10, 34)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(1000, 9999)));
+  return buf;
+}
+
+}  // namespace
+
+Dbgen::Dbgen(DbgenOptions options) : options_(options) {
+  const double sf = options_.scale_factor;
+  OJV_CHECK(sf > 0, "scale factor must be positive");
+  num_supplier_ = std::max<int64_t>(10, static_cast<int64_t>(10000 * sf));
+  num_part_ = std::max<int64_t>(20, static_cast<int64_t>(200000 * sf));
+  num_customer_ = std::max<int64_t>(15, static_cast<int64_t>(150000 * sf));
+  num_orders_ = std::max<int64_t>(30, static_cast<int64_t>(1500000 * sf));
+}
+
+int64_t Dbgen::SparseOrderKey(int64_t i) {
+  // Like dbgen: use 8 keys out of every 32, leaving gaps for refresh
+  // inserts.
+  int64_t group = (i - 1) / 8;
+  int64_t offset = (i - 1) % 8;
+  return group * 32 + offset + 1;
+}
+
+int64_t Dbgen::RandomOrderingCustomer(Rng* rng) const {
+  // Customers with custkey % 3 == 0 never place orders (spec behavior:
+  // one third of customers have no orders).
+  int64_t key;
+  do {
+    key = 1 + rng->Uniform(0, num_customer_ - 1);
+  } while (key % 3 == 0);
+  return key;
+}
+
+Row Dbgen::MakePartRow(int64_t partkey, Rng* rng) const {
+  std::string name = std::string(kColors[partkey % 18]) + " " +
+                     kColors[(partkey / 18 + 7) % 18];
+  int mfgr = static_cast<int>(rng->Uniform(0, 4));
+  std::string type = Pick(kTypeSyllable1, 6, rng) + " " +
+                     Pick(kTypeSyllable2, 5, rng) + " " +
+                     Pick(kTypeSyllable3, 5, rng);
+  std::string container =
+      Pick(kContainerSyllable1, 5, rng) + " " + Pick(kContainerSyllable2, 8, rng);
+  double retail = RetailPrice(partkey);
+  return Row{Value::Int64(partkey),
+             Value::String(name),
+             Value::String(std::string("Manufacturer") + kBrandMfgr[mfgr]),
+             Value::String(std::string("Brand") + kBrandMfgr[mfgr] +
+                           std::to_string(rng->Uniform(1, 5))),
+             Value::String(type),
+             Value::Int64(rng->Uniform(1, 50)),
+             Value::String(container),
+             Value::Float64(retail),
+             Value::String(rng->Text(10, 22))};
+}
+
+Row Dbgen::MakeCustomerRow(int64_t custkey, Rng* rng) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "Customer#%09lld",
+                static_cast<long long>(custkey));
+  return Row{Value::Int64(custkey),
+             Value::String(name),
+             Value::String(rng->Text(10, 40)),
+             Value::Int64(rng->Uniform(0, 24)),
+             Value::String(Phone(rng)),
+             Value::Float64(static_cast<double>(rng->Uniform(-99999, 999999)) /
+                            100.0),
+             Value::String(Pick(kSegments, 5, rng)),
+             Value::String(rng->Text(20, 60))};
+}
+
+Row Dbgen::MakeOrderRow(int64_t orderkey, int64_t custkey, Rng* rng) const {
+  int64_t orderdate = rng->Uniform(StartDate(), EndDate() - 151);
+  char clerk[24];
+  std::snprintf(clerk, sizeof(clerk), "Clerk#%09lld",
+                static_cast<long long>(rng->Uniform(
+                    1, std::max<int64_t>(1, num_orders_ / 1000))));
+  return Row{Value::Int64(orderkey),
+             Value::Int64(custkey),
+             Value::String(rng->Chance(0.5) ? "O" : "F"),
+             Value::Float64(static_cast<double>(rng->Uniform(85000, 55000000)) /
+                            100.0),
+             Value::Date(orderdate),
+             Value::String(Pick(kPriorities, 5, rng)),
+             Value::String(clerk),
+             Value::Int64(0),
+             Value::String(rng->Text(19, 38))};
+}
+
+Row Dbgen::MakeLineitemRow(int64_t orderkey, int64_t linenumber,
+                           int64_t orderdate, Rng* rng) const {
+  int64_t partkey = RandomPart(rng);
+  int64_t suppkey = RandomSupplier(rng);
+  double quantity = static_cast<double>(rng->Uniform(1, 50));
+  // Deterministic partkey-derived price, like the spec.
+  double extended = quantity * RetailPrice(partkey);
+  int64_t shipdate = orderdate + rng->Uniform(1, 121);
+  int64_t commitdate = orderdate + rng->Uniform(30, 90);
+  int64_t receiptdate = shipdate + rng->Uniform(1, 30);
+  const char* returnflag =
+      receiptdate <= ParseDate("1995-06-17") ? (rng->Chance(0.5) ? "R" : "A")
+                                             : "N";
+  const char* linestatus = shipdate > ParseDate("1995-06-17") ? "O" : "F";
+  return Row{Value::Int64(orderkey),
+             Value::Int64(partkey),
+             Value::Int64(suppkey),
+             Value::Int64(linenumber),
+             Value::Float64(quantity),
+             Value::Float64(extended),
+             Value::Float64(static_cast<double>(rng->Uniform(0, 10)) / 100.0),
+             Value::Float64(static_cast<double>(rng->Uniform(0, 8)) / 100.0),
+             Value::String(returnflag),
+             Value::String(linestatus),
+             Value::Date(shipdate),
+             Value::Date(commitdate),
+             Value::Date(receiptdate),
+             Value::String(Pick(kInstruct, 4, rng)),
+             Value::String(Pick(kModes, 7, rng)),
+             Value::String(rng->Text(10, 43))};
+}
+
+Row Dbgen::MakeSupplierRow(int64_t suppkey, Rng* rng) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "Supplier#%09lld",
+                static_cast<long long>(suppkey));
+  return Row{Value::Int64(suppkey),
+             Value::String(name),
+             Value::String(rng->Text(10, 40)),
+             Value::Int64(rng->Uniform(0, 24)),
+             Value::String(Phone(rng)),
+             Value::Float64(static_cast<double>(rng->Uniform(-99999, 999999)) /
+                            100.0),
+             Value::String(rng->Text(25, 100))};
+}
+
+void Dbgen::Populate(Catalog* catalog) {
+  Rng master(options_.seed);
+
+  Table* region = catalog->GetTable("region");
+  Rng rng = master.Fork(1);
+  for (int64_t i = 0; i < 5; ++i) {
+    OJV_CHECK(region->Insert(Row{Value::Int64(i), Value::String(kRegionNames[i]),
+                                 Value::String(rng.Text(20, 80))}),
+              "region insert");
+  }
+
+  Table* nation = catalog->GetTable("nation");
+  rng = master.Fork(2);
+  for (int64_t i = 0; i < 25; ++i) {
+    OJV_CHECK(nation->Insert(Row{Value::Int64(i), Value::String(kNationNames[i]),
+                                 Value::Int64(kNationRegion[i]),
+                                 Value::String(rng.Text(20, 80))}),
+              "nation insert");
+  }
+
+  Table* supplier = catalog->GetTable("supplier");
+  rng = master.Fork(3);
+  for (int64_t i = 1; i <= num_supplier_; ++i) {
+    OJV_CHECK(supplier->Insert(MakeSupplierRow(i, &rng)), "supplier insert");
+  }
+
+  Table* part = catalog->GetTable("part");
+  rng = master.Fork(4);
+  for (int64_t i = 1; i <= num_part_; ++i) {
+    OJV_CHECK(part->Insert(MakePartRow(i, &rng)), "part insert");
+  }
+
+  Table* partsupp = catalog->GetTable("partsupp");
+  rng = master.Fork(5);
+  for (int64_t i = 1; i <= num_part_; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      int64_t suppkey =
+          1 + (i + j * (num_supplier_ / 4 + 1)) % num_supplier_;
+      if (!partsupp->Insert(
+              Row{Value::Int64(i), Value::Int64(suppkey),
+                  Value::Int64(rng.Uniform(1, 9999)),
+                  Value::Float64(static_cast<double>(rng.Uniform(100, 100000)) /
+                                 100.0),
+                  Value::String(rng.Text(20, 60))})) {
+        // Rare collision of the synthetic suppkey spread; skip.
+      }
+    }
+  }
+
+  Table* customer = catalog->GetTable("customer");
+  rng = master.Fork(6);
+  for (int64_t i = 1; i <= num_customer_; ++i) {
+    OJV_CHECK(customer->Insert(MakeCustomerRow(i, &rng)), "customer insert");
+  }
+
+  Table* orders = catalog->GetTable("orders");
+  Table* lineitem = catalog->GetTable("lineitem");
+  rng = master.Fork(7);
+  for (int64_t i = 1; i <= num_orders_; ++i) {
+    int64_t orderkey = SparseOrderKey(i);
+    Row order = MakeOrderRow(orderkey, RandomOrderingCustomer(&rng), &rng);
+    int64_t orderdate = order[4].int64();
+    OJV_CHECK(orders->Insert(std::move(order)), "orders insert");
+    int64_t lines = rng.Uniform(1, 7);
+    for (int64_t ln = 1; ln <= lines; ++ln) {
+      OJV_CHECK(lineitem->Insert(MakeLineitemRow(orderkey, ln, orderdate, &rng)),
+                "lineitem insert");
+    }
+  }
+}
+
+}  // namespace tpch
+}  // namespace ojv

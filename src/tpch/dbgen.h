@@ -1,0 +1,74 @@
+#ifndef OJV_TPCH_DBGEN_H_
+#define OJV_TPCH_DBGEN_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+
+namespace ojv {
+namespace tpch {
+
+/// Generator parameters. Cardinalities follow the TPC-H specification
+/// scaled by `scale_factor`:
+///   supplier 10k·SF, part 200k·SF, customer 150k·SF, orders 1.5M·SF,
+///   lineitem 1..7 lines per order (avg ≈ 4), partsupp 4 per part.
+struct DbgenOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 19940601;
+};
+
+/// Deterministic in-memory dbgen. Reproduces the structural properties
+/// the paper's experiments depend on:
+///  - sparse o_orderkey values (every 4th key used) so refresh streams
+///    can insert new orders;
+///  - one third of customers place no orders (c_custkey % 3 == 0), which
+///    populates the view's {customer} orphan term;
+///  - p_retailprice follows the spec formula (≈ 900..2098), so the
+///    "p_retailprice < 2000" filter of view V3 selects a real subset;
+///  - o_orderdate uniform over 1992-01-01 .. 1998-08-02, so V3's
+///    1994-06-01..1994-12-31 window selects ≈ 9% of orders;
+///  - many parts are never referenced by a lineitem, populating the
+///    {part} orphan term.
+class Dbgen {
+ public:
+  explicit Dbgen(DbgenOptions options);
+
+  /// Generates all eight tables into an already-CreateSchema'd catalog.
+  void Populate(Catalog* catalog);
+
+  int64_t num_supplier() const { return num_supplier_; }
+  int64_t num_part() const { return num_part_; }
+  int64_t num_customer() const { return num_customer_; }
+  int64_t num_orders() const { return num_orders_; }
+
+  /// i-th (1-based) order key under the sparse-key scheme.
+  static int64_t SparseOrderKey(int64_t i);
+
+  // --- row builders shared with the refresh streams ---
+  Row MakePartRow(int64_t partkey, Rng* rng) const;
+  Row MakeCustomerRow(int64_t custkey, Rng* rng) const;
+  Row MakeOrderRow(int64_t orderkey, int64_t custkey, Rng* rng) const;
+  Row MakeLineitemRow(int64_t orderkey, int64_t linenumber, int64_t orderdate,
+                      Rng* rng) const;
+  Row MakeSupplierRow(int64_t suppkey, Rng* rng) const;
+
+  /// A customer key that places orders (never divisible by 3).
+  int64_t RandomOrderingCustomer(Rng* rng) const;
+  int64_t RandomPart(Rng* rng) const { return 1 + rng->Uniform(0, num_part_ - 1); }
+  int64_t RandomSupplier(Rng* rng) const {
+    return 1 + rng->Uniform(0, num_supplier_ - 1);
+  }
+
+ private:
+  DbgenOptions options_;
+  int64_t num_supplier_;
+  int64_t num_part_;
+  int64_t num_customer_;
+  int64_t num_orders_;
+};
+
+}  // namespace tpch
+}  // namespace ojv
+
+#endif  // OJV_TPCH_DBGEN_H_

@@ -1,0 +1,153 @@
+#include "tpch/refresh.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace ojv {
+namespace tpch {
+
+RefreshStream::RefreshStream(const Catalog* catalog, const Dbgen* dbgen,
+                             uint64_t seed)
+    : catalog_(catalog), dbgen_(dbgen), rng_(seed) {
+  next_part_key_ = dbgen->num_part() + 1;
+  next_customer_key_ = dbgen->num_customer() + 1;
+  next_order_ordinal_ = dbgen->num_orders() + 1;
+
+  // Build order slots with the current max linenumber per order.
+  const Table* orders = catalog_->GetTable("orders");
+  const Table* lineitem = catalog_->GetTable("lineitem");
+  std::map<int64_t, OrderSlot> slots;
+  orders->ForEach([&](const Row& row) {
+    OrderSlot slot;
+    slot.orderkey = row[0].int64();
+    slot.orderdate = row[4].int64();
+    slot.next_line = 1;
+    slots[slot.orderkey] = slot;
+  });
+  lineitem->ForEach([&](const Row& row) {
+    auto it = slots.find(row[0].int64());
+    if (it != slots.end()) {
+      it->second.next_line =
+          std::max(it->second.next_line, row[3].int64() + 1);
+    }
+  });
+  order_slots_.reserve(slots.size());
+  for (const auto& [key, slot] : slots) {
+    slot_index_[key] = order_slots_.size();
+    order_slots_.push_back(slot);
+  }
+}
+
+std::vector<Row> RefreshStream::NewLineitemsFor(
+    const std::vector<Row>& order_rows, int64_t per_order) {
+  std::vector<Row> out;
+  out.reserve(order_rows.size() * static_cast<size_t>(per_order));
+  for (const Row& order : order_rows) {
+    auto it = slot_index_.find(order[0].int64());
+    OJV_CHECK(it != slot_index_.end(), "unknown order for refresh lineitems");
+    OrderSlot& slot = order_slots_[it->second];
+    for (int64_t i = 0; i < per_order; ++i) {
+      out.push_back(dbgen_->MakeLineitemRow(slot.orderkey, slot.next_line,
+                                            slot.orderdate, &rng_));
+      ++slot.next_line;
+    }
+  }
+  return out;
+}
+
+std::vector<Row> RefreshStream::NewLineitems(int64_t n) {
+  OJV_CHECK(!order_slots_.empty(), "no orders to attach lineitems to");
+  std::vector<Row> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    OrderSlot& slot = order_slots_[static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(order_slots_.size()) - 1))];
+    out.push_back(dbgen_->MakeLineitemRow(slot.orderkey, slot.next_line,
+                                          slot.orderdate, &rng_));
+    ++slot.next_line;
+  }
+  return out;
+}
+
+std::vector<Row> RefreshStream::PickLineitemDeleteKeys(int64_t n) {
+  const Table* lineitem = catalog_->GetTable("lineitem");
+  // Reservoir-sample n keys from the live rows.
+  std::vector<Row> reservoir;
+  reservoir.reserve(static_cast<size_t>(n));
+  int64_t seen = 0;
+  lineitem->ForEach([&](const Row& row) {
+    Row key{row[0], row[3]};
+    if (static_cast<int64_t>(reservoir.size()) < n) {
+      reservoir.push_back(std::move(key));
+    } else {
+      int64_t j = rng_.Uniform(0, seen);
+      if (j < n) reservoir[static_cast<size_t>(j)] = std::move(key);
+    }
+    ++seen;
+  });
+  return reservoir;
+}
+
+std::vector<Row> RefreshStream::NewOrders(int64_t n) {
+  std::vector<Row> out;
+  out.reserve(static_cast<size_t>(n));
+  const Table* orders = catalog_->GetTable("orders");
+  for (int64_t i = 0; i < n; ++i) {
+    // Use a gap key: sparse keys occupy offsets 0..7 of each 32-block;
+    // offsets 8..31 are free.
+    int64_t block = next_order_ordinal_ % 100000;
+    int64_t key = block * 32 + 8 + (next_order_ordinal_ / 100000) % 24 + 1;
+    ++next_order_ordinal_;
+    if (orders->FindByKey(Row{Value::Int64(key)}) != nullptr) {
+      --i;
+      continue;
+    }
+    Row row =
+        dbgen_->MakeOrderRow(key, dbgen_->RandomOrderingCustomer(&rng_), &rng_);
+    OrderSlot slot{key, row[4].int64(), 1};
+    slot_index_[key] = order_slots_.size();
+    order_slots_.push_back(slot);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<Row> RefreshStream::NewParts(int64_t n) {
+  std::vector<Row> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(dbgen_->MakePartRow(next_part_key_++, &rng_));
+  }
+  return out;
+}
+
+std::vector<Row> RefreshStream::NewCustomers(int64_t n) {
+  std::vector<Row> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(dbgen_->MakeCustomerRow(next_customer_key_++, &rng_));
+  }
+  return out;
+}
+
+std::vector<Row> RefreshStream::PickChildlessOrderDeleteKeys(int64_t n) {
+  const Table* orders = catalog_->GetTable("orders");
+  const Table* lineitem = catalog_->GetTable("lineitem");
+  std::set<int64_t> with_children;
+  lineitem->ForEach(
+      [&](const Row& row) { with_children.insert(row[0].int64()); });
+  std::vector<Row> out;
+  orders->ForEach([&](const Row& row) {
+    if (static_cast<int64_t>(out.size()) >= n) return;
+    if (with_children.count(row[0].int64()) == 0) {
+      out.push_back(Row{row[0]});
+    }
+  });
+  return out;
+}
+
+}  // namespace tpch
+}  // namespace ojv

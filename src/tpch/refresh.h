@@ -1,0 +1,70 @@
+#ifndef OJV_TPCH_REFRESH_H_
+#define OJV_TPCH_REFRESH_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "tpch/dbgen.h"
+
+namespace ojv {
+namespace tpch {
+
+/// Generates TPC-H-style refresh workloads against a populated catalog:
+/// batches of new rows to insert and existing keys to delete, always
+/// respecting the foreign-key constraints (new lineitems reference
+/// existing orders/parts/suppliers; new orders reference existing
+/// customers). This is the update source for the paper's §7 experiments.
+class RefreshStream {
+ public:
+  RefreshStream(const Catalog* catalog, const Dbgen* dbgen, uint64_t seed);
+
+  /// `n` new lineitem rows for randomly chosen existing orders, with
+  /// fresh (l_orderkey, l_linenumber) keys.
+  std::vector<Row> NewLineitems(int64_t n);
+
+  /// `per_order` new lineitem rows for each of the given order rows
+  /// (which must already exist, e.g. just produced by NewOrders). This
+  /// is the RF1 pattern: fresh orders arriving together with their
+  /// lineitems, which is what converts customer orphans in the views.
+  std::vector<Row> NewLineitemsFor(const std::vector<Row>& order_rows,
+                                   int64_t per_order);
+
+  /// Keys (l_orderkey, l_linenumber) of `n` randomly chosen existing
+  /// lineitem rows.
+  std::vector<Row> PickLineitemDeleteKeys(int64_t n);
+
+  /// `n` new orders with previously unused (sparse-scheme gap) keys.
+  std::vector<Row> NewOrders(int64_t n);
+
+  /// `n` new parts with fresh keys.
+  std::vector<Row> NewParts(int64_t n);
+
+  /// `n` new customers with fresh keys.
+  std::vector<Row> NewCustomers(int64_t n);
+
+  /// Keys of `n` existing orders that have no lineitems (safe to delete
+  /// without violating the lineitem FK). May return fewer than n.
+  std::vector<Row> PickChildlessOrderDeleteKeys(int64_t n);
+
+ private:
+  const Catalog* catalog_;
+  const Dbgen* dbgen_;
+  Rng rng_;
+  int64_t next_part_key_;
+  int64_t next_customer_key_;
+  int64_t next_order_ordinal_;  // feeds the sparse-key gaps
+  // Cached (orderkey, orderdate, next linenumber) candidates.
+  struct OrderSlot {
+    int64_t orderkey;
+    int64_t orderdate;
+    int64_t next_line;
+  };
+  std::vector<OrderSlot> order_slots_;
+  std::map<int64_t, size_t> slot_index_;  // orderkey -> order_slots_ index
+};
+
+}  // namespace tpch
+}  // namespace ojv
+
+#endif  // OJV_TPCH_REFRESH_H_

@@ -1,0 +1,127 @@
+#include "tpch/tpch_schema.h"
+
+namespace ojv {
+namespace tpch {
+namespace {
+
+ColumnDef NotNull(const char* name, ValueType type) {
+  return ColumnDef{name, type, /*nullable=*/false};
+}
+
+}  // namespace
+
+void CreateSchema(Catalog* catalog) {
+  catalog->CreateTable(
+      "region",
+      Schema({NotNull("r_regionkey", ValueType::kInt64),
+              NotNull("r_name", ValueType::kString),
+              NotNull("r_comment", ValueType::kString)}),
+      {"r_regionkey"});
+
+  catalog->CreateTable(
+      "nation",
+      Schema({NotNull("n_nationkey", ValueType::kInt64),
+              NotNull("n_name", ValueType::kString),
+              NotNull("n_regionkey", ValueType::kInt64),
+              NotNull("n_comment", ValueType::kString)}),
+      {"n_nationkey"});
+
+  catalog->CreateTable(
+      "supplier",
+      Schema({NotNull("s_suppkey", ValueType::kInt64),
+              NotNull("s_name", ValueType::kString),
+              NotNull("s_address", ValueType::kString),
+              NotNull("s_nationkey", ValueType::kInt64),
+              NotNull("s_phone", ValueType::kString),
+              NotNull("s_acctbal", ValueType::kFloat64),
+              NotNull("s_comment", ValueType::kString)}),
+      {"s_suppkey"});
+
+  catalog->CreateTable(
+      "part",
+      Schema({NotNull("p_partkey", ValueType::kInt64),
+              NotNull("p_name", ValueType::kString),
+              NotNull("p_mfgr", ValueType::kString),
+              NotNull("p_brand", ValueType::kString),
+              NotNull("p_type", ValueType::kString),
+              NotNull("p_size", ValueType::kInt64),
+              NotNull("p_container", ValueType::kString),
+              NotNull("p_retailprice", ValueType::kFloat64),
+              NotNull("p_comment", ValueType::kString)}),
+      {"p_partkey"});
+
+  catalog->CreateTable(
+      "partsupp",
+      Schema({NotNull("ps_partkey", ValueType::kInt64),
+              NotNull("ps_suppkey", ValueType::kInt64),
+              NotNull("ps_availqty", ValueType::kInt64),
+              NotNull("ps_supplycost", ValueType::kFloat64),
+              NotNull("ps_comment", ValueType::kString)}),
+      {"ps_partkey", "ps_suppkey"});
+
+  catalog->CreateTable(
+      "customer",
+      Schema({NotNull("c_custkey", ValueType::kInt64),
+              NotNull("c_name", ValueType::kString),
+              NotNull("c_address", ValueType::kString),
+              NotNull("c_nationkey", ValueType::kInt64),
+              NotNull("c_phone", ValueType::kString),
+              NotNull("c_acctbal", ValueType::kFloat64),
+              NotNull("c_mktsegment", ValueType::kString),
+              NotNull("c_comment", ValueType::kString)}),
+      {"c_custkey"});
+
+  catalog->CreateTable(
+      "orders",
+      Schema({NotNull("o_orderkey", ValueType::kInt64),
+              NotNull("o_custkey", ValueType::kInt64),
+              NotNull("o_orderstatus", ValueType::kString),
+              NotNull("o_totalprice", ValueType::kFloat64),
+              NotNull("o_orderdate", ValueType::kDate),
+              NotNull("o_orderpriority", ValueType::kString),
+              NotNull("o_clerk", ValueType::kString),
+              NotNull("o_shippriority", ValueType::kInt64),
+              NotNull("o_comment", ValueType::kString)}),
+      {"o_orderkey"});
+
+  catalog->CreateTable(
+      "lineitem",
+      Schema({NotNull("l_orderkey", ValueType::kInt64),
+              NotNull("l_partkey", ValueType::kInt64),
+              NotNull("l_suppkey", ValueType::kInt64),
+              NotNull("l_linenumber", ValueType::kInt64),
+              NotNull("l_quantity", ValueType::kFloat64),
+              NotNull("l_extendedprice", ValueType::kFloat64),
+              NotNull("l_discount", ValueType::kFloat64),
+              NotNull("l_tax", ValueType::kFloat64),
+              NotNull("l_returnflag", ValueType::kString),
+              NotNull("l_linestatus", ValueType::kString),
+              NotNull("l_shipdate", ValueType::kDate),
+              NotNull("l_commitdate", ValueType::kDate),
+              NotNull("l_receiptdate", ValueType::kDate),
+              NotNull("l_shipinstruct", ValueType::kString),
+              NotNull("l_shipmode", ValueType::kString),
+              NotNull("l_comment", ValueType::kString)}),
+      {"l_orderkey", "l_linenumber"});
+
+  catalog->AddForeignKey(
+      {"nation", {"n_regionkey"}, "region", {"r_regionkey"}});
+  catalog->AddForeignKey(
+      {"supplier", {"s_nationkey"}, "nation", {"n_nationkey"}});
+  catalog->AddForeignKey(
+      {"customer", {"c_nationkey"}, "nation", {"n_nationkey"}});
+  catalog->AddForeignKey(
+      {"partsupp", {"ps_partkey"}, "part", {"p_partkey"}});
+  catalog->AddForeignKey(
+      {"partsupp", {"ps_suppkey"}, "supplier", {"s_suppkey"}});
+  catalog->AddForeignKey(
+      {"orders", {"o_custkey"}, "customer", {"c_custkey"}});
+  catalog->AddForeignKey(
+      {"lineitem", {"l_orderkey"}, "orders", {"o_orderkey"}});
+  catalog->AddForeignKey({"lineitem", {"l_partkey"}, "part", {"p_partkey"}});
+  catalog->AddForeignKey(
+      {"lineitem", {"l_suppkey"}, "supplier", {"s_suppkey"}});
+}
+
+}  // namespace tpch
+}  // namespace ojv

@@ -1,0 +1,25 @@
+#ifndef OJV_TPCH_TPCH_SCHEMA_H_
+#define OJV_TPCH_TPCH_SCHEMA_H_
+
+#include "catalog/catalog.h"
+
+namespace ojv {
+namespace tpch {
+
+/// Creates the eight TPC-H tables (region, nation, supplier, part,
+/// partsupp, customer, orders, lineitem) with their primary keys and the
+/// standard foreign-key constraints. Column names follow the TPC-H
+/// specification (l_orderkey, p_partkey, ...).
+///
+/// The constraints the paper's views exploit are all declared:
+///   lineitem.l_orderkey -> orders.o_orderkey
+///   lineitem.l_partkey  -> part.p_partkey
+///   lineitem.l_suppkey  -> supplier.s_suppkey
+///   orders.o_custkey    -> customer.c_custkey
+///   (plus nation/region/partsupp links)
+void CreateSchema(Catalog* catalog);
+
+}  // namespace tpch
+}  // namespace ojv
+
+#endif  // OJV_TPCH_TPCH_SCHEMA_H_

@@ -1,0 +1,93 @@
+#include "tpch/views.h"
+
+#include "common/date.h"
+
+namespace ojv {
+namespace tpch {
+namespace {
+
+ScalarExprPtr Col(const char* table, const char* column) {
+  return ScalarExpr::Column(table, column);
+}
+
+ScalarExprPtr Eq(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Compare(CompareOp::kEq, std::move(a), std::move(b));
+}
+
+}  // namespace
+
+ViewDef MakeOjView(const Catalog& catalog) {
+  RelExprPtr inner = RelExpr::Join(
+      JoinKind::kLeftOuter, RelExpr::Scan("orders"), RelExpr::Scan("lineitem"),
+      Eq(Col("lineitem", "l_orderkey"), Col("orders", "o_orderkey")));
+  RelExprPtr tree = RelExpr::Join(
+      JoinKind::kFullOuter, RelExpr::Scan("part"), inner,
+      Eq(Col("part", "p_partkey"), Col("lineitem", "l_partkey")));
+  std::vector<ColumnRef> output = {
+      {"part", "p_partkey"},        {"part", "p_name"},
+      {"part", "p_retailprice"},    {"orders", "o_orderkey"},
+      {"orders", "o_custkey"},      {"lineitem", "l_orderkey"},
+      {"lineitem", "l_linenumber"}, {"lineitem", "l_quantity"},
+      {"lineitem", "l_extendedprice"}};
+  return ViewDef("oj_view", tree, std::move(output), catalog);
+}
+
+ViewDef MakeV2(const Catalog& catalog) {
+  RelExprPtr c = RelExpr::Select(
+      RelExpr::Scan("customer"),
+      ScalarExpr::Compare(CompareOp::kGe, Col("customer", "c_acctbal"),
+                          ScalarExpr::Literal(Value::Float64(0.0))));
+  RelExprPtr o = RelExpr::Select(
+      RelExpr::Scan("orders"),
+      ScalarExpr::Compare(CompareOp::kGe, Col("orders", "o_orderdate"),
+                          ScalarExpr::Literal(
+                              Value::Date(ParseDate("1995-01-01")))));
+  RelExprPtr ol = RelExpr::Join(
+      JoinKind::kFullOuter, o, RelExpr::Scan("lineitem"),
+      Eq(Col("orders", "o_orderkey"), Col("lineitem", "l_orderkey")));
+  RelExprPtr tree = RelExpr::Join(
+      JoinKind::kFullOuter, c, ol,
+      Eq(Col("customer", "c_custkey"), Col("orders", "o_custkey")));
+  std::vector<ColumnRef> output = {
+      {"customer", "c_custkey"},    {"customer", "c_acctbal"},
+      {"orders", "o_orderkey"},     {"orders", "o_custkey"},
+      {"orders", "o_orderdate"},    {"lineitem", "l_orderkey"},
+      {"lineitem", "l_linenumber"}, {"lineitem", "l_quantity"}};
+  return ViewDef("v2", tree, std::move(output), catalog);
+}
+
+ViewDef MakeV3(const Catalog& catalog) {
+  ScalarExprPtr date_range = ScalarExpr::And(
+      {ScalarExpr::Compare(CompareOp::kGe, Col("orders", "o_orderdate"),
+                           ScalarExpr::Literal(
+                               Value::Date(ParseDate("1994-06-01")))),
+       ScalarExpr::Compare(CompareOp::kLe, Col("orders", "o_orderdate"),
+                           ScalarExpr::Literal(
+                               Value::Date(ParseDate("1994-12-31"))))});
+  RelExprPtr lo_join = RelExpr::Join(
+      JoinKind::kInner, RelExpr::Scan("lineitem"),
+      RelExpr::Select(RelExpr::Scan("orders"), date_range),
+      Eq(Col("lineitem", "l_orderkey"), Col("orders", "o_orderkey")));
+  RelExprPtr with_customer = RelExpr::Join(
+      JoinKind::kRightOuter, lo_join, RelExpr::Scan("customer"),
+      Eq(Col("customer", "c_custkey"), Col("orders", "o_custkey")));
+  ScalarExprPtr part_pred = ScalarExpr::And(
+      {Eq(Col("lineitem", "l_partkey"), Col("part", "p_partkey")),
+       ScalarExpr::Compare(CompareOp::kLt, Col("part", "p_retailprice"),
+                           ScalarExpr::Literal(Value::Float64(2000.0)))});
+  RelExprPtr tree = RelExpr::Join(JoinKind::kFullOuter, with_customer,
+                                  RelExpr::Scan("part"), part_pred);
+  std::vector<ColumnRef> output = {
+      {"lineitem", "l_orderkey"},   {"lineitem", "l_linenumber"},
+      {"lineitem", "l_quantity"},   {"lineitem", "l_extendedprice"},
+      {"lineitem", "l_shipdate"},   {"lineitem", "l_returnflag"},
+      {"orders", "o_orderkey"},     {"orders", "o_orderdate"},
+      {"orders", "o_clerk"},        {"customer", "c_custkey"},
+      {"customer", "c_nationkey"},  {"customer", "c_mktsegment"},
+      {"part", "p_partkey"},        {"part", "p_type"},
+      {"part", "p_retailprice"}};
+  return ViewDef("v3", tree, std::move(output), catalog);
+}
+
+}  // namespace tpch
+}  // namespace ojv

@@ -1,0 +1,39 @@
+#ifndef OJV_TPCH_VIEWS_H_
+#define OJV_TPCH_VIEWS_H_
+
+#include "ivm/view_def.h"
+
+namespace ojv {
+namespace tpch {
+
+/// The paper's introductory view (Example 1):
+///
+///   part FULL OUTER JOIN
+///     (orders LEFT OUTER JOIN lineitem ON l_orderkey = o_orderkey)
+///   ON p_partkey = l_partkey
+///
+/// Normal form (after FK pruning): {part,orders,lineitem}, {orders},
+/// {part}. The paper's output list is extended with l_orderkey so the
+/// view exposes lineitem's full key.
+ViewDef MakeOjView(const Catalog& catalog);
+
+/// Example 11's view V2 = σpc(C) fo (σpo(O) fo L), joined on
+/// c_custkey = o_custkey and o_orderkey = l_orderkey. We instantiate
+/// pc as c_acctbal >= 0 and po as o_orderdate >= 1995-01-01.
+ViewDef MakeV2(const Catalog& catalog);
+
+/// The experiment view V3 (§7):
+///
+///   ((lineitem JOIN orders ON l_orderkey = o_orderkey
+///        AND o_orderdate BETWEEN 1994-06-01 AND 1994-12-31)
+///     RIGHT OUTER JOIN customer ON c_custkey = o_custkey)
+///   FULL OUTER JOIN part ON l_partkey = p_partkey
+///        AND p_retailprice < 2000
+///
+/// Terms: {C,O,L,P}, {C,O,L}, {C}, {P} (Table 1).
+ViewDef MakeV3(const Catalog& catalog);
+
+}  // namespace tpch
+}  // namespace ojv
+
+#endif  // OJV_TPCH_VIEWS_H_

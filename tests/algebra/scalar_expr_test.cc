@@ -1,0 +1,151 @@
+#include "algebra/scalar_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/rel_expr.h"
+#include "exec/bound_scalar.h"
+
+namespace ojv {
+namespace {
+
+ScalarExprPtr Col(const char* t, const char* c) {
+  return ScalarExpr::Column(t, c);
+}
+
+TEST(ScalarExprTest, ReferencedTables) {
+  ScalarExprPtr e = ScalarExpr::And(
+      {ScalarExpr::Compare(CompareOp::kEq, Col("A", "x"), Col("B", "y")),
+       ScalarExpr::Compare(CompareOp::kLt, Col("A", "z"),
+                           ScalarExpr::Literal(Value::Int64(5)))});
+  EXPECT_EQ(e->ReferencedTables(), (std::set<std::string>{"A", "B"}));
+}
+
+TEST(ScalarExprTest, NullRejection) {
+  ScalarExprPtr cmp =
+      ScalarExpr::Compare(CompareOp::kEq, Col("A", "x"), Col("B", "y"));
+  EXPECT_TRUE(cmp->IsNullRejectingOn("A"));
+  EXPECT_TRUE(cmp->IsNullRejectingOn("B"));
+  EXPECT_FALSE(cmp->IsNullRejectingOn("C"));
+
+  // A conjunction rejects NULLs of any table a conjunct rejects.
+  ScalarExprPtr conj = ScalarExpr::And(
+      {cmp, ScalarExpr::Compare(CompareOp::kGt, Col("C", "z"),
+                                ScalarExpr::Literal(Value::Int64(0)))});
+  EXPECT_TRUE(conj->IsNullRejectingOn("A"));
+  EXPECT_TRUE(conj->IsNullRejectingOn("C"));
+
+  // IS NULL is *not* null-rejecting.
+  EXPECT_FALSE(ScalarExpr::IsNull(Col("A", "x"))->IsNullRejectingOn("A"));
+  // NOT of a comparison is not null-rejecting (NOT(unknown) = unknown,
+  // but NOT(false) = true with a NULL on the other operand... we are
+  // conservative).
+  EXPECT_FALSE(ScalarExpr::Not(cmp)->IsNullRejectingOn("A"));
+  // A disjunction rejects only if every branch does.
+  ScalarExprPtr disj = ScalarExpr::Or(
+      {cmp, ScalarExpr::Compare(CompareOp::kGt, Col("A", "x"),
+                                ScalarExpr::Literal(Value::Int64(0)))});
+  EXPECT_TRUE(disj->IsNullRejectingOn("A"));
+  EXPECT_FALSE(disj->IsNullRejectingOn("B"));
+}
+
+TEST(ScalarExprTest, SplitAndRebuildConjunction) {
+  ScalarExprPtr a =
+      ScalarExpr::Compare(CompareOp::kEq, Col("A", "x"), Col("B", "y"));
+  ScalarExprPtr b = ScalarExpr::Compare(CompareOp::kLt, Col("A", "z"),
+                                        ScalarExpr::Literal(Value::Int64(1)));
+  ScalarExprPtr c = ScalarExpr::Compare(CompareOp::kGt, Col("B", "w"),
+                                        ScalarExpr::Literal(Value::Int64(2)));
+  ScalarExprPtr nested = ScalarExpr::And({ScalarExpr::And({a, b}), c});
+  std::vector<ScalarExprPtr> conjuncts = SplitConjuncts(nested);
+  EXPECT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(SplitConjuncts(nullptr).size(), 0u);
+  EXPECT_EQ(MakeConjunction({}), nullptr);
+  EXPECT_EQ(MakeConjunction({a}), a);
+}
+
+TEST(ScalarExprTest, StructuralEquality) {
+  ScalarExprPtr a =
+      ScalarExpr::Compare(CompareOp::kEq, Col("A", "x"), Col("B", "y"));
+  ScalarExprPtr b =
+      ScalarExpr::Compare(CompareOp::kEq, Col("A", "x"), Col("B", "y"));
+  ScalarExprPtr c =
+      ScalarExpr::Compare(CompareOp::kEq, Col("B", "y"), Col("A", "x"));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));  // structural, not semantic
+}
+
+TEST(ScalarExprTest, ToStringRendering) {
+  ScalarExprPtr e = ScalarExpr::And(
+      {ScalarExpr::Compare(CompareOp::kEq, Col("A", "x"), Col("B", "y")),
+       ScalarExpr::IsNull(Col("A", "z"))});
+  EXPECT_EQ(e->ToString(), "(A.x = B.y AND A.z IS NULL)");
+}
+
+TEST(BoundScalarTest, ThreeValuedEvaluation) {
+  BoundSchema schema;
+  schema.AddColumn(BoundColumn{"A", "x", ValueType::kInt64, 0});
+  schema.AddColumn(BoundColumn{"A", "y", ValueType::kInt64, -1});
+
+  // x = 1 OR y > 5
+  ScalarExprPtr e = ScalarExpr::Or(
+      {ScalarExpr::Compare(CompareOp::kEq, Col("A", "x"),
+                           ScalarExpr::Literal(Value::Int64(1))),
+       ScalarExpr::Compare(CompareOp::kGt, Col("A", "y"),
+                           ScalarExpr::Literal(Value::Int64(5)))});
+  BoundScalar compiled = BoundScalar::Compile(e, schema);
+
+  EXPECT_TRUE(compiled.EvalBool(Row{Value::Int64(1), Value::Null()}));
+  // false OR unknown = unknown -> not true.
+  EXPECT_FALSE(compiled.EvalBool(Row{Value::Int64(2), Value::Null()}));
+  EXPECT_TRUE(compiled.EvalBool(Row{Value::Int64(2), Value::Int64(6)}));
+
+  // NOT(unknown) = unknown.
+  BoundScalar negated = BoundScalar::Compile(ScalarExpr::Not(e), schema);
+  EXPECT_FALSE(negated.EvalBool(Row{Value::Int64(2), Value::Null()}));
+  Value v = negated.Eval(Row{Value::Int64(2), Value::Null()});
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(BoundScalarTest, AndShortCircuitSemantics) {
+  BoundSchema schema;
+  schema.AddColumn(BoundColumn{"A", "x", ValueType::kInt64, -1});
+  ScalarExprPtr e = ScalarExpr::And(
+      {ScalarExpr::Compare(CompareOp::kGt, Col("A", "x"),
+                           ScalarExpr::Literal(Value::Int64(0))),
+       ScalarExpr::Compare(CompareOp::kLt, Col("A", "x"),
+                           ScalarExpr::Literal(Value::Int64(10)))});
+  BoundScalar compiled = BoundScalar::Compile(e, schema);
+  EXPECT_TRUE(compiled.EvalBool(Row{Value::Int64(5)}));
+  EXPECT_FALSE(compiled.EvalBool(Row{Value::Int64(15)}));
+  // unknown AND unknown = unknown.
+  EXPECT_TRUE(compiled.Eval(Row{Value::Null()}).is_null());
+  // false AND unknown = false.
+  ScalarExprPtr f = ScalarExpr::And(
+      {ScalarExpr::Compare(CompareOp::kGt, ScalarExpr::Literal(Value::Int64(0)),
+                           ScalarExpr::Literal(Value::Int64(1))),
+       ScalarExpr::Compare(CompareOp::kLt, Col("A", "x"),
+                           ScalarExpr::Literal(Value::Int64(10)))});
+  BoundScalar cf = BoundScalar::Compile(f, schema);
+  Value v = cf.Eval(Row{Value::Null()});
+  EXPECT_FALSE(v.is_null());
+  EXPECT_EQ(v.int64(), 0);
+}
+
+TEST(RelExprTest, ToStringAndReferencedTables) {
+  RelExprPtr e = RelExpr::Join(
+      JoinKind::kFullOuter, RelExpr::Scan("A"),
+      RelExpr::Select(RelExpr::Scan("B"),
+                      ScalarExpr::Compare(CompareOp::kGt, Col("B", "x"),
+                                          ScalarExpr::Literal(Value::Int64(0)))),
+      ScalarExpr::ColumnsEqual({"A", "k"}, {"B", "k"}));
+  EXPECT_EQ(e->ToString(), "(A fojn sel[B.x > 0](B))");
+  EXPECT_EQ(e->ReferencedTables(), (std::set<std::string>{"A", "B"}));
+  EXPECT_FALSE(e->ContainsDelta());
+  EXPECT_TRUE(RelExpr::Join(JoinKind::kInner, RelExpr::DeltaScan("A"),
+                            RelExpr::Scan("B"),
+                            ScalarExpr::ColumnsEqual({"A", "k"}, {"B", "k"}))
+                  ->ContainsDelta());
+}
+
+}  // namespace
+}  // namespace ojv

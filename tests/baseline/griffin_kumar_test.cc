@@ -1,0 +1,95 @@
+// The Griffin–Kumar baseline must be *correct* (identical view states to
+// ours and to recompute) — it differs only in cost.
+
+#include "baseline/griffin_kumar.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/recompute.h"
+#include "ivm/maintainer.h"
+#include "test_util.h"
+
+namespace ojv {
+namespace {
+
+using testing_util::CreateRandomSchema;
+using testing_util::CreateRstuSchema;
+using testing_util::MakeV1;
+using testing_util::PopulateRandomRstu;
+using testing_util::RandomRstuRows;
+using testing_util::RandomSpojView;
+using testing_util::SampleKeys;
+
+TEST(GriffinKumarTest, V1MatchesRecomputeOnMixedUpdates) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Rng rng(4242);
+  PopulateRandomRstu(&catalog, &rng, 25, 5);
+  ViewDef v1 = MakeV1(catalog);
+  GriffinKumarMaintainer gk(&catalog, v1);
+  gk.InitializeView();
+
+  int64_t next_key = 700000;
+  const char* tables[] = {"T", "S", "U", "R"};
+  for (int round = 0; round < 8; ++round) {
+    const char* name = tables[round % 4];
+    Table* table = catalog.GetTable(name);
+    if (round % 2 == 0) {
+      std::vector<Row> inserted = ApplyBaseInsert(
+          table, RandomRstuRows(name, &rng, 5, 5, &next_key));
+      gk.OnInsert(name, inserted);
+    } else {
+      std::vector<Row> deleted =
+          ApplyBaseDelete(table, SampleKeys(*table, &rng, 4));
+      gk.OnDelete(name, deleted);
+    }
+    std::string diff;
+    ASSERT_TRUE(ViewMatchesRecompute(catalog, v1, gk.view(), &diff))
+        << "round " << round << " (" << name << "): " << diff;
+  }
+}
+
+TEST(GriffinKumarTest, AgreesWithOurMaintainerOnRandomViews) {
+  for (uint64_t seed = 201; seed <= 215; ++seed) {
+    Rng rng(seed);
+    Catalog catalog;
+    std::vector<std::string> tables = CreateRandomSchema(&catalog, 4);
+    int64_t next_key = 1;
+    for (const std::string& name : tables) {
+      Table* table = catalog.GetTable(name);
+      for (Row& row : RandomRstuRows(name, &rng, 12, 4, &next_key)) {
+        table->Insert(std::move(row));
+      }
+    }
+    ViewDef view = RandomSpojView(catalog, tables, &rng);
+    ViewMaintainer ours(&catalog, view, MaintenanceOptions());
+    GriffinKumarMaintainer gk(&catalog, view);
+    ours.InitializeView();
+    gk.InitializeView();
+
+    int64_t fresh = 900000;
+    for (int op = 0; op < 5; ++op) {
+      const std::string& name = tables[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(tables.size()) - 1))];
+      Table* table = catalog.GetTable(name);
+      if (rng.Chance(0.5) && table->size() > 3) {
+        std::vector<Row> deleted =
+            ApplyBaseDelete(table, SampleKeys(*table, &rng, 3));
+        ours.OnDelete(name, deleted);
+        gk.OnDelete(name, deleted);
+      } else {
+        std::vector<Row> inserted = ApplyBaseInsert(
+            table, RandomRstuRows(name, &rng, 4, 4, &fresh));
+        ours.OnInsert(name, inserted);
+        gk.OnInsert(name, inserted);
+      }
+      std::string diff;
+      ASSERT_TRUE(
+          SameBag(ours.view().AsRelation(), gk.view().AsRelation(), &diff))
+          << "seed " << seed << " op " << op << ": " << diff;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,120 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace ojv {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({ColumnDef{"id", ValueType::kInt64, false},
+                 ColumnDef{"v", ValueType::kInt64, true}});
+}
+
+TEST(TableTest, InsertFindDelete) {
+  Table t("t", TwoColSchema(), {"id"});
+  EXPECT_TRUE(t.Insert(Row{Value::Int64(1), Value::Int64(10)}));
+  EXPECT_TRUE(t.Insert(Row{Value::Int64(2), Value::Null()}));
+  EXPECT_EQ(t.size(), 2);
+
+  const Row* found = t.FindByKey(Row{Value::Int64(1)});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ((*found)[1], Value::Int64(10));
+
+  Row deleted;
+  EXPECT_TRUE(t.DeleteByKey(Row{Value::Int64(1)}, &deleted));
+  EXPECT_EQ(deleted[1], Value::Int64(10));
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.FindByKey(Row{Value::Int64(1)}), nullptr);
+  EXPECT_FALSE(t.DeleteByKey(Row{Value::Int64(1)}, nullptr));
+}
+
+TEST(TableTest, RejectsDuplicateKeys) {
+  Table t("t", TwoColSchema(), {"id"});
+  EXPECT_TRUE(t.Insert(Row{Value::Int64(1), Value::Int64(10)}));
+  EXPECT_FALSE(t.Insert(Row{Value::Int64(1), Value::Int64(99)}));
+  EXPECT_EQ(t.size(), 1);
+}
+
+TEST(TableTest, SlotReuseAfterDelete) {
+  Table t("t", TwoColSchema(), {"id"});
+  for (int64_t i = 0; i < 10; ++i) {
+    t.Insert(Row{Value::Int64(i), Value::Int64(i)});
+  }
+  for (int64_t i = 0; i < 5; ++i) {
+    t.DeleteByKey(Row{Value::Int64(i)}, nullptr);
+  }
+  for (int64_t i = 100; i < 105; ++i) {
+    EXPECT_TRUE(t.Insert(Row{Value::Int64(i), Value::Int64(i)}));
+  }
+  EXPECT_EQ(t.size(), 10);
+  EXPECT_EQ(t.Snapshot().size(), 10u);
+}
+
+TEST(TableTest, CompositeKey) {
+  Table t("t",
+          Schema({ColumnDef{"a", ValueType::kInt64, false},
+                  ColumnDef{"b", ValueType::kInt64, false},
+                  ColumnDef{"v", ValueType::kString, true}}),
+          {"a", "b"});
+  EXPECT_TRUE(t.Insert(Row{Value::Int64(1), Value::Int64(1),
+                           Value::String("x")}));
+  EXPECT_TRUE(t.Insert(Row{Value::Int64(1), Value::Int64(2),
+                           Value::String("y")}));
+  EXPECT_FALSE(t.Insert(Row{Value::Int64(1), Value::Int64(1),
+                            Value::String("z")}));
+  EXPECT_NE(t.FindByKey(Row{Value::Int64(1), Value::Int64(2)}), nullptr);
+  EXPECT_EQ(t.FindByKey(Row{Value::Int64(2), Value::Int64(1)}), nullptr);
+}
+
+TEST(CatalogTest, ForeignKeyCheck) {
+  Catalog catalog;
+  catalog.CreateTable("parent", TwoColSchema(), {"id"});
+  catalog.CreateTable(
+      "child",
+      Schema({ColumnDef{"id", ValueType::kInt64, false},
+              ColumnDef{"pid", ValueType::kInt64, true}}),
+      {"id"});
+  catalog.AddForeignKey({"child", {"pid"}, "parent", {"id"}});
+
+  Table* parent = catalog.GetTable("parent");
+  Table* child = catalog.GetTable("child");
+  parent->Insert(Row{Value::Int64(1), Value::Int64(0)});
+  child->Insert(Row{Value::Int64(10), Value::Int64(1)});
+  // NULL FK columns reference nothing and are always valid.
+  child->Insert(Row{Value::Int64(11), Value::Null()});
+
+  std::string violation;
+  EXPECT_TRUE(catalog.CheckForeignKeys(&violation)) << violation;
+
+  child->Insert(Row{Value::Int64(12), Value::Int64(999)});
+  EXPECT_FALSE(catalog.CheckForeignKeys(&violation));
+  EXPECT_NE(violation.find("child"), std::string::npos);
+}
+
+TEST(CatalogTest, ForeignKeysReferencing) {
+  Catalog catalog;
+  catalog.CreateTable("p1", TwoColSchema(), {"id"});
+  catalog.CreateTable("p2", TwoColSchema(), {"id"});
+  catalog.CreateTable(
+      "c", Schema({ColumnDef{"id", ValueType::kInt64, false},
+                   ColumnDef{"f1", ValueType::kInt64, true},
+                   ColumnDef{"f2", ValueType::kInt64, true}}),
+      {"id"});
+  catalog.AddForeignKey({"c", {"f1"}, "p1", {"id"}});
+  catalog.AddForeignKey({"c", {"f2"}, "p2", {"id"}});
+  EXPECT_EQ(catalog.ForeignKeysReferencing("p1").size(), 1u);
+  EXPECT_EQ(catalog.ForeignKeysReferencing("p2").size(), 1u);
+  EXPECT_TRUE(catalog.ForeignKeysReferencing("c").empty());
+}
+
+TEST(SchemaTest, Lookup) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.Find("id"), 0);
+  EXPECT_EQ(s.Find("v"), 1);
+  EXPECT_EQ(s.Find("nope"), -1);
+  EXPECT_EQ(s.IndexOf("v"), 1);
+  EXPECT_NE(s.ToString().find("NOT NULL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ojv

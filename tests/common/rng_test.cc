@@ -1,0 +1,73 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ojv {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.Uniform(5, 5), 5);
+}
+
+TEST(RngTest, UniformCoversTheRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng a(99);
+  Rng fork1 = a.Fork(1);
+  Rng b(99);
+  Rng fork2 = b.Fork(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fork1.Next(), fork2.Next());
+  }
+}
+
+TEST(RngTest, TextHasRequestedLength) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::string t = rng.Text(5, 12);
+    EXPECT_GE(t.size(), 5u);
+    EXPECT_LE(t.size(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,58 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace ojv {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value n;
+  EXPECT_TRUE(n.is_null());
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_FALSE(Value::Int64(0).is_null());
+  EXPECT_EQ(n.ToString(), "NULL");
+}
+
+TEST(ValueTest, StrictEqualityTreatsNullAsEqual) {
+  // Indexes and duplicate elimination need NULL == NULL.
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int64(0));
+  EXPECT_NE(Value::Int64(0), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value::Int64(3), Value::Float64(3.0));
+  EXPECT_NE(Value::Int64(3), Value::Float64(3.5));
+  EXPECT_NE(Value::Int64(3), Value::String("3"));
+}
+
+TEST(ValueTest, SqlCompareIsUnknownOnNull) {
+  int cmp = 0;
+  EXPECT_FALSE(Value::Null().SqlCompare(Value::Int64(1), &cmp));
+  EXPECT_FALSE(Value::Int64(1).SqlCompare(Value::Null(), &cmp));
+  EXPECT_TRUE(Value::Int64(1).SqlCompare(Value::Int64(2), &cmp));
+  EXPECT_LT(cmp, 0);
+}
+
+TEST(ValueTest, SortCompareTotalOrder) {
+  EXPECT_EQ(Value::Null().SortCompare(Value::Null()), 0);
+  EXPECT_LT(Value::Null().SortCompare(Value::Int64(-5)), 0);
+  EXPECT_GT(Value::String("a").SortCompare(Value::Int64(5)), 0);
+  EXPECT_LT(Value::String("abc").SortCompare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::Int64(7).SortCompare(Value::Float64(7.0)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Float64(42.0).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+  EXPECT_EQ(Value::String("xy").Hash(), Value::String("xy").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Float64(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+}  // namespace
+}  // namespace ojv

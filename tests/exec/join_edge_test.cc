@@ -1,0 +1,158 @@
+// Executor edge cases: composite equality keys, mixed equi + residual
+// join predicates (V3's ON l_partkey = p_partkey AND p_retailprice <
+// 2000 shape), empty inputs, single-sided inputs, and the symmetric
+// (build-side-swapped) inner hash join.
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+
+namespace ojv {
+namespace {
+
+class JoinEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.CreateTable(
+        "A",
+        Schema({ColumnDef{"a_id", ValueType::kInt64, false},
+                ColumnDef{"a_x", ValueType::kInt64, true},
+                ColumnDef{"a_y", ValueType::kInt64, true}}),
+        {"a_id"});
+    catalog_.CreateTable(
+        "B",
+        Schema({ColumnDef{"b_id", ValueType::kInt64, false},
+                ColumnDef{"b_x", ValueType::kInt64, true},
+                ColumnDef{"b_y", ValueType::kInt64, true},
+                ColumnDef{"b_v", ValueType::kInt64, true}}),
+        {"b_id"});
+  }
+
+  void AddA(int64_t id, int64_t x, int64_t y) {
+    catalog_.GetTable("A")->Insert(
+        Row{Value::Int64(id), Value::Int64(x), Value::Int64(y)});
+  }
+  void AddB(int64_t id, int64_t x, int64_t y, int64_t v) {
+    catalog_.GetTable("B")->Insert(Row{Value::Int64(id), Value::Int64(x),
+                                       Value::Int64(y), Value::Int64(v)});
+  }
+
+  Relation Eval(const RelExprPtr& e) {
+    Evaluator evaluator(&catalog_);
+    return evaluator.EvalToRelation(e);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(JoinEdgeTest, CompositeEqualityKeys) {
+  AddA(1, 5, 7);
+  AddA(2, 5, 8);
+  AddB(10, 5, 7, 0);
+  AddB(11, 5, 8, 0);
+  AddB(12, 5, 9, 0);
+  ScalarExprPtr pred = ScalarExpr::And(
+      {ScalarExpr::ColumnsEqual({"A", "a_x"}, {"B", "b_x"}),
+       ScalarExpr::ColumnsEqual({"A", "a_y"}, {"B", "b_y"})});
+  Relation out = Eval(RelExpr::Join(JoinKind::kInner, RelExpr::Scan("A"),
+                                    RelExpr::Scan("B"), pred));
+  EXPECT_EQ(out.size(), 2);  // (1,10) and (2,11); b_y=9 unmatched
+}
+
+TEST_F(JoinEdgeTest, EquiPlusResidualOnOuterJoin) {
+  // A lo B ON a_x = b_x AND b_v < 10: rows matching the key but failing
+  // the residual must count as unmatched (null-extended), like V3's
+  // p_retailprice filter.
+  AddA(1, 5, 0);
+  AddB(10, 5, 0, 3);   // matches key and residual
+  AddB(11, 5, 0, 99);  // matches key, fails residual
+  AddA(2, 6, 0);
+  AddB(12, 6, 0, 99);  // a_id 2's only candidate fails residual
+  ScalarExprPtr pred = ScalarExpr::And(
+      {ScalarExpr::ColumnsEqual({"A", "a_x"}, {"B", "b_x"}),
+       ScalarExpr::Compare(CompareOp::kLt, ScalarExpr::Column("B", "b_v"),
+                           ScalarExpr::Literal(Value::Int64(10)))});
+  Relation out = Eval(RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("A"),
+                                    RelExpr::Scan("B"), pred));
+  ASSERT_EQ(out.size(), 2);
+  int null_extended = 0;
+  for (const Row& row : out.rows()) {
+    if (row[3].is_null()) {
+      ++null_extended;
+      EXPECT_EQ(row[0], Value::Int64(2));
+    }
+  }
+  EXPECT_EQ(null_extended, 1);
+}
+
+TEST_F(JoinEdgeTest, EmptyInputs) {
+  AddA(1, 5, 7);
+  ScalarExprPtr pred = ScalarExpr::ColumnsEqual({"A", "a_x"}, {"B", "b_x"});
+  // Right empty.
+  EXPECT_EQ(Eval(RelExpr::Join(JoinKind::kInner, RelExpr::Scan("A"),
+                               RelExpr::Scan("B"), pred))
+                .size(),
+            0);
+  Relation lo = Eval(RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("A"),
+                                   RelExpr::Scan("B"), pred));
+  ASSERT_EQ(lo.size(), 1);
+  EXPECT_TRUE(lo.row(0)[3].is_null());
+  Relation fo = Eval(RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("A"),
+                                   RelExpr::Scan("B"), pred));
+  EXPECT_EQ(fo.size(), 1);
+  // Both empty: outer joins of empties are empty.
+  Catalog empty;
+  empty.CreateTable("A",
+                    Schema({ColumnDef{"a_id", ValueType::kInt64, false},
+                            ColumnDef{"a_x", ValueType::kInt64, true},
+                            ColumnDef{"a_y", ValueType::kInt64, true}}),
+                    {"a_id"});
+  empty.CreateTable("B",
+                    Schema({ColumnDef{"b_id", ValueType::kInt64, false},
+                            ColumnDef{"b_x", ValueType::kInt64, true},
+                            ColumnDef{"b_y", ValueType::kInt64, true},
+                            ColumnDef{"b_v", ValueType::kInt64, true}}),
+                    {"b_id"});
+  Evaluator evaluator(&empty);
+  EXPECT_EQ(evaluator
+                .EvalToRelation(RelExpr::Join(JoinKind::kFullOuter,
+                                              RelExpr::Scan("A"),
+                                              RelExpr::Scan("B"), pred))
+                .size(),
+            0);
+}
+
+TEST_F(JoinEdgeTest, BuildSideSwapMatchesCanonicalOrder) {
+  // Small left, large right: the swapped build side must produce the
+  // identical result (same schema order, same rows).
+  for (int64_t i = 1; i <= 3; ++i) AddA(i, i % 2, 0);
+  for (int64_t i = 1; i <= 50; ++i) AddB(100 + i, i % 2, 0, i);
+  ScalarExprPtr pred = ScalarExpr::ColumnsEqual({"A", "a_x"}, {"B", "b_x"});
+  Relation small_left = Eval(RelExpr::Join(
+      JoinKind::kInner, RelExpr::Scan("A"), RelExpr::Scan("B"), pred));
+  Relation small_right = Eval(RelExpr::Join(
+      JoinKind::kInner, RelExpr::Scan("B"), RelExpr::Scan("A"), pred));
+  EXPECT_EQ(small_left.size(), small_right.size());
+  EXPECT_EQ(small_left.schema().column(0).table, "A");
+  EXPECT_EQ(small_right.schema().column(0).table, "B");
+  std::string diff;
+  EXPECT_TRUE(SameBag(small_left, small_right, &diff)) << diff;
+  // 75 = 2 A-rows with x=1 matching 25 B-rows + 1 A-row with x=0
+  // matching 25.
+  EXPECT_EQ(small_left.size(), 75);
+}
+
+TEST_F(JoinEdgeTest, DuplicateKeyFanout) {
+  // Many-to-many equi join multiplicity.
+  AddA(1, 5, 0);
+  AddA(2, 5, 0);
+  for (int64_t i = 0; i < 4; ++i) AddB(10 + i, 5, 0, 0);
+  ScalarExprPtr pred = ScalarExpr::ColumnsEqual({"A", "a_x"}, {"B", "b_x"});
+  EXPECT_EQ(Eval(RelExpr::Join(JoinKind::kInner, RelExpr::Scan("A"),
+                               RelExpr::Scan("B"), pred))
+                .size(),
+            8);
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,164 @@
+// Soak: the whole system under sustained mixed traffic. A Database with
+// TPC-H tables, three maintained views (outer-join, core, aggregated),
+// a statement log, and a query answered through view matching — with
+// periodic full verification of every invariant at once.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/recompute.h"
+#include "io/statement_log.h"
+#include "matching/view_matching.h"
+#include "sql/parser.h"
+#include "tpch/dbgen.h"
+#include "tpch/refresh.h"
+#include "tpch/tpch_schema.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace {
+
+TEST(SoakTest, SustainedMixedTrafficKeepsEveryInvariant) {
+  Database db;
+  tpch::CreateSchema(db.catalog());
+  tpch::DbgenOptions options;
+  options.scale_factor = 0.003;
+  tpch::Dbgen dbgen(options);
+  dbgen.Populate(db.catalog());
+  tpch::RefreshStream refresh(db.catalog(), &dbgen, 2026);
+
+  // Views: hand-built outer-join view, its SQL-defined inner core, and
+  // an aggregated dashboard.
+  ViewMaintainer* oj =
+      db.CreateMaterializedView(tpch::MakeOjView(*db.catalog()));
+  std::string error;
+  ASSERT_TRUE(sql::ExecuteCreateView(
+      "CREATE VIEW core AS SELECT p_partkey, o_orderkey, l_orderkey, "
+      "l_linenumber, l_quantity FROM part JOIN "
+      "(orders JOIN lineitem ON l_orderkey = o_orderkey) "
+      "ON p_partkey = l_partkey",
+      &db, &error))
+      << error;
+  ASSERT_TRUE(sql::ExecuteCreateView(
+      "CREATE VIEW seg AS SELECT c_mktsegment, COUNT(*) AS cnt, "
+      "SUM(o_totalprice) AS total, MAX(o_totalprice) AS top "
+      "FROM customer LEFT JOIN orders ON c_custkey = o_custkey "
+      "GROUP BY c_mktsegment",
+      &db, &error))
+      << error;
+
+  // The inner-join query the oj view can answer via matching.
+  auto eq = [](const char* t1, const char* c1, const char* t2,
+               const char* c2) {
+    return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                               ScalarExpr::Column(t2, c2));
+  };
+  RelExprPtr q_tree = RelExpr::Join(
+      JoinKind::kInner, RelExpr::Scan("part"),
+      RelExpr::Join(JoinKind::kInner, RelExpr::Scan("orders"),
+                    RelExpr::Scan("lineitem"),
+                    eq("lineitem", "l_orderkey", "orders", "o_orderkey")),
+      eq("part", "p_partkey", "lineitem", "l_partkey"));
+  ViewDef query("q", q_tree, tpch::MakeOjView(*db.catalog()).output(),
+                *db.catalog());
+
+  // Statement log alongside.
+  std::filesystem::path log_path =
+      std::filesystem::temp_directory_path() /
+      ("ojv_soak_" + std::to_string(::getpid()) + ".log");
+  io::StatementLog log(log_path.string());
+  ASSERT_TRUE(log.ok());
+
+  Rng rng(5150);
+  int64_t statements = 0;
+  for (int round = 0; round < 40; ++round) {
+    switch (rng.Uniform(0, 5)) {
+      case 0: {
+        std::vector<Row> rows =
+            refresh.NewLineitems(rng.Uniform(5, 120));
+        log.LogInsert(*db.catalog()->GetTable("lineitem"), rows);
+        ASSERT_TRUE(db.Insert("lineitem", rows).ok());
+        break;
+      }
+      case 1: {
+        std::vector<Row> keys =
+            refresh.PickLineitemDeleteKeys(rng.Uniform(5, 80));
+        log.LogDelete(*db.catalog()->GetTable("lineitem"), keys);
+        ASSERT_TRUE(db.Delete("lineitem", keys).ok());
+        break;
+      }
+      case 2: {
+        std::vector<Row> rows = refresh.NewParts(rng.Uniform(1, 25));
+        log.LogInsert(*db.catalog()->GetTable("part"), rows);
+        ASSERT_TRUE(db.Insert("part", rows).ok());
+        break;
+      }
+      case 3: {
+        std::vector<Row> orders = refresh.NewOrders(rng.Uniform(1, 15));
+        log.LogInsert(*db.catalog()->GetTable("orders"), orders);
+        ASSERT_TRUE(db.Insert("orders", orders).ok());
+        std::vector<Row> lines = refresh.NewLineitemsFor(orders, 2);
+        log.LogInsert(*db.catalog()->GetTable("lineitem"), lines);
+        ASSERT_TRUE(db.Insert("lineitem", lines).ok());
+        ++statements;
+        break;
+      }
+      case 4: {
+        std::vector<Row> rows = refresh.NewCustomers(rng.Uniform(1, 15));
+        log.LogInsert(*db.catalog()->GetTable("customer"), rows);
+        ASSERT_TRUE(db.Insert("customer", rows).ok());
+        break;
+      }
+      case 5: {
+        // UPDATE a few lineitems' quantity.
+        const Table* lineitem = db.catalog()->GetTable("lineitem");
+        std::vector<Row> keys;
+        std::vector<Row> new_rows;
+        lineitem->ForEach([&](const Row& row) {
+          if (static_cast<int64_t>(keys.size()) >= 3) return;
+          keys.push_back(Row{row[0], row[3]});
+          Row updated = row;
+          updated[4] = Value::Float64(row[4].float64() + 1);
+          new_rows.push_back(std::move(updated));
+        });
+        log.LogUpdate(*lineitem, keys, new_rows);
+        ASSERT_TRUE(db.Update("lineitem", keys, new_rows).ok());
+        break;
+      }
+    }
+    ++statements;
+
+    if (round % 8 == 7) {
+      // Full verification point.
+      std::string diff;
+      ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), oj->view_def(),
+                                       oj->view(), &diff))
+          << "round " << round << " oj: " << diff;
+      ViewMaintainer* core = db.GetView("core");
+      ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), core->view_def(),
+                                       core->view(), &diff))
+          << "round " << round << " core: " << diff;
+      ASSERT_TRUE(db.GetAggregateView("seg")->MatchesRecompute(1e-9, &diff))
+          << "round " << round << " seg: " << diff;
+      std::string violation;
+      ASSERT_TRUE(db.catalog()->CheckForeignKeys(&violation)) << violation;
+
+      // Query answering stays exact.
+      std::string which;
+      std::optional<Relation> answer =
+          AnswerFromDatabase(query, &db, &which);
+      ASSERT_TRUE(answer.has_value());
+      EXPECT_EQ(which, "oj_view");
+      Relation direct = RecomputeView(*db.catalog(), query);
+      ASSERT_TRUE(SameBag(direct, *answer, &diff))
+          << "round " << round << " query: " << diff;
+    }
+  }
+  log.Flush();
+  EXPECT_GT(statements, 40);
+  std::filesystem::remove(log_path);
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,249 @@
+// End-to-end reproduction of the paper's §7 experiment setup in
+// miniature: view V3 over generated TPC-H data, maintained through
+// lineitem / customer / part / orders updates, validated against
+// recomputation, plus the Example 1 scenario on oj_view.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/griffin_kumar.h"
+#include "baseline/recompute.h"
+#include "ivm/maintainer.h"
+#include "tpch/dbgen.h"
+#include "tpch/refresh.h"
+#include "tpch/tpch_schema.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace {
+
+class V3Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpch::CreateSchema(&catalog_);
+    tpch::DbgenOptions options;
+    options.scale_factor = 0.002;
+    dbgen_ = std::make_unique<tpch::Dbgen>(options);
+    dbgen_->Populate(&catalog_);
+    refresh_ = std::make_unique<tpch::RefreshStream>(&catalog_, dbgen_.get(),
+                                                     123);
+  }
+
+  // Rows per term (by null pattern), as in Table 1.
+  std::map<std::string, int64_t> TermCardinalities(
+      const MaterializedView& view) {
+    std::map<std::string, int64_t> counts;
+    const BoundSchema& schema = view.schema();
+    view.ForEach([&](int64_t, const Row& row) {
+      std::string label;
+      for (const std::string table :
+           {"customer", "orders", "lineitem", "part"}) {
+        const std::vector<int>& keys = schema.KeyPositions(table);
+        if (!row[static_cast<size_t>(keys[0])].is_null()) {
+          label += table[0];
+        }
+      }
+      ++counts[label];
+    });
+    return counts;
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<tpch::Dbgen> dbgen_;
+  std::unique_ptr<tpch::RefreshStream> refresh_;
+};
+
+TEST_F(V3Fixture, InitialViewHasTheFourTermsOfTable1) {
+  ViewDef v3 = tpch::MakeV3(catalog_);
+  ViewMaintainer maintainer(&catalog_, v3, MaintenanceOptions());
+  maintainer.InitializeView();
+  std::map<std::string, int64_t> counts = TermCardinalities(maintainer.view());
+  // Exactly the four patterns COLP, COL, C, P may appear, and all are
+  // populated on generated data.
+  for (const auto& [label, count] : counts) {
+    EXPECT_TRUE(label == "colp" || label == "col" || label == "c" ||
+                label == "p")
+        << "unexpected term " << label;
+  }
+  EXPECT_GT(counts["colp"], 0);
+  EXPECT_GT(counts["col"], 0);  // lineitems whose part fails the filter
+  EXPECT_GT(counts["c"], 0);    // customers without in-window orders
+  EXPECT_GT(counts["p"], 0);    // cheap parts never ordered in-window
+}
+
+TEST_F(V3Fixture, LineitemInsertAndDeleteAgainstRecompute) {
+  ViewDef v3 = tpch::MakeV3(catalog_);
+  ViewMaintainer maintainer(&catalog_, v3, MaintenanceOptions());
+  maintainer.InitializeView();
+  Table* lineitem = catalog_.GetTable("lineitem");
+
+  std::vector<Row> inserted =
+      ApplyBaseInsert(lineitem, refresh_->NewLineitems(300));
+  MaintenanceStats stats = maintainer.OnInsert("lineitem", inserted);
+  EXPECT_EQ(stats.delta_rows, 300);
+  EXPECT_EQ(stats.direct_terms, 2);    // COLP and COL
+  EXPECT_EQ(stats.indirect_terms, 2);  // C and P
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, v3, maintainer.view(), &diff))
+      << diff;
+
+  std::vector<Row> deleted =
+      ApplyBaseDelete(lineitem, refresh_->PickLineitemDeleteKeys(250));
+  maintainer.OnDelete("lineitem", deleted);
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, v3, maintainer.view(), &diff))
+      << diff;
+}
+
+TEST_F(V3Fixture, LineitemUpdatesWithBaseTableSecondaryStrategy) {
+  ViewDef v3 = tpch::MakeV3(catalog_);
+  MaintenanceOptions options;
+  options.secondary_strategy = SecondaryStrategy::kFromBaseTables;
+  ViewMaintainer maintainer(&catalog_, v3, options);
+  maintainer.InitializeView();
+  Table* lineitem = catalog_.GetTable("lineitem");
+
+  std::vector<Row> inserted =
+      ApplyBaseInsert(lineitem, refresh_->NewLineitems(200));
+  maintainer.OnInsert("lineitem", inserted);
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, v3, maintainer.view(), &diff))
+      << diff;
+
+  std::vector<Row> deleted =
+      ApplyBaseDelete(lineitem, refresh_->PickLineitemDeleteKeys(150));
+  maintainer.OnDelete("lineitem", deleted);
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, v3, maintainer.view(), &diff))
+      << diff;
+}
+
+TEST_F(V3Fixture, CustomerInsertIsDeltaOnlyFastPath) {
+  ViewDef v3 = tpch::MakeV3(catalog_);
+  ViewMaintainer maintainer(&catalog_, v3, MaintenanceOptions());
+  maintainer.InitializeView();
+  int64_t before = maintainer.view().size();
+
+  std::vector<Row> inserted = ApplyBaseInsert(catalog_.GetTable("customer"),
+                                              refresh_->NewCustomers(40));
+  MaintenanceStats stats = maintainer.OnInsert("customer", inserted);
+  // FK orders→customer: only the {customer} term is affected, and the
+  // delta expression collapses to Δcustomer itself.
+  EXPECT_TRUE(stats.fk_fast_path);
+  EXPECT_EQ(stats.primary_rows, 40);
+  EXPECT_EQ(stats.secondary_rows, 0);
+  EXPECT_EQ(maintainer.view().size(), before + 40);
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, v3, maintainer.view(), &diff))
+      << diff;
+}
+
+TEST_F(V3Fixture, PartInsertIsDeltaOnlyFastPath) {
+  ViewDef v3 = tpch::MakeV3(catalog_);
+  ViewMaintainer maintainer(&catalog_, v3, MaintenanceOptions());
+  maintainer.InitializeView();
+
+  std::vector<Row> new_parts = refresh_->NewParts(60);
+  std::vector<Row> inserted =
+      ApplyBaseInsert(catalog_.GetTable("part"), new_parts);
+  MaintenanceStats stats = maintainer.OnInsert("part", inserted);
+  // Only parts under the p_retailprice < 2000 filter enter the view; the
+  // delta expression is sel[p_retailprice<2000](Δpart).
+  EXPECT_GT(stats.primary_rows, 0);
+  EXPECT_LE(stats.primary_rows, 60);
+  EXPECT_EQ(stats.secondary_rows, 0);
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, v3, maintainer.view(), &diff))
+      << diff;
+}
+
+TEST_F(V3Fixture, OrderInsertDoesNotAffectTheView) {
+  ViewDef v3 = tpch::MakeV3(catalog_);
+  ViewMaintainer maintainer(&catalog_, v3, MaintenanceOptions());
+  maintainer.InitializeView();
+  int64_t before = maintainer.view().size();
+
+  std::vector<Row> inserted =
+      ApplyBaseInsert(catalog_.GetTable("orders"), refresh_->NewOrders(30));
+  MaintenanceStats stats = maintainer.OnInsert("orders", inserted);
+  EXPECT_TRUE(stats.fk_fast_path);
+  EXPECT_EQ(stats.primary_rows, 0);
+  EXPECT_EQ(maintainer.view().size(), before);
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, v3, maintainer.view(), &diff))
+      << diff;
+}
+
+TEST_F(V3Fixture, CoreViewIsMaintainedBySameMachinery) {
+  ViewDef core = tpch::MakeV3(catalog_).CoreView(catalog_);
+  ViewMaintainer maintainer(&catalog_, core, MaintenanceOptions());
+  maintainer.InitializeView();
+  Table* lineitem = catalog_.GetTable("lineitem");
+
+  std::vector<Row> inserted =
+      ApplyBaseInsert(lineitem, refresh_->NewLineitems(150));
+  MaintenanceStats stats = maintainer.OnInsert("lineitem", inserted);
+  // Inner-join view: exactly one affected term, no secondary delta.
+  EXPECT_EQ(stats.indirect_terms, 0);
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, core, maintainer.view(), &diff))
+      << diff;
+
+  std::vector<Row> deleted =
+      ApplyBaseDelete(lineitem, refresh_->PickLineitemDeleteKeys(100));
+  maintainer.OnDelete("lineitem", deleted);
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, core, maintainer.view(), &diff))
+      << diff;
+}
+
+TEST_F(V3Fixture, GriffinKumarProducesTheSameV3State) {
+  ViewDef v3 = tpch::MakeV3(catalog_);
+  ViewMaintainer ours(&catalog_, v3, MaintenanceOptions());
+  GriffinKumarMaintainer gk(&catalog_, v3);
+  ours.InitializeView();
+  gk.InitializeView();
+  Table* lineitem = catalog_.GetTable("lineitem");
+
+  std::vector<Row> inserted =
+      ApplyBaseInsert(lineitem, refresh_->NewLineitems(120));
+  ours.OnInsert("lineitem", inserted);
+  gk.OnInsert("lineitem", inserted);
+  std::string diff;
+  ASSERT_TRUE(SameBag(ours.view().AsRelation(), gk.view().AsRelation(), &diff))
+      << diff;
+
+  std::vector<Row> deleted =
+      ApplyBaseDelete(lineitem, refresh_->PickLineitemDeleteKeys(100));
+  ours.OnDelete("lineitem", deleted);
+  gk.OnDelete("lineitem", deleted);
+  ASSERT_TRUE(SameBag(ours.view().AsRelation(), gk.view().AsRelation(), &diff))
+      << diff;
+}
+
+// Example 1's full scenario on oj_view: insert lineitems and verify that
+// orphaned part/orders rows disappear from the view.
+TEST_F(V3Fixture, OjViewExample1Scenario) {
+  ViewDef oj_view = tpch::MakeOjView(catalog_);
+  ViewMaintainer maintainer(&catalog_, oj_view, MaintenanceOptions());
+  maintainer.InitializeView();
+  Table* lineitem = catalog_.GetTable("lineitem");
+
+  std::vector<Row> inserted =
+      ApplyBaseInsert(lineitem, refresh_->NewLineitems(200));
+  MaintenanceStats stats = maintainer.OnInsert("lineitem", inserted);
+  EXPECT_EQ(stats.direct_terms, 1);    // {part,orders,lineitem} only
+  EXPECT_EQ(stats.indirect_terms, 2);  // {orders} and {part}
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, oj_view, maintainer.view(),
+                                   &diff))
+      << diff;
+
+  std::vector<Row> deleted =
+      ApplyBaseDelete(lineitem, refresh_->PickLineitemDeleteKeys(180));
+  maintainer.OnDelete("lineitem", deleted);
+  ASSERT_TRUE(ViewMatchesRecompute(catalog_, oj_view, maintainer.view(),
+                                   &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,80 @@
+// Property test for aggregation views: random SPOJ views with random
+// group-by columns and aggregates, maintained under random updates, must
+// always match a from-scratch re-aggregation.
+
+#include <gtest/gtest.h>
+
+#include "ivm/aggregate_view.h"
+#include "test_util.h"
+
+namespace ojv {
+namespace {
+
+using testing_util::CreateRandomSchema;
+using testing_util::RandomRstuRows;
+using testing_util::RandomSpojView;
+using testing_util::SampleKeys;
+
+class AggregatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregatePropertyTest, IncrementalAggregationMatchesRecompute) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  Catalog catalog;
+  int num_tables = static_cast<int>(rng.Uniform(3, 4));
+  std::vector<std::string> tables = CreateRandomSchema(&catalog, num_tables);
+
+  int64_t next_key = 1;
+  for (const std::string& name : tables) {
+    Table* table = catalog.GetTable(name);
+    for (Row& row : RandomRstuRows(name, &rng, 18, 4, &next_key)) {
+      table->Insert(std::move(row));
+    }
+  }
+  ViewDef view = RandomSpojView(catalog, tables, &rng);
+
+  // Random group-by column (a join column of a random table) and
+  // aggregates over two other random tables' columns.
+  auto pick_table = [&]() {
+    return tables[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(tables.size()) - 1))];
+  };
+  auto col = [](const std::string& t, const char* suffix) {
+    std::string p(1, static_cast<char>(std::tolower(t[0])));
+    return ColumnRef{t, p + suffix};
+  };
+  std::vector<ColumnRef> group_by = {col(pick_table(), "_a")};
+  std::vector<AggregateSpec> aggs = {
+      {AggregateSpec::Kind::kCountStar, {}, "cnt"},
+      {AggregateSpec::Kind::kCount, col(pick_table(), "_id"), "cnt_x"},
+      {AggregateSpec::Kind::kSum, col(pick_table(), "_v"), "sum_y"},
+  };
+  AggViewMaintainer agg(&catalog, view, group_by, aggs);
+  agg.InitializeView();
+  std::string diff;
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << "initial: " << diff;
+
+  int64_t fresh_key = 700000;
+  for (int op = 0; op < 6; ++op) {
+    const std::string& name = pick_table();
+    Table* table = catalog.GetTable(name);
+    if (rng.Chance(0.5) && table->size() > 3) {
+      std::vector<Row> deleted =
+          ApplyBaseDelete(table, SampleKeys(*table, &rng, 3));
+      agg.OnDelete(name, deleted);
+    } else {
+      std::vector<Row> inserted = ApplyBaseInsert(
+          table, RandomRstuRows(name, &rng, 4, 4, &fresh_key));
+      agg.OnInsert(name, inserted);
+    }
+    ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff))
+        << "view " << view.tree()->ToString() << " op " << op << " on "
+        << name << ": " << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomAggViews, AggregatePropertyTest,
+                         ::testing::Range<uint64_t>(401, 451));
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,300 @@
+// Aggregated outer-join views (§3.3): group counts, NULL-recovery of
+// SUMs, group creation/deletion, all validated against recomputation.
+
+#include "ivm/aggregate_view.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/refresh.h"
+#include "tpch/tpch_schema.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace {
+
+using testing_util::CreateRstuSchema;
+using testing_util::MakeV1;
+using testing_util::PopulateRandomRstu;
+using testing_util::RandomRstuRows;
+using testing_util::SampleKeys;
+
+AggViewMaintainer MakeV1Agg(const Catalog& catalog,
+                            MaintenanceOptions options = MaintenanceOptions()) {
+  // GROUP BY R.r_a with COUNT(*), COUNT(T.t_id), SUM(U.u_v): the T/U
+  // aggregates go NULL whenever a group holds only R/S-side orphans.
+  std::vector<ColumnRef> group_by = {{"R", "r_a"}};
+  std::vector<AggregateSpec> aggs = {
+      {AggregateSpec::Kind::kCountStar, {}, "cnt"},
+      {AggregateSpec::Kind::kCount, {"T", "t_id"}, "cnt_t"},
+      {AggregateSpec::Kind::kSum, {"U", "u_v"}, "sum_uv"},
+  };
+  return AggViewMaintainer(&catalog, MakeV1(catalog), group_by, aggs, options);
+}
+
+TEST(AggregateViewTest, InitialAggregationMatchesRecompute) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Rng rng(5);
+  PopulateRandomRstu(&catalog, &rng, 30, 5);
+  AggViewMaintainer agg = MakeV1Agg(catalog);
+  agg.InitializeView();
+  std::string diff;
+  EXPECT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+  EXPECT_GT(agg.num_groups(), 0);
+}
+
+TEST(AggregateViewTest, MixedUpdatesMatchRecompute) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Rng rng(6);
+  PopulateRandomRstu(&catalog, &rng, 25, 5);
+  AggViewMaintainer agg = MakeV1Agg(catalog);
+  agg.InitializeView();
+
+  int64_t next_key = 400000;
+  const char* tables[] = {"T", "U", "S", "R"};
+  for (int round = 0; round < 12; ++round) {
+    const char* name = tables[round % 4];
+    Table* table = catalog.GetTable(name);
+    if (round % 3 == 2) {
+      std::vector<Row> deleted =
+          ApplyBaseDelete(table, SampleKeys(*table, &rng, 4));
+      agg.OnDelete(name, deleted);
+    } else {
+      std::vector<Row> inserted = ApplyBaseInsert(
+          table, RandomRstuRows(name, &rng, 5, 5, &next_key));
+      agg.OnInsert(name, inserted);
+    }
+    std::string diff;
+    ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff))
+        << "round " << round << " (" << name << "): " << diff;
+  }
+}
+
+TEST(AggregateViewTest, SumGoesNullWhenContributionsVanish) {
+  // One R row joined by one T row; deleting the T row must flip the
+  // group's T-count to 0 and its U-sum handling to NULL semantics.
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Table* r = catalog.GetTable("R");
+  Table* t = catalog.GetTable("T");
+  r->Insert(Row{Value::Int64(1), Value::Int64(7), Value::Int64(3),
+                Value::Int64(10)});
+  t->Insert(Row{Value::Int64(2), Value::Int64(9), Value::Int64(3),
+                Value::Int64(20)});
+
+  AggViewMaintainer agg = MakeV1Agg(catalog);
+  agg.InitializeView();
+  std::string diff;
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+
+  // Group r_a=7 currently counts the joined T row.
+  Relation before = agg.AsRelation();
+  ASSERT_EQ(before.size(), 1);
+  int cnt_t_pos = before.schema().Find("#agg", "cnt_t");
+  EXPECT_EQ(before.row(0)[static_cast<size_t>(cnt_t_pos)], Value::Int64(1));
+
+  std::vector<Row> deleted = ApplyBaseDelete(t, {Row{Value::Int64(2)}});
+  agg.OnDelete("T", deleted);
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+  Relation after = agg.AsRelation();
+  ASSERT_EQ(after.size(), 1);
+  EXPECT_EQ(after.row(0)[static_cast<size_t>(cnt_t_pos)], Value::Int64(0));
+}
+
+TEST(AggregateViewTest, GroupsAppearAndDisappear) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  AggViewMaintainer agg = MakeV1Agg(catalog);
+  agg.InitializeView();
+  EXPECT_EQ(agg.num_groups(), 0);
+
+  Table* r = catalog.GetTable("R");
+  std::vector<Row> rows = {Row{Value::Int64(1), Value::Int64(4),
+                               Value::Int64(0), Value::Int64(5)}};
+  agg.OnInsert("R", ApplyBaseInsert(r, rows));
+  EXPECT_EQ(agg.num_groups(), 1);
+
+  agg.OnDelete("R", ApplyBaseDelete(r, {Row{Value::Int64(1)}}));
+  EXPECT_EQ(agg.num_groups(), 0);
+  std::string diff;
+  EXPECT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+}
+
+TEST(AggregateViewTest, AggregatedV3SalesDashboard) {
+  // An aggregated V3: order volume and revenue by market segment —
+  // the kind of OLAP view the paper's introduction motivates.
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  tpch::DbgenOptions options;
+  options.scale_factor = 0.002;
+  tpch::Dbgen dbgen(options);
+  dbgen.Populate(&catalog);
+  tpch::RefreshStream refresh(&catalog, &dbgen, 321);
+
+  std::vector<ColumnRef> group_by = {{"customer", "c_mktsegment"}};
+  std::vector<AggregateSpec> aggs = {
+      {AggregateSpec::Kind::kCountStar, {}, "rows"},
+      {AggregateSpec::Kind::kCount, {"lineitem", "l_orderkey"}, "lineitems"},
+      {AggregateSpec::Kind::kSum, {"lineitem", "l_extendedprice"}, "revenue"},
+  };
+  AggViewMaintainer agg(&catalog, tpch::MakeV3(catalog), group_by, aggs);
+  agg.InitializeView();
+  std::string diff;
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+
+  Table* lineitem = catalog.GetTable("lineitem");
+  agg.OnInsert("lineitem",
+               ApplyBaseInsert(lineitem, refresh.NewLineitems(200)));
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+
+  agg.OnDelete("lineitem",
+               ApplyBaseDelete(lineitem, refresh.PickLineitemDeleteKeys(150)));
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+
+  // Customer inserts ride the FK fast path into the aggregation too.
+  Table* customer = catalog.GetTable("customer");
+  MaintenanceStats stats = agg.OnInsert(
+      "customer", ApplyBaseInsert(customer, refresh.NewCustomers(25)));
+  EXPECT_EQ(stats.primary_rows, 25);
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+}
+
+TEST(AggregateViewTest, MinMaxExtensionSurvivesExtremeDeletions) {
+  // MIN/MAX: incremental on inserts, per-group refresh when a deletion
+  // removes the current extreme.
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Table* r = catalog.GetTable("R");
+  for (int64_t i = 1; i <= 10; ++i) {
+    r->Insert(Row{Value::Int64(i), Value::Int64(i % 2), Value::Int64(0),
+                  Value::Int64(i * 10)});
+  }
+  std::vector<ColumnRef> group_by = {{"R", "r_a"}};
+  std::vector<AggregateSpec> aggs = {
+      {AggregateSpec::Kind::kCountStar, {}, "cnt"},
+      {AggregateSpec::Kind::kMin, {"R", "r_v"}, "min_v"},
+      {AggregateSpec::Kind::kMax, {"R", "r_v"}, "max_v"},
+  };
+  AggViewMaintainer agg(&catalog, testing_util::MakeV1(catalog), group_by,
+                        aggs);
+  agg.InitializeView();
+  std::string diff;
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+
+  // Insert a new maximum (incremental path).
+  agg.OnInsert("R", ApplyBaseInsert(
+                        r, {Row{Value::Int64(99), Value::Int64(0),
+                                Value::Int64(0), Value::Int64(999)}}));
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+  Relation snap = agg.AsRelation();
+  int max_pos = snap.schema().Find("#agg", "max_v");
+  bool found = false;
+  for (const Row& row : snap.rows()) {
+    if (row[0] == Value::Int64(0)) {
+      EXPECT_EQ(row[static_cast<size_t>(max_pos)], Value::Int64(999));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Delete the maximum (dirty-group refresh path).
+  agg.OnDelete("R", ApplyBaseDelete(r, {Row{Value::Int64(99)}}));
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+  snap = agg.AsRelation();
+  for (const Row& row : snap.rows()) {
+    if (row[0] == Value::Int64(0)) {
+      EXPECT_EQ(row[static_cast<size_t>(max_pos)], Value::Int64(100));
+    }
+  }
+
+  // Delete the minimum of the other group too.
+  agg.OnDelete("R", ApplyBaseDelete(r, {Row{Value::Int64(1)}}));
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+}
+
+TEST(AggregateViewTest, MinMaxUnderRandomChurn) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Rng rng(808);
+  PopulateRandomRstu(&catalog, &rng, 20, 4);
+  std::vector<ColumnRef> group_by = {{"R", "r_a"}};
+  std::vector<AggregateSpec> aggs = {
+      {AggregateSpec::Kind::kCountStar, {}, "cnt"},
+      {AggregateSpec::Kind::kMin, {"T", "t_v"}, "min_tv"},
+      {AggregateSpec::Kind::kMax, {"U", "u_v"}, "max_uv"},
+  };
+  AggViewMaintainer agg(&catalog, testing_util::MakeV1(catalog), group_by,
+                        aggs);
+  agg.InitializeView();
+
+  int64_t key = 600000;
+  const char* tables[] = {"T", "U", "S", "R"};
+  for (int round = 0; round < 12; ++round) {
+    const char* name = tables[round % 4];
+    Table* table = catalog.GetTable(name);
+    if (round % 2 == 1 && table->size() > 3) {
+      agg.OnDelete(name, ApplyBaseDelete(
+                             table, SampleKeys(*table, &rng, 4)));
+    } else {
+      agg.OnInsert(name, ApplyBaseInsert(
+                             table, RandomRstuRows(name, &rng, 4, 4, &key)));
+    }
+    std::string diff;
+    ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff))
+        << "round " << round << " (" << name << "): " << diff;
+  }
+}
+
+// §3.3 fidelity: expose per-table not-null counts. "If the not-null
+// count for table T becomes zero, all aggregates referencing a column
+// in T are set to null."
+TEST(AggregateViewTest, NotNullCountsExposedPerTable) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Table* r = catalog.GetTable("R");
+  Table* t = catalog.GetTable("T");
+  r->Insert(Row{Value::Int64(1), Value::Int64(7), Value::Int64(3),
+                Value::Int64(10)});
+  t->Insert(Row{Value::Int64(2), Value::Int64(9), Value::Int64(3),
+                Value::Int64(20)});
+
+  std::vector<ColumnRef> group_by = {{"R", "r_a"}};
+  std::vector<AggregateSpec> aggs = {
+      {AggregateSpec::Kind::kCountStar, {}, "cnt"},
+      {AggregateSpec::Kind::kSum, {"T", "t_v"}, "sum_tv"}};
+  AggViewMaintainer agg(&catalog, testing_util::MakeV1(catalog), group_by,
+                        aggs);
+  agg.ExposeNotNullCounts();
+  agg.InitializeView();
+  std::string diff;
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+
+  Relation snap = agg.AsRelation();
+  // Every V1 table is null-extended in some term ({S} omits even R), so
+  // all four get a count column.
+  EXPECT_GE(snap.schema().Find("#agg", "notnull_T"), 0);
+  EXPECT_GE(snap.schema().Find("#agg", "notnull_U"), 0);
+  EXPECT_GE(snap.schema().Find("#agg", "notnull_S"), 0);
+  EXPECT_GE(snap.schema().Find("#agg", "notnull_R"), 0);
+
+  int nn_t = snap.schema().Find("#agg", "notnull_T");
+  int sum_tv = snap.schema().Find("#agg", "sum_tv");
+  ASSERT_EQ(snap.size(), 1);
+  EXPECT_EQ(snap.row(0)[static_cast<size_t>(nn_t)], Value::Int64(1));
+  EXPECT_EQ(snap.row(0)[static_cast<size_t>(sum_tv)], Value::Float64(20));
+
+  // Delete the T row: notnull_T drops to 0 and the SUM over T renders
+  // NULL, per the paper's rule.
+  agg.OnDelete("T", ApplyBaseDelete(t, {Row{Value::Int64(2)}}));
+  ASSERT_TRUE(agg.MatchesRecompute(1e-9, &diff)) << diff;
+  snap = agg.AsRelation();
+  ASSERT_EQ(snap.size(), 1);
+  EXPECT_EQ(snap.row(0)[static_cast<size_t>(nn_t)], Value::Int64(0));
+  EXPECT_TRUE(snap.row(0)[static_cast<size_t>(sum_tv)].is_null());
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,61 @@
+// EXPLAIN output: the maintenance report names the right terms, fast
+// paths, and clean-up lists for the paper's views.
+
+#include "ivm/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/tpch_schema.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace {
+
+TEST(ExplainTest, OjViewReport) {
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewMaintainer maintainer(&catalog, tpch::MakeOjView(catalog),
+                            MaintenanceOptions());
+  std::string report = ExplainMaintenance(maintainer);
+
+  // Normal form section.
+  EXPECT_NE(report.find("normal form (3 terms)"), std::string::npos);
+  EXPECT_NE(report.find("{lineitem,orders,part}"), std::string::npos);
+
+  // part inserts are delta-only.
+  EXPECT_NE(report.find("on update of part:"), std::string::npos);
+  EXPECT_NE(report.find("fast path"), std::string::npos);
+
+  // lineitem updates clean up both orphan terms.
+  size_t lineitem_at = report.find("on update of lineitem:");
+  ASSERT_NE(lineitem_at, std::string::npos);
+  std::string lineitem_section = report.substr(lineitem_at);
+  EXPECT_NE(lineitem_section.find("{orders} orphans"), std::string::npos);
+  EXPECT_NE(lineitem_section.find("{part} orphans"), std::string::npos);
+}
+
+TEST(ExplainTest, V3ReportsOrdersNoop) {
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewMaintainer maintainer(&catalog, tpch::MakeV3(catalog),
+                            MaintenanceOptions());
+  std::string report = ExplainMaintenance(maintainer);
+  size_t orders_at = report.find("on update of orders:");
+  ASSERT_NE(orders_at, std::string::npos);
+  EXPECT_NE(report.find("no-op", orders_at), std::string::npos);
+  EXPECT_NE(report.find("Theorem 3", orders_at), std::string::npos);
+}
+
+TEST(ExplainTest, NormalFormSectionListsPredicates) {
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewMaintainer maintainer(&catalog, tpch::MakeV3(catalog),
+                            MaintenanceOptions());
+  std::string report = ExplainNormalForm(maintainer);
+  EXPECT_NE(report.find("where"), std::string::npos);
+  EXPECT_NE(report.find("subsumption graph:"), std::string::npos);
+  EXPECT_NE(report.find("-> {customer}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ojv

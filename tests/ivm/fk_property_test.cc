@@ -1,0 +1,237 @@
+// Property test for the foreign-key optimizations (§6): under legal
+// update sequences (constraint never violated), maintenance with FK
+// exploitation enabled must produce exactly the same views as with it
+// disabled, and both must match recomputation. Exercises normal-form
+// term pruning, the Theorem 3 graph reduction, and SimplifyTree.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/recompute.h"
+#include "ivm/maintainer.h"
+#include "test_util.h"
+
+namespace ojv {
+namespace {
+
+// parent P(p_id, p_a), child C(c_id, c_fk NOT NULL -> P, c_a),
+// detail D(d_id, d_a).
+void CreateFkSchema(Catalog* catalog) {
+  catalog->CreateTable(
+      "P",
+      Schema({ColumnDef{"p_id", ValueType::kInt64, false},
+              ColumnDef{"p_a", ValueType::kInt64, true}}),
+      {"p_id"});
+  catalog->CreateTable(
+      "C",
+      Schema({ColumnDef{"c_id", ValueType::kInt64, false},
+              ColumnDef{"c_fk", ValueType::kInt64, false},
+              ColumnDef{"c_a", ValueType::kInt64, true}}),
+      {"c_id"});
+  catalog->CreateTable(
+      "D",
+      Schema({ColumnDef{"d_id", ValueType::kInt64, false},
+              ColumnDef{"d_a", ValueType::kInt64, true}}),
+      {"d_id"});
+  catalog->AddForeignKey({"C", {"c_fk"}, "P", {"p_id"}});
+}
+
+ScalarExprPtr Eq(const char* t1, const char* c1, const char* t2,
+                 const char* c2) {
+  return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                             ScalarExpr::Column(t2, c2));
+}
+
+// P fo (C lo D on c_a = d_a) on p_id = c_fk — the Example 1 shape with
+// the FK join at the outer join.
+ViewDef MakeFkView(const Catalog& catalog) {
+  RelExprPtr cd = RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("C"),
+                                RelExpr::Scan("D"), Eq("C", "c_a", "D", "d_a"));
+  RelExprPtr tree = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("P"),
+                                  cd, Eq("P", "p_id", "C", "c_fk"));
+  std::vector<ColumnRef> output = {{"P", "p_id"}, {"P", "p_a"},
+                                   {"C", "c_id"}, {"C", "c_fk"},
+                                   {"C", "c_a"},  {"D", "d_id"},
+                                   {"D", "d_a"}};
+  return ViewDef("fk_view", tree, std::move(output), catalog);
+}
+
+struct FkWorld {
+  Catalog catalog;
+  Rng rng;
+  int64_t next_key = 1;
+
+  explicit FkWorld(uint64_t seed) : rng(seed) {
+    CreateFkSchema(&catalog);
+    for (int i = 0; i < 12; ++i) InsertParent();
+    for (int i = 0; i < 20; ++i) InsertChild();
+    for (int i = 0; i < 10; ++i) InsertDetail();
+  }
+
+  Row InsertParent() {
+    Row row{Value::Int64(next_key++), Value::Int64(rng.Uniform(0, 4))};
+    catalog.GetTable("P")->Insert(row);
+    return row;
+  }
+
+  Row InsertChild() {
+    // Reference a random existing parent.
+    std::vector<Row> keys =
+        testing_util::SampleKeys(*catalog.GetTable("P"), &rng, 1);
+    Row row{Value::Int64(next_key++), keys[0][0],
+            Value::Int64(rng.Uniform(0, 4))};
+    catalog.GetTable("C")->Insert(row);
+    return row;
+  }
+
+  Row InsertDetail() {
+    Row row{Value::Int64(next_key++), Value::Int64(rng.Uniform(0, 4))};
+    catalog.GetTable("D")->Insert(row);
+    return row;
+  }
+
+  // A parent key with no referencing children (legal to delete), or an
+  // empty row if none exists.
+  std::vector<Row> DeletableParentKeys(int n) {
+    std::set<int64_t> referenced;
+    catalog.GetTable("C")->ForEach(
+        [&](const Row& row) { referenced.insert(row[1].int64()); });
+    std::vector<Row> out;
+    catalog.GetTable("P")->ForEach([&](const Row& row) {
+      if (static_cast<int>(out.size()) < n &&
+          referenced.count(row[0].int64()) == 0) {
+        out.push_back(Row{row[0]});
+      }
+    });
+    return out;
+  }
+};
+
+TEST(FkPropertyTest, FkOptimizationsPreserveCorrectness) {
+  for (uint64_t seed = 301; seed <= 320; ++seed) {
+    FkWorld world(seed);
+    ViewDef view = MakeFkView(world.catalog);
+
+    MaintenanceOptions with_fk;
+    MaintenanceOptions without_fk;
+    without_fk.exploit_foreign_keys = false;
+    ViewMaintainer fast(&world.catalog, view, with_fk);
+    ViewMaintainer slow(&world.catalog, view, without_fk);
+    fast.InitializeView();
+    slow.InitializeView();
+
+    for (int op = 0; op < 10; ++op) {
+      int choice = static_cast<int>(world.rng.Uniform(0, 5));
+      std::string table;
+      std::vector<Row> rows;
+      bool is_insert = true;
+      switch (choice) {
+        case 0:
+          table = "P";
+          rows = {world.InsertParent()};
+          break;
+        case 1:
+          table = "C";
+          rows = {world.InsertChild(), world.InsertChild()};
+          break;
+        case 2:
+          table = "D";
+          rows = {world.InsertDetail()};
+          break;
+        case 3: {
+          table = "C";
+          is_insert = false;
+          std::vector<Row> keys = testing_util::SampleKeys(
+              *world.catalog.GetTable("C"), &world.rng, 2);
+          rows = ApplyBaseDelete(world.catalog.GetTable("C"), keys);
+          break;
+        }
+        case 4: {
+          table = "P";
+          is_insert = false;
+          rows = ApplyBaseDelete(world.catalog.GetTable("P"),
+                                 world.DeletableParentKeys(2));
+          break;
+        }
+        case 5: {
+          table = "D";
+          is_insert = false;
+          std::vector<Row> keys = testing_util::SampleKeys(
+              *world.catalog.GetTable("D"), &world.rng, 2);
+          rows = ApplyBaseDelete(world.catalog.GetTable("D"), keys);
+          break;
+        }
+      }
+      std::string violation;
+      ASSERT_TRUE(world.catalog.CheckForeignKeys(&violation)) << violation;
+      if (is_insert) {
+        fast.OnInsert(table, rows);
+        slow.OnInsert(table, rows);
+      } else {
+        fast.OnDelete(table, rows);
+        slow.OnDelete(table, rows);
+      }
+      std::string diff;
+      ASSERT_TRUE(ViewMatchesRecompute(world.catalog, view, fast.view(),
+                                       &diff))
+          << "seed " << seed << " op " << op << " (FK on): " << diff;
+      ASSERT_TRUE(
+          SameBag(fast.view().AsRelation(), slow.view().AsRelation(), &diff))
+          << "seed " << seed << " op " << op << " (FK on vs off): " << diff;
+    }
+  }
+}
+
+TEST(FkPropertyTest, ParentInsertTakesTheFastPath) {
+  FkWorld world(999);
+  ViewDef view = MakeFkView(world.catalog);
+  ViewMaintainer maintainer(&world.catalog, view, MaintenanceOptions());
+  maintainer.InitializeView();
+
+  Row parent = world.InsertParent();
+  MaintenanceStats stats = maintainer.OnInsert("P", {parent});
+  EXPECT_TRUE(stats.fk_fast_path);
+  EXPECT_EQ(stats.primary_rows, 1);
+  EXPECT_EQ(stats.secondary_rows, 0);
+}
+
+TEST(FkPropertyTest, CascadingDeleteDisablesTheOptimization) {
+  // With a cascading FK, Theorem 3 / SimplifyTree must not be used; the
+  // maintainer falls back to full delta computation and stays correct.
+  Catalog catalog;
+  catalog.CreateTable(
+      "P",
+      Schema({ColumnDef{"p_id", ValueType::kInt64, false},
+              ColumnDef{"p_a", ValueType::kInt64, true}}),
+      {"p_id"});
+  catalog.CreateTable(
+      "C",
+      Schema({ColumnDef{"c_id", ValueType::kInt64, false},
+              ColumnDef{"c_fk", ValueType::kInt64, false}}),
+      {"c_id"});
+  ForeignKey fk{"C", {"c_fk"}, "P", {"p_id"}};
+  fk.cascading_delete = true;
+  catalog.AddForeignKey(fk);
+
+  RelExprPtr tree = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("P"),
+                                  RelExpr::Scan("C"),
+                                  Eq("P", "p_id", "C", "c_fk"));
+  ViewDef view("v", tree,
+               {{"P", "p_id"}, {"P", "p_a"}, {"C", "c_id"}, {"C", "c_fk"}},
+               catalog);
+  ViewMaintainer maintainer(&catalog, view, MaintenanceOptions());
+  maintainer.InitializeView();
+
+  catalog.GetTable("P")->Insert(Row{Value::Int64(1), Value::Int64(0)});
+  MaintenanceStats stats =
+      maintainer.OnInsert("P", {Row{Value::Int64(1), Value::Int64(0)}});
+  // No fast path: the join to C is kept in the delta expression.
+  EXPECT_FALSE(stats.fk_fast_path);
+  std::string diff;
+  EXPECT_TRUE(ViewMatchesRecompute(catalog, view, maintainer.view(), &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,161 @@
+// Unit tests for the left-deep conversion rules (§4.1), including the
+// null-if + fix-up rules 1, 4 and 5 and the orientation handling when
+// the main predicate references the right join's right side.
+
+#include "ivm/left_deep.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ivm/maintainer.h"
+#include "ivm/primary_delta.h"
+#include "test_util.h"
+
+namespace ojv {
+namespace {
+
+ScalarExprPtr Eq(const char* t1, const char* c1, const char* t2,
+                 const char* c2) {
+  return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                             ScalarExpr::Column(t2, c2));
+}
+
+// Three tables A, B, C with small domains for join fan-out.
+class LeftDeepFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tables_ = testing_util::CreateRandomSchema(&catalog_, 3);
+    Rng rng(17);
+    int64_t key = 1;
+    for (const std::string& name : tables_) {
+      Table* table = catalog_.GetTable(name);
+      for (Row& row : testing_util::RandomRstuRows(name, &rng, 30, 4, &key)) {
+        table->Insert(std::move(row));
+      }
+    }
+  }
+
+  // Evaluates `expr` with a fresh delta bound for table A.
+  std::pair<Relation, Relation> EvalBoth(const RelExprPtr& bushy,
+                                         const RelExprPtr& left_deep) {
+    Rng rng(99);
+    int64_t key = 1000;
+    Relation delta(Evaluator::SchemaFor(*catalog_.GetTable("A")));
+    for (Row& row : testing_util::RandomRstuRows("A", &rng, 12, 4, &key)) {
+      delta.Add(std::move(row));
+    }
+    Evaluator evaluator(&catalog_);
+    evaluator.BindDelta("A", &delta);
+    return {evaluator.EvalToRelation(bushy),
+            evaluator.EvalToRelation(left_deep)};
+  }
+
+  void CheckRule(const RelExprPtr& bushy) {
+    RelExprPtr left_deep = ToLeftDeep(bushy);
+    EXPECT_TRUE(IsLeftDeep(left_deep)) << left_deep->ToString();
+    auto [b, ld] = EvalBoth(bushy, left_deep);
+    std::string diff;
+    EXPECT_TRUE(SameBag(b, ld, &diff))
+        << bushy->ToString() << " vs " << left_deep->ToString() << ": "
+        << diff;
+  }
+
+  Catalog catalog_;
+  std::vector<std::string> tables_;
+};
+
+TEST_F(LeftDeepFixture, Rule1SelectionOverComplexOperand) {
+  // dA lo σ(B join C): the selection must be pulled via λ + fix-up.
+  RelExprPtr bc = RelExpr::Join(JoinKind::kInner, RelExpr::Scan("B"),
+                                RelExpr::Scan("C"), Eq("B", "b_a", "C", "c_a"));
+  RelExprPtr selected = RelExpr::Select(
+      bc, ScalarExpr::Compare(CompareOp::kLe, ScalarExpr::Column("B", "b_b"),
+                              ScalarExpr::Literal(Value::Int64(2))));
+  RelExprPtr bushy = RelExpr::Join(JoinKind::kLeftOuter,
+                                   RelExpr::DeltaScan("A"), selected,
+                                   Eq("A", "a_a", "B", "b_a"));
+  CheckRule(bushy);
+}
+
+TEST_F(LeftDeepFixture, Rules2And3OuterJoinRightOperands) {
+  for (JoinKind inner_kind : {JoinKind::kLeftOuter, JoinKind::kFullOuter}) {
+    RelExprPtr bc = RelExpr::Join(inner_kind, RelExpr::Scan("B"),
+                                  RelExpr::Scan("C"),
+                                  Eq("B", "b_a", "C", "c_a"));
+    RelExprPtr bushy = RelExpr::Join(JoinKind::kLeftOuter,
+                                     RelExpr::DeltaScan("A"), bc,
+                                     Eq("A", "a_a", "B", "b_a"));
+    CheckRule(bushy);
+  }
+}
+
+TEST_F(LeftDeepFixture, Rules4And5InnerAndRightOuterRightOperands) {
+  for (JoinKind inner_kind : {JoinKind::kInner, JoinKind::kRightOuter}) {
+    RelExprPtr bc = RelExpr::Join(inner_kind, RelExpr::Scan("B"),
+                                  RelExpr::Scan("C"),
+                                  Eq("B", "b_a", "C", "c_a"));
+    RelExprPtr bushy = RelExpr::Join(JoinKind::kLeftOuter,
+                                     RelExpr::DeltaScan("A"), bc,
+                                     Eq("A", "a_a", "B", "b_a"));
+    RelExprPtr left_deep = ToLeftDeep(bushy);
+    // These rules introduce λ + δ + ↓ fix-ups.
+    EXPECT_NE(left_deep->ToString().find("nullif"), std::string::npos);
+    CheckRule(bushy);
+  }
+}
+
+TEST_F(LeftDeepFixture, InnerMainPathVariants) {
+  for (JoinKind inner_kind :
+       {JoinKind::kInner, JoinKind::kLeftOuter, JoinKind::kRightOuter,
+        JoinKind::kFullOuter}) {
+    RelExprPtr bc = RelExpr::Join(inner_kind, RelExpr::Scan("B"),
+                                  RelExpr::Scan("C"),
+                                  Eq("B", "b_a", "C", "c_a"));
+    RelExprPtr bushy =
+        RelExpr::Join(JoinKind::kInner, RelExpr::DeltaScan("A"), bc,
+                      Eq("A", "a_a", "B", "b_a"));
+    CheckRule(bushy);
+  }
+}
+
+TEST_F(LeftDeepFixture, OrientationWhenPredicateHitsTheFarSide) {
+  // The main predicate references C — the *right* child of (B lo C) —
+  // so the converter must commute the right join before pulling.
+  RelExprPtr bc = RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("B"),
+                                RelExpr::Scan("C"), Eq("B", "b_a", "C", "c_a"));
+  RelExprPtr bushy = RelExpr::Join(JoinKind::kLeftOuter,
+                                   RelExpr::DeltaScan("A"), bc,
+                                   Eq("A", "a_a", "C", "c_b"));
+  CheckRule(bushy);
+}
+
+TEST_F(LeftDeepFixture, FallbackWhenPredicateSpansBothSides) {
+  // Main predicate references both B and C: no rule applies; the
+  // converter must keep the (correct) bushy join rather than crash.
+  RelExprPtr bc = RelExpr::Join(JoinKind::kInner, RelExpr::Scan("B"),
+                                RelExpr::Scan("C"), Eq("B", "b_a", "C", "c_a"));
+  ScalarExprPtr pred = ScalarExpr::And(
+      {Eq("A", "a_a", "B", "b_a"), Eq("A", "a_b", "C", "c_b")});
+  RelExprPtr bushy = RelExpr::Join(JoinKind::kLeftOuter,
+                                   RelExpr::DeltaScan("A"), bc, pred);
+  RelExprPtr converted = ToLeftDeep(bushy);
+  EXPECT_FALSE(IsLeftDeep(converted));
+  auto [b, ld] = EvalBoth(bushy, converted);
+  std::string diff;
+  EXPECT_TRUE(SameBag(b, ld, &diff)) << diff;
+}
+
+TEST_F(LeftDeepFixture, SimpleRightOperandsAreUntouched) {
+  RelExprPtr bushy = RelExpr::Join(
+      JoinKind::kLeftOuter, RelExpr::DeltaScan("A"),
+      RelExpr::Select(RelExpr::Scan("B"),
+                      ScalarExpr::Compare(CompareOp::kLe,
+                                          ScalarExpr::Column("B", "b_b"),
+                                          ScalarExpr::Literal(Value::Int64(2)))),
+      Eq("A", "a_a", "B", "b_a"));
+  EXPECT_EQ(ToLeftDeep(bushy)->ToString(), bushy->ToString());
+  EXPECT_TRUE(IsLeftDeep(bushy));
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,109 @@
+// Unit tests for the materialized-view storage: clustered full-key
+// index, per-table secondary indexes (including NULL handling), slot
+// reuse.
+
+#include "ivm/materialized_view.h"
+
+#include <gtest/gtest.h>
+
+namespace ojv {
+namespace {
+
+BoundSchema TwoTableSchema() {
+  BoundSchema schema;
+  schema.AddColumn(BoundColumn{"A", "a_id", ValueType::kInt64, 0});
+  schema.AddColumn(BoundColumn{"A", "a_v", ValueType::kInt64, -1});
+  schema.AddColumn(BoundColumn{"B", "b_id", ValueType::kInt64, 0});
+  schema.AddColumn(BoundColumn{"B", "b_v", ValueType::kInt64, -1});
+  return schema;
+}
+
+Row MakeRow(int64_t a_id, int64_t b_id) {
+  return Row{a_id == 0 ? Value::Null() : Value::Int64(a_id), Value::Int64(1),
+             b_id == 0 ? Value::Null() : Value::Int64(b_id), Value::Int64(2)};
+}
+
+TEST(MaterializedViewTest, InsertDeleteByFullKey) {
+  MaterializedView view(TwoTableSchema());
+  view.Insert(MakeRow(1, 10));
+  view.Insert(MakeRow(1, 0));  // orphan: same A key, null B
+  view.Insert(MakeRow(0, 10));
+  EXPECT_EQ(view.size(), 3);
+
+  // DeleteMatching keys on the full (A,B) key.
+  EXPECT_TRUE(view.DeleteMatching(MakeRow(1, 0)));
+  EXPECT_FALSE(view.DeleteMatching(MakeRow(1, 0)));
+  EXPECT_EQ(view.size(), 2);
+}
+
+TEST(MaterializedViewTest, TableKeyLookups) {
+  MaterializedView view(TwoTableSchema());
+  view.Insert(MakeRow(1, 10));
+  view.Insert(MakeRow(1, 11));
+  view.Insert(MakeRow(2, 10));
+  view.Insert(MakeRow(0, 12));  // null A
+
+  Row probe = MakeRow(1, 0);
+  std::vector<int64_t> hits =
+      view.LookupByTableKey("A", probe, view.schema().KeyPositions("A"));
+  EXPECT_EQ(hits.size(), 2u);
+
+  // NULL keys never match (SQL equality).
+  Row null_probe = MakeRow(0, 12);
+  EXPECT_TRUE(view.LookupByTableKey("A", null_probe,
+                                    view.schema().KeyPositions("A"))
+                  .empty());
+
+  // B-side lookups work symmetrically.
+  Row b_probe = MakeRow(9, 10);
+  EXPECT_EQ(view.LookupByTableKey("B", b_probe,
+                                  view.schema().KeyPositions("B"))
+                .size(),
+            2u);
+}
+
+TEST(MaterializedViewTest, LookupsSkipDeletedRows) {
+  MaterializedView view(TwoTableSchema());
+  view.Insert(MakeRow(1, 10));
+  view.Insert(MakeRow(1, 11));
+  std::vector<int64_t> hits = view.LookupByTableKey(
+      "A", MakeRow(1, 0), view.schema().KeyPositions("A"));
+  ASSERT_EQ(hits.size(), 2u);
+  view.DeleteById(hits[0]);
+  EXPECT_EQ(view.LookupByTableKey("A", MakeRow(1, 0),
+                                  view.schema().KeyPositions("A"))
+                .size(),
+            1u);
+}
+
+TEST(MaterializedViewTest, SlotReuseKeepsIndexesConsistent) {
+  MaterializedView view(TwoTableSchema());
+  for (int64_t i = 1; i <= 20; ++i) view.Insert(MakeRow(i, i + 100));
+  for (int64_t i = 1; i <= 10; ++i) {
+    EXPECT_TRUE(view.DeleteMatching(MakeRow(i, i + 100)));
+  }
+  for (int64_t i = 21; i <= 30; ++i) view.Insert(MakeRow(i, i + 100));
+  EXPECT_EQ(view.size(), 20);
+  for (int64_t i = 11; i <= 30; ++i) {
+    EXPECT_EQ(view.LookupByTableKey("A", MakeRow(i, 0),
+                                    view.schema().KeyPositions("A"))
+                  .size(),
+              1u)
+        << i;
+  }
+  EXPECT_EQ(view.AsRelation().size(), 20);
+}
+
+TEST(MaterializedViewTest, AsRelationRoundTrip) {
+  MaterializedView view(TwoTableSchema());
+  view.Insert(MakeRow(1, 10));
+  view.Insert(MakeRow(0, 11));
+  Relation rel = view.AsRelation();
+  EXPECT_EQ(rel.size(), 2);
+  EXPECT_EQ(rel.schema().num_columns(), 4);
+  EXPECT_TRUE(rel.schema().HasFullKey("A"));
+  EXPECT_TRUE(rel.schema().HasFullKey("B"));
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,220 @@
+// Checks that the ΔV^D construction reproduces the paper's
+// transformations exactly:
+//  - equation (3)/(4) and Figure 2: V1 -> ΔV1^D (bushy)
+//  - equation (6) and Figure 3: left-deep conversion of ΔV1^D
+//  - Example 10: foreign-key SimplifyTree
+// plus semantic equivalence of every transformation stage.
+
+#include "ivm/primary_delta.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ivm/left_deep.h"
+#include "ivm/simplify_tree.h"
+#include "normalform/jdnf.h"
+#include "test_util.h"
+#include "tpch/tpch_schema.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace {
+
+using testing_util::CreateRstuSchema;
+using testing_util::MakeV1;
+using testing_util::PopulateRandomRstu;
+
+TEST(PrimaryDeltaTest, V1DeltaTreeMatchesFigure2d) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  ViewDef v1 = MakeV1(catalog);
+  // Equation (4): ΔV1^D = (ΔT lo U) join (R fo S).
+  RelExprPtr delta = BuildPrimaryDeltaExpr(v1, "T");
+  EXPECT_EQ(delta->ToString(),
+            "((dT lojn U) join (R fojn S))");
+}
+
+TEST(PrimaryDeltaTest, V1DeltaForEachTable) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  ViewDef v1 = MakeV1(catalog);
+  // Updating R: R is on the left spine already; fo weakens to lo along
+  // the path and the top lo keeps R on the left.
+  EXPECT_EQ(BuildPrimaryDeltaExpr(v1, "R")->ToString(),
+            "((dR lojn S) lojn (T fojn U))");
+  // Updating S: commute R fo S to S fo R, then weaken fo -> lo (the
+  // {S}-only term survives, so the delta side must be preserved).
+  EXPECT_EQ(BuildPrimaryDeltaExpr(v1, "S")->ToString(),
+            "((dS lojn R) lojn (T fojn U))");
+  // Updating U: commute T fo U to U fo T (-> lo); the top lo with the
+  // delta on the right becomes an inner join.
+  EXPECT_EQ(BuildPrimaryDeltaExpr(v1, "U")->ToString(),
+            "((dU lojn T) join (R fojn S))");
+}
+
+TEST(PrimaryDeltaTest, V1LeftDeepMatchesEquation6) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  ViewDef v1 = MakeV1(catalog);
+  RelExprPtr delta = BuildPrimaryDeltaExpr(v1, "T");
+  RelExprPtr left_deep = ToLeftDeep(delta);
+  EXPECT_TRUE(IsLeftDeep(left_deep));
+  // Equation (6): ((ΔT lo U) join R) lo S — the (R fo S) right operand is
+  // pulled apart; joining R first is exact (rule: e1 join (e2 fo e3) =
+  // (e1 join e2) lo e3 with e2 = R because the main predicate references
+  // R, not S).
+  EXPECT_EQ(left_deep->ToString(),
+            "(((dT lojn U) join R) lojn S)");
+}
+
+TEST(PrimaryDeltaTest, DirectPartEqualsDirectTermsUnion) {
+  // V^D built by the join-weakening rewrite must equal the minimum union
+  // of the directly affected terms (paper §4).
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Rng rng(99);
+  PopulateRandomRstu(&catalog, &rng, 35, 5);
+  ViewDef v1 = MakeV1(catalog);
+  std::vector<Term> terms = ComputeJdnf(v1.tree(), catalog);
+
+  for (const char* updated : {"R", "S", "T", "U"}) {
+    RelExprPtr direct_expr = BuildDirectPartExpr(v1, updated);
+    // Minimum union of the terms containing `updated`.
+    RelExprPtr expected_expr;
+    for (const Term& term : terms) {
+      if (term.source.count(updated) == 0) continue;
+      RelExprPtr t = term.ToRelExpr();
+      expected_expr = expected_expr == nullptr
+                          ? t
+                          : RelExpr::MinUnion(expected_expr, t);
+    }
+    Evaluator evaluator(&catalog);
+    Relation actual = evaluator.EvalToRelation(direct_expr);
+    Relation expected = evaluator.EvalToRelation(expected_expr);
+    std::string diff;
+    EXPECT_TRUE(SameBag(expected, actual, &diff))
+        << "V^D mismatch for " << updated << ": " << diff;
+  }
+}
+
+TEST(PrimaryDeltaTest, LeftDeepIsSemanticallyEquivalent) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Rng rng(1234);
+  PopulateRandomRstu(&catalog, &rng, 40, 4);
+  ViewDef v1 = MakeV1(catalog);
+
+  for (const char* updated : {"R", "S", "T", "U"}) {
+    RelExprPtr bushy = BuildPrimaryDeltaExpr(v1, updated);
+    RelExprPtr left_deep = ToLeftDeep(bushy);
+    // Treat a fresh batch as the delta.
+    int64_t key = 50000;
+    std::vector<Row> rows =
+        testing_util::RandomRstuRows(updated, &rng, 10, 4, &key);
+    Relation delta(
+        Evaluator::SchemaFor(*catalog.GetTable(updated)));
+    for (Row& r : rows) delta.Add(std::move(r));
+
+    Evaluator evaluator(&catalog);
+    evaluator.BindDelta(updated, &delta);
+    Relation bushy_result = evaluator.EvalToRelation(bushy);
+    Relation ld_result = evaluator.EvalToRelation(left_deep);
+    std::string diff;
+    EXPECT_TRUE(SameBag(bushy_result, ld_result, &diff))
+        << "left-deep mismatch for " << updated << ": " << diff;
+  }
+}
+
+TEST(PrimaryDeltaTest, SimplifyTreeExample10) {
+  // Example 10: add FK U.u_b -> T.t_id and join T fo U on t_id = u_b.
+  // The primary delta for T then loses the lo U join entirely:
+  // ΔV1^D = (ΔT join R) lo S.
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  catalog.AddForeignKey({"U", {"u_b"}, "T", {"t_id"}});
+
+  auto eq = [](const char* t1, const char* c1, const char* t2,
+               const char* c2) {
+    return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                               ScalarExpr::Column(t2, c2));
+  };
+  RelExprPtr rs = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("R"),
+                                RelExpr::Scan("S"),
+                                eq("R", "r_a", "S", "s_a"));
+  RelExprPtr tu = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("T"),
+                                RelExpr::Scan("U"),
+                                eq("T", "t_id", "U", "u_b"));
+  RelExprPtr tree = RelExpr::Join(JoinKind::kLeftOuter, rs, tu,
+                                  eq("R", "r_b", "T", "t_b"));
+  std::vector<ColumnRef> output;
+  for (const char* name : {"R", "S", "T", "U"}) {
+    std::string p(1, static_cast<char>(std::tolower(name[0])));
+    for (const char* suffix : {"_id", "_a", "_b", "_v"}) {
+      output.push_back(ColumnRef{name, p + suffix});
+    }
+  }
+  ViewDef view("v1_fk", tree, output, catalog);
+
+  RelExprPtr delta = BuildPrimaryDeltaExpr(view, "T");
+  EXPECT_EQ(delta->ToString(), "((dT lojn U) join (R fojn S))");
+
+  std::set<std::string> children = FkChildrenJoinedOnKey(view, "T", catalog);
+  EXPECT_EQ(children, std::set<std::string>{"U"});
+
+  SimplifyResult simplified = SimplifyDeltaTree(delta, children);
+  ASSERT_FALSE(simplified.empty);
+  EXPECT_EQ(simplified.joins_eliminated, 1);
+  EXPECT_EQ(ToLeftDeep(simplified.expr)->ToString(),
+            "((dT join R) lojn S)");
+}
+
+TEST(PrimaryDeltaTest, SimplifyTreeProvesEmptyDeltaForInnerJoin) {
+  // If the FK child is reached through an inner join, the whole delta is
+  // empty (no new T row can produce any view row through that join).
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  catalog.AddForeignKey({"U", {"u_b"}, "T", {"t_id"}});
+  auto eq = [](const char* t1, const char* c1, const char* t2,
+               const char* c2) {
+    return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                               ScalarExpr::Column(t2, c2));
+  };
+  RelExprPtr tu = RelExpr::Join(JoinKind::kInner, RelExpr::Scan("T"),
+                                RelExpr::Scan("U"),
+                                eq("T", "t_id", "U", "u_b"));
+  std::vector<ColumnRef> output = {{"T", "t_id"}, {"U", "u_id"}};
+  ViewDef view("tu", tu, output, catalog);
+
+  RelExprPtr delta = BuildPrimaryDeltaExpr(view, "T");
+  SimplifyResult simplified =
+      SimplifyDeltaTree(delta, FkChildrenJoinedOnKey(view, "T", catalog));
+  EXPECT_TRUE(simplified.empty);
+}
+
+TEST(PrimaryDeltaTest, OjViewPartInsertFastPath) {
+  // Example 1 / §6: inserting parts reduces to inserting ΔP itself.
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewDef oj_view = tpch::MakeOjView(catalog);
+  RelExprPtr delta = BuildPrimaryDeltaExpr(oj_view, "part");
+  SimplifyResult simplified = SimplifyDeltaTree(
+      delta, FkChildrenJoinedOnKey(oj_view, "part", catalog));
+  ASSERT_FALSE(simplified.empty);
+  EXPECT_EQ(simplified.expr->ToString(), "dpart");
+}
+
+TEST(PrimaryDeltaTest, V3LineitemDeltaIsLeftDeep) {
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewDef v3 = tpch::MakeV3(catalog);
+  RelExprPtr delta = ToLeftDeep(BuildPrimaryDeltaExpr(v3, "lineitem"));
+  EXPECT_TRUE(IsLeftDeep(delta));
+  // Shape of the paper's Q1: Δlineitem join orders (σ dates) join
+  // customer, then lo part.
+  EXPECT_EQ(delta->ToString(),
+            "(((dlineitem join sel[(orders.o_orderdate >= 8917 AND "
+            "orders.o_orderdate <= 9130)](orders)) join customer) lojn part)");
+}
+
+}  // namespace
+}  // namespace ojv

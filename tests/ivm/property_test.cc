@@ -1,0 +1,204 @@
+// The master property test: for randomly generated SPOJ views over
+// randomly populated tables, any sequence of random inserts and deletes
+// maintained incrementally must leave the materialized view identical to
+// a from-scratch recomputation — under every option combination.
+//
+// Parameterized over (seed, option combination) so each scenario reports
+// individually.
+
+#include <gtest/gtest.h>
+
+#include "baseline/recompute.h"
+#include "ivm/maintainer.h"
+#include "test_util.h"
+
+namespace ojv {
+namespace {
+
+using testing_util::CreateRandomSchema;
+using testing_util::RandomSpojView;
+using testing_util::RandomRstuRows;
+using testing_util::SampleKeys;
+
+enum class OptionCombo {
+  kDefault,
+  kBushy,
+  kSecondaryFromBase,
+  kNoForeignKeys,
+  kBushyFromBase,
+};
+
+MaintenanceOptions OptionsFor(OptionCombo combo) {
+  MaintenanceOptions options;
+  switch (combo) {
+    case OptionCombo::kDefault:
+      break;
+    case OptionCombo::kBushy:
+      options.use_left_deep = false;
+      break;
+    case OptionCombo::kSecondaryFromBase:
+      options.secondary_strategy = SecondaryStrategy::kFromBaseTables;
+      break;
+    case OptionCombo::kNoForeignKeys:
+      options.exploit_foreign_keys = false;
+      break;
+    case OptionCombo::kBushyFromBase:
+      options.use_left_deep = false;
+      options.secondary_strategy = SecondaryStrategy::kFromBaseTables;
+      break;
+  }
+  return options;
+}
+
+const char* ComboName(OptionCombo combo) {
+  switch (combo) {
+    case OptionCombo::kDefault:
+      return "Default";
+    case OptionCombo::kBushy:
+      return "Bushy";
+    case OptionCombo::kSecondaryFromBase:
+      return "SecondaryFromBase";
+    case OptionCombo::kNoForeignKeys:
+      return "NoForeignKeys";
+    case OptionCombo::kBushyFromBase:
+      return "BushyFromBase";
+  }
+  return "?";
+}
+
+class PropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, OptionCombo>> {};
+
+TEST_P(PropertyTest, IncrementalEqualsRecompute) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const MaintenanceOptions options = OptionsFor(std::get<1>(GetParam()));
+
+  Rng rng(seed);
+  Catalog catalog;
+  int num_tables = static_cast<int>(rng.Uniform(3, 5));
+  std::vector<std::string> tables = CreateRandomSchema(&catalog, num_tables);
+
+  int64_t next_key = 1;
+  int domain = static_cast<int>(rng.Uniform(3, 6));
+  for (const std::string& name : tables) {
+    Table* table = catalog.GetTable(name);
+    int rows = static_cast<int>(rng.Uniform(10, 25));
+    for (Row& row : RandomRstuRows(name, &rng, rows, domain, &next_key)) {
+      table->Insert(std::move(row));
+    }
+  }
+
+  ViewDef view = RandomSpojView(catalog, tables, &rng);
+  ViewMaintainer maintainer(&catalog, view, options);
+  maintainer.InitializeView();
+
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(catalog, view, maintainer.view(), &diff))
+      << "initial view: " << diff;
+
+  int64_t fresh_key = 100000 + static_cast<int64_t>(seed) * 1000;
+  int ops = static_cast<int>(rng.Uniform(5, 9));
+  for (int op = 0; op < ops; ++op) {
+    const std::string& name = tables[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(tables.size()) - 1))];
+    Table* table = catalog.GetTable(name);
+    int choice = static_cast<int>(rng.Uniform(0, 2));
+    if (choice == 0 && table->size() > 3) {
+      std::vector<Row> deleted = ApplyBaseDelete(
+          table, SampleKeys(*table, &rng,
+                            static_cast<int>(rng.Uniform(1, 6))));
+      maintainer.OnDelete(name, deleted);
+    } else if (choice == 1 && table->size() > 3) {
+      // UPDATE: rewrite the join columns of a few existing rows.
+      std::vector<Row> keys = SampleKeys(*table, &rng, 2);
+      std::vector<Row> new_rows;
+      for (const Row& key : keys) {
+        Row row = *table->FindByKey(key);
+        row[1] = rng.Chance(0.15) ? Value::Null()
+                                  : Value::Int64(rng.Uniform(0, domain - 1));
+        new_rows.push_back(std::move(row));
+      }
+      std::vector<Row> old_rows;
+      ApplyBaseUpdate(table, keys, new_rows, &old_rows);
+      maintainer.OnUpdate(name, old_rows, new_rows);
+    } else {
+      std::vector<Row> inserted = ApplyBaseInsert(
+          table, RandomRstuRows(name, &rng,
+                                static_cast<int>(rng.Uniform(1, 8)), domain,
+                                &fresh_key));
+      maintainer.OnInsert(name, inserted);
+    }
+    ASSERT_TRUE(ViewMatchesRecompute(catalog, view, maintainer.view(), &diff))
+        << "view " << view.tree()->ToString() << " op " << op << " on "
+        << name << ": " << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomViews, PropertyTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 31),
+                       ::testing::Values(OptionCombo::kDefault,
+                                         OptionCombo::kBushy,
+                                         OptionCombo::kSecondaryFromBase,
+                                         OptionCombo::kNoForeignKeys,
+                                         OptionCombo::kBushyFromBase)),
+    [](const ::testing::TestParamInfo<PropertyTest::ParamType>& info) {
+      return std::string(ComboName(std::get<1>(info.param))) + "_seed" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+// All option combinations must agree with each other row for row — a
+// sharper check than each-vs-recompute.
+class StrategyAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyAgreementTest, AllStrategiesProduceTheSameView) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  Catalog catalog;
+  std::vector<std::string> tables = CreateRandomSchema(&catalog, 4);
+  int64_t next_key = 1;
+  for (const std::string& name : tables) {
+    Table* table = catalog.GetTable(name);
+    for (Row& row : RandomRstuRows(name, &rng, 15, 4, &next_key)) {
+      table->Insert(std::move(row));
+    }
+  }
+  ViewDef view = RandomSpojView(catalog, tables, &rng);
+
+  std::vector<std::unique_ptr<ViewMaintainer>> maintainers;
+  for (OptionCombo combo :
+       {OptionCombo::kDefault, OptionCombo::kBushy,
+        OptionCombo::kSecondaryFromBase, OptionCombo::kNoForeignKeys}) {
+    maintainers.push_back(
+        std::make_unique<ViewMaintainer>(&catalog, view, OptionsFor(combo)));
+    maintainers.back()->InitializeView();
+  }
+
+  int64_t fresh_key = 500000;
+  for (int op = 0; op < 6; ++op) {
+    const std::string& name = tables[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(tables.size()) - 1))];
+    Table* table = catalog.GetTable(name);
+    if (rng.Chance(0.5) && table->size() > 3) {
+      std::vector<Row> deleted =
+          ApplyBaseDelete(table, SampleKeys(*table, &rng, 3));
+      for (auto& m : maintainers) m->OnDelete(name, deleted);
+    } else {
+      std::vector<Row> inserted = ApplyBaseInsert(
+          table, RandomRstuRows(name, &rng, 4, 4, &fresh_key));
+      for (auto& m : maintainers) m->OnInsert(name, inserted);
+    }
+    for (size_t i = 1; i < maintainers.size(); ++i) {
+      std::string diff;
+      ASSERT_TRUE(SameBag(maintainers[0]->view().AsRelation(),
+                          maintainers[i]->view().AsRelation(), &diff))
+          << "op " << op << " strategy " << i << ": " << diff;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomViews, StrategyAgreementTest,
+                         ::testing::Range<uint64_t>(81, 106));
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,122 @@
+// ViewDef validation: the paper's §2 restrictions are enforced at view
+// creation time with clear failures.
+
+#include "ivm/view_def.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ojv {
+namespace {
+
+ScalarExprPtr Eq(const char* t1, const char* c1, const char* t2,
+                 const char* c2) {
+  return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                             ScalarExpr::Column(t2, c2));
+}
+
+class ViewDefTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::CreateRstuSchema(&catalog_);
+  }
+
+  std::vector<ColumnRef> FullOutput(std::vector<std::string> tables) {
+    std::vector<ColumnRef> out;
+    for (const std::string& t : tables) {
+      std::string p(1, static_cast<char>(std::tolower(t[0])));
+      for (const char* suffix : {"_id", "_a", "_b", "_v"}) {
+        out.push_back(ColumnRef{t, p + suffix});
+      }
+    }
+    return out;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ViewDefTest, ValidViewCollectsMetadata) {
+  RelExprPtr tree = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("R"),
+                                  RelExpr::Scan("S"),
+                                  Eq("R", "r_a", "S", "s_a"));
+  ViewDef view("v", tree, FullOutput({"R", "S"}), catalog_);
+  EXPECT_EQ(view.tables(), (std::set<std::string>{"R", "S"}));
+  EXPECT_EQ(view.conjuncts().size(), 1u);
+  EXPECT_TRUE(view.output_schema().HasFullKey("R"));
+  EXPECT_TRUE(view.output_schema().HasFullKey("S"));
+}
+
+TEST_F(ViewDefTest, CoreViewReplacesOuterJoins) {
+  RelExprPtr tree = RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("R"),
+                                  RelExpr::Scan("S"),
+                                  Eq("R", "r_a", "S", "s_a"));
+  ViewDef view("v", tree, FullOutput({"R", "S"}), catalog_);
+  ViewDef core = view.CoreView(catalog_);
+  EXPECT_EQ(core.tree()->ToString(), "(R join S)");
+  EXPECT_EQ(core.name(), "v_core");
+}
+
+using ViewDefDeathTest = ViewDefTest;
+
+TEST_F(ViewDefDeathTest, RejectsSelfJoins) {
+  RelExprPtr tree = RelExpr::Join(JoinKind::kInner, RelExpr::Scan("R"),
+                                  RelExpr::Scan("R"),
+                                  Eq("R", "r_a", "R", "r_b"));
+  EXPECT_DEATH(ViewDef("v", tree, FullOutput({"R"}), catalog_),
+               "references a table twice");
+}
+
+TEST_F(ViewDefDeathTest, RejectsNonNullRejectingPredicates) {
+  // IS NULL predicates are not null-rejecting (§2).
+  RelExprPtr tree = RelExpr::Join(
+      JoinKind::kLeftOuter, RelExpr::Scan("R"), RelExpr::Scan("S"),
+      ScalarExpr::Or({Eq("R", "r_a", "S", "s_a"),
+                      ScalarExpr::IsNull(ScalarExpr::Column("S", "s_a"))}));
+  EXPECT_DEATH(ViewDef("v", tree, FullOutput({"R", "S"}), catalog_),
+               "null-rejecting");
+}
+
+TEST_F(ViewDefDeathTest, RejectsDisconnectedJoinPredicates) {
+  RelExprPtr tree = RelExpr::Join(
+      JoinKind::kInner, RelExpr::Scan("R"), RelExpr::Scan("S"),
+      ScalarExpr::Compare(CompareOp::kGt, ScalarExpr::Column("R", "r_a"),
+                          ScalarExpr::Literal(Value::Int64(0))));
+  EXPECT_DEATH(ViewDef("v", tree, FullOutput({"R", "S"}), catalog_),
+               "connect both inputs");
+}
+
+TEST_F(ViewDefDeathTest, RejectsOutputMissingKeys) {
+  RelExprPtr tree = RelExpr::Join(JoinKind::kInner, RelExpr::Scan("R"),
+                                  RelExpr::Scan("S"),
+                                  Eq("R", "r_a", "S", "s_a"));
+  std::vector<ColumnRef> output = {{"R", "r_id"}, {"S", "s_a"}};  // no s_id
+  EXPECT_DEATH(ViewDef("v", tree, output, catalog_),
+               "unique key");
+}
+
+TEST_F(ViewDefDeathTest, RejectsPredicatesOverThreeTables) {
+  RelExprPtr rs = RelExpr::Join(JoinKind::kInner, RelExpr::Scan("R"),
+                                RelExpr::Scan("S"),
+                                Eq("R", "r_a", "S", "s_a"));
+  // A single conjunct referencing three tables is outside the paper's
+  // model (predicates reference at most two tables).
+  ScalarExprPtr three = ScalarExpr::Or(
+      {Eq("R", "r_b", "T", "t_b"), Eq("S", "s_b", "T", "t_a")});
+  RelExprPtr tree =
+      RelExpr::Join(JoinKind::kLeftOuter, rs, RelExpr::Scan("T"), three);
+  EXPECT_DEATH(ViewDef("v", tree, FullOutput({"R", "S", "T"}), catalog_),
+               "2 tables");
+}
+
+TEST_F(ViewDefDeathTest, RejectsSelectionOutsideSubtree) {
+  RelExprPtr tree = RelExpr::Select(
+      RelExpr::Scan("R"),
+      ScalarExpr::Compare(CompareOp::kGt, ScalarExpr::Column("S", "s_a"),
+                          ScalarExpr::Literal(Value::Int64(0))));
+  EXPECT_DEATH(ViewDef("v", tree, FullOutput({"R"}), catalog_),
+               "outside its subtree");
+}
+
+}  // namespace
+}  // namespace ojv

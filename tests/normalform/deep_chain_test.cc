@@ -1,0 +1,164 @@
+// Stress: chains of full outer joins. The paper notes the normal form
+// of N full outer joins can reach 2^N + N terms in the worst case; for
+// an adjacent-predicate chain the terms are exactly the non-empty
+// contiguous intervals plus... we don't assume — we verify the count
+// empirically, the JDNF ≡ tree equivalence, and end-to-end maintenance
+// on the widest view in the suite.
+
+#include <gtest/gtest.h>
+
+#include "baseline/recompute.h"
+#include "exec/evaluator.h"
+#include "ivm/maintainer.h"
+#include "normalform/jdnf.h"
+#include "normalform/subsumption_graph.h"
+#include "test_util.h"
+
+namespace ojv {
+namespace {
+
+// Chain of N tables A fo B fo C ... joined on adjacent "_a" columns,
+// left-deep: (((A fo B) fo C) fo D) ...
+ViewDef MakeFoChain(const Catalog& catalog,
+                    const std::vector<std::string>& tables) {
+  auto col = [](const std::string& t, const char* suffix) {
+    std::string p(1, static_cast<char>(std::tolower(t[0])));
+    return ScalarExpr::Column(t, p + suffix);
+  };
+  RelExprPtr expr = RelExpr::Scan(tables[0]);
+  for (size_t i = 1; i < tables.size(); ++i) {
+    expr = RelExpr::Join(
+        JoinKind::kFullOuter, expr, RelExpr::Scan(tables[i]),
+        ScalarExpr::Compare(CompareOp::kEq, col(tables[i - 1], "_a"),
+                            col(tables[i], "_a")));
+  }
+  std::vector<ColumnRef> output;
+  for (const std::string& t : tables) {
+    std::string p(1, static_cast<char>(std::tolower(t[0])));
+    for (const char* suffix : {"_id", "_a", "_b", "_v"}) {
+      output.push_back(ColumnRef{t, p + suffix});
+    }
+  }
+  return ViewDef("fo_chain", expr, std::move(output), catalog);
+}
+
+// For an adjacent-predicate fo chain, every term is a contiguous
+// interval of the chain: N(N+1)/2 terms.
+TEST(DeepChainTest, FoChainTermsAreContiguousIntervals) {
+  for (int n : {2, 3, 4, 5, 6}) {
+    Catalog catalog;
+    std::vector<std::string> tables =
+        testing_util::CreateRandomSchema(&catalog, n);
+    ViewDef view = MakeFoChain(catalog, tables);
+    std::vector<Term> terms = ComputeJdnf(view.tree(), catalog);
+    EXPECT_EQ(static_cast<int>(terms.size()), n * (n + 1) / 2) << "n=" << n;
+    for (const Term& term : terms) {
+      // Contiguity: table indexes within the chain form an interval.
+      int lo = n, hi = -1;
+      for (const std::string& t : term.source) {
+        int idx = static_cast<int>(t[0] - 'A');
+        lo = std::min(lo, idx);
+        hi = std::max(hi, idx);
+      }
+      EXPECT_EQ(static_cast<int>(term.source.size()), hi - lo + 1)
+          << term.Label();
+    }
+  }
+}
+
+TEST(DeepChainTest, NormalFormEquivalenceUpToSixTables) {
+  for (int n : {3, 4, 5, 6}) {
+    Catalog catalog;
+    std::vector<std::string> tables =
+        testing_util::CreateRandomSchema(&catalog, n);
+    Rng rng(static_cast<uint64_t>(n) * 31);
+    int64_t key = 1;
+    for (const std::string& t : tables) {
+      Table* table = catalog.GetTable(t);
+      for (Row& row : testing_util::RandomRstuRows(t, &rng, 12, 3, &key)) {
+        table->Insert(std::move(row));
+      }
+    }
+    ViewDef view = MakeFoChain(catalog, tables);
+    std::vector<Term> terms = ComputeJdnf(view.tree(), catalog);
+    Evaluator evaluator(&catalog);
+    Relation from_tree = evaluator.EvalToRelation(view.tree());
+    Relation from_normal_form =
+        evaluator.EvalToRelation(NormalFormRelExpr(terms));
+    std::string diff;
+    ASSERT_TRUE(SameBag(from_tree, from_normal_form, &diff))
+        << "n=" << n << ": " << diff;
+  }
+}
+
+TEST(DeepChainTest, SubsumptionGraphHasIntervalContainmentEdges) {
+  Catalog catalog;
+  std::vector<std::string> tables =
+      testing_util::CreateRandomSchema(&catalog, 5);
+  ViewDef view = MakeFoChain(catalog, tables);
+  std::vector<Term> terms = ComputeJdnf(view.tree(), catalog);
+  SubsumptionGraph graph(terms);
+  // Each interval's minimal supersets are the two one-step extensions
+  // (one at each end, when they exist).
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const Term& term = terms[static_cast<size_t>(i)];
+    int expected = 0;
+    bool touches_left = term.source.count("A") > 0;
+    bool touches_right = term.source.count("E") > 0;
+    if (!touches_left) ++expected;
+    if (!touches_right) ++expected;
+    EXPECT_EQ(static_cast<int>(graph.Parents(i).size()), expected)
+        << term.Label();
+  }
+}
+
+TEST(DeepChainTest, MaintenanceOnAFiveTableChain) {
+  Catalog catalog;
+  std::vector<std::string> tables =
+      testing_util::CreateRandomSchema(&catalog, 5);
+  Rng rng(88);
+  int64_t key = 1;
+  for (const std::string& t : tables) {
+    Table* table = catalog.GetTable(t);
+    for (Row& row : testing_util::RandomRstuRows(t, &rng, 15, 3, &key)) {
+      table->Insert(std::move(row));
+    }
+  }
+  ViewDef view = MakeFoChain(catalog, tables);
+  ViewMaintainer maintainer(&catalog, view, MaintenanceOptions());
+  maintainer.InitializeView();
+
+  // Update the middle table (maximum direct + indirect term counts),
+  // then the ends.
+  int64_t fresh = 10000;
+  for (const char* name : {"C", "A", "E", "C", "B", "D"}) {
+    Table* table = catalog.GetTable(name);
+    if (rng.Chance(0.5) && table->size() > 3) {
+      std::vector<Row> deleted = ApplyBaseDelete(
+          table, testing_util::SampleKeys(*table, &rng, 4));
+      maintainer.OnDelete(name, deleted);
+    } else {
+      std::vector<Row> inserted = ApplyBaseInsert(
+          table, testing_util::RandomRstuRows(name, &rng, 5, 3, &fresh));
+      maintainer.OnInsert(name, inserted);
+    }
+    std::string diff;
+    ASSERT_TRUE(ViewMatchesRecompute(catalog, view, maintainer.view(), &diff))
+        << name << ": " << diff;
+  }
+
+  // The middle table sees 6 direct terms (intervals containing C) and
+  // clean-up work for the adjacent intervals.
+  MaintenanceStats stats = maintainer.OnInsert(
+      "C", ApplyBaseInsert(catalog.GetTable("C"),
+                           testing_util::RandomRstuRows("C", &rng, 2, 3,
+                                                        &fresh)));
+  EXPECT_EQ(stats.direct_terms, 9);  // intervals containing C out of 15
+  EXPECT_GT(stats.indirect_terms, 0);
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(catalog, view, maintainer.view(), &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace ojv

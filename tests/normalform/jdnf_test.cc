@@ -1,0 +1,203 @@
+// Validates the join-disjunctive normal form, subsumption graph, and
+// maintenance graphs against the paper's worked examples:
+//  - Example 2 / Figure 1(a)+(b): view V1 over abstract tables R,S,T,U
+//  - Example 1: oj_view over part/orders/lineitem with FK pruning
+//  - Example 11 / Figure 4: view V2 over customer/orders/lineitem
+
+#include "normalform/jdnf.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/recompute.h"
+#include "exec/evaluator.h"
+#include "normalform/maintenance_graph.h"
+#include "normalform/subsumption_graph.h"
+#include "test_util.h"
+#include "tpch/tpch_schema.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace {
+
+using testing_util::CreateRstuSchema;
+using testing_util::MakeV1;
+
+std::set<std::string> Sources(const std::vector<Term>& terms) {
+  std::set<std::string> out;
+  for (const Term& t : terms) out.insert(t.Label());
+  return out;
+}
+
+TEST(JdnfTest, V1HasTheSevenTermsOfExample2) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  ViewDef v1 = MakeV1(catalog);
+  std::vector<Term> terms = ComputeJdnf(v1.tree(), catalog);
+  EXPECT_EQ(Sources(terms),
+            (std::set<std::string>{"{R,S,T,U}", "{R,T,U}", "{R,S,T}", "{R,T}",
+                                   "{R,S}", "{R}", "{S}"}));
+}
+
+TEST(JdnfTest, V1TermPredicatesMatchExample2) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  ViewDef v1 = MakeV1(catalog);
+  std::vector<Term> terms = ComputeJdnf(v1.tree(), catalog);
+  auto predicate_count = [&](const std::set<std::string>& source) {
+    int i = FindTerm(terms, source);
+    EXPECT_GE(i, 0);
+    return terms[static_cast<size_t>(i)].predicates.size();
+  };
+  // σ_{p(r,s)∧p(r,t)∧p(t,u)}(T×U×R×S)
+  EXPECT_EQ(predicate_count({"R", "S", "T", "U"}), 3u);
+  // σ_{p(r,t)∧p(t,u)}(T×U×R)
+  EXPECT_EQ(predicate_count({"R", "T", "U"}), 2u);
+  // σ_{p(r,t)∧p(r,s)}(T×R×S)
+  EXPECT_EQ(predicate_count({"R", "S", "T"}), 2u);
+  // σ_{p(r,t)}(T×R), σ_{p(r,s)}(R×S), R, S
+  EXPECT_EQ(predicate_count({"R", "T"}), 1u);
+  EXPECT_EQ(predicate_count({"R", "S"}), 1u);
+  EXPECT_EQ(predicate_count({"R"}), 0u);
+  EXPECT_EQ(predicate_count({"S"}), 0u);
+}
+
+TEST(JdnfTest, NormalFormEvaluatesToTheViewItself) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  Rng rng(7);
+  testing_util::PopulateRandomRstu(&catalog, &rng, 40, 6);
+  ViewDef v1 = MakeV1(catalog);
+  std::vector<Term> terms = ComputeJdnf(v1.tree(), catalog);
+
+  Evaluator evaluator(&catalog);
+  Relation from_tree = evaluator.EvalToRelation(v1.tree());
+  Relation from_normal_form = evaluator.EvalToRelation(NormalFormRelExpr(terms));
+  std::string diff;
+  EXPECT_TRUE(SameBag(from_tree, from_normal_form, &diff)) << diff;
+}
+
+TEST(JdnfTest, SubsumptionGraphMatchesFigure1a) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  ViewDef v1 = MakeV1(catalog);
+  std::vector<Term> terms = ComputeJdnf(v1.tree(), catalog);
+  SubsumptionGraph graph(terms);
+  EXPECT_EQ(graph.ToString(terms),
+            "{R,S,T,U} -> {R,S,T}\n"
+            "{R,S,T,U} -> {R,T,U}\n"
+            "{R,S,T} -> {R,S}\n"
+            "{R,S,T} -> {R,T}\n"
+            "{R,S} -> {R}\n"
+            "{R,S} -> {S}\n"
+            "{R,T,U} -> {R,T}\n"
+            "{R,T} -> {R}\n");
+}
+
+TEST(JdnfTest, MaintenanceGraphForTMatchesFigure1b) {
+  Catalog catalog;
+  CreateRstuSchema(&catalog);
+  ViewDef v1 = MakeV1(catalog);
+  std::vector<Term> terms = ComputeJdnf(v1.tree(), catalog);
+  SubsumptionGraph sgraph(terms);
+  MaintenanceGraph mgraph(terms, sgraph, "T", catalog);
+  // Directly affected: all terms containing T; indirectly: {R,S} and {R};
+  // {S}'s only parent {R,S} is not directly affected, so it drops out.
+  EXPECT_EQ(mgraph.ToString(terms),
+            "{R,S,T,U}:D {R,S,T}:D {R,S}:I {R,T,U}:D {R,T}:D {R}:I");
+  EXPECT_EQ(mgraph.DirectTerms().size(), 4u);
+  EXPECT_EQ(mgraph.IndirectTerms().size(), 2u);
+}
+
+TEST(JdnfTest, Example1ViewHasThreeTermsWithForeignKeys) {
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewDef oj_view = tpch::MakeOjView(catalog);
+
+  // Without FK pruning: four terms (the {orders,lineitem} term exists).
+  JdnfOptions no_fk;
+  no_fk.exploit_foreign_keys = false;
+  std::vector<Term> raw = ComputeJdnf(oj_view.tree(), catalog, no_fk);
+  EXPECT_EQ(Sources(raw),
+            (std::set<std::string>{"{lineitem,orders,part}",
+                                   "{lineitem,orders}", "{orders}", "{part}"}));
+
+  // With FKs, lineitem→part (joined on l_partkey = p_partkey) subsumes
+  // every {lineitem,orders} tuple into {lineitem,orders,part}.
+  std::vector<Term> pruned = ComputeJdnf(oj_view.tree(), catalog);
+  EXPECT_EQ(Sources(pruned),
+            (std::set<std::string>{"{lineitem,orders,part}", "{orders}",
+                                   "{part}"}));
+}
+
+TEST(JdnfTest, V2KeepsLineitemTermBecauseOfOrderSelection) {
+  // V2 filters orders (σpo), so a lineitem of a filtered-out order is
+  // *not* subsumed by the {orders,lineitem} term: the FK alone must not
+  // prune the {lineitem} term.
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewDef v2 = tpch::MakeV2(catalog);
+  std::vector<Term> terms = ComputeJdnf(v2.tree(), catalog);
+  EXPECT_EQ(Sources(terms),
+            (std::set<std::string>{"{customer,lineitem,orders}",
+                                   "{customer,orders}", "{lineitem,orders}",
+                                   "{customer}", "{lineitem}", "{orders}"}));
+}
+
+TEST(JdnfTest, V2MaintenanceGraphsMatchFigure4) {
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewDef v2 = tpch::MakeV2(catalog);
+  std::vector<Term> terms = ComputeJdnf(v2.tree(), catalog);
+  SubsumptionGraph sgraph(terms);
+
+  // Figure 4(a): without FK exploitation, updating orders.
+  MaintenanceGraphOptions no_fk;
+  no_fk.exploit_foreign_keys = false;
+  MaintenanceGraph original(terms, sgraph, "orders", catalog, no_fk);
+  EXPECT_EQ(original.ToString(terms),
+            "{customer,lineitem,orders}:D {customer,orders}:D {customer}:I "
+            "{lineitem,orders}:D {lineitem}:I {orders}:D");
+
+  // Figure 4(b): the FK lineitem→orders removes {C,O,L} and {O,L}; the
+  // {lineitem} node loses its only affected parent and drops out.
+  MaintenanceGraph reduced(terms, sgraph, "orders", catalog);
+  EXPECT_EQ(reduced.ToString(terms),
+            "{customer,orders}:D {customer}:I {orders}:D");
+}
+
+TEST(JdnfTest, V3HasTheFourTermsOfTable1) {
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewDef v3 = tpch::MakeV3(catalog);
+  std::vector<Term> terms = ComputeJdnf(v3.tree(), catalog);
+  EXPECT_EQ(Sources(terms),
+            (std::set<std::string>{"{customer,lineitem,orders,part}",
+                                   "{customer,lineitem,orders}", "{customer}",
+                                   "{part}"}));
+}
+
+TEST(JdnfTest, V3OrdersAndCustomerUpdatesAreFkImmune) {
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  ViewDef v3 = tpch::MakeV3(catalog);
+  std::vector<Term> terms = ComputeJdnf(v3.tree(), catalog);
+  SubsumptionGraph sgraph(terms);
+
+  // "Because of the foreign key constraint between lineitem and orders,
+  // insertion or deletion of order rows does not affect the view."
+  MaintenanceGraph orders_graph(terms, sgraph, "orders", catalog);
+  EXPECT_TRUE(orders_graph.DirectTerms().empty());
+  EXPECT_TRUE(orders_graph.IndirectTerms().empty());
+
+  // "When inserting (or deleting) customer rows ... we only need to add
+  // (or delete) the customer in the view": only the {customer} term.
+  MaintenanceGraph customer_graph(terms, sgraph, "customer", catalog);
+  ASSERT_EQ(customer_graph.DirectTerms().size(), 1u);
+  EXPECT_EQ(terms[static_cast<size_t>(customer_graph.DirectTerms()[0])]
+                .Label(),
+            "{customer}");
+  EXPECT_TRUE(customer_graph.IndirectTerms().empty());
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,184 @@
+#include "test_util.h"
+
+#include "ivm/maintainer.h"
+
+namespace ojv {
+namespace testing_util {
+namespace {
+
+Schema MakeRstuTableSchema(const std::string& p) {
+  return Schema({ColumnDef{p + "_id", ValueType::kInt64, false},
+                 ColumnDef{p + "_a", ValueType::kInt64, true},
+                 ColumnDef{p + "_b", ValueType::kInt64, true},
+                 ColumnDef{p + "_v", ValueType::kInt64, true}});
+}
+
+}  // namespace
+
+void CreateRstuSchema(Catalog* catalog) {
+  for (const char* name : {"R", "S", "T", "U"}) {
+    std::string p(1, static_cast<char>(std::tolower(name[0])));
+    catalog->CreateTable(name, MakeRstuTableSchema(p),
+                         {p + "_id"});
+  }
+}
+
+ViewDef MakeV1(const Catalog& catalog) {
+  auto eq = [](const char* t1, const char* c1, const char* t2,
+               const char* c2) {
+    return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                               ScalarExpr::Column(t2, c2));
+  };
+  RelExprPtr rs =
+      RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("R"),
+                    RelExpr::Scan("S"), eq("R", "r_a", "S", "s_a"));
+  RelExprPtr tu =
+      RelExpr::Join(JoinKind::kFullOuter, RelExpr::Scan("T"),
+                    RelExpr::Scan("U"), eq("T", "t_a", "U", "u_a"));
+  RelExprPtr tree = RelExpr::Join(JoinKind::kLeftOuter, rs, tu,
+                                  eq("R", "r_b", "T", "t_b"));
+  std::vector<ColumnRef> output;
+  for (const char* name : {"R", "S", "T", "U"}) {
+    std::string p(1, static_cast<char>(std::tolower(name[0])));
+    for (const char* suffix : {"_id", "_a", "_b", "_v"}) {
+      output.push_back(ColumnRef{name, p + suffix});
+    }
+  }
+  return ViewDef("v1", tree, std::move(output), catalog);
+}
+
+std::vector<Row> RandomRstuRows(const std::string&, Rng* rng, int n,
+                                int domain, int64_t* next_key) {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  auto join_value = [&]() {
+    // Join columns are nullable: ~10% NULLs exercise the SQL equality
+    // and null-extension paths (NULL never joins, so such rows become
+    // orphans of outer joins).
+    if (rng->Chance(0.1)) return Value::Null();
+    return Value::Int64(rng->Uniform(0, domain - 1));
+  };
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Row{Value::Int64((*next_key)++), join_value(), join_value(),
+                       Value::Int64(rng->Uniform(0, 999))});
+  }
+  return rows;
+}
+
+void PopulateRandomRstu(Catalog* catalog, Rng* rng, int rows_per_table,
+                        int domain) {
+  int64_t next_key = 1;
+  for (const char* name : {"R", "S", "T", "U"}) {
+    Table* table = catalog->GetTable(name);
+    for (Row& row :
+         RandomRstuRows(name, rng, rows_per_table, domain, &next_key)) {
+      table->Insert(std::move(row));
+    }
+  }
+}
+
+std::vector<std::string> CreateRandomSchema(Catalog* catalog, int num_tables) {
+  std::vector<std::string> names;
+  for (int i = 0; i < num_tables; ++i) {
+    std::string name(1, static_cast<char>('A' + i));
+    std::string p(1, static_cast<char>('a' + i));
+    catalog->CreateTable(name, MakeRstuTableSchema(p), {p + "_id"});
+    names.push_back(name);
+  }
+  return names;
+}
+
+ViewDef RandomSpojView(const Catalog& catalog,
+                       const std::vector<std::string>& tables, Rng* rng) {
+  auto col = [](const std::string& table, const char* suffix) {
+    std::string p(1, static_cast<char>(std::tolower(table[0])));
+    return ScalarExpr::Column(table, p + suffix);
+  };
+
+  struct Node {
+    RelExprPtr expr;
+    std::vector<std::string> tables;
+  };
+  std::vector<Node> forest;
+  for (const std::string& t : tables) {
+    RelExprPtr leaf = RelExpr::Scan(t);
+    if (rng->Chance(0.3)) {
+      // Single-table selection, e.g. a_a <= k (null-rejecting).
+      leaf = RelExpr::Select(
+          leaf, ScalarExpr::Compare(
+                    CompareOp::kLe, col(t, rng->Chance(0.5) ? "_a" : "_b"),
+                    ScalarExpr::Literal(Value::Int64(rng->Uniform(1, 3)))));
+    }
+    forest.push_back(Node{leaf, {t}});
+  }
+  while (forest.size() > 1) {
+    size_t i = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(forest.size()) - 1));
+    std::swap(forest[i], forest.back());
+    Node right = std::move(forest.back());
+    forest.pop_back();
+    size_t j = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(forest.size()) - 1));
+    Node& left = forest[j];
+
+    const std::string& lt = left.tables[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(left.tables.size()) - 1))];
+    const std::string& rt = right.tables[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(right.tables.size()) - 1))];
+    ScalarExprPtr pred = ScalarExpr::Compare(
+        CompareOp::kEq, col(lt, rng->Chance(0.5) ? "_a" : "_b"),
+        col(rt, rng->Chance(0.5) ? "_a" : "_b"));
+    JoinKind kinds[] = {JoinKind::kInner, JoinKind::kLeftOuter,
+                        JoinKind::kRightOuter, JoinKind::kFullOuter};
+    JoinKind kind = kinds[rng->Uniform(0, 3)];
+    left.expr = RelExpr::Join(kind, left.expr, right.expr, pred);
+    left.tables.insert(left.tables.end(), right.tables.begin(),
+                       right.tables.end());
+    if (rng->Chance(0.15)) {
+      // Selection above a join (null-rejecting single-table predicate):
+      // exercises σ on delta paths and term pruning above outer joins.
+      const std::string& st = left.tables[static_cast<size_t>(
+          rng->Uniform(0, static_cast<int64_t>(left.tables.size()) - 1))];
+      left.expr = RelExpr::Select(
+          left.expr,
+          ScalarExpr::Compare(CompareOp::kLe,
+                              col(st, rng->Chance(0.5) ? "_a" : "_b"),
+                              ScalarExpr::Literal(
+                                  Value::Int64(rng->Uniform(1, 3)))));
+    }
+  }
+
+  std::vector<ColumnRef> output;
+  for (const std::string& t : tables) {
+    std::string p(1, static_cast<char>(std::tolower(t[0])));
+    for (const char* suffix : {"_id", "_a", "_b", "_v"}) {
+      output.push_back(ColumnRef{t, p + suffix});
+    }
+  }
+  return ViewDef("random_view", forest[0].expr, std::move(output), catalog);
+}
+
+std::vector<Row> SampleKeys(const Table& table, Rng* rng, int n) {
+  std::vector<Row> keys;
+  table.ForEach([&](const Row& row) {
+    Row key;
+    for (int p : table.key_positions()) {
+      key.push_back(row[static_cast<size_t>(p)]);
+    }
+    keys.push_back(std::move(key));
+  });
+  // Fisher-Yates prefix shuffle.
+  for (size_t i = 0; i < keys.size() && static_cast<int>(i) < n; ++i) {
+    size_t j = static_cast<size_t>(
+        rng->Uniform(static_cast<int64_t>(i),
+                     static_cast<int64_t>(keys.size()) - 1));
+    std::swap(keys[i], keys[j]);
+  }
+  if (static_cast<int>(keys.size()) > n) {
+    keys.resize(static_cast<size_t>(n));
+  }
+  return keys;
+}
+
+}  // namespace testing_util
+}  // namespace ojv

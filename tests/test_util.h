@@ -1,0 +1,53 @@
+#ifndef OJV_TESTS_TEST_UTIL_H_
+#define OJV_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "ivm/view_def.h"
+
+namespace ojv {
+namespace testing_util {
+
+/// Creates the four abstract tables of the paper's running example:
+/// R, S, T, U — each with key "<x>_id" and two small-domain join columns
+/// "<x>_a", "<x>_b" (nullable) plus a payload "<x>_v".
+void CreateRstuSchema(Catalog* catalog);
+
+/// The running-example view (paper equation (1)):
+///   V1 = (R fo_{p(r,s)} S) lo_{p(r,t)} (T fo_{p(t,u)} U)
+/// with p(r,s): R.r_a = S.s_a, p(r,t): R.r_b = T.t_b,
+/// p(t,u): T.t_a = U.u_a. Outputs all columns of all four tables.
+ViewDef MakeV1(const Catalog& catalog);
+
+/// Random rows for an RSTU-style table; join columns are drawn from
+/// [0, domain) so joins have realistic fan-out, keys are consecutive
+/// starting at *next_key.
+std::vector<Row> RandomRstuRows(const std::string& table_prefix, Rng* rng,
+                                int n, int domain, int64_t* next_key);
+
+/// Populates all four tables with `rows_per_table` random rows.
+void PopulateRandomRstu(Catalog* catalog, Rng* rng, int rows_per_table,
+                        int domain);
+
+/// Keys of up to n random existing rows of `table`.
+std::vector<Row> SampleKeys(const Table& table, Rng* rng, int n);
+
+/// Creates `num_tables` RSTU-style tables named A, B, C, ... (key
+/// "<x>_id", join columns "<x>_a"/"<x>_b", payload "<x>_v").
+std::vector<std::string> CreateRandomSchema(Catalog* catalog, int num_tables);
+
+/// Builds a random SPOJ view over the given tables: a random join tree
+/// whose joins draw uniformly from {inner, lo, ro, fo} with equijoin
+/// predicates between random tables of the two sides, plus occasional
+/// single-table selections. The output is every column of every table,
+/// so every maintenance strategy is applicable.
+ViewDef RandomSpojView(const Catalog& catalog,
+                       const std::vector<std::string>& tables, Rng* rng);
+
+}  // namespace testing_util
+}  // namespace ojv
+
+#endif  // OJV_TESTS_TEST_UTIL_H_

@@ -1,0 +1,174 @@
+// TPC-H substrate: generator integrity (keys, FKs, cardinalities,
+// determinism, structural properties the views rely on) and refresh
+// streams.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/date.h"
+#include "tpch/dbgen.h"
+#include "tpch/refresh.h"
+#include "tpch/tpch_schema.h"
+
+namespace ojv {
+namespace tpch {
+namespace {
+
+class TpchFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CreateSchema(&catalog_);
+    DbgenOptions options;
+    options.scale_factor = 0.002;
+    dbgen_ = std::make_unique<Dbgen>(options);
+    dbgen_->Populate(&catalog_);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Dbgen> dbgen_;
+};
+
+TEST_F(TpchFixture, CardinalitiesScale) {
+  EXPECT_EQ(catalog_.GetTable("region")->size(), 5);
+  EXPECT_EQ(catalog_.GetTable("nation")->size(), 25);
+  EXPECT_EQ(catalog_.GetTable("supplier")->size(), 20);
+  EXPECT_EQ(catalog_.GetTable("part")->size(), 400);
+  EXPECT_EQ(catalog_.GetTable("customer")->size(), 300);
+  EXPECT_EQ(catalog_.GetTable("orders")->size(), 3000);
+  // 1..7 lineitems per order, expectation 4 per order.
+  int64_t lineitems = catalog_.GetTable("lineitem")->size();
+  EXPECT_GT(lineitems, 3000 * 2);
+  EXPECT_LT(lineitems, 3000 * 7);
+}
+
+TEST_F(TpchFixture, ForeignKeysHold) {
+  std::string violation;
+  EXPECT_TRUE(catalog_.CheckForeignKeys(&violation)) << violation;
+}
+
+TEST_F(TpchFixture, OneThirdOfCustomersPlaceNoOrders) {
+  std::set<int64_t> ordering;
+  catalog_.GetTable("orders")->ForEach(
+      [&](const Row& row) { ordering.insert(row[1].int64()); });
+  int64_t orderless = 0;
+  catalog_.GetTable("customer")->ForEach([&](const Row& row) {
+    if (ordering.count(row[0].int64()) == 0) ++orderless;
+  });
+  // All custkey % 3 == 0 customers (plus possibly a few more by chance).
+  EXPECT_GE(orderless, 100);
+  catalog_.GetTable("orders")->ForEach([&](const Row& row) {
+    EXPECT_NE(row[1].int64() % 3, 0) << "multiple-of-3 customer ordered";
+  });
+}
+
+TEST_F(TpchFixture, RetailPriceFollowsSpecRange) {
+  double lo = 1e9, hi = -1e9;
+  int64_t below_2000 = 0, total = 0;
+  catalog_.GetTable("part")->ForEach([&](const Row& row) {
+    double price = row[7].float64();
+    lo = std::min(lo, price);
+    hi = std::max(hi, price);
+    if (price < 2000.0) ++below_2000;
+    ++total;
+  });
+  EXPECT_GE(lo, 900.0);
+  EXPECT_LE(hi, 2098.99 + 1e-9);
+  // The V3 filter p_retailprice < 2000 must select a non-trivial strict
+  // subset.
+  EXPECT_GT(below_2000, 0);
+  EXPECT_LT(below_2000, total);
+}
+
+TEST_F(TpchFixture, OrderDatesCoverTheSpecRange) {
+  int64_t lo = INT64_MAX, hi = INT64_MIN;
+  int64_t in_window = 0;
+  const int64_t wlo = ParseDate("1994-06-01");
+  const int64_t whi = ParseDate("1994-12-31");
+  catalog_.GetTable("orders")->ForEach([&](const Row& row) {
+    int64_t d = row[4].int64();
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+    if (d >= wlo && d <= whi) ++in_window;
+  });
+  EXPECT_GE(lo, ParseDate("1992-01-01"));
+  EXPECT_LE(hi, ParseDate("1998-08-02"));
+  // The V3 window covers ≈ 8.9% of the date range.
+  EXPECT_GT(in_window, 3000 / 25);
+  EXPECT_LT(in_window, 3000 / 5);
+}
+
+TEST_F(TpchFixture, GenerationIsDeterministic) {
+  Catalog other;
+  CreateSchema(&other);
+  DbgenOptions options;
+  options.scale_factor = 0.002;
+  Dbgen dbgen2(options);
+  dbgen2.Populate(&other);
+  for (const std::string& name : catalog_.TableNames()) {
+    const Table* a = catalog_.GetTable(name);
+    const Table* b = other.GetTable(name);
+    ASSERT_EQ(a->size(), b->size()) << name;
+    EXPECT_EQ(a->Snapshot(), b->Snapshot()) << name;
+  }
+}
+
+TEST_F(TpchFixture, SparseOrderKeysLeaveGaps) {
+  EXPECT_EQ(Dbgen::SparseOrderKey(1), 1);
+  EXPECT_EQ(Dbgen::SparseOrderKey(8), 8);
+  EXPECT_EQ(Dbgen::SparseOrderKey(9), 33);
+  EXPECT_EQ(Dbgen::SparseOrderKey(17), 65);
+}
+
+TEST_F(TpchFixture, RefreshLineitemsRespectConstraints) {
+  RefreshStream refresh(&catalog_, dbgen_.get(), 77);
+  std::vector<Row> rows = refresh.NewLineitems(200);
+  ASSERT_EQ(rows.size(), 200u);
+  Table* lineitem = catalog_.GetTable("lineitem");
+  for (const Row& row : rows) {
+    ASSERT_TRUE(lineitem->Insert(row)) << "duplicate lineitem key";
+  }
+  std::string violation;
+  EXPECT_TRUE(catalog_.CheckForeignKeys(&violation)) << violation;
+}
+
+TEST_F(TpchFixture, RefreshDeleteKeysExist) {
+  RefreshStream refresh(&catalog_, dbgen_.get(), 78);
+  std::vector<Row> keys = refresh.PickLineitemDeleteKeys(100);
+  ASSERT_EQ(keys.size(), 100u);
+  std::set<std::pair<int64_t, int64_t>> unique;
+  Table* lineitem = catalog_.GetTable("lineitem");
+  for (const Row& key : keys) {
+    unique.emplace(key[0].int64(), key[1].int64());
+    EXPECT_NE(lineitem->FindByKey(key), nullptr);
+  }
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST_F(TpchFixture, RefreshNewOrdersUseGapKeys) {
+  RefreshStream refresh(&catalog_, dbgen_.get(), 79);
+  std::vector<Row> rows = refresh.NewOrders(50);
+  ASSERT_EQ(rows.size(), 50u);
+  Table* orders = catalog_.GetTable("orders");
+  for (const Row& row : rows) {
+    ASSERT_TRUE(orders->Insert(row)) << "order key collision";
+  }
+  std::string violation;
+  EXPECT_TRUE(catalog_.CheckForeignKeys(&violation)) << violation;
+}
+
+TEST_F(TpchFixture, RefreshNewPartsAndCustomersHaveFreshKeys) {
+  RefreshStream refresh(&catalog_, dbgen_.get(), 80);
+  Table* part = catalog_.GetTable("part");
+  Table* customer = catalog_.GetTable("customer");
+  for (const Row& row : refresh.NewParts(30)) {
+    ASSERT_TRUE(part->Insert(row));
+  }
+  for (const Row& row : refresh.NewCustomers(30)) {
+    ASSERT_TRUE(customer->Insert(row));
+  }
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace ojv
