@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_insert.cc" "bench/CMakeFiles/bench_fig5_insert.dir/bench_fig5_insert.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_insert.dir/bench_fig5_insert.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ojv_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ojv_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/ojv_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ivm/CMakeFiles/ojv_ivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/normalform/CMakeFiles/ojv_normalform.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ojv_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ojv_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ojv_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ojv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

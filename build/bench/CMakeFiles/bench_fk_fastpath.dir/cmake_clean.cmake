@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fk_fastpath.dir/bench_fk_fastpath.cc.o"
+  "CMakeFiles/bench_fk_fastpath.dir/bench_fk_fastpath.cc.o.d"
+  "bench_fk_fastpath"
+  "bench_fk_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fk_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

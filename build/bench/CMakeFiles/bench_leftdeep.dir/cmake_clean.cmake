@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leftdeep.dir/bench_leftdeep.cc.o"
+  "CMakeFiles/bench_leftdeep.dir/bench_leftdeep.cc.o.d"
+  "bench_leftdeep"
+  "bench_leftdeep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leftdeep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secondary_delta.dir/bench_secondary_delta.cc.o"
+  "CMakeFiles/bench_secondary_delta.dir/bench_secondary_delta.cc.o.d"
+  "bench_secondary_delta"
+  "bench_secondary_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secondary_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

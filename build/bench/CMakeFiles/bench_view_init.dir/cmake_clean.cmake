@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_view_init.dir/bench_view_init.cc.o"
+  "CMakeFiles/bench_view_init.dir/bench_view_init.cc.o.d"
+  "bench_view_init"
+  "bench_view_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

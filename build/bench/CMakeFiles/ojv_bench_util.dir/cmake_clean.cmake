@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ojv_bench_util.dir/bench_util.cc.o.d"
+  "libojv_bench_util.a"
+  "libojv_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphs_tour.dir/graphs_tour.cpp.o"
+  "CMakeFiles/graphs_tour.dir/graphs_tour.cpp.o.d"
+  "graphs_tour"
+  "graphs_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphs_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_documents.dir/order_documents.cpp.o"
+  "CMakeFiles/order_documents.dir/order_documents.cpp.o.d"
+  "order_documents"
+  "order_documents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_documents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_warehouse.dir/sql_warehouse.cpp.o"
+  "CMakeFiles/sql_warehouse.dir/sql_warehouse.cpp.o.d"
+  "sql_warehouse"
+  "sql_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/rel_expr.cc" "src/algebra/CMakeFiles/ojv_algebra.dir/rel_expr.cc.o" "gcc" "src/algebra/CMakeFiles/ojv_algebra.dir/rel_expr.cc.o.d"
+  "/root/repo/src/algebra/scalar_expr.cc" "src/algebra/CMakeFiles/ojv_algebra.dir/scalar_expr.cc.o" "gcc" "src/algebra/CMakeFiles/ojv_algebra.dir/scalar_expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ojv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_algebra.dir/rel_expr.cc.o"
+  "CMakeFiles/ojv_algebra.dir/rel_expr.cc.o.d"
+  "CMakeFiles/ojv_algebra.dir/scalar_expr.cc.o"
+  "CMakeFiles/ojv_algebra.dir/scalar_expr.cc.o.d"
+  "libojv_algebra.a"
+  "libojv_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_baseline.dir/griffin_kumar.cc.o"
+  "CMakeFiles/ojv_baseline.dir/griffin_kumar.cc.o.d"
+  "CMakeFiles/ojv_baseline.dir/recompute.cc.o"
+  "CMakeFiles/ojv_baseline.dir/recompute.cc.o.d"
+  "libojv_baseline.a"
+  "libojv_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_catalog.dir/catalog.cc.o"
+  "CMakeFiles/ojv_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/ojv_catalog.dir/schema.cc.o"
+  "CMakeFiles/ojv_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/ojv_catalog.dir/table.cc.o"
+  "CMakeFiles/ojv_catalog.dir/table.cc.o.d"
+  "libojv_catalog.a"
+  "libojv_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

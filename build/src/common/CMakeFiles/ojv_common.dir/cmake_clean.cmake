@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_common.dir/date.cc.o"
+  "CMakeFiles/ojv_common.dir/date.cc.o.d"
+  "CMakeFiles/ojv_common.dir/rng.cc.o"
+  "CMakeFiles/ojv_common.dir/rng.cc.o.d"
+  "CMakeFiles/ojv_common.dir/value.cc.o"
+  "CMakeFiles/ojv_common.dir/value.cc.o.d"
+  "libojv_common.a"
+  "libojv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

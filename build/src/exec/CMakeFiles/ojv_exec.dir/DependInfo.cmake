@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/bound_scalar.cc" "src/exec/CMakeFiles/ojv_exec.dir/bound_scalar.cc.o" "gcc" "src/exec/CMakeFiles/ojv_exec.dir/bound_scalar.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/exec/CMakeFiles/ojv_exec.dir/evaluator.cc.o" "gcc" "src/exec/CMakeFiles/ojv_exec.dir/evaluator.cc.o.d"
+  "/root/repo/src/exec/relation.cc" "src/exec/CMakeFiles/ojv_exec.dir/relation.cc.o" "gcc" "src/exec/CMakeFiles/ojv_exec.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/ojv_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ojv_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ojv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_exec.dir/bound_scalar.cc.o"
+  "CMakeFiles/ojv_exec.dir/bound_scalar.cc.o.d"
+  "CMakeFiles/ojv_exec.dir/evaluator.cc.o"
+  "CMakeFiles/ojv_exec.dir/evaluator.cc.o.d"
+  "CMakeFiles/ojv_exec.dir/relation.cc.o"
+  "CMakeFiles/ojv_exec.dir/relation.cc.o.d"
+  "libojv_exec.a"
+  "libojv_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/ojv_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/ojv_io.dir/csv.cc.o.d"
+  "/root/repo/src/io/statement_log.cc" "src/io/CMakeFiles/ojv_io.dir/statement_log.cc.o" "gcc" "src/io/CMakeFiles/ojv_io.dir/statement_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ivm/CMakeFiles/ojv_ivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ojv_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ojv_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ojv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/normalform/CMakeFiles/ojv_normalform.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ojv_algebra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

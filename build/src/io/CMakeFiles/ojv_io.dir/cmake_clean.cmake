@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_io.dir/csv.cc.o"
+  "CMakeFiles/ojv_io.dir/csv.cc.o.d"
+  "CMakeFiles/ojv_io.dir/statement_log.cc.o"
+  "CMakeFiles/ojv_io.dir/statement_log.cc.o.d"
+  "libojv_io.a"
+  "libojv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

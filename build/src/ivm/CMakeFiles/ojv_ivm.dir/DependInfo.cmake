@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ivm/aggregate_view.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/aggregate_view.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/aggregate_view.cc.o.d"
+  "/root/repo/src/ivm/database.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/database.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/database.cc.o.d"
+  "/root/repo/src/ivm/explain.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/explain.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/explain.cc.o.d"
+  "/root/repo/src/ivm/left_deep.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/left_deep.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/left_deep.cc.o.d"
+  "/root/repo/src/ivm/maintainer.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/maintainer.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/maintainer.cc.o.d"
+  "/root/repo/src/ivm/materialized_view.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/materialized_view.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/materialized_view.cc.o.d"
+  "/root/repo/src/ivm/primary_delta.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/primary_delta.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/primary_delta.cc.o.d"
+  "/root/repo/src/ivm/secondary_delta.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/secondary_delta.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/secondary_delta.cc.o.d"
+  "/root/repo/src/ivm/simplify_tree.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/simplify_tree.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/simplify_tree.cc.o.d"
+  "/root/repo/src/ivm/view_def.cc" "src/ivm/CMakeFiles/ojv_ivm.dir/view_def.cc.o" "gcc" "src/ivm/CMakeFiles/ojv_ivm.dir/view_def.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/normalform/CMakeFiles/ojv_normalform.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ojv_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ojv_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ojv_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ojv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

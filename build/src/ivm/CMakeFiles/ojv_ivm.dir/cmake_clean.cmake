@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_ivm.dir/aggregate_view.cc.o"
+  "CMakeFiles/ojv_ivm.dir/aggregate_view.cc.o.d"
+  "CMakeFiles/ojv_ivm.dir/database.cc.o"
+  "CMakeFiles/ojv_ivm.dir/database.cc.o.d"
+  "CMakeFiles/ojv_ivm.dir/explain.cc.o"
+  "CMakeFiles/ojv_ivm.dir/explain.cc.o.d"
+  "CMakeFiles/ojv_ivm.dir/left_deep.cc.o"
+  "CMakeFiles/ojv_ivm.dir/left_deep.cc.o.d"
+  "CMakeFiles/ojv_ivm.dir/maintainer.cc.o"
+  "CMakeFiles/ojv_ivm.dir/maintainer.cc.o.d"
+  "CMakeFiles/ojv_ivm.dir/materialized_view.cc.o"
+  "CMakeFiles/ojv_ivm.dir/materialized_view.cc.o.d"
+  "CMakeFiles/ojv_ivm.dir/primary_delta.cc.o"
+  "CMakeFiles/ojv_ivm.dir/primary_delta.cc.o.d"
+  "CMakeFiles/ojv_ivm.dir/secondary_delta.cc.o"
+  "CMakeFiles/ojv_ivm.dir/secondary_delta.cc.o.d"
+  "CMakeFiles/ojv_ivm.dir/simplify_tree.cc.o"
+  "CMakeFiles/ojv_ivm.dir/simplify_tree.cc.o.d"
+  "CMakeFiles/ojv_ivm.dir/view_def.cc.o"
+  "CMakeFiles/ojv_ivm.dir/view_def.cc.o.d"
+  "libojv_ivm.a"
+  "libojv_ivm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_ivm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libojv_ivm.a"
+)

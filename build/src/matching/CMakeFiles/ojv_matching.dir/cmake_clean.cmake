@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_matching.dir/view_matching.cc.o"
+  "CMakeFiles/ojv_matching.dir/view_matching.cc.o.d"
+  "libojv_matching.a"
+  "libojv_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

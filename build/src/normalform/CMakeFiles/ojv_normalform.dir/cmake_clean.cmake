@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_normalform.dir/jdnf.cc.o"
+  "CMakeFiles/ojv_normalform.dir/jdnf.cc.o.d"
+  "CMakeFiles/ojv_normalform.dir/maintenance_graph.cc.o"
+  "CMakeFiles/ojv_normalform.dir/maintenance_graph.cc.o.d"
+  "CMakeFiles/ojv_normalform.dir/subsumption_graph.cc.o"
+  "CMakeFiles/ojv_normalform.dir/subsumption_graph.cc.o.d"
+  "CMakeFiles/ojv_normalform.dir/term.cc.o"
+  "CMakeFiles/ojv_normalform.dir/term.cc.o.d"
+  "libojv_normalform.a"
+  "libojv_normalform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_normalform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ojv_normalform.
+# This may be replaced when dependencies are built.

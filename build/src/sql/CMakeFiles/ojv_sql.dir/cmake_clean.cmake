@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_sql.dir/lexer.cc.o"
+  "CMakeFiles/ojv_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/ojv_sql.dir/parser.cc.o"
+  "CMakeFiles/ojv_sql.dir/parser.cc.o.d"
+  "libojv_sql.a"
+  "libojv_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

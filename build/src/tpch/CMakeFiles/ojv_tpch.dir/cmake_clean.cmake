@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/ojv_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/ojv_tpch.dir/refresh.cc.o"
+  "CMakeFiles/ojv_tpch.dir/refresh.cc.o.d"
+  "CMakeFiles/ojv_tpch.dir/tpch_schema.cc.o"
+  "CMakeFiles/ojv_tpch.dir/tpch_schema.cc.o.d"
+  "CMakeFiles/ojv_tpch.dir/views.cc.o"
+  "CMakeFiles/ojv_tpch.dir/views.cc.o.d"
+  "libojv_tpch.a"
+  "libojv_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

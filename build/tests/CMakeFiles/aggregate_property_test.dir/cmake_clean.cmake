@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_property_test.dir/ivm/aggregate_property_test.cc.o"
+  "CMakeFiles/aggregate_property_test.dir/ivm/aggregate_property_test.cc.o.d"
+  "aggregate_property_test"
+  "aggregate_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

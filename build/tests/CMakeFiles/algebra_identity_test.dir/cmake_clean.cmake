@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_identity_test.dir/exec/algebra_identity_test.cc.o"
+  "CMakeFiles/algebra_identity_test.dir/exec/algebra_identity_test.cc.o.d"
+  "algebra_identity_test"
+  "algebra_identity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_property_test.dir/ivm/database_property_test.cc.o"
+  "CMakeFiles/database_property_test.dir/ivm/database_property_test.cc.o.d"
+  "database_property_test"
+  "database_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

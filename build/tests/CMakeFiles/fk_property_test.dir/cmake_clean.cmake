@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fk_property_test.dir/ivm/fk_property_test.cc.o"
+  "CMakeFiles/fk_property_test.dir/ivm/fk_property_test.cc.o.d"
+  "fk_property_test"
+  "fk_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fk_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_kumar_test.dir/baseline/griffin_kumar_test.cc.o"
+  "CMakeFiles/griffin_kumar_test.dir/baseline/griffin_kumar_test.cc.o.d"
+  "griffin_kumar_test"
+  "griffin_kumar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_kumar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

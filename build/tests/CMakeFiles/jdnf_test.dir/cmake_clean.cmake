@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jdnf_test.dir/normalform/jdnf_test.cc.o"
+  "CMakeFiles/jdnf_test.dir/normalform/jdnf_test.cc.o.d"
+  "jdnf_test"
+  "jdnf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jdnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_edge_test.dir/exec/join_edge_test.cc.o"
+  "CMakeFiles/join_edge_test.dir/exec/join_edge_test.cc.o.d"
+  "join_edge_test"
+  "join_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

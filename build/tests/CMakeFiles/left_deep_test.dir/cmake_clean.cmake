@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/left_deep_test.dir/ivm/left_deep_test.cc.o"
+  "CMakeFiles/left_deep_test.dir/ivm/left_deep_test.cc.o.d"
+  "left_deep_test"
+  "left_deep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/left_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_property_test.dir/matching/matching_property_test.cc.o"
+  "CMakeFiles/matching_property_test.dir/matching/matching_property_test.cc.o.d"
+  "matching_property_test"
+  "matching_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialized_view_test.dir/ivm/materialized_view_test.cc.o"
+  "CMakeFiles/materialized_view_test.dir/ivm/materialized_view_test.cc.o.d"
+  "materialized_view_test"
+  "materialized_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialized_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

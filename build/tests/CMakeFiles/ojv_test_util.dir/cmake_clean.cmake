@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_test_util.dir/test_util.cc.o"
+  "CMakeFiles/ojv_test_util.dir/test_util.cc.o.d"
+  "libojv_test_util.a"
+  "libojv_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/operator_test.cc" "tests/CMakeFiles/operator_test.dir/exec/operator_test.cc.o" "gcc" "tests/CMakeFiles/operator_test.dir/exec/operator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/ojv_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/ojv_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/ojv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ojv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ojv_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/ojv_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ivm/CMakeFiles/ojv_ivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/normalform/CMakeFiles/ojv_normalform.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ojv_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ojv_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ojv_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ojv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

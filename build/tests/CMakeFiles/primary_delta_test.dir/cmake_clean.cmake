@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primary_delta_test.dir/ivm/primary_delta_test.cc.o"
+  "CMakeFiles/primary_delta_test.dir/ivm/primary_delta_test.cc.o.d"
+  "primary_delta_test"
+  "primary_delta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primary_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secondary_delta_test.dir/ivm/secondary_delta_test.cc.o"
+  "CMakeFiles/secondary_delta_test.dir/ivm/secondary_delta_test.cc.o.d"
+  "secondary_delta_test"
+  "secondary_delta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secondary_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

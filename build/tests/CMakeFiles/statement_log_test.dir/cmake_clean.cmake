@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statement_log_test.dir/io/statement_log_test.cc.o"
+  "CMakeFiles/statement_log_test.dir/io/statement_log_test.cc.o.d"
+  "statement_log_test"
+  "statement_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statement_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

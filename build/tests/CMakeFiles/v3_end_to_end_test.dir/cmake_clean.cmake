@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3_end_to_end_test.dir/integration/v3_end_to_end_test.cc.o"
+  "CMakeFiles/v3_end_to_end_test.dir/integration/v3_end_to_end_test.cc.o.d"
+  "v3_end_to_end_test"
+  "v3_end_to_end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_def_test.dir/ivm/view_def_test.cc.o"
+  "CMakeFiles/view_def_test.dir/ivm/view_def_test.cc.o.d"
+  "view_def_test"
+  "view_def_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_def_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

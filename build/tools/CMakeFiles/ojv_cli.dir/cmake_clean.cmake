@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ojv_cli.dir/ojv_cli.cc.o"
+  "CMakeFiles/ojv_cli.dir/ojv_cli.cc.o.d"
+  "ojv_cli"
+  "ojv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ojv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_demo "/root/repo/build/tools/ojv_cli" "run" "/root/repo/tools/demo.ojv" "--sf=0.002")
+set_tests_properties(cli_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gen "/root/repo/build/tools/ojv_cli" "gen" "--sf=0.001" "--out=/root/repo/build/cli_data")
+set_tests_properties(cli_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_roundtrip "/root/repo/build/tools/ojv_cli" "run" "/root/repo/tools/roundtrip.ojv")
+set_tests_properties(cli_roundtrip PROPERTIES  DEPENDS "cli_gen" WORKING_DIRECTORY "/root/repo/build" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
