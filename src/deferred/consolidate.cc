@@ -1,0 +1,108 @@
+#include "deferred/consolidate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ojv {
+namespace deferred {
+namespace {
+
+struct RowKeyLess {
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].SortCompare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Net state of one key while walking its entries in log order.
+struct NetState {
+  bool has_old = false;  // pre-image deleted from the batch's pre-state
+  bool has_new = false;  // post-image present in the batch's post-state
+  Row old_row;
+  Row new_row;
+};
+
+Row KeyOf(const Row& row, const std::vector<int>& key_positions) {
+  Row key;
+  key.reserve(key_positions.size());
+  for (int p : key_positions) key.push_back(row[static_cast<size_t>(p)]);
+  return key;
+}
+
+TableDelta ConsolidateTable(const std::string& table,
+                            const std::vector<DeltaEntry>& entries,
+                            const std::vector<int>& key_positions) {
+  TableDelta delta;
+  delta.table = table;
+  delta.first_seq = entries.front().seq;
+  delta.raw_entries = static_cast<int64_t>(entries.size());
+
+  std::map<Row, NetState, RowKeyLess> by_key;
+  for (const DeltaEntry& entry : entries) {
+    NetState& state = by_key[KeyOf(entry.row, key_positions)];
+    if (entry.op == DeltaOp::kInsert) {
+      // A second insert of a live key cannot be logged: the base table
+      // rejects duplicate keys at statement time.
+      OJV_CHECK(!state.has_new, "duplicate pending insert for one key");
+      state.has_new = true;
+      state.new_row = entry.row;
+    } else {
+      if (state.has_new) {
+        // Deleting a row inserted within the batch: the insert never
+        // reaches the view. With a pre-image too, the key collapses back
+        // to a pure delete of the original row.
+        state.has_new = false;
+        state.new_row.clear();
+      } else {
+        OJV_CHECK(!state.has_old, "duplicate pending delete for one key");
+        state.has_old = true;
+        state.old_row = entry.row;
+      }
+    }
+  }
+
+  for (auto& [key, state] : by_key) {
+    if (state.has_old && state.has_new && state.old_row == state.new_row) {
+      // delete + reinsert of the identical row: no net effect.
+      continue;
+    }
+    if (state.has_old && state.has_new) ++delta.update_pairs;
+    if (state.has_old) delta.deletes.push_back(std::move(state.old_row));
+    if (state.has_new) delta.inserts.push_back(std::move(state.new_row));
+  }
+  delta.cancelled =
+      delta.raw_entries - static_cast<int64_t>(delta.deletes.size()) -
+      static_cast<int64_t>(delta.inserts.size());
+  return delta;
+}
+
+}  // namespace
+
+std::vector<TableDelta> Consolidate(
+    const std::map<std::string, std::vector<DeltaEntry>>& pending,
+    const Catalog& catalog) {
+  std::vector<TableDelta> deltas;
+  for (const auto& [table, entries] : pending) {
+    if (entries.empty()) continue;
+    const Table* base = catalog.GetTable(table);
+    OJV_CHECK(base != nullptr, "pending entries for unknown table");
+    TableDelta delta = ConsolidateTable(table, entries, base->key_positions());
+    if (delta.deletes.empty() && delta.inserts.empty()) {
+      // Fully cancelled: nothing for the maintainers, but keep the raw /
+      // cancelled counts visible to the caller's stats.
+    }
+    deltas.push_back(std::move(delta));
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const TableDelta& a, const TableDelta& b) {
+              return a.first_seq < b.first_seq;
+            });
+  return deltas;
+}
+
+}  // namespace deferred
+}  // namespace ojv

@@ -1,0 +1,151 @@
+#include "deferred/scheduler.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ojv {
+namespace deferred {
+
+const char* RefreshPolicyName(RefreshPolicy policy) {
+  switch (policy) {
+    case RefreshPolicy::kImmediate:
+      return "immediate";
+    case RefreshPolicy::kOnDemand:
+      return "on-demand";
+    case RefreshPolicy::kThreshold:
+      return "threshold";
+  }
+  return "?";
+}
+
+void RefreshScheduler::SetPolicy(const std::string& view, RefreshPolicy policy,
+                                 ThresholdConfig config) {
+  ViewRefreshState& state = views_[view];
+  state.policy = policy;
+  state.config = config;
+}
+
+void RefreshScheduler::Forget(const std::string& view) { views_.erase(view); }
+
+RefreshPolicy RefreshScheduler::policy(const std::string& view) const {
+  auto it = views_.find(view);
+  return it == views_.end() ? RefreshPolicy::kImmediate : it->second.policy;
+}
+
+const ThresholdConfig& RefreshScheduler::config(const std::string& view) const {
+  auto it = views_.find(view);
+  OJV_CHECK(it != views_.end(), "no refresh state for view");
+  return it->second.config;
+}
+
+bool RefreshScheduler::IsDeferred(const std::string& view) const {
+  return policy(view) != RefreshPolicy::kImmediate;
+}
+
+bool RefreshScheduler::HasDeferredViews() const {
+  for (const auto& [view, state] : views_) {
+    if (state.policy != RefreshPolicy::kImmediate) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> RefreshScheduler::DeferredViews() const {
+  std::vector<std::string> out;
+  for (const auto& [view, state] : views_) {
+    if (state.policy != RefreshPolicy::kImmediate) out.push_back(view);
+  }
+  return out;
+}
+
+bool RefreshScheduler::Due(const std::string& view, int64_t pending_rows,
+                           double staleness_micros) const {
+  auto it = views_.find(view);
+  if (it == views_.end() || it->second.policy != RefreshPolicy::kThreshold) {
+    return false;
+  }
+  if (pending_rows <= 0) return false;
+  const ThresholdConfig& config = it->second.config;
+  if (config.max_pending_rows > 0 && pending_rows >= config.max_pending_rows) {
+    return true;
+  }
+  return config.max_staleness_micros > 0 &&
+         staleness_micros >= config.max_staleness_micros;
+}
+
+void RefreshScheduler::RecordRefresh(const std::string& view,
+                                     const RefreshStats& stats) {
+  ViewRefreshState& state = views_[view];
+  ++state.refreshes;
+  state.raw_entries += stats.raw_entries;
+  state.consolidated_rows += stats.consolidated_rows;
+  state.cancelled_rows += stats.cancelled_rows;
+  state.refresh_micros += stats.refresh_micros;
+  state.last = stats;
+}
+
+const ViewRefreshState* RefreshScheduler::state(const std::string& view) const {
+  auto it = views_.find(view);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::string RefreshScheduler::Report() const {
+  std::ostringstream out;
+  out << "view                policy     refreshes    raw-rows   net-rows"
+      << "   cancelled  refresh-ms" << '\n';
+  for (const auto& [view, s] : views_) {
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "%-18s %-10s %10lld %11lld %10lld %11lld %11.2f\n",
+                  view.c_str(), RefreshPolicyName(s.policy),
+                  static_cast<long long>(s.refreshes),
+                  static_cast<long long>(s.raw_entries),
+                  static_cast<long long>(s.consolidated_rows),
+                  static_cast<long long>(s.cancelled_rows),
+                  s.refresh_micros / 1000.0);
+    out << line;
+  }
+  return out.str();
+}
+
+void BackgroundRefresher::Start(std::chrono::milliseconds interval,
+                                std::function<void()> drain) {
+  OJV_CHECK(!thread_.joinable(), "background refresher already running");
+  stop_ = false;
+  pinged_ = false;
+  thread_ = std::thread([this, interval, drain = std::move(drain)] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, interval, [this] { return stop_ || pinged_; });
+      if (stop_) break;
+      pinged_ = false;
+      // Run the drain without holding our own mutex: it takes the
+      // database's statement mutex and may run for a while.
+      lock.unlock();
+      drain();
+      lock.lock();
+    }
+  });
+}
+
+void BackgroundRefresher::Notify() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinged_ = true;
+  }
+  cv_.notify_one();
+}
+
+void BackgroundRefresher::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+  thread_.join();
+}
+
+}  // namespace deferred
+}  // namespace ojv

@@ -147,7 +147,9 @@ MaintenanceStats AggViewMaintainer::OnInsert(const std::string& table,
       policy == PlanPolicy::kConstraintFree && fkfree_inner_ != nullptr
           ? fkfree_inner_.get()
           : inner_.get();
-  return Maintain(planner, table, rows, /*is_insert=*/true);
+  MaintenanceStats stats = Maintain(planner, table, rows, /*is_insert=*/true);
+  if (stats_hook_) stats_hook_(table, stats);
+  return stats;
 }
 
 MaintenanceStats AggViewMaintainer::OnDelete(const std::string& table,
@@ -157,7 +159,9 @@ MaintenanceStats AggViewMaintainer::OnDelete(const std::string& table,
       policy == PlanPolicy::kConstraintFree && fkfree_inner_ != nullptr
           ? fkfree_inner_.get()
           : inner_.get();
-  return Maintain(planner, table, rows, /*is_insert=*/false);
+  MaintenanceStats stats = Maintain(planner, table, rows, /*is_insert=*/false);
+  if (stats_hook_) stats_hook_(table, stats);
+  return stats;
 }
 
 MaintenanceStats AggViewMaintainer::OnUpdate(const std::string& table,
@@ -165,18 +169,42 @@ MaintenanceStats AggViewMaintainer::OnUpdate(const std::string& table,
                                              const std::vector<Row>& new_rows) {
   ViewMaintainer* planner =
       fkfree_inner_ != nullptr ? fkfree_inner_.get() : inner_.get();
-  MaintenanceStats del = Maintain(planner, table, old_rows,
-                                  /*is_insert=*/false);
-  MaintenanceStats ins = Maintain(planner, table, new_rows,
-                                  /*is_insert=*/true);
+  MaintenanceStats stats = Maintain(planner, table, old_rows,
+                                    /*is_insert=*/false);
+  stats.Merge(Maintain(planner, table, new_rows, /*is_insert=*/true));
+  stats.direct_terms = 0;
+  stats.indirect_terms = 0;
+  if (stats_hook_) stats_hook_(table, stats);
+  return stats;
+}
+
+MaintenanceStats AggViewMaintainer::OnConsolidatedBatch(
+    Table* base, const std::string& table, const std::vector<Row>& net_deletes,
+    const std::vector<Row>& net_inserts, PlanPolicy policy) {
+  OJV_CHECK(base != nullptr && base->name() == table,
+            "consolidated batch must target its own base table");
   MaintenanceStats stats;
-  stats.delta_rows = del.delta_rows + ins.delta_rows;
-  stats.primary_rows = del.primary_rows + ins.primary_rows;
-  stats.secondary_rows = del.secondary_rows + ins.secondary_rows;
-  stats.primary_micros = del.primary_micros + ins.primary_micros;
-  stats.apply_micros = del.apply_micros + ins.apply_micros;
-  stats.secondary_micros = del.secondary_micros + ins.secondary_micros;
-  stats.total_micros = del.total_micros + ins.total_micros;
+  if (!net_deletes.empty()) {
+    std::vector<Row> keys;
+    keys.reserve(net_deletes.size());
+    for (const Row& row : net_deletes) {
+      Row key;
+      for (int p : base->key_positions()) {
+        key.push_back(row[static_cast<size_t>(p)]);
+      }
+      keys.push_back(std::move(key));
+    }
+    std::vector<Row> deleted = ApplyBaseDelete(base, keys);
+    OJV_CHECK(deleted.size() == net_deletes.size(),
+              "consolidated deletes must all be present");
+    stats.Merge(OnDelete(table, deleted, policy));
+  }
+  if (!net_inserts.empty()) {
+    std::vector<Row> inserted = ApplyBaseInsert(base, net_inserts);
+    OJV_CHECK(inserted.size() == net_inserts.size(),
+              "consolidated inserts must all be fresh keys");
+    stats.Merge(OnInsert(table, inserted, policy));
+  }
   return stats;
 }
 

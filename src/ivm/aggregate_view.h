@@ -63,6 +63,19 @@ class AggViewMaintainer {
                             const std::vector<Row>& old_rows,
                             const std::vector<Row>& new_rows);
 
+  /// Consolidated deferred batch: applies net deletes to `base` and
+  /// maintains them, then net inserts (see ViewMaintainer::
+  /// OnConsolidatedBatch for the exact contract).
+  MaintenanceStats OnConsolidatedBatch(Table* base, const std::string& table,
+                                       const std::vector<Row>& net_deletes,
+                                       const std::vector<Row>& net_inserts,
+                                       PlanPolicy policy);
+
+  /// Installs a stats observer (empty to remove).
+  void set_stats_hook(MaintenanceStatsHook hook) {
+    stats_hook_ = std::move(hook);
+  }
+
   int64_t num_groups() const { return static_cast<int64_t>(groups_.size()); }
 
   /// Snapshot: group columns, then "row_count", then the declared
@@ -128,6 +141,7 @@ class AggViewMaintainer {
   /// When ExposeNotNullCounts was requested: the null-extendable tables
   /// (name, first-key position in the base view's schema).
   std::vector<std::pair<std::string, int>> notnull_tables_;
+  MaintenanceStatsHook stats_hook_;
 };
 
 }  // namespace ojv

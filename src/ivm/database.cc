@@ -1,9 +1,11 @@
 #include "ivm/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
 #include "common/check.h"
+#include "deferred/consolidate.h"
 
 namespace ojv {
 namespace {
@@ -18,6 +20,7 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 
 ViewMaintainer* Database::CreateMaterializedView(
     ViewDef view, const MaintenanceOptions* options) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::string name = view.name();
   OJV_CHECK(views_.find(name) == views_.end() &&
                 agg_views_.find(name) == agg_views_.end(),
@@ -34,6 +37,7 @@ ViewMaintainer* Database::CreateMaterializedView(
 AggViewMaintainer* Database::CreateAggregateView(
     ViewDef base, std::vector<ColumnRef> group_by,
     std::vector<AggregateSpec> aggregates, const MaintenanceOptions* options) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::string name = base.name();
   OJV_CHECK(views_.find(name) == views_.end() &&
                 agg_views_.find(name) == agg_views_.end(),
@@ -48,16 +52,19 @@ AggViewMaintainer* Database::CreateAggregateView(
 }
 
 ViewMaintainer* Database::GetView(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = views_.find(name);
   return it == views_.end() ? nullptr : it->second.get();
 }
 
 AggViewMaintainer* Database::GetAggregateView(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = agg_views_.find(name);
   return it == agg_views_.end() ? nullptr : it->second.get();
 }
 
 std::vector<ViewMaintainer*> Database::Views() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<ViewMaintainer*> out;
   out.reserve(views_.size());
   for (auto& [name, view] : views_) out.push_back(view.get());
@@ -65,6 +72,9 @@ std::vector<ViewMaintainer*> Database::Views() {
 }
 
 bool Database::DropView(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (delta_log_.IsConsumer(name)) delta_log_.UnregisterConsumer(name);
+  scheduler_.Forget(name);
   stats_.erase(name);
   return views_.erase(name) > 0 || agg_views_.erase(name) > 0;
 }
@@ -94,7 +104,6 @@ std::vector<std::pair<const ForeignKey*, std::vector<Row>>>
 Database::ReferencingRows(const std::string& table,
                           const std::vector<Row>& keys) {
   std::vector<std::pair<const ForeignKey*, std::vector<Row>>> out;
-  const Table* parent = catalog_.GetTable(table);
   for (const ForeignKey* fk : catalog_.ForeignKeysReferencing(table)) {
     const Table* child = catalog_.GetTable(fk->child_table);
     std::vector<int> fk_positions;
@@ -120,7 +129,6 @@ Database::ReferencingRows(const std::string& table,
     });
     if (!hits.empty()) out.emplace_back(fk, std::move(hits));
   }
-  (void)parent;
   return out;
 }
 
@@ -135,6 +143,7 @@ void Database::Accumulate(const std::string& view,
 }
 
 std::string Database::StatsReport() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::ostringstream out;
   out << "view                stmts      delta    primary  secondary"
       << "    total-ms" << '\n';
@@ -152,19 +161,282 @@ std::string Database::StatsReport() const {
   return out.str();
 }
 
+std::string Database::RefreshReport() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return scheduler_.Report();
+}
+
+// --- deferred maintenance -------------------------------------------------
+
+const std::set<std::string>& Database::TablesOf(const std::string& view) const {
+  auto it = views_.find(view);
+  if (it != views_.end()) return it->second->view_def().tables();
+  auto ait = agg_views_.find(view);
+  OJV_CHECK(ait != agg_views_.end(), "unknown view");
+  return ait->second->base_view().tables();
+}
+
+void Database::StageDeferred(const std::string& table, deferred::DeltaOp op,
+                             const std::vector<Row>& rows, bool update_pair) {
+  if (rows.empty() || in_transaction_ || !scheduler_.HasDeferredViews()) {
+    return;
+  }
+  // Stage only when some deferred view will ever consume the entries.
+  for (const std::string& view : scheduler_.DeferredViews()) {
+    if (TablesOf(view).count(table) > 0) {
+      delta_log_.Append(table, op, rows, update_pair);
+      return;
+    }
+  }
+}
+
+void Database::SetRefreshPolicy(const std::string& view,
+                                deferred::RefreshPolicy policy,
+                                deferred::ThresholdConfig config) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  OJV_CHECK(views_.count(view) > 0 || agg_views_.count(view) > 0,
+            "unknown view");
+  bool was_deferred = scheduler_.IsDeferred(view);
+  bool now_deferred = policy != deferred::RefreshPolicy::kImmediate;
+  if (was_deferred && !now_deferred) {
+    // Drain before going eager: an immediate view is never stale.
+    RefreshLocked(view);
+    delta_log_.UnregisterConsumer(view);
+  }
+  scheduler_.SetPolicy(view, policy, config);
+  if (!was_deferred && now_deferred) delta_log_.RegisterConsumer(view);
+}
+
+deferred::RefreshPolicy Database::GetRefreshPolicy(
+    const std::string& view) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return scheduler_.policy(view);
+}
+
+int64_t Database::PendingRows(const std::string& view) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!scheduler_.IsDeferred(view)) return 0;
+  return delta_log_.PendingRows(view, TablesOf(view));
+}
+
+const deferred::ViewRefreshState* Database::RefreshState(
+    const std::string& view) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return scheduler_.state(view);
+}
+
+deferred::RefreshStats Database::Refresh(const std::string& view) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  OJV_CHECK(views_.count(view) > 0 || agg_views_.count(view) > 0,
+            "unknown view");
+  return RefreshLocked(view);
+}
+
+std::map<std::string, deferred::RefreshStats> Database::RefreshAll() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::map<std::string, deferred::RefreshStats> out;
+  for (const std::string& view : scheduler_.DeferredViews()) {
+    out[view] = RefreshLocked(view);
+  }
+  return out;
+}
+
+const MaterializedView* Database::ReadView(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = views_.find(name);
+  if (it == views_.end()) return nullptr;
+  if (!in_transaction_ && scheduler_.IsDeferred(name)) RefreshLocked(name);
+  return &it->second->view();
+}
+
+Relation Database::ReadAggregateRelation(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = agg_views_.find(name);
+  OJV_CHECK(it != agg_views_.end(), "unknown aggregate view");
+  if (!in_transaction_ && scheduler_.IsDeferred(name)) RefreshLocked(name);
+  return it->second->AsRelation();
+}
+
+deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
+  deferred::RefreshStats stats;
+  if (!scheduler_.IsDeferred(name)) return stats;  // never stale
+  ViewMaintainer* row_view = nullptr;
+  AggViewMaintainer* agg_view = nullptr;
+  if (auto it = views_.find(name); it != views_.end()) {
+    row_view = it->second.get();
+  } else {
+    auto ait = agg_views_.find(name);
+    OJV_CHECK(ait != agg_views_.end(), "unknown view");
+    agg_view = ait->second.get();
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  const std::set<std::string>& tables = TablesOf(name);
+  stats.staleness_micros = delta_log_.OldestPendingMicros(name, tables);
+  std::map<std::string, std::vector<deferred::DeltaEntry>> pending =
+      delta_log_.PendingFor(name, tables);
+  uint64_t consumed_to = delta_log_.tail();
+
+  if (!pending.empty()) {
+    std::vector<deferred::TableDelta> deltas =
+        deferred::Consolidate(pending, catalog_);
+    std::vector<const deferred::TableDelta*> active;
+    for (const deferred::TableDelta& d : deltas) {
+      stats.raw_entries += d.raw_entries;
+      stats.consolidated_rows += static_cast<int64_t>(d.deletes.size()) +
+                                 static_cast<int64_t>(d.inserts.size());
+      stats.cancelled_rows += d.cancelled;
+      stats.update_pairs += d.update_pairs;
+      if (!d.deletes.empty() || !d.inserts.empty()) {
+        ++stats.tables_touched;
+        active.push_back(&d);
+      }
+    }
+
+    auto maintain = [&](const MaintenanceStats& m) {
+      Accumulate(name, m);
+      stats.maintenance_micros += m.total_micros;
+    };
+
+    if (active.size() == 1 &&
+        (active[0]->deletes.empty() || active[0]->inserts.empty())) {
+      // Single-table, single-operation batch: the base table's current
+      // (post-batch) state is exactly what one eager statement with the
+      // net rows would have seen, so no revert is needed and the
+      // foreign-key plan set stays usable.
+      const deferred::TableDelta& d = *active[0];
+      if (!d.deletes.empty()) {
+        maintain(row_view != nullptr
+                     ? row_view->OnDelete(d.table, d.deletes,
+                                          PlanPolicy::kDefault)
+                     : agg_view->OnDelete(d.table, d.deletes,
+                                          PlanPolicy::kDefault));
+      } else {
+        maintain(row_view != nullptr
+                     ? row_view->OnInsert(d.table, d.inserts,
+                                          PlanPolicy::kDefault)
+                     : agg_view->OnInsert(d.table, d.inserts,
+                                          PlanPolicy::kDefault));
+      }
+    } else if (!active.empty()) {
+      // General batch (several tables, or delete+reinsert pairs): revert
+      // the raw pending entries newest-first, then replay the net deltas
+      // in first-appearance order. Every maintenance call then sees
+      // precisely the base state an eager execution of the consolidated
+      // statement sequence would have seen. Foreign keys may be violated
+      // between those statements (an update pair's halves, a child batch
+      // replayed before its parents), so the whole replay runs on the
+      // constraint-free plan sets (§6 caveats 1 and 3).
+      std::vector<std::pair<const std::string*, const deferred::DeltaEntry*>>
+          raw;
+      for (const auto& [table, entries] : pending) {
+        for (const deferred::DeltaEntry& e : entries) {
+          raw.emplace_back(&table, &e);
+        }
+      }
+      std::sort(raw.begin(), raw.end(), [](const auto& a, const auto& b) {
+        return a.second->seq > b.second->seq;
+      });
+      for (const auto& [table, entry] : raw) {
+        Table* base = catalog_.GetTable(*table);
+        if (entry->op == deferred::DeltaOp::kInsert) {
+          Row key;
+          for (int p : base->key_positions()) {
+            key.push_back(entry->row[static_cast<size_t>(p)]);
+          }
+          Row removed;
+          OJV_CHECK(base->DeleteByKey(key, &removed),
+                    "deferred revert: staged insert not present");
+        } else {
+          OJV_CHECK(base->Insert(entry->row),
+                    "deferred revert: staged delete still present");
+        }
+      }
+      for (const deferred::TableDelta* d : active) {
+        Table* base = catalog_.GetTable(d->table);
+        maintain(row_view != nullptr
+                     ? row_view->OnConsolidatedBatch(
+                           base, d->table, d->deletes, d->inserts,
+                           PlanPolicy::kConstraintFree)
+                     : agg_view->OnConsolidatedBatch(
+                           base, d->table, d->deletes, d->inserts,
+                           PlanPolicy::kConstraintFree));
+      }
+      // Fully-cancelled tables were reverted but have nothing to replay:
+      // restore their post-batch state by definition of cancellation
+      // (their pre- and post-batch states coincide), so nothing to do.
+    }
+  }
+
+  delta_log_.AdvanceTo(name, consumed_to);
+  delta_log_.TruncateConsumed();
+  stats.refresh_micros = MicrosSince(start);
+  scheduler_.RecordRefresh(name, stats);
+  return stats;
+}
+
+void Database::MaybeAutoRefresh(StatementResult* result) {
+  if (in_transaction_ || !scheduler_.HasDeferredViews()) return;
+  for (const std::string& view : scheduler_.DeferredViews()) {
+    if (scheduler_.policy(view) != deferred::RefreshPolicy::kThreshold) {
+      continue;
+    }
+    const std::set<std::string>& tables = TablesOf(view);
+    int64_t pending = delta_log_.PendingRows(view, tables);
+    double staleness = delta_log_.OldestPendingMicros(view, tables);
+    if (!scheduler_.Due(view, pending, staleness)) continue;
+    if (refresher_.running()) {
+      refresher_.Notify();
+    } else {
+      deferred::RefreshStats stats = RefreshLocked(view);
+      if (result != nullptr) {
+        result->maintenance_micros += stats.maintenance_micros;
+        result->view_micros[view] += stats.maintenance_micros;
+      }
+    }
+  }
+}
+
+void Database::DrainDueViews() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (in_transaction_) return;  // transactions drain at Begin and run eager
+  for (const std::string& view : scheduler_.DeferredViews()) {
+    if (scheduler_.policy(view) != deferred::RefreshPolicy::kThreshold) {
+      continue;
+    }
+    const std::set<std::string>& tables = TablesOf(view);
+    int64_t pending = delta_log_.PendingRows(view, tables);
+    double staleness = delta_log_.OldestPendingMicros(view, tables);
+    if (scheduler_.Due(view, pending, staleness)) RefreshLocked(view);
+  }
+}
+
+void Database::StartBackgroundRefresh(std::chrono::milliseconds interval) {
+  OJV_CHECK(!refresher_.running(), "background refresh already running");
+  refresher_.Start(interval, [this] { DrainDueViews(); });
+}
+
+void Database::StopBackgroundRefresh() { refresher_.Stop(); }
+
+// --- statements -----------------------------------------------------------
+
 void Database::MaintainInsert(const std::string& table,
                               const std::vector<Row>& rows,
                               StatementResult* result) {
   auto start = std::chrono::steady_clock::now();
   for (auto& [name, view] : views_) {
-    if (view->view_def().tables().count(table) > 0) {
-      Accumulate(name, view->OnInsert(table, rows, CurrentPolicy()));
-    }
+    if (view->view_def().tables().count(table) == 0) continue;
+    if (DeferredNow(name)) continue;
+    MaintenanceStats stats = view->OnInsert(table, rows, CurrentPolicy());
+    Accumulate(name, stats);
+    result->view_micros[name] += stats.total_micros;
   }
   for (auto& [name, view] : agg_views_) {
-    if (view->base_view().tables().count(table) > 0) {
-      Accumulate(name, view->OnInsert(table, rows, CurrentPolicy()));
-    }
+    if (view->base_view().tables().count(table) == 0) continue;
+    if (DeferredNow(name)) continue;
+    MaintenanceStats stats = view->OnInsert(table, rows, CurrentPolicy());
+    Accumulate(name, stats);
+    result->view_micros[name] += stats.total_micros;
   }
   result->maintenance_micros += MicrosSince(start);
 }
@@ -174,20 +446,25 @@ void Database::MaintainDelete(const std::string& table,
                               StatementResult* result) {
   auto start = std::chrono::steady_clock::now();
   for (auto& [name, view] : views_) {
-    if (view->view_def().tables().count(table) > 0) {
-      Accumulate(name, view->OnDelete(table, rows, CurrentPolicy()));
-    }
+    if (view->view_def().tables().count(table) == 0) continue;
+    if (DeferredNow(name)) continue;
+    MaintenanceStats stats = view->OnDelete(table, rows, CurrentPolicy());
+    Accumulate(name, stats);
+    result->view_micros[name] += stats.total_micros;
   }
   for (auto& [name, view] : agg_views_) {
-    if (view->base_view().tables().count(table) > 0) {
-      Accumulate(name, view->OnDelete(table, rows, CurrentPolicy()));
-    }
+    if (view->base_view().tables().count(table) == 0) continue;
+    if (DeferredNow(name)) continue;
+    MaintenanceStats stats = view->OnDelete(table, rows, CurrentPolicy());
+    Accumulate(name, stats);
+    result->view_micros[name] += stats.total_micros;
   }
   result->maintenance_micros += MicrosSince(start);
 }
 
 Database::StatementResult Database::Insert(const std::string& table,
                                            const std::vector<Row>& rows) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   StatementResult result;
   if (!catalog_.HasTable(table)) {
     result.error = "unknown table " + table;
@@ -208,16 +485,27 @@ Database::StatementResult Database::Insert(const std::string& table,
   result.rows_affected = static_cast<int64_t>(accepted.size());
   if (!accepted.empty()) {
     MaintainInsert(table, accepted, &result);
+    StageDeferred(table, deferred::DeltaOp::kInsert, accepted,
+                  /*update_pair=*/false);
     if (in_transaction_) {
       undo_log_.push_back(
           {UndoEntry::Kind::kDeleteInserted, table, accepted, {}});
     }
   }
+  MaybeAutoRefresh(&result);
   return result;
 }
 
 Database::StatementResult Database::Delete(const std::string& table,
                                            const std::vector<Row>& keys) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  StatementResult result = DeleteLocked(table, keys);
+  if (result.ok()) MaybeAutoRefresh(&result);
+  return result;
+}
+
+Database::StatementResult Database::DeleteLocked(const std::string& table,
+                                                 const std::vector<Row>& keys) {
   StatementResult result;
   if (!catalog_.HasTable(table)) {
     result.error = "unknown table " + table;
@@ -249,13 +537,16 @@ Database::StatementResult Database::Delete(const std::string& table,
       child_keys.push_back(std::move(key));
     }
     // Recursive delete handles chains of cascading constraints.
-    StatementResult cascaded = Delete(fk->child_table, child_keys);
+    StatementResult cascaded = DeleteLocked(fk->child_table, child_keys);
     if (!cascaded.ok()) {
       result.error = cascaded.error;
       return result;
     }
     result.rows_affected += cascaded.rows_affected;
     result.maintenance_micros += cascaded.maintenance_micros;
+    for (const auto& [view, micros] : cascaded.view_micros) {
+      result.view_micros[view] += micros;
+    }
   }
 
   Table* base = catalog_.GetTable(table);
@@ -265,6 +556,8 @@ Database::StatementResult Database::Delete(const std::string& table,
   result.rows_affected += static_cast<int64_t>(deleted.size());
   if (!deleted.empty()) {
     MaintainDelete(table, deleted, &result);
+    StageDeferred(table, deferred::DeltaOp::kDelete, deleted,
+                  /*update_pair=*/false);
     if (in_transaction_) {
       undo_log_.push_back(
           {UndoEntry::Kind::kReinsertDeleted, table, deleted, {}});
@@ -276,6 +569,7 @@ Database::StatementResult Database::Delete(const std::string& table,
 Database::StatementResult Database::Update(const std::string& table,
                                            const std::vector<Row>& keys,
                                            const std::vector<Row>& new_rows) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   StatementResult result;
   if (!catalog_.HasTable(table)) {
     result.error = "unknown table " + table;
@@ -320,31 +614,51 @@ Database::StatementResult Database::Update(const std::string& table,
 
   auto start = std::chrono::steady_clock::now();
   for (auto& [name, view] : views_) {
-    if (view->view_def().tables().count(table) > 0) {
-      Accumulate(name, view->OnUpdate(table, old_rows, applied_new));
-    }
+    if (view->view_def().tables().count(table) == 0) continue;
+    if (DeferredNow(name)) continue;
+    MaintenanceStats stats = view->OnUpdate(table, old_rows, applied_new);
+    Accumulate(name, stats);
+    result.view_micros[name] += stats.total_micros;
   }
   for (auto& [name, view] : agg_views_) {
-    if (view->base_view().tables().count(table) > 0) {
-      Accumulate(name, view->OnUpdate(table, old_rows, applied_new));
-    }
+    if (view->base_view().tables().count(table) == 0) continue;
+    if (DeferredNow(name)) continue;
+    MaintenanceStats stats = view->OnUpdate(table, old_rows, applied_new);
+    Accumulate(name, stats);
+    result.view_micros[name] += stats.total_micros;
   }
   result.maintenance_micros += MicrosSince(start);
-  if (in_transaction_ && !applied_new.empty()) {
+  // Stage both halves flagged as an update pair: wherever the refresh
+  // boundary falls, their replay must stay on constraint-free plans
+  // (§6 caveat 1).
+  StageDeferred(table, deferred::DeltaOp::kDelete, old_rows,
+                /*update_pair=*/true);
+  StageDeferred(table, deferred::DeltaOp::kInsert, applied_new,
+                /*update_pair=*/true);
+  if (in_transaction_) {
     undo_log_.push_back(
         {UndoEntry::Kind::kReverseUpdate, table, applied_new, old_rows});
   }
+  MaybeAutoRefresh(&result);
   return result;
 }
 
 bool Database::BeginTransaction() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (in_transaction_) return false;
+  // Deferred views catch up first: statements inside the transaction are
+  // maintained eagerly (on constraint-free plans), and rollback's
+  // inverse statements assume the views reflect all prior statements.
+  for (const std::string& view : scheduler_.DeferredViews()) {
+    RefreshLocked(view);
+  }
   in_transaction_ = true;
   undo_log_.clear();
   return true;
 }
 
 Database::StatementResult Database::Commit() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   StatementResult result;
   if (!in_transaction_) {
     result.error = "no open transaction";
@@ -362,6 +676,7 @@ Database::StatementResult Database::Commit() {
 }
 
 void Database::Rollback() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   OJV_CHECK(in_transaction_, "no open transaction");
   // Replay inverses newest-first; maintenance stays constraint-free
   // (in_transaction_ remains set until we are done).

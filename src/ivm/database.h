@@ -1,11 +1,15 @@
 #ifndef OJV_IVM_DATABASE_H_
 #define OJV_IVM_DATABASE_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "deferred/delta_log.h"
+#include "deferred/scheduler.h"
 #include "ivm/aggregate_view.h"
 #include "ivm/maintainer.h"
 #include "ivm/view_def.h"
@@ -15,12 +19,31 @@ namespace ojv {
 /// Statement-level facade over a catalog and its materialized views —
 /// the moral equivalent of the paper's trigger + stored-procedure setup
 /// on SQL Server: every insert/delete/update statement checks foreign
-/// keys, applies the change to the base table, and brings every
-/// registered view (row-level and aggregated) up to date incrementally.
+/// keys and applies the change to the base table. View maintenance is
+/// governed per view by a refresh policy (src/deferred/):
+///
+///   - kImmediate (default): maintained inside the statement, exactly
+///     the paper's setup and the seed behavior;
+///   - kOnDemand: statements stage their changes in an append-only delta
+///     log; the view catches up at read time or on an explicit Refresh;
+///   - kThreshold: like kOnDemand, but the view auto-refreshes when its
+///     pending rows or staleness exceed configured limits — inline after
+///     the offending statement or, with StartBackgroundRefresh, on a
+///     worker thread.
+///
+/// Deferred refresh consolidates the pending batch to its net effect
+/// (insert+delete of a key cancels; delete+reinsert folds to an update
+/// pair) before invoking the incremental maintainers, so the ΔT the
+/// paper's left-deep pipeline (§4) sees is minimal.
+///
+/// Thread-safety: all statement, refresh, and read entry points lock one
+/// recursive mutex, which is what the background worker synchronizes on.
+/// Raw pointers obtained from GetView/catalog() are not protected.
 class Database {
  public:
   explicit Database(MaintenanceOptions default_options = MaintenanceOptions())
       : default_options_(default_options) {}
+  ~Database() { StopBackgroundRefresh(); }
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -50,6 +73,9 @@ class Database {
     int64_t rows_affected = 0;        // base-table rows
     int64_t rows_rejected = 0;        // duplicates / missing keys / FK
     double maintenance_micros = 0;    // summed over all views
+    /// Per-view maintenance cost of this statement (deferred views show
+    /// up when their refresh runs inline, e.g. a threshold trip).
+    std::map<std::string, double> view_micros;
     std::string error;                // non-empty => statement rejected
     bool ok() const { return error.empty(); }
   };
@@ -76,6 +102,43 @@ class Database {
   /// want to scan candidates.
   std::vector<ViewMaintainer*> Views();
 
+  // --- deferred maintenance (src/deferred/) ---
+
+  /// Sets a view's refresh policy. Switching away from kImmediate
+  /// registers the view on the delta log (it is up to date at that
+  /// point); switching back drains it first. `config` only matters for
+  /// kThreshold.
+  void SetRefreshPolicy(
+      const std::string& view, deferred::RefreshPolicy policy,
+      deferred::ThresholdConfig config = deferred::ThresholdConfig());
+  deferred::RefreshPolicy GetRefreshPolicy(const std::string& view) const;
+
+  /// Drains the view's pending deltas into its contents. A no-op (zero
+  /// stats) for kImmediate views, which are never stale.
+  deferred::RefreshStats Refresh(const std::string& view);
+
+  /// Refreshes every deferred view; returns per-view stats.
+  std::map<std::string, deferred::RefreshStats> RefreshAll();
+
+  /// Pending (not yet applied) log rows relevant to the view.
+  int64_t PendingRows(const std::string& view) const;
+
+  /// Cumulative refresh bookkeeping, or null for unknown views.
+  const deferred::ViewRefreshState* RefreshState(
+      const std::string& view) const;
+
+  /// Read-your-writes access: brings a deferred view up to date, then
+  /// returns its contents. This is the intended read path for kOnDemand.
+  const MaterializedView* ReadView(const std::string& name);
+  Relation ReadAggregateRelation(const std::string& name);
+
+  /// Starts/stops the background worker that drains kThreshold views.
+  /// While running, threshold trips ping the worker instead of
+  /// refreshing inline.
+  void StartBackgroundRefresh(std::chrono::milliseconds interval);
+  void StopBackgroundRefresh();
+  bool background_refresh_running() const { return refresher_.running(); }
+
   // --- multi-statement transactions (§6 caveat 3) ---
   //
   // Inside a transaction, foreign-key checking is deferred: statements
@@ -84,6 +147,9 @@ class Database {
   // between statements, so the FK optimizations are off). Commit()
   // validates every declared constraint; a violation rolls the whole
   // transaction back — base tables and views — via inverse statements.
+  // Deferred views are drained at BeginTransaction and maintained
+  // eagerly until the transaction ends, so the undo log's inverse
+  // statements always see up-to-date views.
 
   /// Starts a transaction. Returns false if one is already open.
   bool BeginTransaction();
@@ -103,6 +169,10 @@ class Database {
   /// totals, and total maintenance time.
   std::string StatsReport() const;
 
+  /// Per-view refresh-policy counters (refreshes, raw vs consolidated
+  /// rows, cancelled rows, refresh time).
+  std::string RefreshReport() const;
+
  private:
   // FK child check for inserted rows of `table`; true if row valid.
   bool RowSatisfiesForeignKeys(const std::string& table, const Row& row);
@@ -114,6 +184,27 @@ class Database {
                       StatementResult* result);
   void MaintainDelete(const std::string& table, const std::vector<Row>& rows,
                       StatementResult* result);
+
+  /// True when `view`'s maintenance is being staged rather than run
+  /// inside the current statement.
+  bool DeferredNow(const std::string& view) const {
+    return !in_transaction_ && scheduler_.IsDeferred(view);
+  }
+  /// Tables referenced by the (row or aggregate) view.
+  const std::set<std::string>& TablesOf(const std::string& view) const;
+  /// Stages a statement's rows for the deferred views that reference
+  /// `table`; no-op when none do.
+  void StageDeferred(const std::string& table, deferred::DeltaOp op,
+                     const std::vector<Row>& rows, bool update_pair);
+  /// Threshold check after a statement: refreshes due views inline, or
+  /// pings the background worker when one is running.
+  void MaybeAutoRefresh(StatementResult* result);
+  /// Background worker body: drains every due kThreshold view.
+  void DrainDueViews();
+
+  deferred::RefreshStats RefreshLocked(const std::string& view);
+  StatementResult DeleteLocked(const std::string& table,
+                               const std::vector<Row>& keys);
 
   PlanPolicy CurrentPolicy() const {
     return in_transaction_ ? PlanPolicy::kConstraintFree
@@ -135,6 +226,14 @@ class Database {
   void Accumulate(const std::string& view, const MaintenanceStats& stats);
 
   std::map<std::string, ViewStats> stats_;
+
+  /// Serializes statements, refreshes, and reads against the background
+  /// worker. Recursive because cascading deletes and inline threshold
+  /// refreshes re-enter locked paths.
+  mutable std::recursive_mutex mu_;
+  deferred::DeltaLog delta_log_;
+  deferred::RefreshScheduler scheduler_;
+  deferred::BackgroundRefresher refresher_;
 
   struct UndoEntry {
     enum class Kind { kDeleteInserted, kReinsertDeleted, kReverseUpdate };

@@ -155,38 +155,77 @@ SecondaryDeltaEngine* ViewMaintainer::secondary_engine(
   return it->second.secondary.get();
 }
 
+MaintenanceStats& MaintenanceStats::Merge(const MaintenanceStats& other) {
+  delta_rows += other.delta_rows;
+  primary_rows += other.primary_rows;
+  secondary_rows += other.secondary_rows;
+  direct_terms = other.direct_terms;
+  indirect_terms = other.indirect_terms;
+  fk_fast_path = fk_fast_path && other.fk_fast_path;
+  primary_micros += other.primary_micros;
+  apply_micros += other.apply_micros;
+  secondary_micros += other.secondary_micros;
+  total_micros += other.total_micros;
+  return *this;
+}
+
 MaintenanceStats ViewMaintainer::OnInsert(const std::string& table,
                                           const std::vector<Row>& rows,
                                           PlanPolicy policy) {
-  return Maintain(SetFor(policy).For(table), table, rows,
-                  /*is_insert=*/true);
+  MaintenanceStats stats = Maintain(SetFor(policy).For(table), table, rows,
+                                    /*is_insert=*/true);
+  if (stats_hook_) stats_hook_(table, stats);
+  return stats;
 }
 
 MaintenanceStats ViewMaintainer::OnDelete(const std::string& table,
                                           const std::vector<Row>& rows,
                                           PlanPolicy policy) {
-  return Maintain(SetFor(policy).For(table), table, rows,
-                  /*is_insert=*/false);
+  MaintenanceStats stats = Maintain(SetFor(policy).For(table), table, rows,
+                                    /*is_insert=*/false);
+  if (stats_hook_) stats_hook_(table, stats);
+  return stats;
 }
 
 MaintenanceStats ViewMaintainer::OnUpdate(const std::string& table,
                                           const std::vector<Row>& old_rows,
                                           const std::vector<Row>& new_rows) {
   const PlanSet& set = SetFor(PlanPolicy::kConstraintFree);
-  MaintenanceStats del =
+  MaintenanceStats stats =
       Maintain(set.For(table), table, old_rows, /*is_insert=*/false);
-  MaintenanceStats ins =
-      Maintain(set.For(table), table, new_rows, /*is_insert=*/true);
+  stats.fk_fast_path = false;
+  stats.Merge(Maintain(set.For(table), table, new_rows, /*is_insert=*/true));
+  if (stats_hook_) stats_hook_(table, stats);
+  return stats;
+}
+
+MaintenanceStats ViewMaintainer::OnConsolidatedBatch(
+    Table* base, const std::string& table, const std::vector<Row>& net_deletes,
+    const std::vector<Row>& net_inserts, PlanPolicy policy) {
+  OJV_CHECK(base != nullptr && base->name() == table,
+            "consolidated batch must target its own base table");
   MaintenanceStats stats;
-  stats.delta_rows = del.delta_rows + ins.delta_rows;
-  stats.primary_rows = del.primary_rows + ins.primary_rows;
-  stats.secondary_rows = del.secondary_rows + ins.secondary_rows;
-  stats.direct_terms = ins.direct_terms;
-  stats.indirect_terms = ins.indirect_terms;
-  stats.primary_micros = del.primary_micros + ins.primary_micros;
-  stats.apply_micros = del.apply_micros + ins.apply_micros;
-  stats.secondary_micros = del.secondary_micros + ins.secondary_micros;
-  stats.total_micros = del.total_micros + ins.total_micros;
+  if (!net_deletes.empty()) {
+    std::vector<Row> keys;
+    keys.reserve(net_deletes.size());
+    for (const Row& row : net_deletes) {
+      Row key;
+      for (int p : base->key_positions()) {
+        key.push_back(row[static_cast<size_t>(p)]);
+      }
+      keys.push_back(std::move(key));
+    }
+    std::vector<Row> deleted = ApplyBaseDelete(base, keys);
+    OJV_CHECK(deleted.size() == net_deletes.size(),
+              "consolidated deletes must all be present");
+    stats.Merge(OnDelete(table, deleted, policy));
+  }
+  if (!net_inserts.empty()) {
+    std::vector<Row> inserted = ApplyBaseInsert(base, net_inserts);
+    OJV_CHECK(inserted.size() == net_inserts.size(),
+              "consolidated inserts must all be fresh keys");
+    stats.Merge(OnInsert(table, inserted, policy));
+  }
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #ifndef OJV_IVM_MAINTAINER_H_
 #define OJV_IVM_MAINTAINER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,7 +48,17 @@ struct MaintenanceStats {
   double apply_micros = 0;       // apply ΔV^D to the view
   double secondary_micros = 0;   // compute + apply ΔV^I
   double total_micros = 0;
+
+  /// Folds `other` in (row counts and timings add; term counts keep the
+  /// later operation's values, matching OnUpdate's delete+insert merge).
+  MaintenanceStats& Merge(const MaintenanceStats& other);
 };
+
+/// Observer invoked after every maintenance operation with the updated
+/// table and the operation's stats — lets callers (Database, monitoring)
+/// attribute maintenance cost without threading return values around.
+using MaintenanceStatsHook =
+    std::function<void(const std::string& table, const MaintenanceStats&)>;
 
 /// Incremental maintainer for one materialized SPOJ view.
 ///
@@ -106,6 +117,23 @@ class ViewMaintainer {
                             const std::vector<Row>& old_rows,
                             const std::vector<Row>& new_rows);
 
+  /// Maintains the view for a consolidated deferred batch of `table`
+  /// (src/deferred/consolidate.h): applies the net deletes to `base` and
+  /// maintains them, then the net inserts — two complete statements, so
+  /// the view sees exactly the base states an eager execution of the
+  /// consolidated statement sequence would have seen. `base` must be the
+  /// catalog's table named `table` with the batch's changes *not yet*
+  /// applied (the deferred refresh reverts pending changes first).
+  MaintenanceStats OnConsolidatedBatch(Table* base, const std::string& table,
+                                       const std::vector<Row>& net_deletes,
+                                       const std::vector<Row>& net_inserts,
+                                       PlanPolicy policy);
+
+  /// Installs a stats observer (empty to remove).
+  void set_stats_hook(MaintenanceStatsHook hook) {
+    stats_hook_ = std::move(hook);
+  }
+
   // --- plan access for wrappers (aggregation views) and benchmarks ---
 
   /// True when updates of `table` provably cannot change the view.
@@ -163,6 +191,7 @@ class ViewMaintainer {
   /// Base tables materialized once per table version and shared across
   /// the primary- and secondary-delta evaluations of an operation.
   TableRelationCache table_cache_;
+  MaintenanceStatsHook stats_hook_;
 };
 
 /// Inserts rows into a base table; returns the rows actually inserted

@@ -1,0 +1,196 @@
+// The deferred staging layer in isolation: the append-only delta log
+// (consumers, high-water marks, truncation) and the net-effect
+// consolidator (cancellation, update-pair folding, replay order).
+
+#include "deferred/consolidate.h"
+
+#include <gtest/gtest.h>
+
+#include "deferred/delta_log.h"
+
+namespace ojv {
+namespace deferred {
+namespace {
+
+Row TRow(int64_t id, int64_t v) {
+  return Row{Value::Int64(id), Value::Int64(v)};
+}
+
+class ConsolidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.CreateTable(
+        "t",
+        Schema({ColumnDef{"t_id", ValueType::kInt64, false},
+                ColumnDef{"t_v", ValueType::kInt64, true}}),
+        {"t_id"});
+    catalog_.CreateTable(
+        "u",
+        Schema({ColumnDef{"u_id", ValueType::kInt64, false},
+                ColumnDef{"u_v", ValueType::kInt64, true}}),
+        {"u_id"});
+  }
+
+  std::vector<TableDelta> Run(const DeltaLog& log, const char* view) {
+    return Consolidate(log.PendingFor(view, {}), catalog_);
+  }
+
+  Catalog catalog_;
+  DeltaLog log_;
+};
+
+TEST_F(ConsolidateTest, LogAssignsMonotoneSequenceNumbers) {
+  EXPECT_EQ(log_.tail(), 0u);
+  EXPECT_EQ(log_.Append("t", DeltaOp::kInsert, {TRow(1, 10), TRow(2, 20)}),
+            2u);
+  EXPECT_EQ(log_.Append("u", DeltaOp::kDelete, {TRow(3, 30)}), 3u);
+  EXPECT_EQ(log_.tail(), 3u);
+  EXPECT_EQ(log_.size(), 3);
+}
+
+TEST_F(ConsolidateTest, ConsumersStartAtTailAndSeeOnlyLaterEntries) {
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 10)});
+  log_.RegisterConsumer("v");
+  EXPECT_EQ(log_.PendingRows("v", {}), 0);
+
+  log_.Append("t", DeltaOp::kInsert, {TRow(2, 20)});
+  log_.Append("u", DeltaOp::kInsert, {TRow(9, 90)});
+  EXPECT_EQ(log_.PendingRows("v", {}), 2);
+  // Table filter: a view over {t} only sees t's entries.
+  EXPECT_EQ(log_.PendingRows("v", {"t"}), 1);
+  EXPECT_GT(log_.OldestPendingMicros("v", {}), 0.0);
+
+  log_.AdvanceTo("v", log_.tail());
+  EXPECT_EQ(log_.PendingRows("v", {}), 0);
+  EXPECT_EQ(log_.OldestPendingMicros("v", {}), 0.0);
+}
+
+TEST_F(ConsolidateTest, TruncationIsBoundedByTheLaziestConsumer) {
+  log_.RegisterConsumer("fast");
+  log_.RegisterConsumer("slow");
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 10), TRow(2, 20)});
+  log_.AdvanceTo("fast", log_.tail());
+  log_.TruncateConsumed();
+  EXPECT_EQ(log_.size(), 2);  // "slow" still needs them
+
+  log_.AdvanceTo("slow", log_.tail());
+  log_.TruncateConsumed();
+  EXPECT_EQ(log_.size(), 0);
+
+  log_.UnregisterConsumer("slow");
+  EXPECT_FALSE(log_.IsConsumer("slow"));
+  EXPECT_TRUE(log_.IsConsumer("fast"));
+}
+
+TEST_F(ConsolidateTest, InsertThenDeleteOfSameKeyCancelsEntirely) {
+  log_.RegisterConsumer("v");
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 10)});
+  log_.Append("t", DeltaOp::kDelete, {TRow(1, 10)});
+
+  std::vector<TableDelta> deltas = Run(log_, "v");
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].raw_entries, 2);
+  EXPECT_EQ(deltas[0].cancelled, 2);
+  EXPECT_TRUE(deltas[0].deletes.empty());
+  EXPECT_TRUE(deltas[0].inserts.empty());
+}
+
+TEST_F(ConsolidateTest, DeleteThenReinsertChangedFoldsToUpdatePair) {
+  log_.RegisterConsumer("v");
+  log_.Append("t", DeltaOp::kDelete, {TRow(1, 10)});
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 99)});
+
+  std::vector<TableDelta> deltas = Run(log_, "v");
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].update_pairs, 1);
+  ASSERT_EQ(deltas[0].deletes.size(), 1u);
+  ASSERT_EQ(deltas[0].inserts.size(), 1u);
+  EXPECT_EQ(deltas[0].deletes[0], TRow(1, 10));
+  EXPECT_EQ(deltas[0].inserts[0], TRow(1, 99));
+  EXPECT_EQ(deltas[0].cancelled, 0);
+}
+
+TEST_F(ConsolidateTest, DeleteThenIdenticalReinsertCancels) {
+  log_.RegisterConsumer("v");
+  log_.Append("t", DeltaOp::kDelete, {TRow(1, 10)});
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 10)});
+
+  std::vector<TableDelta> deltas = Run(log_, "v");
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].cancelled, 2);
+  EXPECT_EQ(deltas[0].update_pairs, 0);
+  EXPECT_TRUE(deltas[0].deletes.empty());
+  EXPECT_TRUE(deltas[0].inserts.empty());
+}
+
+TEST_F(ConsolidateTest, InsertDeleteReinsertKeepsOnlyTheFinalImage) {
+  log_.RegisterConsumer("v");
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 10)});
+  log_.Append("t", DeltaOp::kDelete, {TRow(1, 10)});
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 77)});
+
+  std::vector<TableDelta> deltas = Run(log_, "v");
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].raw_entries, 3);
+  EXPECT_EQ(deltas[0].cancelled, 2);
+  EXPECT_TRUE(deltas[0].deletes.empty());
+  ASSERT_EQ(deltas[0].inserts.size(), 1u);
+  EXPECT_EQ(deltas[0].inserts[0], TRow(1, 77));
+}
+
+TEST_F(ConsolidateTest, UpdateOfAFreshInsertStaysAPureInsert) {
+  // insert k, then an UPDATE pair (delete k + reinsert k'): the batch's
+  // pre-state never held k, so the net effect is one insert of the final
+  // image, not an update pair.
+  log_.RegisterConsumer("v");
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 10)});
+  log_.Append("t", DeltaOp::kDelete, {TRow(1, 10)}, /*update_pair=*/true);
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 42)}, /*update_pair=*/true);
+
+  std::vector<TableDelta> deltas = Run(log_, "v");
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].update_pairs, 0);
+  EXPECT_TRUE(deltas[0].deletes.empty());
+  ASSERT_EQ(deltas[0].inserts.size(), 1u);
+  EXPECT_EQ(deltas[0].inserts[0], TRow(1, 42));
+}
+
+TEST_F(ConsolidateTest, UpdatePairFlagSurvivesTheLog) {
+  log_.RegisterConsumer("v");
+  log_.Append("t", DeltaOp::kDelete, {TRow(1, 10)}, /*update_pair=*/true);
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 11)}, /*update_pair=*/true);
+  auto pending = log_.PendingFor("v", {});
+  ASSERT_EQ(pending["t"].size(), 2u);
+  EXPECT_TRUE(pending["t"][0].update_pair);
+  EXPECT_TRUE(pending["t"][1].update_pair);
+}
+
+TEST_F(ConsolidateTest, DeltasAreOrderedByFirstPendingEntry) {
+  log_.RegisterConsumer("v");
+  log_.Append("u", DeltaOp::kInsert, {TRow(9, 90)});
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 10)});
+  log_.Append("u", DeltaOp::kInsert, {TRow(8, 80)});
+
+  std::vector<TableDelta> deltas = Run(log_, "v");
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].table, "u");  // u's first entry precedes t's
+  EXPECT_EQ(deltas[1].table, "t");
+  EXPECT_LT(deltas[0].first_seq, deltas[1].first_seq);
+  EXPECT_EQ(deltas[0].inserts.size(), 2u);
+}
+
+TEST_F(ConsolidateTest, IndependentKeysPassThroughUntouched) {
+  log_.RegisterConsumer("v");
+  log_.Append("t", DeltaOp::kInsert, {TRow(1, 10), TRow(2, 20)});
+  log_.Append("t", DeltaOp::kDelete, {TRow(3, 30)});
+
+  std::vector<TableDelta> deltas = Run(log_, "v");
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].cancelled, 0);
+  EXPECT_EQ(deltas[0].inserts.size(), 2u);
+  EXPECT_EQ(deltas[0].deletes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace deferred
+}  // namespace ojv

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full verification: build and run the test suite twice — a plain
+# Release build, then an ASan/UBSan build (-DOJV_SANITIZE=address,undefined),
+# which in particular checks the background-refresh worker for races and
+# lifetime bugs. Run from anywhere; builds land in build-check-* at the
+# repository root.
+#
+#   tools/check.sh            # both configurations
+#   tools/check.sh release    # Release only
+#   tools/check.sh sanitize   # ASan/UBSan only
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+run_config() {
+  local name="$1"; shift
+  local dir="$root/build-check-$name"
+  echo "==> [$name] configure"
+  cmake -B "$dir" -S "$root" "$@" >/dev/null
+  echo "==> [$name] build"
+  cmake --build "$dir" -j "$jobs" >/dev/null
+  echo "==> [$name] ctest"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+case "$mode" in
+  release|all)
+    run_config release -DCMAKE_BUILD_TYPE=Release
+    ;;&
+  sanitize|all)
+    run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DOJV_SANITIZE=address,undefined
+    ;;&
+  release|sanitize|all)
+    echo "==> all requested configurations passed"
+    ;;
+  *)
+    echo "usage: tools/check.sh [release|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
