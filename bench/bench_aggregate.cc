@@ -30,6 +30,7 @@ int Run(int argc, char** argv) {
               static_cast<long long>(agg.num_groups()),
               FormatMs(init_ms).c_str());
 
+  JsonReport report("aggregate", options);
   PrintHeader("Aggregated V3: incremental vs recompute, lineitem inserts",
               {"Rows", "Incremental", "Recompute", "Speedup"});
   for (int64_t batch : options.batches) {
@@ -42,12 +43,17 @@ int Run(int argc, char** argv) {
                   re_ms / std::max(inc_ms, 1e-3));
     PrintRow({FormatCount(batch), FormatMs(inc_ms), FormatMs(re_ms),
               speedup});
+    report.BeginRow();
+    report.Count("batch_rows", batch);
+    report.Num("incremental_ms", inc_ms);
+    report.Num("recompute_ms", re_ms);
 
     std::vector<Row> keys;
     for (const Row& row : inserted) keys.push_back(Row{row[0], row[3]});
     std::vector<Row> deleted = ApplyBaseDelete(lineitem, keys);
     agg.OnDelete("lineitem", deleted);
   }
+  report.Write();
   return 0;
 }
 

@@ -54,11 +54,17 @@ int Run(int argc, char** argv) {
   tpch::Dbgen dbgen(gen_options);
   Instance immediate(&dbgen);
   Instance deferred(&dbgen);
-  deferred.db.SetRefreshPolicy("v3", deferred::RefreshPolicy::kOnDemand);
+  // Consolidated batch replays may use the morsel-parallel executor
+  // (--threads=N); foreground statements stay serial.
+  deferred::ThresholdConfig refresh_config;
+  refresh_config.refresh_threads = options.threads;
+  deferred.db.SetRefreshPolicy("v3", deferred::RefreshPolicy::kOnDemand,
+                               refresh_config);
 
   // One stream drives both databases so their base states stay equal.
   tpch::RefreshStream stream(immediate.db.catalog(), &dbgen, options.seed);
 
+  JsonReport report("deferred", options);
   PrintHeader(
       "V3 maintenance: single-row insert statements, immediate vs deferred",
       {"Rows", "Immediate", "Stage", "Refresh", "Deferred", "Speedup"});
@@ -80,6 +86,13 @@ int Run(int argc, char** argv) {
                   immediate_ms / std::max(deferred_ms, 1e-3));
     PrintRow({FormatCount(batch), FormatMs(immediate_ms), FormatMs(stage_ms),
               FormatMs(refresh_ms), FormatMs(deferred_ms), speedup});
+    report.BeginRow();
+    report.Str("workload", "insert");
+    report.Count("batch_rows", batch);
+    report.Num("immediate_ms", immediate_ms);
+    report.Num("stage_ms", stage_ms);
+    report.Num("refresh_ms", refresh_ms);
+    report.Num("deferred_ms", deferred_ms);
 
     // Restore both databases (and views) for the next batch size.
     std::vector<Row> keys = LineitemKeys(rows);
@@ -108,9 +121,17 @@ int Run(int argc, char** argv) {
     PrintRow({FormatCount(batch), FormatMs(immediate_ms),
               FormatMs(deferred_ms), FormatCount(stats.consolidated_rows),
               FormatCount(stats.cancelled_rows)});
+    report.BeginRow();
+    report.Str("workload", "churn");
+    report.Count("batch_rows", batch);
+    report.Num("immediate_ms", immediate_ms);
+    report.Num("deferred_ms", deferred_ms);
+    report.Count("consolidated_rows", stats.consolidated_rows);
+    report.Count("cancelled_rows", stats.cancelled_rows);
   }
 
   std::printf("\n%s\n", deferred.db.RefreshReport().c_str());
+  report.Write();
   return 0;
 }
 

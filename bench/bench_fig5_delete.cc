@@ -26,13 +26,20 @@ int Run(int argc, char** argv) {
   ViewMaintainer core_maintainer(&instance.catalog, core,
                                  MaintenanceOptions());
   ViewMaintainer oj_maintainer(&instance.catalog, v3, MaintenanceOptions());
+  MaintenanceOptions par_options;
+  par_options.exec.num_threads = options.threads;
+  ViewMaintainer par_maintainer(&instance.catalog, v3, par_options);
   GriffinKumarMaintainer gk_maintainer(&instance.catalog, v3);
   core_maintainer.InitializeView();
   oj_maintainer.InitializeView();
+  par_maintainer.InitializeView();
   gk_maintainer.InitializeView();
 
+  JsonReport report("fig5_delete", options);
+  char par_col[32];
+  std::snprintf(par_col, sizeof(par_col), "OJ(par%d)", options.threads);
   PrintHeader("Figure 5(b): V3 maintenance cost, lineitem deletions",
-              {"Rows", "CoreView", "OuterJoin", "OJ(GK)", "GK/ours"});
+              {"Rows", "CoreView", "OuterJoin", par_col, "OJ(GK)", "GK/ours"});
   for (int64_t batch : options.batches) {
     std::vector<Row> keys = instance.refresh->PickLineitemDeleteKeys(batch);
     std::vector<Row> deleted = ApplyBaseDelete(lineitem, keys);
@@ -41,20 +48,30 @@ int Run(int argc, char** argv) {
         TimeMs([&] { core_maintainer.OnDelete("lineitem", deleted); });
     double oj_ms =
         TimeMs([&] { oj_maintainer.OnDelete("lineitem", deleted); });
+    double par_ms =
+        TimeMs([&] { par_maintainer.OnDelete("lineitem", deleted); });
     double gk_ms =
         TimeMs([&] { gk_maintainer.OnDelete("lineitem", deleted); });
 
     char ratio[32];
     std::snprintf(ratio, sizeof(ratio), "%.1fx", gk_ms / std::max(oj_ms, 1e-3));
     PrintRow({FormatCount(batch), FormatMs(core_ms), FormatMs(oj_ms),
-              FormatMs(gk_ms), ratio});
+              FormatMs(par_ms), FormatMs(gk_ms), ratio});
+    report.BeginRow();
+    report.Count("batch_rows", batch);
+    report.Num("core_ms", core_ms);
+    report.Num("ours_ms", oj_ms);
+    report.Num("ours_parallel_ms", par_ms);
+    report.Num("gk_ms", gk_ms);
 
     // Restore.
     std::vector<Row> reinserted = ApplyBaseInsert(lineitem, deleted);
     core_maintainer.OnInsert("lineitem", reinserted);
     oj_maintainer.OnInsert("lineitem", reinserted);
+    par_maintainer.OnInsert("lineitem", reinserted);
     gk_maintainer.OnInsert("lineitem", reinserted);
   }
+  report.Write();
   return 0;
 }
 

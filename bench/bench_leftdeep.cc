@@ -79,6 +79,7 @@ int Run(int argc, char** argv) {
   std::printf("left-deep ΔV^D: %s\n",
               left_deep.delta_expr("T")->ToString().c_str());
 
+  JsonReport report("leftdeep", options);
   PrintHeader("Left-deep vs bushy ΔV^D (insertions into T)",
               {"Rows", "LeftDeep", "Bushy", "Bushy/LD"});
   Table* t = catalog.GetTable("T");
@@ -98,6 +99,10 @@ int Run(int argc, char** argv) {
                   bushy_ms / std::max(ld_ms, 1e-3));
     PrintRow({FormatCount(batch), FormatMs(ld_ms), FormatMs(bushy_ms),
               ratio});
+    report.BeginRow();
+    report.Count("batch_rows", batch);
+    report.Num("left_deep_ms", ld_ms);
+    report.Num("bushy_ms", bushy_ms);
 
     std::vector<Row> keys;
     for (const Row& row : inserted) keys.push_back(Row{row[0]});
@@ -105,6 +110,7 @@ int Run(int argc, char** argv) {
     left_deep.OnDelete("T", deleted);
     bushy.OnDelete("T", deleted);
   }
+  report.Write();
   return 0;
 }
 

@@ -27,6 +27,7 @@ int Run(int argc, char** argv) {
   view_maintainer.InitializeView();
   base_maintainer.InitializeView();
 
+  JsonReport report("secondary_delta", options);
   PrintHeader("Secondary delta strategy: insertions into lineitem",
               {"Rows", "FromView", "FromBase", "2ndView", "2ndBase"});
   for (int64_t batch : options.batches) {
@@ -41,6 +42,12 @@ int Run(int argc, char** argv) {
     PrintRow({FormatCount(batch), FormatMs(view_ms), FormatMs(base_ms),
               FormatMs(vs.secondary_micros / 1000.0),
               FormatMs(bs.secondary_micros / 1000.0)});
+    report.BeginRow();
+    report.Count("batch_rows", batch);
+    report.Num("from_view_ms", view_ms);
+    report.Num("from_base_ms", base_ms);
+    report.Num("secondary_view_ms", vs.secondary_micros / 1000.0);
+    report.Num("secondary_base_ms", bs.secondary_micros / 1000.0);
 
     std::vector<Row> keys;
     for (const Row& row : inserted) keys.push_back(Row{row[0], row[3]});
@@ -48,6 +55,7 @@ int Run(int argc, char** argv) {
     view_maintainer.OnDelete("lineitem", deleted);
     base_maintainer.OnDelete("lineitem", deleted);
   }
+  report.Write();
   return 0;
 }
 

@@ -89,11 +89,16 @@ int Run(int argc, char** argv) {
     affected[pattern] = cardinality[pattern] - after[pattern];
   }
 
+  JsonReport report("table1", options);
   PrintHeader("Table 1: terms of view V3",
               {"Term", "Cardinality", "RowsAffected"});
   for (const std::string pattern : {"COLP", "COL", "C", "P"}) {
     PrintRow({pattern, FormatCount(cardinality[pattern]),
               FormatCount(affected[pattern])});
+    report.BeginRow();
+    report.Str("term", pattern);
+    report.Count("cardinality", cardinality[pattern]);
+    report.Count("rows_affected", affected[pattern]);
   }
   std::printf(
       "\nprimary delta rows: %lld, secondary fix-ups: %lld, "
@@ -101,6 +106,12 @@ int Run(int argc, char** argv) {
       static_cast<long long>(stats.primary_rows),
       static_cast<long long>(stats.secondary_rows),
       FormatMs(stats.total_micros / 1000.0).c_str());
+  report.BeginRow();
+  report.Str("term", "summary");
+  report.Count("primary_rows", stats.primary_rows);
+  report.Count("secondary_rows", stats.secondary_rows);
+  report.Num("maintenance_ms", stats.total_micros / 1000.0);
+  report.Write();
   return 0;
 }
 

@@ -20,6 +20,7 @@ int Run(int argc, char** argv) {
   ViewMaintainer maintainer(&instance.catalog, v3, MaintenanceOptions());
   maintainer.InitializeView();
 
+  JsonReport report("updates", options);
   PrintHeader("UPDATE statements on V3 (delete+insert, FK-free plans)",
               {"Table", "Rows", "OnUpdate", "2ndRows"});
 
@@ -47,6 +48,11 @@ int Run(int argc, char** argv) {
         [&] { stats = maintainer.OnUpdate(table, old_rows, new_rows); });
     PrintRow({table, FormatCount(n), FormatMs(ms),
               FormatCount(stats.secondary_rows)});
+    report.BeginRow();
+    report.Str("table", table);
+    report.Count("batch_rows", n);
+    report.Num("update_ms", ms);
+    report.Count("secondary_rows", stats.secondary_rows);
     // Restore.
     std::vector<Row> back;
     ApplyBaseUpdate(base, keys, old_rows, &back);
@@ -70,6 +76,7 @@ int Run(int argc, char** argv) {
   run_update("orders", 500, [](Row* row) {
     (*row)[4] = Value::Date((*row)[4].int64() + 200);
   });
+  report.Write();
   return 0;
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace ojv {
 namespace bench {
@@ -24,6 +25,12 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
         if (comma == nullptr) break;
         p = comma + 1;
       }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      options.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      options.json_path = argv[++i];
     }
   }
   return options;
@@ -75,6 +82,56 @@ std::string FormatMs(double ms) {
 }
 
 std::string FormatCount(int64_t n) { return std::to_string(n); }
+
+JsonReport::JsonReport(std::string benchmark, const BenchOptions& options)
+    : benchmark_(std::move(benchmark)), options_(options) {}
+
+void JsonReport::BeginRow() { rows_.emplace_back(); }
+
+void JsonReport::Num(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  std::string& row = rows_.back();
+  if (!row.empty()) row += ", ";
+  row += "\"" + key + "\": " + buf;
+}
+
+void JsonReport::Count(const std::string& key, int64_t value) {
+  std::string& row = rows_.back();
+  if (!row.empty()) row += ", ";
+  row += "\"" + key + "\": " + std::to_string(value);
+}
+
+void JsonReport::Str(const std::string& key, const std::string& value) {
+  std::string& row = rows_.back();
+  if (!row.empty()) row += ", ";
+  row += "\"" + key + "\": \"" + value + "\"";
+}
+
+bool JsonReport::Write() const {
+  if (options_.json_path.empty()) return false;
+  std::FILE* f = std::fopen(options_.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", options_.json_path.c_str());
+    std::abort();
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n", benchmark_.c_str());
+  std::fprintf(f, "  \"scale_factor\": %.6g,\n", options_.scale_factor);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(options_.seed));
+  std::fprintf(f, "  \"threads\": %d,\n", options_.threads);
+  std::fprintf(f, "  \"host_cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    std::fprintf(f, "    {%s}%s\n", rows_[i].c_str(),
+                 i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", options_.json_path.c_str());
+  return true;
+}
 
 }  // namespace bench
 }  // namespace ojv

@@ -22,10 +22,18 @@ namespace bench {
 ///                      pass --batches=60,600,6000,60000 for the full
 ///                      sweep of the paper — the GK baseline takes
 ///                      minutes at 60000)
+///   --threads=<int>    executor threads for the parallel maintainer
+///                      columns (default 1 = serial)
+///   --json <path>      also write results as JSON to <path>
+///                      (--json=<path> works too); the file carries the
+///                      benchmark name, options, host core count, and
+///                      one object per printed row
 struct BenchOptions {
   double scale_factor = 0.05;
   uint64_t seed = 19940601;
   std::vector<int64_t> batches = {60, 600, 6000};
+  int threads = 1;
+  std::string json_path;
 
   static BenchOptions Parse(int argc, char** argv);
 };
@@ -48,6 +56,35 @@ void PrintHeader(const std::string& title,
 void PrintRow(const std::vector<std::string>& cells);
 std::string FormatMs(double ms);
 std::string FormatCount(int64_t n);
+
+/// Machine-readable benchmark results. Each benchmark builds one report
+/// (mirroring its printed rows field by field) and calls Write() at the
+/// end; Write is a no-op unless --json was given, so the human-readable
+/// table stays the default output. The emitted document is
+///
+///   { "benchmark": ..., "scale_factor": ..., "seed": ..., "threads": ...,
+///     "host_cores": ..., "results": [ {row fields...}, ... ] }
+///
+/// which the trajectory file BENCH_pipeline.json aggregates across runs.
+class JsonReport {
+ public:
+  JsonReport(std::string benchmark, const BenchOptions& options);
+
+  /// Starts a new result object; Num/Count/Str attach fields to it.
+  void BeginRow();
+  void Num(const std::string& key, double value);
+  void Count(const std::string& key, int64_t value);
+  void Str(const std::string& key, const std::string& value);
+
+  /// Writes the report to the --json path. Returns false (and writes
+  /// nothing) when no path was given; aborts if the path is unwritable.
+  bool Write() const;
+
+ private:
+  std::string benchmark_;
+  const BenchOptions options_;
+  std::vector<std::string> rows_;  // accumulated "k": v fragments per row
+};
 
 }  // namespace bench
 }  // namespace ojv

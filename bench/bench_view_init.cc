@@ -18,29 +18,31 @@ int Run(int argc, char** argv) {
   std::printf("TPC-H SF=%.3f\n", options.scale_factor);
   TpchInstance instance(options);
 
+  JsonReport report("view_init", options);
+  MaintenanceOptions par_options;
+  par_options.exec.num_threads = options.threads;
+  char par_col[32];
+  std::snprintf(par_col, sizeof(par_col), "Time(par%d)", options.threads);
   PrintHeader("Initial materialization",
-              {"View", "Rows", "Time"});
+              {"View", "Rows", "Time", par_col});
 
-  {
-    ViewDef v3 = tpch::MakeV3(instance.catalog);
-    ViewMaintainer maintainer(&instance.catalog, v3, MaintenanceOptions());
+  auto run_view = [&](const std::string& label, const ViewDef& def) {
+    ViewMaintainer maintainer(&instance.catalog, def, MaintenanceOptions());
+    ViewMaintainer par(&instance.catalog, def, par_options);
     double ms = TimeMs([&] { maintainer.InitializeView(); });
-    PrintRow({"v3", FormatCount(maintainer.view().size()), FormatMs(ms)});
-  }
-  {
-    ViewDef core = tpch::MakeV3(instance.catalog).CoreView(instance.catalog);
-    ViewMaintainer maintainer(&instance.catalog, core, MaintenanceOptions());
-    double ms = TimeMs([&] { maintainer.InitializeView(); });
-    PrintRow({"v3_core", FormatCount(maintainer.view().size()),
-              FormatMs(ms)});
-  }
-  {
-    ViewDef oj = tpch::MakeOjView(instance.catalog);
-    ViewMaintainer maintainer(&instance.catalog, oj, MaintenanceOptions());
-    double ms = TimeMs([&] { maintainer.InitializeView(); });
-    PrintRow({"oj_view", FormatCount(maintainer.view().size()),
-              FormatMs(ms)});
-  }
+    double par_ms = TimeMs([&] { par.InitializeView(); });
+    PrintRow({label, FormatCount(maintainer.view().size()), FormatMs(ms),
+              FormatMs(par_ms)});
+    report.BeginRow();
+    report.Str("view", label);
+    report.Count("rows", maintainer.view().size());
+    report.Num("init_ms", ms);
+    report.Num("init_parallel_ms", par_ms);
+  };
+
+  run_view("v3", tpch::MakeV3(instance.catalog));
+  run_view("v3_core", tpch::MakeV3(instance.catalog).CoreView(instance.catalog));
+  run_view("oj_view", tpch::MakeOjView(instance.catalog));
   {
     std::vector<ColumnRef> group_by = {{"customer", "c_mktsegment"}};
     std::vector<AggregateSpec> aggs = {
@@ -50,8 +52,14 @@ int Run(int argc, char** argv) {
     AggViewMaintainer agg(&instance.catalog, tpch::MakeV3(instance.catalog),
                           group_by, aggs);
     double ms = TimeMs([&] { agg.InitializeView(); });
-    PrintRow({"v3_by_segment", FormatCount(agg.num_groups()), FormatMs(ms)});
+    PrintRow({"v3_by_segment", FormatCount(agg.num_groups()), FormatMs(ms),
+              "-"});
+    report.BeginRow();
+    report.Str("view", "v3_by_segment");
+    report.Count("rows", agg.num_groups());
+    report.Num("init_ms", ms);
   }
+  report.Write();
   return 0;
 }
 

@@ -35,6 +35,11 @@ const char* RefreshPolicyName(RefreshPolicy policy);
 struct ThresholdConfig {
   int64_t max_pending_rows = 1024;
   double max_staleness_micros = 0;
+  /// Worker threads for the consolidated-batch replay of this view's
+  /// refreshes (0 = inherit the maintainer's own executor config).
+  /// Deferred batches are much larger than single statements, so the
+  /// refresh path is where morsel parallelism pays off most.
+  int refresh_threads = 0;
 };
 
 /// Outcome of one refresh of one view.

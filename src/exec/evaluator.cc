@@ -1,23 +1,25 @@
 #include "exec/evaluator.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <atomic>
+#include <cstdint>
 
 #include "common/check.h"
 #include "exec/bound_scalar.h"
+#include "exec/join_table.h"
 
 namespace ojv {
 namespace {
 
-// Hash of row values at given positions (NULL hashes to a sentinel).
+// Hash of row values at given positions (NULL hashes to a sentinel),
+// normalized so it never collides with JoinTable::kSkipHash.
 size_t HashAt(const Row& row, const std::vector<int>& positions) {
   size_t h = 0xcbf29ce484222325ULL;
   for (int p : positions) {
     h ^= row[static_cast<size_t>(p)].Hash();
     h *= 0x100000001b3ULL;
   }
-  return h;
+  return JoinTable::NormalizeHash(h);
 }
 
 bool AnyNullAt(const Row& row, const std::vector<int>& positions) {
@@ -37,31 +39,13 @@ bool EqualAt(const Row& a, const std::vector<int>& pa, const Row& b,
   return true;
 }
 
-// Non-null column bitmask of a row, as a string key.
-std::string NullMask(const Row& row) {
-  std::string mask(row.size(), '0');
-  for (size_t i = 0; i < row.size(); ++i) {
-    if (!row[i].is_null()) mask[i] = '1';
-  }
-  return mask;
-}
-
-bool IsStrictSubsetMask(const std::string& small, const std::string& big) {
-  bool strict = false;
-  for (size_t i = 0; i < small.size(); ++i) {
-    if (small[i] == '1' && big[i] == '0') return false;
-    if (small[i] == '0' && big[i] == '1') strict = true;
-  }
-  return strict;
-}
-
 size_t HashFullRow(const Row& row) {
   size_t h = 0xcbf29ce484222325ULL;
   for (const Value& v : row) {
     h ^= v.Hash();
     h *= 0x100000001b3ULL;
   }
-  return h;
+  return JoinTable::NormalizeHash(h);
 }
 
 // Wraps a caller-owned relation without taking ownership.
@@ -71,6 +55,43 @@ std::shared_ptr<const Relation> NonOwning(const Relation* relation) {
 
 std::shared_ptr<const Relation> Owned(Relation relation) {
   return std::make_shared<const Relation>(std::move(relation));
+}
+
+// Workers a standalone (static-operator) loop may use.
+int StaticWorkers(const ExecConfig& config, ThreadPool* pool, int64_t rows) {
+  if (pool == nullptr || config.num_threads <= 1) return 1;
+  if (rows < config.parallel_min_rows) return 1;
+  return std::min(config.num_threads, pool->num_threads());
+}
+
+// Runs body(begin, end) over [0, count) — morsel-parallel when the
+// input is large enough, inline otherwise. Bodies must only touch
+// per-index state (element writes to distinct positions are fine).
+void ParallelRange(const ExecConfig& config, ThreadPool* pool, int64_t count,
+                   const std::function<void(int64_t, int64_t)>& body) {
+  const int workers = StaticWorkers(config, pool, count);
+  if (workers == 1) {
+    body(0, count);
+    return;
+  }
+  pool->ParallelFor(
+      count, config.morsel_rows,
+      [&](int64_t, int64_t begin, int64_t end) { body(begin, end); },
+      workers);
+}
+
+// Join-key hashes for every row of `rel` (kSkipHash for NULL keys).
+std::vector<size_t> HashRows(const Relation& rel, const std::vector<int>& keys,
+                             const ExecConfig& config, ThreadPool* pool) {
+  std::vector<size_t> hashes(static_cast<size_t>(rel.size()));
+  ParallelRange(config, pool, rel.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const Row& row = rel.row(i);
+      hashes[static_cast<size_t>(i)] =
+          AnyNullAt(row, keys) ? JoinTable::kSkipHash : HashAt(row, keys);
+    }
+  });
+  return hashes;
 }
 
 }  // namespace
@@ -108,6 +129,37 @@ Relation Evaluator::RelationFrom(const Table& table) {
   return rel;
 }
 
+int Evaluator::WorkersFor(int64_t rows) const {
+  return StaticWorkers(exec_, pool_, rows);
+}
+
+void Evaluator::AppendChunked(
+    int64_t count, Relation* out,
+    const std::function<void(std::vector<Row>&, int64_t, int64_t)>& body)
+    const {
+  const int workers = WorkersFor(count);
+  if (workers == 1) {
+    body(*out->mutable_rows(), 0, count);
+    return;
+  }
+  const int64_t grain = exec_.morsel_rows;
+  const int64_t num_chunks = (count + grain - 1) / grain;
+  std::vector<std::vector<Row>> chunks(static_cast<size_t>(num_chunks));
+  pool_->ParallelFor(
+      count, grain,
+      [&](int64_t chunk, int64_t begin, int64_t end) {
+        body(chunks[static_cast<size_t>(chunk)], begin, end);
+      },
+      workers);
+  std::vector<Row>* rows = out->mutable_rows();
+  size_t total = rows->size();
+  for (const std::vector<Row>& chunk : chunks) total += chunk.size();
+  rows->reserve(total);
+  for (std::vector<Row>& chunk : chunks) {
+    for (Row& row : chunk) rows->push_back(std::move(row));
+  }
+}
+
 std::shared_ptr<const Relation> Evaluator::Eval(const RelExprPtr& expr) const {
   OJV_CHECK(expr != nullptr, "null relational expression");
   switch (expr->kind()) {
@@ -122,14 +174,15 @@ std::shared_ptr<const Relation> Evaluator::Eval(const RelExprPtr& expr) const {
     case RelKind::kJoin:
       return Owned(EvalJoin(*expr));
     case RelKind::kDedup:
-      return Owned(DedupRows(*Eval(expr->input())));
+      return Owned(DedupRows(*Eval(expr->input()), exec_, pool_));
     case RelKind::kSubsumeRemove:
-      return Owned(RemoveSubsumed(*Eval(expr->input())));
+      return Owned(RemoveSubsumed(*Eval(expr->input()), exec_, pool_));
     case RelKind::kOuterUnion:
       return Owned(OuterUnionOf(*Eval(expr->left()), *Eval(expr->right())));
     case RelKind::kMinUnion:
       return Owned(RemoveSubsumed(
-          OuterUnionOf(*Eval(expr->left()), *Eval(expr->right()))));
+          OuterUnionOf(*Eval(expr->left()), *Eval(expr->right())), exec_,
+          pool_));
     case RelKind::kNullIf:
       return Owned(EvalNullIf(*expr));
   }
@@ -155,9 +208,15 @@ Relation Evaluator::EvalSelect(const RelExpr& expr) const {
   std::shared_ptr<const Relation> in = Eval(expr.input());
   BoundScalar pred = BoundScalar::Compile(expr.predicate(), in->schema());
   Relation out(in->schema());
-  for (const Row& row : in->rows()) {
-    if (pred.EvalBool(row)) out.Add(row);
-  }
+  const std::vector<Row>& rows = in->rows();
+  AppendChunked(in->size(), &out,
+                [&](std::vector<Row>& dst, int64_t begin, int64_t end) {
+                  dst.reserve(dst.size() + static_cast<size_t>(end - begin));
+                  for (int64_t i = begin; i < end; ++i) {
+                    const Row& row = rows[static_cast<size_t>(i)];
+                    if (pred.EvalBool(row)) dst.push_back(row);
+                  }
+                });
   return out;
 }
 
@@ -171,12 +230,53 @@ Relation Evaluator::EvalProject(const RelExpr& expr) const {
     schema.AddColumn(in->schema().column(p));
   }
   Relation out(std::move(schema));
-  for (const Row& row : in->rows()) {
-    Row projected;
-    projected.reserve(positions.size());
-    for (int p : positions) projected.push_back(row[static_cast<size_t>(p)]);
-    out.Add(std::move(projected));
+  const std::vector<Row>& rows = in->rows();
+  AppendChunked(
+      in->size(), &out,
+      [&](std::vector<Row>& dst, int64_t begin, int64_t end) {
+        dst.reserve(dst.size() + static_cast<size_t>(end - begin));
+        for (int64_t i = begin; i < end; ++i) {
+          const Row& row = rows[static_cast<size_t>(i)];
+          Row projected;
+          projected.reserve(positions.size());
+          for (int p : positions) {
+            projected.push_back(row[static_cast<size_t>(p)]);
+          }
+          dst.push_back(std::move(projected));
+        }
+      });
+  return out;
+}
+
+Relation Evaluator::EvalNullIf(const RelExpr& expr) const {
+  std::shared_ptr<const Relation> in = Eval(expr.input());
+  BoundScalar pred = BoundScalar::Compile(expr.predicate(), in->schema());
+  // Positions of columns belonging to the nulled tables.
+  std::vector<int> null_positions;
+  for (int i = 0; i < in->schema().num_columns(); ++i) {
+    if (expr.null_tables().count(in->schema().column(i).table) > 0) {
+      null_positions.push_back(i);
+    }
   }
+  Relation out(in->schema());
+  const std::vector<Row>& rows = in->rows();
+  AppendChunked(
+      in->size(), &out,
+      [&](std::vector<Row>& dst, int64_t begin, int64_t end) {
+        dst.reserve(dst.size() + static_cast<size_t>(end - begin));
+        for (int64_t i = begin; i < end; ++i) {
+          const Row& row = rows[static_cast<size_t>(i)];
+          if (pred.EvalBool(row)) {
+            dst.push_back(row);
+          } else {
+            Row nulled = row;
+            for (int p : null_positions) {
+              nulled[static_cast<size_t>(p)] = Value::Null();
+            }
+            dst.push_back(std::move(nulled));
+          }
+        }
+      });
   return out;
 }
 
@@ -233,154 +333,135 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
   }
 
   BoundScalar residual;
-  bool has_residual = residual_expr != nullptr;
+  const bool has_residual = residual_expr != nullptr;
   if (has_residual) residual = BoundScalar::Compile(residual_expr, combined);
+  const int lcols = l.schema().num_columns();
+  const int rcols = r.schema().num_columns();
 
   // Inner joins are symmetric: build the hash table over the smaller
   // input and probe with the larger (output column order is unchanged).
   if (kind == JoinKind::kInner && !left_keys.empty() && l.size() < r.size()) {
-    std::unordered_multimap<size_t, int64_t> build;
-    build.reserve(static_cast<size_t>(l.size()));
-    for (int64_t i = 0; i < l.size(); ++i) {
-      if (!AnyNullAt(l.row(i), left_keys)) {
-        build.emplace(HashAt(l.row(i), left_keys), i);
-      }
-    }
+    std::vector<size_t> build_hashes = HashRows(l, left_keys, exec_, pool_);
+    JoinTable table;
+    table.Build(build_hashes, WorkersFor(l.size()), pool_);
+    std::vector<size_t> probe_hashes = HashRows(r, right_keys, exec_, pool_);
     Relation out(combined);
-    const int lcols = l.schema().num_columns();
-    const int rcols = r.schema().num_columns();
-    Row combined_row(static_cast<size_t>(lcols + rcols));
-    for (int64_t ri = 0; ri < r.size(); ++ri) {
-      const Row& rrow = r.row(ri);
-      if (AnyNullAt(rrow, right_keys)) continue;
-      auto range = build.equal_range(HashAt(rrow, right_keys));
-      for (auto it = range.first; it != range.second; ++it) {
-        const Row& lrow = l.row(it->second);
-        if (!EqualAt(lrow, left_keys, rrow, right_keys)) continue;
-        for (int i = 0; i < lcols; ++i) {
-          combined_row[static_cast<size_t>(i)] = lrow[static_cast<size_t>(i)];
-        }
-        for (int i = 0; i < rcols; ++i) {
-          combined_row[static_cast<size_t>(lcols + i)] =
-              rrow[static_cast<size_t>(i)];
-        }
-        if (has_residual && !residual.EvalBool(combined_row)) continue;
-        out.Add(combined_row);
-      }
-    }
+    AppendChunked(
+        r.size(), &out,
+        [&](std::vector<Row>& dst, int64_t begin, int64_t end) {
+          Row combined_row(static_cast<size_t>(lcols + rcols));
+          for (int64_t ri = begin; ri < end; ++ri) {
+            const size_t h = probe_hashes[static_cast<size_t>(ri)];
+            if (h == JoinTable::kSkipHash) continue;
+            const Row& rrow = r.row(ri);
+            table.ForEachMatch(h, [&](int64_t li) {
+              const Row& lrow = l.row(li);
+              if (!EqualAt(lrow, left_keys, rrow, right_keys)) return true;
+              for (int i = 0; i < lcols; ++i) {
+                combined_row[static_cast<size_t>(i)] =
+                    lrow[static_cast<size_t>(i)];
+              }
+              for (int i = 0; i < rcols; ++i) {
+                combined_row[static_cast<size_t>(lcols + i)] =
+                    rrow[static_cast<size_t>(i)];
+              }
+              if (!has_residual || residual.EvalBool(combined_row)) {
+                dst.push_back(combined_row);
+              }
+              return true;
+            });
+          }
+        });
     return out;
   }
 
   // Build hash table over the right input (skips NULL keys: SQL equality
   // can never match them).
-  std::unordered_multimap<size_t, int64_t> hash;
+  JoinTable table;
+  std::vector<size_t> probe_hashes;
   if (!left_keys.empty()) {
-    hash.reserve(static_cast<size_t>(r.size()));
-    for (int64_t i = 0; i < r.size(); ++i) {
-      if (!AnyNullAt(r.row(i), right_keys)) {
-        hash.emplace(HashAt(r.row(i), right_keys), i);
-      }
-    }
+    std::vector<size_t> build_hashes = HashRows(r, right_keys, exec_, pool_);
+    table.Build(build_hashes, WorkersFor(r.size()), pool_);
+    probe_hashes = HashRows(l, left_keys, exec_, pool_);
   }
+
+  // Right-side match flags feed the right/full-outer pass below; probe
+  // morsels set them concurrently (monotonic 0 -> 1, order irrelevant).
+  const bool track_right =
+      kind == JoinKind::kRightOuter || kind == JoinKind::kFullOuter;
+  std::vector<std::atomic<uint8_t>> right_matched(
+      track_right ? static_cast<size_t>(r.size()) : 0);
 
   Relation out(semi_or_anti ? l.schema() : combined);
-  std::vector<char> right_matched(static_cast<size_t>(r.size()), 0);
-  const int lcols = l.schema().num_columns();
-  const int rcols = r.schema().num_columns();
-
-  Row combined_row(static_cast<size_t>(lcols + rcols));
-  auto try_match = [&](const Row& lrow, int64_t ri, bool* matched_out) {
-    const Row& rrow = r.row(ri);
-    if (!left_keys.empty() && !EqualAt(lrow, left_keys, rrow, right_keys)) {
-      return;
-    }
-    if (has_residual || !semi_or_anti) {
-      for (int i = 0; i < lcols; ++i) {
-        combined_row[static_cast<size_t>(i)] = lrow[static_cast<size_t>(i)];
-      }
-      for (int i = 0; i < rcols; ++i) {
-        combined_row[static_cast<size_t>(lcols + i)] =
-            rrow[static_cast<size_t>(i)];
-      }
-    }
-    if (has_residual && !residual.EvalBool(combined_row)) return;
-    *matched_out = true;
-    right_matched[static_cast<size_t>(ri)] = 1;
-    if (kind == JoinKind::kInner || kind == JoinKind::kLeftOuter ||
-        kind == JoinKind::kRightOuter || kind == JoinKind::kFullOuter) {
-      out.Add(combined_row);
-    }
-  };
-
-  for (int64_t li = 0; li < l.size(); ++li) {
-    const Row& lrow = l.row(li);
-    bool matched = false;
-    if (!left_keys.empty()) {
-      if (!AnyNullAt(lrow, left_keys)) {
-        auto range = hash.equal_range(HashAt(lrow, left_keys));
-        for (auto it = range.first; it != range.second; ++it) {
-          try_match(lrow, it->second, &matched);
-          if (matched && semi_or_anti) break;
+  AppendChunked(
+      l.size(), &out,
+      [&](std::vector<Row>& dst, int64_t begin, int64_t end) {
+        Row combined_row(static_cast<size_t>(lcols + rcols));
+        for (int64_t li = begin; li < end; ++li) {
+          const Row& lrow = l.row(li);
+          bool matched = false;
+          auto try_match = [&](int64_t ri) {
+            const Row& rrow = r.row(ri);
+            if (!left_keys.empty() &&
+                !EqualAt(lrow, left_keys, rrow, right_keys)) {
+              return true;  // hash collision; keep probing
+            }
+            if (has_residual || !semi_or_anti) {
+              for (int i = 0; i < lcols; ++i) {
+                combined_row[static_cast<size_t>(i)] =
+                    lrow[static_cast<size_t>(i)];
+              }
+              for (int i = 0; i < rcols; ++i) {
+                combined_row[static_cast<size_t>(lcols + i)] =
+                    rrow[static_cast<size_t>(i)];
+              }
+            }
+            if (has_residual && !residual.EvalBool(combined_row)) return true;
+            matched = true;
+            if (track_right) {
+              right_matched[static_cast<size_t>(ri)].store(
+                  1, std::memory_order_relaxed);
+            }
+            if (!semi_or_anti) dst.push_back(combined_row);
+            return !semi_or_anti;  // semi/anti: first match settles the row
+          };
+          if (!left_keys.empty()) {
+            const size_t h = probe_hashes[static_cast<size_t>(li)];
+            if (h != JoinTable::kSkipHash) table.ForEachMatch(h, try_match);
+          } else {
+            for (int64_t ri = 0; ri < r.size(); ++ri) {
+              if (!try_match(ri)) break;
+            }
+          }
+          switch (kind) {
+            case JoinKind::kLeftOuter:
+            case JoinKind::kFullOuter:
+              if (!matched) {
+                Row row = lrow;
+                row.resize(static_cast<size_t>(lcols + rcols), Value::Null());
+                dst.push_back(std::move(row));
+              }
+              break;
+            case JoinKind::kLeftSemi:
+              if (matched) dst.push_back(lrow);
+              break;
+            case JoinKind::kLeftAnti:
+              if (!matched) dst.push_back(lrow);
+              break;
+            default:
+              break;
+          }
         }
-      }
-    } else {
-      for (int64_t ri = 0; ri < r.size(); ++ri) {
-        try_match(lrow, ri, &matched);
-        if (matched && semi_or_anti) break;
-      }
-    }
-    switch (kind) {
-      case JoinKind::kLeftOuter:
-      case JoinKind::kFullOuter:
-        if (!matched) {
-          Row row = lrow;
-          row.resize(static_cast<size_t>(lcols + rcols), Value::Null());
-          out.Add(std::move(row));
-        }
-        break;
-      case JoinKind::kLeftSemi:
-        if (matched) out.Add(lrow);
-        break;
-      case JoinKind::kLeftAnti:
-        if (!matched) out.Add(lrow);
-        break;
-      default:
-        break;
-    }
-  }
-  if (kind == JoinKind::kRightOuter || kind == JoinKind::kFullOuter) {
+      });
+  if (track_right) {
     for (int64_t ri = 0; ri < r.size(); ++ri) {
-      if (!right_matched[static_cast<size_t>(ri)]) {
+      if (!right_matched[static_cast<size_t>(ri)].load(
+              std::memory_order_relaxed)) {
         Row row(static_cast<size_t>(lcols), Value::Null());
         const Row& rrow = r.row(ri);
         row.insert(row.end(), rrow.begin(), rrow.end());
         out.Add(std::move(row));
       }
-    }
-  }
-  return out;
-}
-
-Relation Evaluator::EvalNullIf(const RelExpr& expr) const {
-  std::shared_ptr<const Relation> in = Eval(expr.input());
-  BoundScalar pred = BoundScalar::Compile(expr.predicate(), in->schema());
-  // Positions of columns belonging to the nulled tables.
-  std::vector<int> null_positions;
-  for (int i = 0; i < in->schema().num_columns(); ++i) {
-    if (expr.null_tables().count(in->schema().column(i).table) > 0) {
-      null_positions.push_back(i);
-    }
-  }
-  Relation out(in->schema());
-  for (const Row& row : in->rows()) {
-    if (pred.EvalBool(row)) {
-      out.Add(row);
-    } else {
-      Row nulled = row;
-      for (int p : null_positions) {
-        nulled[static_cast<size_t>(p)] = Value::Null();
-      }
-      out.Add(std::move(nulled));
     }
   }
   return out;
@@ -502,75 +583,160 @@ Relation Evaluator::EvalSortMergeJoin(
   return out;
 }
 
-Relation Evaluator::DedupRows(Relation input) {
-  std::unordered_multimap<size_t, size_t> seen;
+Relation Evaluator::DedupRows(Relation input, const ExecConfig& config,
+                              ThreadPool* pool) {
+  const std::vector<Row>& rows = input.rows();
+  if (rows.size() <= 1) return input;
+
+  std::vector<size_t> hashes(rows.size());
+  ParallelRange(config, pool, static_cast<int64_t>(rows.size()),
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    hashes[static_cast<size_t>(i)] =
+                        HashFullRow(rows[static_cast<size_t>(i)]);
+                  }
+                });
+  JoinTable table;
+  table.Build(hashes, StaticWorkers(config, pool, input.size()), pool);
+
+  // A row is a duplicate iff some earlier row equals it. ForEachMatch
+  // enumerates in ascending row order, so the first row-equal match is
+  // either an earlier duplicate or the row itself.
+  std::vector<char> drop(rows.size(), 0);
+  ParallelRange(config, pool, static_cast<int64_t>(rows.size()),
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    const Row& row = rows[static_cast<size_t>(i)];
+                    table.ForEachMatch(
+                        hashes[static_cast<size_t>(i)], [&](int64_t j) {
+                          if (j >= i) return false;
+                          if (rows[static_cast<size_t>(j)] == row) {
+                            drop[static_cast<size_t>(i)] = 1;
+                            return false;
+                          }
+                          return true;
+                        });
+                  }
+                });
+
   std::vector<Row> kept;
-  for (Row& row : *input.mutable_rows()) {
-    size_t h = HashFullRow(row);
-    bool duplicate = false;
-    auto range = seen.equal_range(h);
-    for (auto it = range.first; it != range.second; ++it) {
-      if (kept[it->second] == row) {
-        duplicate = true;
-        break;
-      }
-    }
-    if (!duplicate) {
-      seen.emplace(h, kept.size());
-      kept.push_back(std::move(row));
-    }
+  kept.reserve(rows.size());
+  std::vector<Row>& mutable_rows = *input.mutable_rows();
+  for (size_t i = 0; i < mutable_rows.size(); ++i) {
+    if (!drop[i]) kept.push_back(std::move(mutable_rows[i]));
   }
-  *input.mutable_rows() = std::move(kept);
+  mutable_rows = std::move(kept);
   return input;
 }
 
-Relation Evaluator::RemoveSubsumed(Relation input) {
+Relation Evaluator::RemoveSubsumed(Relation input, const ExecConfig& config,
+                                   ThreadPool* pool) {
   const std::vector<Row>& rows = input.rows();
   if (rows.empty()) return input;
+  const size_t cols = rows[0].size();
+  const size_t words = (cols + 63) / 64;
 
-  // Group row indexes by non-null mask.
-  std::unordered_map<std::string, std::vector<size_t>> groups;
-  std::vector<std::string> masks(rows.size());
+  // Non-null masks as packed bitsets (bit c set = column c non-null),
+  // one `words`-wide group per row in a flat array.
+  std::vector<uint64_t> masks(rows.size() * words, 0);
+  ParallelRange(config, pool, static_cast<int64_t>(rows.size()),
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    const Row& row = rows[static_cast<size_t>(i)];
+                    uint64_t* mask = &masks[static_cast<size_t>(i) * words];
+                    for (size_t c = 0; c < cols; ++c) {
+                      if (!row[c].is_null()) {
+                        mask[c / 64] |= uint64_t{1} << (c % 64);
+                      }
+                    }
+                  }
+                });
+
+  // Group row indexes by mask. Distinct masks are few (one per term
+  // shape of the normal form), so a linear scan of the group list beats
+  // any hashing.
+  struct Group {
+    const uint64_t* mask;
+    std::vector<size_t> rows;
+  };
+  std::vector<Group> groups;
   for (size_t i = 0; i < rows.size(); ++i) {
-    masks[i] = NullMask(rows[i]);
-    groups[masks[i]].push_back(i);
+    const uint64_t* mask = &masks[i * words];
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (std::equal(mask, mask + words, g.mask)) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{mask, {}});
+      group = &groups.back();
+    }
+    group->rows.push_back(i);
   }
   if (groups.size() == 1) return input;  // identical masks cannot subsume
 
-  // For each mask, find the strict-superset masks and test membership of
-  // each row's non-null projection among superset rows.
-  std::vector<char> drop(rows.size(), 0);
-  for (const auto& [mask, indexes] : groups) {
-    std::vector<int> proj;
-    for (size_t c = 0; c < mask.size(); ++c) {
-      if (mask[c] == '1') proj.push_back(static_cast<int>(c));
+  auto strict_subset = [&](const uint64_t* small, const uint64_t* big) {
+    bool strict = false;
+    for (size_t w = 0; w < words; ++w) {
+      if ((small[w] & ~big[w]) != 0) return false;
+      if ((big[w] & ~small[w]) != 0) strict = true;
     }
-    for (const auto& [other_mask, other_indexes] : groups) {
-      if (!IsStrictSubsetMask(mask, other_mask)) continue;
-      // Hash the superset group's rows projected onto `proj`.
-      std::unordered_multimap<size_t, size_t> table;
-      table.reserve(other_indexes.size());
-      for (size_t oi : other_indexes) {
-        table.emplace(HashAt(rows[oi], proj), oi);
+    return strict;
+  };
+
+  // For each mask, find the strict-superset masks and test membership of
+  // each row's non-null projection among superset rows. The flat table
+  // and its hash buffer are reused across mask pairs (capacity sticks),
+  // replacing the per-pair unordered_multimap rebuild.
+  std::vector<char> drop(rows.size(), 0);
+  JoinTable table;
+  std::vector<size_t> sup_hashes;
+  std::vector<int> proj;
+  for (const Group& sub : groups) {
+    proj.clear();
+    for (size_t c = 0; c < cols; ++c) {
+      if ((sub.mask[c / 64] >> (c % 64)) & 1) {
+        proj.push_back(static_cast<int>(c));
       }
-      for (size_t i : indexes) {
-        if (drop[i]) continue;
-        auto range = table.equal_range(HashAt(rows[i], proj));
-        for (auto it = range.first; it != range.second; ++it) {
-          if (EqualAt(rows[i], proj, rows[it->second], proj)) {
-            drop[i] = 1;
-            break;
-          }
-        }
+    }
+    for (const Group& sup : groups) {
+      if (!strict_subset(sub.mask, sup.mask)) continue;
+      sup_hashes.resize(sup.rows.size());
+      for (size_t k = 0; k < sup.rows.size(); ++k) {
+        sup_hashes[k] = HashAt(rows[sup.rows[k]], proj);
       }
+      table.Build(
+          sup_hashes,
+          StaticWorkers(config, pool, static_cast<int64_t>(sup.rows.size())),
+          pool);
+      // Probe morsels write drop flags at distinct row indexes only.
+      ParallelRange(
+          config, pool, static_cast<int64_t>(sub.rows.size()),
+          [&](int64_t begin, int64_t end) {
+            for (int64_t k = begin; k < end; ++k) {
+              const size_t i = sub.rows[static_cast<size_t>(k)];
+              if (drop[i]) continue;
+              table.ForEachMatch(HashAt(rows[i], proj), [&](int64_t t) {
+                if (EqualAt(rows[i], proj, rows[sup.rows[static_cast<size_t>(t)]],
+                            proj)) {
+                  drop[i] = 1;
+                  return false;
+                }
+                return true;
+              });
+            }
+          });
     }
   }
   std::vector<Row> kept;
   kept.reserve(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (!drop[i]) kept.push_back(rows[i]);
+  std::vector<Row>& mutable_rows = *input.mutable_rows();
+  for (size_t i = 0; i < mutable_rows.size(); ++i) {
+    if (!drop[i]) kept.push_back(std::move(mutable_rows[i]));
   }
-  *input.mutable_rows() = std::move(kept);
+  mutable_rows = std::move(kept);
   return input;
 }
 
@@ -581,6 +747,7 @@ Relation Evaluator::OuterUnionOf(const Relation& a, const Relation& b) {
   }
   Relation out(schema);
   const int total = schema.num_columns();
+  out.mutable_rows()->reserve(static_cast<size_t>(a.size() + b.size()));
   for (const Row& row : a.rows()) {
     Row padded = row;
     padded.resize(static_cast<size_t>(total), Value::Null());

@@ -1,13 +1,16 @@
 #ifndef OJV_EXEC_EVALUATOR_H_
 #define OJV_EXEC_EVALUATOR_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "algebra/rel_expr.h"
 #include "catalog/catalog.h"
+#include "exec/exec_config.h"
 #include "exec/relation.h"
+#include "exec/thread_pool.h"
 
 namespace ojv {
 
@@ -53,6 +56,19 @@ class Evaluator {
     join_algorithm_ = algorithm;
   }
 
+  /// Enables the morsel-parallel operator variants: loops over inputs of
+  /// at least config.parallel_min_rows run on `pool` with up to
+  /// config.num_threads workers. The pool is not owned and must outlive
+  /// the evaluator; a null pool (or num_threads <= 1) keeps every
+  /// operator on the serial path. Results are identical either way —
+  /// per-morsel outputs are concatenated in morsel order, so even the
+  /// row order matches the serial execution.
+  void set_exec(const ExecConfig& config, ThreadPool* pool) {
+    exec_ = config;
+    pool_ = pool;
+  }
+  const ExecConfig& exec_config() const { return exec_; }
+
   /// Binds the relation produced for DeltaScan(name). The relation must
   /// outlive the evaluator's uses.
   void BindDelta(const std::string& name, const Relation* delta) {
@@ -83,10 +99,19 @@ class Evaluator {
   static Relation RelationFrom(const Table& table);
 
   /// Removal of subsumed tuples (the ↓ operator), exposed for reuse.
-  static Relation RemoveSubsumed(Relation input);
+  /// The two-argument overload runs morsel-parallel on `pool`.
+  static Relation RemoveSubsumed(Relation input) {
+    return RemoveSubsumed(std::move(input), ExecConfig(), nullptr);
+  }
+  static Relation RemoveSubsumed(Relation input, const ExecConfig& config,
+                                 ThreadPool* pool);
 
   /// Duplicate elimination (the δ operator), exposed for reuse.
-  static Relation DedupRows(Relation input);
+  static Relation DedupRows(Relation input) {
+    return DedupRows(std::move(input), ExecConfig(), nullptr);
+  }
+  static Relation DedupRows(Relation input, const ExecConfig& config,
+                            ThreadPool* pool);
 
   /// Outer union ⊎ of two relations (schema = union of tagged columns).
   static Relation OuterUnionOf(const Relation& a, const Relation& b);
@@ -104,11 +129,25 @@ class Evaluator {
   Relation EvalJoin(const RelExpr& expr) const;
   Relation EvalNullIf(const RelExpr& expr) const;
 
+  /// Workers the parallel loops may use for an input of `rows` rows
+  /// (1 = serial path).
+  int WorkersFor(int64_t rows) const;
+
+  /// Morsel-parallel producer: body fills its chunk's rows for input
+  /// positions [begin, end); chunk outputs are appended to `out` in
+  /// chunk order (serial execution appends directly).
+  void AppendChunked(
+      int64_t count, Relation* out,
+      const std::function<void(std::vector<Row>&, int64_t, int64_t)>& body)
+      const;
+
   const Catalog* catalog_;
   std::map<std::string, const Relation*> deltas_;
   std::map<std::string, const Relation*> overrides_;
   TableRelationCache* cache_ = nullptr;
   JoinAlgorithm join_algorithm_ = JoinAlgorithm::kHash;
+  ExecConfig exec_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace ojv

@@ -1,0 +1,86 @@
+#ifndef OJV_EXEC_JOIN_TABLE_H_
+#define OJV_EXEC_JOIN_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace ojv {
+
+/// Flat open-addressing multimap from a 64-bit hash to build-side row
+/// ids: one contiguous array of (hash, row) slots, power-of-two sized at
+/// 50% max load, linear probing. Replaces std::unordered_multimap in the
+/// join/dedup/subsumption kernels — no per-node allocation, no pointer
+/// chasing on probe, and the backing vector is reused across Build calls
+/// (RemoveSubsumed rebuilds per mask pair against the same instance).
+///
+/// Parallel build partitions the table by the hash's top bits into
+/// independently probed sub-regions, one builder thread per partition —
+/// insertions never race because a slot region has exactly one writer.
+///
+/// Determinism: within a partition rows are inserted in ascending row id
+/// and linear probing preserves that order among equal-hash entries, so
+/// ForEachMatch enumerates matches in build row order regardless of the
+/// partition count. Serial and parallel joins therefore emit identical
+/// row sequences.
+class JoinTable {
+ public:
+  /// Sentinel marking a build row to skip (NULL join keys: SQL equality
+  /// never matches them). Real hashes must be normalized away from this
+  /// value (NormalizeHash) by whoever fills the hash array.
+  static constexpr size_t kSkipHash = ~size_t{0};
+
+  /// Keeps a computed hash distinguishable from kSkipHash. The remapped
+  /// value only adds an equality-checked collision, never a miss, as
+  /// long as every build- and probe-side hash goes through this.
+  static size_t NormalizeHash(size_t h) { return h == kSkipHash ? h - 1 : h; }
+
+  /// (Re)builds the table over rows [0, hashes.size()), skipping entries
+  /// equal to kSkipHash. `num_partitions` is rounded up to a power of
+  /// two; pass 1 (or pool == nullptr) for a serial build.
+  void Build(const std::vector<size_t>& hashes, int num_partitions,
+             ThreadPool* pool);
+
+  /// Calls fn(row_id) for every build row whose hash equals `hash`, in
+  /// ascending row id order. Callers re-check real key equality.
+  template <typename Fn>
+  void ForEachMatch(size_t hash, Fn&& fn) const {
+    if (slots_.empty()) return;
+    const Partition& part =
+        partitions_[partition_bits_ == 0
+                        ? 0
+                        : hash >> (64 - static_cast<unsigned>(partition_bits_))];
+    size_t idx = hash & part.mask;
+    for (;;) {
+      const Slot& slot = slots_[part.offset + idx];
+      if (slot.row < 0) return;
+      if (slot.hash == hash) fn(slot.row);
+      idx = (idx + 1) & part.mask;
+    }
+  }
+
+  int64_t size() const { return entries_; }
+
+ private:
+  struct Slot {
+    size_t hash;
+    int64_t row;
+  };
+  struct Partition {
+    size_t offset;
+    size_t mask;  // capacity - 1 (capacity is a power of two)
+  };
+
+  void FillPartition(const std::vector<size_t>& hashes, size_t part_index);
+
+  std::vector<Slot> slots_;
+  std::vector<Partition> partitions_;
+  int partition_bits_ = 0;  // log2(partitions_.size())
+  int64_t entries_ = 0;
+};
+
+}  // namespace ojv
+
+#endif  // OJV_EXEC_JOIN_TABLE_H_

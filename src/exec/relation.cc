@@ -96,6 +96,11 @@ std::string Relation::ToString(bool sorted) const {
   return out;
 }
 
+bool Relation::Equals(const Relation& other) const {
+  std::string diff;
+  return SameBag(*this, other, &diff);
+}
+
 void SortRows(std::vector<Row>* rows) {
   std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
     for (size_t i = 0; i < a.size() && i < b.size(); ++i) {

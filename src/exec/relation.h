@@ -93,6 +93,14 @@ class Relation {
   /// in this row). Requires the table's key to be present in the schema.
   bool IsNullExtendedOn(const Row& row, const std::string& table) const;
 
+  /// Order-insensitive bag equality against `other` (same rows with the
+  /// same multiplicities after aligning column order). Schemas must bind
+  /// the same (table, column) sets. This is the comparison the executor
+  /// equivalence tests use: every physical plan — serial hash,
+  /// sort-merge, parallel at any thread count — must produce Equals
+  /// results.
+  bool Equals(const Relation& other) const;
+
   /// Multi-line debug rendering (sorted if `sorted`), for tests/examples.
   std::string ToString(bool sorted = false) const;
 

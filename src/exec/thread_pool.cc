@@ -1,0 +1,107 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ojv {
+namespace {
+
+/// True while the current thread is executing chunks of some pool's
+/// loop; a ParallelFor issued in that state runs inline (see header).
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i - 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunChunks() {
+  t_in_parallel_region = true;
+  for (;;) {
+    int64_t chunk = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= num_chunks_) break;
+    int64_t begin = chunk * grain_;
+    int64_t end = std::min(count_, begin + grain_);
+    (*body_)(chunk, begin, end);
+  }
+  t_in_parallel_region = false;
+}
+
+void ThreadPool::ParallelFor(
+    int64_t count, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& body,
+    int max_workers) {
+  if (count <= 0) return;
+  OJV_CHECK(grain > 0, "morsel grain must be positive");
+  const int64_t num_chunks = (count + grain - 1) / grain;
+  if (workers_.empty() || num_chunks == 1 || max_workers <= 1 ||
+      t_in_parallel_region) {
+    // Serial fallback: same chunking so bodies see identical
+    // (chunk, begin, end) triples as the parallel schedule.
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      body(c, c * grain, std::min(count, (c + 1) * grain));
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    count_ = count;
+    grain_ = grain;
+    num_chunks_ = num_chunks;
+    active_limit_ = std::min(max_workers - 1,
+                             static_cast<int>(workers_.size()));
+    cursor_.store(0, std::memory_order_relaxed);
+    busy_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunChunks();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return busy_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || epoch_ != seen_epoch; });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    const bool participate = worker_index < active_limit_;
+    lock.unlock();
+    if (participate) RunChunks();
+    lock.lock();
+    if (--busy_ == 0) done_cv_.notify_all();
+  }
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::Shared(int num_threads) {
+  static std::mutex registry_mu;
+  static std::shared_ptr<ThreadPool>* pool = new std::shared_ptr<ThreadPool>;
+  std::lock_guard<std::mutex> lock(registry_mu);
+  const int want = std::max(2, num_threads);
+  if (*pool == nullptr || (*pool)->num_threads() < want) {
+    *pool = std::make_shared<ThreadPool>(want);
+  }
+  return *pool;
+}
+
+}  // namespace ojv

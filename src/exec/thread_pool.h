@@ -1,0 +1,86 @@
+#ifndef OJV_EXEC_THREAD_POOL_H_
+#define OJV_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ojv {
+
+/// A persistent pool of worker threads driving morsel loops. The pool is
+/// the only piece of the executor that owns threads; operators hand it a
+/// chunk-parallel loop and block until it completes.
+///
+/// Scheduling is a shared atomic cursor over fixed-size chunks: workers
+/// (including the calling thread, which always participates) claim the
+/// next unclaimed chunk until the range is exhausted. That is the
+/// chunk-queue flavor of morsel-driven parallelism — contention is one
+/// fetch_add per chunk, and stragglers never idle while chunks remain.
+///
+/// ParallelFor never nests: a loop issued from inside a worker body runs
+/// inline on the calling thread (the executor's recursive Eval finishes
+/// child operators before a parent loop starts, so this only triggers if
+/// a caller misuses the pool — and then it degrades to serial, not
+/// deadlock).
+class ThreadPool {
+ public:
+  /// A pool with `num_threads` total workers (the constructing thread
+  /// counts as one, so num_threads - 1 threads are spawned).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(chunk_index, begin, end) for every chunk of `grain`
+  /// consecutive indexes in [0, count), distributed over at most
+  /// `max_workers` workers (counting the caller; capped by the pool
+  /// size). Blocks until all chunks completed. Bodies for different
+  /// chunks run concurrently; the caller must make per-chunk state
+  /// independent.
+  void ParallelFor(int64_t count, int64_t grain,
+                   const std::function<void(int64_t, int64_t, int64_t)>& body,
+                   int max_workers = 1 << 20);
+
+  /// A process-wide pool with at least `num_threads` workers, shared by
+  /// every maintainer/evaluator that asks (threads are parked on a
+  /// condition variable when idle, so sharing one big pool is cheaper
+  /// than one pool per view). Grows monotonically: asking for more
+  /// threads than the current shared pool has replaces it.
+  static std::shared_ptr<ThreadPool> Shared(int num_threads);
+
+ private:
+  void WorkerLoop(int worker_index);
+  /// Claims chunks until the cursor passes `count`.
+  void RunChunks();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;   // ParallelFor waits for completion
+  uint64_t epoch_ = 0;                // bumped per ParallelFor call
+  bool shutdown_ = false;
+
+  // Current job (valid while busy_ > 0). Cursor counts chunks; workers
+  // with index >= active_limit_ sit the epoch out (participation cap).
+  const std::function<void(int64_t, int64_t, int64_t)>* body_ = nullptr;
+  int64_t count_ = 0;
+  int64_t grain_ = 1;
+  int64_t num_chunks_ = 0;
+  int active_limit_ = 0;
+  std::atomic<int64_t> cursor_{0};
+  int busy_ = 0;  // workers not yet done with the epoch (guarded by mu_)
+};
+
+}  // namespace ojv
+
+#endif  // OJV_EXEC_THREAD_POOL_H_

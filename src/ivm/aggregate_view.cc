@@ -16,9 +16,16 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-Relation EvaluateBaseView(const Catalog& catalog, const ViewDef& view) {
+// Full evaluation of the (non-aggregated) base view. Routed through the
+// inner maintainer's table cache so the dirty MIN/MAX group refresh —
+// which runs *inside* a maintenance statement — reuses the base tables
+// already materialized for the delta evaluations instead of
+// re-materializing every table per refresh.
+Relation EvaluateBaseView(const Catalog& catalog, ViewMaintainer& planner) {
   Evaluator evaluator(&catalog);
-  return evaluator.EvalToRelation(view.WithProjection());
+  evaluator.set_table_cache(planner.table_cache());
+  evaluator.set_exec(planner.exec_config(), planner.thread_pool());
+  return evaluator.EvalToRelation(planner.view_def().WithProjection());
 }
 
 }  // namespace
@@ -136,7 +143,7 @@ void AggViewMaintainer::ApplyDeltaRows(const Relation& delta, int sign) {
 
 void AggViewMaintainer::InitializeView() {
   groups_.clear();
-  Relation contents = EvaluateBaseView(*catalog_, inner_->view_def());
+  Relation contents = EvaluateBaseView(*catalog_, *inner_);
   for (const Row& row : contents.rows()) ApplyRow(row, +1, &groups_);
 }
 
@@ -327,7 +334,7 @@ void AggViewMaintainer::RefreshDirtyGroups() {
       }
     }
   }
-  Relation contents = EvaluateBaseView(*catalog_, inner_->view_def());
+  Relation contents = EvaluateBaseView(*catalog_, *inner_);
   for (const Row& row : contents.rows()) {
     Row key;
     key.reserve(group_positions_.size());
@@ -361,7 +368,7 @@ Relation AggViewMaintainer::AsRelation() const {
 
 Relation AggViewMaintainer::Recompute() const {
   GroupMap groups;
-  Relation contents = EvaluateBaseView(*catalog_, inner_->view_def());
+  Relation contents = EvaluateBaseView(*catalog_, *inner_);
   for (const Row& row : contents.rows()) ApplyRow(row, +1, &groups);
   return GroupsToRelation(groups);
 }
@@ -369,7 +376,7 @@ Relation AggViewMaintainer::Recompute() const {
 bool AggViewMaintainer::MatchesRecompute(double rel_tol,
                                          std::string* diff) const {
   GroupMap expected;
-  Relation contents = EvaluateBaseView(*catalog_, inner_->view_def());
+  Relation contents = EvaluateBaseView(*catalog_, *inner_);
   for (const Row& row : contents.rows()) ApplyRow(row, +1, &expected);
 
   auto describe_key = [](const Row& key) {

@@ -93,6 +93,15 @@ class AggViewMaintainer {
 
   const ViewDef& base_view() const { return inner_->view_def(); }
 
+  const ExecConfig& exec_config() const { return inner_->exec_config(); }
+
+  /// Swaps the executor configuration on both plan-set maintainers (used
+  /// by the deferred refresh path; see ViewMaintainer::set_exec).
+  void set_exec(const ExecConfig& exec) {
+    inner_->set_exec(exec);
+    if (fkfree_inner_ != nullptr) fkfree_inner_->set_exec(exec);
+  }
+
  private:
   struct RowLess {
     bool operator()(const Row& a, const Row& b) const {

@@ -270,6 +270,25 @@ deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
     agg_view = ait->second.get();
   }
 
+  // Deferred batches are much larger than single statements, so a view
+  // may request more executor threads for its consolidated replays than
+  // its foreground maintenance uses (ThresholdConfig::refresh_threads).
+  // The override lasts for this refresh only.
+  const int refresh_threads = scheduler_.config(name).refresh_threads;
+  const ExecConfig saved_exec =
+      row_view != nullptr ? row_view->exec_config() : agg_view->exec_config();
+  const bool boost = refresh_threads > 0 &&
+                     refresh_threads != saved_exec.num_threads;
+  if (boost) {
+    ExecConfig boosted = saved_exec;
+    boosted.num_threads = refresh_threads;
+    if (row_view != nullptr) {
+      row_view->set_exec(boosted);
+    } else {
+      agg_view->set_exec(boosted);
+    }
+  }
+
   auto start = std::chrono::steady_clock::now();
   const std::set<std::string>& tables = TablesOf(name);
   stats.staleness_micros = delta_log_.OldestPendingMicros(name, tables);
@@ -365,6 +384,14 @@ deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
       // Fully-cancelled tables were reverted but have nothing to replay:
       // restore their post-batch state by definition of cancellation
       // (their pre- and post-batch states coincide), so nothing to do.
+    }
+  }
+
+  if (boost) {
+    if (row_view != nullptr) {
+      row_view->set_exec(saved_exec);
+    } else {
+      agg_view->set_exec(saved_exec);
     }
   }
 

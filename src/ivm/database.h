@@ -106,8 +106,9 @@ class Database {
 
   /// Sets a view's refresh policy. Switching away from kImmediate
   /// registers the view on the delta log (it is up to date at that
-  /// point); switching back drains it first. `config` only matters for
-  /// kThreshold.
+  /// point); switching back drains it first. `config`'s thresholds only
+  /// matter for kThreshold; config.refresh_threads applies to the
+  /// consolidated replays of every deferred policy.
   void SetRefreshPolicy(
       const std::string& view, deferred::RefreshPolicy policy,
       deferred::ThresholdConfig config = deferred::ThresholdConfig());

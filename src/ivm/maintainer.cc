@@ -28,6 +28,9 @@ const ViewMaintainer::TablePlan& ViewMaintainer::PlanSet::For(
 ViewMaintainer::ViewMaintainer(const Catalog* catalog, ViewDef view,
                                MaintenanceOptions options)
     : catalog_(catalog), view_def_(std::move(view)), options_(options) {
+  if (options_.exec.num_threads > 1) {
+    pool_ = ThreadPool::Shared(options_.exec.num_threads);
+  }
   BuildPlanSet(options_.exploit_foreign_keys, &main_);
   if (options_.exploit_foreign_keys) {
     // OnUpdate must run without constraint-based reasoning (§6 caveat 1).
@@ -73,6 +76,7 @@ void ViewMaintainer::BuildPlanSet(bool use_fks, PlanSet* out) {
       plan.secondary = std::make_unique<SecondaryDeltaEngine>(
           view_def_, *catalog_, out->terms, *plan.graph, table);
       plan.secondary->set_table_cache(&table_cache_);
+      plan.secondary->set_exec(options_.exec, pool_.get());
     }
     out->plans.emplace(table, std::move(plan));
   }
@@ -82,6 +86,8 @@ void ViewMaintainer::InitializeView() {
   view_store_ = std::make_unique<MaterializedView>(view_def_.output_schema());
   Evaluator evaluator(catalog_);
   evaluator.set_table_cache(&table_cache_);
+  evaluator.set_exec(options_.exec, pool_.get());
+  evaluator.set_join_algorithm(options_.join_algorithm);
   Relation contents = evaluator.EvalToRelation(view_def_.WithProjection());
   for (const Row& row : contents.rows()) {
     view_store_->Insert(row);
@@ -108,6 +114,8 @@ Relation ViewMaintainer::ComputePrimaryDelta(const TablePlan& plan,
                                              const Relation& delta_t) {
   Evaluator evaluator(catalog_);
   evaluator.set_table_cache(&table_cache_);
+  evaluator.set_exec(options_.exec, pool_.get());
+  evaluator.set_join_algorithm(options_.join_algorithm);
   // The delta leaf is named after the updated table.
   for (const std::string& table : view_def_.tables()) {
     if (delta_t.schema().HasTable(table)) {
@@ -153,6 +161,18 @@ SecondaryDeltaEngine* ViewMaintainer::secondary_engine(
   auto it = main_.plans.find(table);
   OJV_CHECK(it != main_.plans.end(), "table not referenced by view");
   return it->second.secondary.get();
+}
+
+void ViewMaintainer::set_exec(const ExecConfig& exec) {
+  options_.exec = exec;
+  pool_ = exec.num_threads > 1 ? ThreadPool::Shared(exec.num_threads) : nullptr;
+  for (PlanSet* set : {&main_, &update_}) {
+    for (auto& [table, plan] : set->plans) {
+      if (plan.secondary != nullptr) {
+        plan.secondary->set_exec(options_.exec, pool_.get());
+      }
+    }
+  }
 }
 
 MaintenanceStats& MaintenanceStats::Merge(const MaintenanceStats& other) {

@@ -27,6 +27,13 @@ struct MaintenanceOptions {
   bool exploit_foreign_keys = true;
   /// Where to compute ΔV^I from (§5.2 vs §5.3).
   SecondaryStrategy secondary_strategy = SecondaryStrategy::kFromView;
+  /// Executor configuration for every delta evaluation. num_threads > 1
+  /// runs the hot operators morsel-parallel on the process-wide shared
+  /// thread pool; results are identical to serial execution.
+  ExecConfig exec;
+  /// Physical join algorithm for the delta expressions (cross-validation
+  /// and benchmarks; results are identical).
+  Evaluator::JoinAlgorithm join_algorithm = Evaluator::JoinAlgorithm::kHash;
 };
 
 /// Which plan set a maintenance call uses. kConstraintFree selects the
@@ -148,6 +155,19 @@ class ViewMaintainer {
   /// delta is provably empty).
   SecondaryDeltaEngine* secondary_engine(const std::string& table);
 
+  /// The maintainer's version-checked base-table cache (shared with the
+  /// aggregate wrapper so MIN/MAX group refreshes inside a maintenance
+  /// statement reuse the tables already materialized for the deltas).
+  TableRelationCache* table_cache() { return &table_cache_; }
+
+  const ExecConfig& exec_config() const { return options_.exec; }
+  ThreadPool* thread_pool() const { return pool_.get(); }
+
+  /// Swaps the executor configuration at runtime (the deferred refresh
+  /// path uses this to run background batch replays with more threads
+  /// than foreground statements). Propagates to the secondary engines.
+  void set_exec(const ExecConfig& exec);
+
  private:
   struct TablePlan {
     std::unique_ptr<MaintenanceGraph> graph;
@@ -191,6 +211,9 @@ class ViewMaintainer {
   /// Base tables materialized once per table version and shared across
   /// the primary- and secondary-delta evaluations of an operation.
   TableRelationCache table_cache_;
+  /// Shared worker pool for morsel-parallel evaluation; null when
+  /// options_.exec.num_threads <= 1 (serial execution).
+  std::shared_ptr<ThreadPool> pool_;
   MaintenanceStatsHook stats_hook_;
 };
 

@@ -274,6 +274,7 @@ std::vector<Row> SecondaryDeltaEngine::ComputeFromBaseTables(
 
   Evaluator evaluator(&catalog_);
   evaluator.set_table_cache(cache_);
+  evaluator.set_exec(exec_, pool_);
   evaluator.BindDelta("#primary", &primary_delta);
 
   // For an insertion, the paper's expressions need the *pre-insert*

@@ -43,6 +43,13 @@ class SecondaryDeltaEngine {
   /// (optional; not owned).
   void set_table_cache(TableRelationCache* cache) { cache_ = cache; }
 
+  /// Executor configuration for the §5.3 delta expressions; `pool` is
+  /// not owned and must outlive the engine (null = serial).
+  void set_exec(const ExecConfig& exec, ThreadPool* pool) {
+    exec_ = exec;
+    pool_ = pool;
+  }
+
   /// Processes every indirectly affected term for an insertion into the
   /// updated table. Deletes subsumed orphans from `view`; returns the
   /// number of rows deleted. `delta_t` is ΔT (used by the base-table
@@ -121,6 +128,8 @@ class SecondaryDeltaEngine {
   std::string updated_table_;
   std::vector<TermPlan> plans_;
   TableRelationCache* cache_ = nullptr;
+  ExecConfig exec_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace ojv

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Full verification: build and run the test suite twice — a plain
-# Release build, then an ASan/UBSan build (-DOJV_SANITIZE=address,undefined),
-# which in particular checks the background-refresh worker for races and
-# lifetime bugs. Run from anywhere; builds land in build-check-* at the
-# repository root.
+# Full verification: build and run the test suite three times — a plain
+# Release build, an ASan/UBSan build (-DOJV_SANITIZE=address,undefined),
+# and a ThreadSanitizer build (-DOJV_TSAN=ON) that runs the
+# concurrency-sensitive tests: the morsel-parallel executor equivalence
+# suite and the deferred/background-refresh tests. Run from anywhere;
+# builds land in build-check-* at the repository root.
 #
-#   tools/check.sh            # both configurations
+#   tools/check.sh            # all configurations
 #   tools/check.sh release    # Release only
 #   tools/check.sh sanitize   # ASan/UBSan only
+#   tools/check.sh tsan       # ThreadSanitizer only
 
 set -euo pipefail
 
@@ -17,13 +19,19 @@ mode="${1:-all}"
 
 run_config() {
   local name="$1"; shift
+  local filter=""
+  if [ "$1" = "--tests" ]; then filter="$2"; shift 2; fi
   local dir="$root/build-check-$name"
   echo "==> [$name] configure"
   cmake -B "$dir" -S "$root" "$@" >/dev/null
   echo "==> [$name] build"
   cmake --build "$dir" -j "$jobs" >/dev/null
   echo "==> [$name] ctest"
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  if [ -n "$filter" ]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs" -R "$filter"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  fi
 }
 
 case "$mode" in
@@ -34,11 +42,17 @@ case "$mode" in
     run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DOJV_SANITIZE=address,undefined
     ;;&
-  release|sanitize|all)
+  tsan|all)
+    # The full suite is serial-dominated; under TSan only the tests that
+    # actually spawn threads carry signal, and they carry all of it.
+    run_config tsan --tests 'parallel_executor|deferred|database' \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_TSAN=ON
+    ;;&
+  release|sanitize|tsan|all)
     echo "==> all requested configurations passed"
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|all]" >&2
     exit 2
     ;;
 esac
