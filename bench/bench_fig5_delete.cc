@@ -44,12 +44,14 @@ int Run(int argc, char** argv) {
     std::vector<Row> keys = instance.refresh->PickLineitemDeleteKeys(batch);
     std::vector<Row> deleted = ApplyBaseDelete(lineitem, keys);
 
+    MaintenanceStats oj_stats;
+    MaintenanceStats par_stats;
     double core_ms =
         TimeMs([&] { core_maintainer.OnDelete("lineitem", deleted); });
     double oj_ms =
-        TimeMs([&] { oj_maintainer.OnDelete("lineitem", deleted); });
-    double par_ms =
-        TimeMs([&] { par_maintainer.OnDelete("lineitem", deleted); });
+        TimeMs([&] { oj_stats = oj_maintainer.OnDelete("lineitem", deleted); });
+    double par_ms = TimeMs(
+        [&] { par_stats = par_maintainer.OnDelete("lineitem", deleted); });
     double gk_ms =
         TimeMs([&] { gk_maintainer.OnDelete("lineitem", deleted); });
 
@@ -63,6 +65,8 @@ int Run(int argc, char** argv) {
     report.Num("ours_ms", oj_ms);
     report.Num("ours_parallel_ms", par_ms);
     report.Num("gk_ms", gk_ms);
+    report.Obj("stages", StagesJson(oj_stats));
+    report.Obj("stages_parallel", StagesJson(par_stats));
 
     // Restore.
     std::vector<Row> reinserted = ApplyBaseInsert(lineitem, deleted);

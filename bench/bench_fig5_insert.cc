@@ -50,12 +50,14 @@ int Run(int argc, char** argv) {
     std::vector<Row> rows = instance.refresh->NewLineitems(batch);
     std::vector<Row> inserted = ApplyBaseInsert(lineitem, rows);
 
+    MaintenanceStats oj_stats;
+    MaintenanceStats par_stats;
     double core_ms =
         TimeMs([&] { core_maintainer.OnInsert("lineitem", inserted); });
     double oj_ms =
-        TimeMs([&] { oj_maintainer.OnInsert("lineitem", inserted); });
-    double par_ms =
-        TimeMs([&] { par_maintainer.OnInsert("lineitem", inserted); });
+        TimeMs([&] { oj_stats = oj_maintainer.OnInsert("lineitem", inserted); });
+    double par_ms = TimeMs(
+        [&] { par_stats = par_maintainer.OnInsert("lineitem", inserted); });
     double gk_ms =
         TimeMs([&] { gk_maintainer.OnInsert("lineitem", inserted); });
 
@@ -69,6 +71,8 @@ int Run(int argc, char** argv) {
     report.Num("ours_ms", oj_ms);
     report.Num("ours_parallel_ms", par_ms);
     report.Num("gk_ms", gk_ms);
+    report.Obj("stages", StagesJson(oj_stats));
+    report.Obj("stages_parallel", StagesJson(par_stats));
 
     // Restore the database and all four views.
     std::vector<Row> keys;

@@ -5,6 +5,18 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/obs_config.h"
+
+// Build identity for the JSON header: a Debug, sanitized, or
+// tracing-enabled binary does not produce numbers comparable to a plain
+// Release build, so every report says which one it was.
+#ifndef OJV_BUILD_TYPE
+#define OJV_BUILD_TYPE "unknown"
+#endif
+#ifndef OJV_SANITIZE_MODE
+#define OJV_SANITIZE_MODE "none"
+#endif
+
 namespace ojv {
 namespace bench {
 
@@ -33,7 +45,23 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.json_path = argv[++i];
     }
   }
+  if (!options.ParallelValid()) {
+    std::fprintf(
+        stderr,
+        "\n"
+        "*** WARNING ***********************************************\n"
+        "*** --threads=%d exceeds this host's %u hardware threads.\n"
+        "*** The parallel columns below measure OVERSUBSCRIPTION,\n"
+        "*** not speedup; any JSON output is stamped\n"
+        "*** \"parallel_valid\": false.\n"
+        "***********************************************************\n\n",
+        options.threads, std::thread::hardware_concurrency());
+  }
   return options;
+}
+
+bool BenchOptions::ParallelValid() const {
+  return threads <= static_cast<int>(std::thread::hardware_concurrency());
 }
 
 TpchInstance::TpchInstance(const BenchOptions& options) {
@@ -108,6 +136,12 @@ void JsonReport::Str(const std::string& key, const std::string& value) {
   row += "\"" + key + "\": \"" + value + "\"";
 }
 
+void JsonReport::Obj(const std::string& key, const std::string& raw_json) {
+  std::string& row = rows_.back();
+  if (!row.empty()) row += ", ";
+  row += "\"" + key + "\": " + raw_json;
+}
+
 bool JsonReport::Write() const {
   if (options_.json_path.empty()) return false;
   std::FILE* f = std::fopen(options_.json_path.c_str(), "w");
@@ -122,6 +156,12 @@ bool JsonReport::Write() const {
   std::fprintf(f, "  \"threads\": %d,\n", options_.threads);
   std::fprintf(f, "  \"host_cores\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"build_type\": \"%s\",\n", OJV_BUILD_TYPE);
+  std::fprintf(f, "  \"sanitize\": \"%s\",\n", OJV_SANITIZE_MODE);
+  std::fprintf(f, "  \"obs_enabled\": %s,\n",
+               obs::kEnabled ? "true" : "false");
+  std::fprintf(f, "  \"parallel_valid\": %s,\n",
+               options_.ParallelValid() ? "true" : "false");
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < rows_.size(); ++i) {
     std::fprintf(f, "    {%s}%s\n", rows_[i].c_str(),
@@ -131,6 +171,21 @@ bool JsonReport::Write() const {
   std::fclose(f);
   std::printf("wrote %s\n", options_.json_path.c_str());
   return true;
+}
+
+std::string StagesJson(const MaintenanceStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"primary_ms\": %.6g, \"apply_ms\": %.6g, "
+                "\"secondary_ms\": %.6g, \"total_ms\": %.6g, "
+                "\"primary_rows\": %lld, \"secondary_rows\": %lld, "
+                "\"fk_fast_path\": %s}",
+                stats.primary_micros / 1000.0, stats.apply_micros / 1000.0,
+                stats.secondary_micros / 1000.0, stats.total_micros / 1000.0,
+                static_cast<long long>(stats.primary_rows),
+                static_cast<long long>(stats.secondary_rows),
+                stats.fk_fast_path ? "true" : "false");
+  return buf;
 }
 
 }  // namespace bench

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "ivm/maintainer.h"
 #include "tpch/dbgen.h"
 #include "tpch/refresh.h"
 #include "tpch/tpch_schema.h"
@@ -35,7 +36,14 @@ struct BenchOptions {
   int threads = 1;
   std::string json_path;
 
+  /// Parses the flags; when --threads exceeds the host's core count it
+  /// prints a loud warning (the parallel columns then measure
+  /// oversubscription, not speedup) and the JSON header carries
+  /// "parallel_valid": false.
   static BenchOptions Parse(int argc, char** argv);
+
+  /// threads <= hardware_concurrency(): the parallel numbers are real.
+  bool ParallelValid() const;
 };
 
 /// A populated TPC-H database plus its refresh stream.
@@ -63,9 +71,15 @@ std::string FormatCount(int64_t n);
 /// table stays the default output. The emitted document is
 ///
 ///   { "benchmark": ..., "scale_factor": ..., "seed": ..., "threads": ...,
-///     "host_cores": ..., "results": [ {row fields...}, ... ] }
+///     "host_cores": ..., "build_type": ..., "sanitize": ...,
+///     "obs_enabled": ..., "parallel_valid": ...,
+///     "results": [ {row fields...}, ... ] }
 ///
 /// which the trajectory file BENCH_pipeline.json aggregates across runs.
+/// The build_type/sanitize/obs_enabled header fields identify the binary
+/// that produced the numbers (a sanitizer or Debug run is not comparable
+/// to a Release one); parallel_valid is false when --threads
+/// oversubscribes the host.
 class JsonReport {
  public:
   JsonReport(std::string benchmark, const BenchOptions& options);
@@ -75,6 +89,9 @@ class JsonReport {
   void Num(const std::string& key, double value);
   void Count(const std::string& key, int64_t value);
   void Str(const std::string& key, const std::string& value);
+  /// Attaches a raw (already-serialized) JSON value, e.g. a per-stage
+  /// breakdown object from StagesJson().
+  void Obj(const std::string& key, const std::string& raw_json);
 
   /// Writes the report to the --json path. Returns false (and writes
   /// nothing) when no path was given; aborts if the path is unwritable.
@@ -85,6 +102,12 @@ class JsonReport {
   const BenchOptions options_;
   std::vector<std::string> rows_;  // accumulated "k": v fragments per row
 };
+
+/// Per-stage breakdown of one (or one accumulated) maintenance run as a
+/// JSON object: {"primary_ms": ..., "apply_ms": ..., "secondary_ms": ...,
+/// "total_ms": ..., "primary_rows": ..., "secondary_rows": ...,
+/// "fk_fast_path": ...}. Feed it to JsonReport::Obj under "stages".
+std::string StagesJson(const MaintenanceStats& stats);
 
 }  // namespace bench
 }  // namespace ojv

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace ojv {
 namespace deferred {
@@ -25,6 +26,11 @@ uint64_t DeltaLog::Append(const std::string& table, DeltaOp op,
   auto now = std::chrono::steady_clock::now();
   for (const Row& row : rows) {
     dest.push_back(DeltaEntry{next_seq_++, op, row, update_pair, now});
+  }
+  if constexpr (obs::kEnabled) {
+    static obs::Histogram& depth =
+        obs::Registry::Global().GetHistogram("ojv.deferred.log_depth");
+    depth.Record(size());
   }
   return tail();
 }

@@ -162,6 +162,72 @@ void Evaluator::AppendChunked(
 
 std::shared_ptr<const Relation> Evaluator::Eval(const RelExprPtr& expr) const {
   OJV_CHECK(expr != nullptr, "null relational expression");
+  if constexpr (obs::kEnabled) {
+    if (trace_ != nullptr) return EvalTraced(expr);
+  }
+  return EvalNode(expr);
+}
+
+namespace {
+
+const char* SpanNameFor(RelKind kind) {
+  switch (kind) {
+    case RelKind::kScan:
+      return "exec.scan";
+    case RelKind::kDeltaScan:
+      return "exec.delta_scan";
+    case RelKind::kSelect:
+      return "exec.select";
+    case RelKind::kProject:
+      return "exec.project";
+    case RelKind::kJoin:
+      return "exec.join";
+    case RelKind::kDedup:
+      return "exec.dedup";
+    case RelKind::kSubsumeRemove:
+      return "exec.subsume";
+    case RelKind::kOuterUnion:
+      return "exec.outer_union";
+    case RelKind::kMinUnion:
+      return "exec.min_union";
+    case RelKind::kNullIf:
+      return "exec.nullif";
+  }
+  return "exec.node";
+}
+
+}  // namespace
+
+std::shared_ptr<const Relation> Evaluator::EvalTraced(
+    const RelExprPtr& expr) const {
+  const int64_t start = trace_->NowMicros();
+  // EvalNode recurses through Eval for the children, so by the time it
+  // returns, every child has already recorded its span and cleared the
+  // pending buffers — what is left in them was staged by this node.
+  std::shared_ptr<const Relation> result = EvalNode(expr);
+  const int64_t end = trace_->NowMicros();
+  std::vector<std::pair<std::string, int64_t>> args = std::move(pending_args_);
+  pending_args_.clear();
+  std::vector<std::pair<std::string, std::string>> str_args =
+      std::move(pending_str_args_);
+  pending_str_args_.clear();
+  args.emplace_back("rows_out", result->size());
+  if (expr->kind() == RelKind::kScan || expr->kind() == RelKind::kDeltaScan) {
+    str_args.emplace_back("table", expr->table());
+  }
+  trace_->RecordComplete(SpanNameFor(expr->kind()), "exec", start, end - start,
+                         std::move(args), std::move(str_args));
+  return result;
+}
+
+const char* Evaluator::ParallelModeFor(int64_t rows) const {
+  if (pool_ == nullptr || exec_.num_threads <= 1) return "serial_config";
+  if (rows < exec_.parallel_min_rows) return "below_min_rows";
+  return "parallel";
+}
+
+std::shared_ptr<const Relation> Evaluator::EvalNode(
+    const RelExprPtr& expr) const {
   switch (expr->kind()) {
     case RelKind::kScan:
       return EvalScan(*expr);
@@ -173,10 +239,16 @@ std::shared_ptr<const Relation> Evaluator::Eval(const RelExprPtr& expr) const {
       return Owned(EvalProject(*expr));
     case RelKind::kJoin:
       return Owned(EvalJoin(*expr));
-    case RelKind::kDedup:
-      return Owned(DedupRows(*Eval(expr->input()), exec_, pool_));
-    case RelKind::kSubsumeRemove:
-      return Owned(RemoveSubsumed(*Eval(expr->input()), exec_, pool_));
+    case RelKind::kDedup: {
+      std::shared_ptr<const Relation> in = Eval(expr->input());
+      NoteArg("rows_in", in->size());
+      return Owned(DedupRows(*in, exec_, pool_));
+    }
+    case RelKind::kSubsumeRemove: {
+      std::shared_ptr<const Relation> in = Eval(expr->input());
+      NoteArg("rows_in", in->size());
+      return Owned(RemoveSubsumed(*in, exec_, pool_));
+    }
     case RelKind::kOuterUnion:
       return Owned(OuterUnionOf(*Eval(expr->left()), *Eval(expr->right())));
     case RelKind::kMinUnion:
@@ -206,6 +278,8 @@ std::shared_ptr<const Relation> Evaluator::EvalDeltaScan(
 
 Relation Evaluator::EvalSelect(const RelExpr& expr) const {
   std::shared_ptr<const Relation> in = Eval(expr.input());
+  NoteArg("rows_in", in->size());
+  NoteArg("mode", std::string(ParallelModeFor(in->size())));
   BoundScalar pred = BoundScalar::Compile(expr.predicate(), in->schema());
   Relation out(in->schema());
   const std::vector<Row>& rows = in->rows();
@@ -222,6 +296,7 @@ Relation Evaluator::EvalSelect(const RelExpr& expr) const {
 
 Relation Evaluator::EvalProject(const RelExpr& expr) const {
   std::shared_ptr<const Relation> in = Eval(expr.input());
+  NoteArg("rows_in", in->size());
   BoundSchema schema;
   std::vector<int> positions;
   for (const ColumnRef& ref : expr.projection()) {
@@ -250,6 +325,7 @@ Relation Evaluator::EvalProject(const RelExpr& expr) const {
 
 Relation Evaluator::EvalNullIf(const RelExpr& expr) const {
   std::shared_ptr<const Relation> in = Eval(expr.input());
+  NoteArg("rows_in", in->size());
   BoundScalar pred = BoundScalar::Compile(expr.predicate(), in->schema());
   // Positions of columns belonging to the nulled tables.
   std::vector<int> null_positions;
@@ -288,6 +364,11 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
   const JoinKind kind = expr.join_kind();
   const bool semi_or_anti =
       kind == JoinKind::kLeftSemi || kind == JoinKind::kLeftAnti;
+  NoteArg("kind", std::string(JoinKindName(kind)));
+  // Probe-side key matches that passed the residual, counted per morsel
+  // and flushed once per chunk — only when tracing is on.
+  const bool count_hits = obs::kEnabled && trace_ != nullptr;
+  std::atomic<int64_t> probe_hits{0};
 
   // Combined schema (left columns then right columns).
   BoundSchema combined;
@@ -328,9 +409,13 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
 
   if (join_algorithm_ == JoinAlgorithm::kSortMerge && !left_keys.empty() &&
       !semi_or_anti) {
+    NoteArg("algo", std::string("sortmerge"));
+    NoteArg("left_rows", l.size());
+    NoteArg("right_rows", r.size());
     return EvalSortMergeJoin(expr, l, r, left_keys, right_keys,
                              residual_expr);
   }
+  NoteArg("algo", std::string(left_keys.empty() ? "nested_loop" : "hash"));
 
   BoundScalar residual;
   const bool has_residual = residual_expr != nullptr;
@@ -345,11 +430,18 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
     JoinTable table;
     table.Build(build_hashes, WorkersFor(l.size()), pool_);
     std::vector<size_t> probe_hashes = HashRows(r, right_keys, exec_, pool_);
+    NoteArg("build_rows", table.size());
+    NoteArg("build_capacity", static_cast<int64_t>(table.capacity()));
+    NoteArg("probe_rows", r.size());
+    NoteArg("build_side", std::string("left"));
+    NoteArg("workers", WorkersFor(r.size()));
+    NoteArg("mode", std::string(ParallelModeFor(r.size())));
     Relation out(combined);
     AppendChunked(
         r.size(), &out,
         [&](std::vector<Row>& dst, int64_t begin, int64_t end) {
           Row combined_row(static_cast<size_t>(lcols + rcols));
+          int64_t local_hits = 0;
           for (int64_t ri = begin; ri < end; ++ri) {
             const size_t h = probe_hashes[static_cast<size_t>(ri)];
             if (h == JoinTable::kSkipHash) continue;
@@ -357,6 +449,7 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
             table.ForEachMatch(h, [&](int64_t li) {
               const Row& lrow = l.row(li);
               if (!EqualAt(lrow, left_keys, rrow, right_keys)) return true;
+              ++local_hits;
               for (int i = 0; i < lcols; ++i) {
                 combined_row[static_cast<size_t>(i)] =
                     lrow[static_cast<size_t>(i)];
@@ -371,7 +464,11 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
               return true;
             });
           }
+          if (count_hits) {
+            probe_hits.fetch_add(local_hits, std::memory_order_relaxed);
+          }
         });
+    NoteArg("probe_hits", probe_hits.load(std::memory_order_relaxed));
     return out;
   }
 
@@ -383,7 +480,13 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
     std::vector<size_t> build_hashes = HashRows(r, right_keys, exec_, pool_);
     table.Build(build_hashes, WorkersFor(r.size()), pool_);
     probe_hashes = HashRows(l, left_keys, exec_, pool_);
+    NoteArg("build_rows", table.size());
+    NoteArg("build_capacity", static_cast<int64_t>(table.capacity()));
+    NoteArg("build_side", std::string("right"));
   }
+  NoteArg("probe_rows", l.size());
+  NoteArg("workers", WorkersFor(l.size()));
+  NoteArg("mode", std::string(ParallelModeFor(l.size())));
 
   // Right-side match flags feed the right/full-outer pass below; probe
   // morsels set them concurrently (monotonic 0 -> 1, order irrelevant).
@@ -397,6 +500,7 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
       l.size(), &out,
       [&](std::vector<Row>& dst, int64_t begin, int64_t end) {
         Row combined_row(static_cast<size_t>(lcols + rcols));
+        int64_t local_hits = 0;
         for (int64_t li = begin; li < end; ++li) {
           const Row& lrow = l.row(li);
           bool matched = false;
@@ -418,6 +522,7 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
             }
             if (has_residual && !residual.EvalBool(combined_row)) return true;
             matched = true;
+            ++local_hits;
             if (track_right) {
               right_matched[static_cast<size_t>(ri)].store(
                   1, std::memory_order_relaxed);
@@ -452,7 +557,11 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
               break;
           }
         }
+        if (count_hits) {
+          probe_hits.fetch_add(local_hits, std::memory_order_relaxed);
+        }
       });
+  NoteArg("probe_hits", probe_hits.load(std::memory_order_relaxed));
   if (track_right) {
     for (int64_t ri = 0; ri < r.size(); ++ri) {
       if (!right_matched[static_cast<size_t>(ri)].load(

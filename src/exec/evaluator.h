@@ -11,6 +11,7 @@
 #include "exec/exec_config.h"
 #include "exec/relation.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 
 namespace ojv {
 
@@ -85,6 +86,15 @@ class Evaluator {
   /// Uses `cache` for base-table scans (optional; not owned).
   void set_table_cache(TableRelationCache* cache) { cache_ = cache; }
 
+  /// Trace sink (optional; not owned). With a sink attached, every
+  /// operator node records one span — rows in/out, and for joins the
+  /// algorithm, build size, probe hits, and the parallel-vs-serial
+  /// decision. Spans are recorded *after* the node's own work, so their
+  /// order is a post-order walk of the plan tree (ExplainMaintenance
+  /// relies on this to zip timings onto the tree). A span's duration
+  /// covers the node's whole subtree, like EXPLAIN ANALYZE totals.
+  void set_trace(obs::TraceContext* trace) { trace_ = trace; }
+
   /// Evaluates the tree; the result may alias a cached or bound
   /// relation and must be treated as immutable.
   std::shared_ptr<const Relation> Eval(const RelExprPtr& expr) const;
@@ -117,6 +127,31 @@ class Evaluator {
   static Relation OuterUnionOf(const Relation& a, const Relation& b);
 
  private:
+  /// The dispatch switch (no tracing); Eval wraps it with span recording
+  /// when a trace sink is attached.
+  std::shared_ptr<const Relation> EvalNode(const RelExprPtr& expr) const;
+  std::shared_ptr<const Relation> EvalTraced(const RelExprPtr& expr) const;
+
+  /// Attaches an arg to the span of the operator node currently being
+  /// evaluated (no-op without a sink). Operators call this only after
+  /// their child Evals returned — children harvest and clear the pending
+  /// buffers for their own spans first.
+  void NoteArg(const char* key, int64_t value) const {
+    if constexpr (obs::kEnabled) {
+      if (trace_ != nullptr) pending_args_.emplace_back(key, value);
+    }
+  }
+  void NoteArg(const char* key, std::string value) const {
+    if constexpr (obs::kEnabled) {
+      if (trace_ != nullptr) {
+        pending_str_args_.emplace_back(key, std::move(value));
+      }
+    }
+  }
+  /// The parallel-vs-serial decision for an input of `rows` rows, as a
+  /// span arg ("parallel" or the fallback reason).
+  const char* ParallelModeFor(int64_t rows) const;
+
   std::shared_ptr<const Relation> EvalScan(const RelExpr& expr) const;
   std::shared_ptr<const Relation> EvalDeltaScan(const RelExpr& expr) const;
   Relation EvalSelect(const RelExpr& expr) const;
@@ -148,6 +183,10 @@ class Evaluator {
   JoinAlgorithm join_algorithm_ = JoinAlgorithm::kHash;
   ExecConfig exec_;
   ThreadPool* pool_ = nullptr;
+  obs::TraceContext* trace_ = nullptr;
+  /// Args staged by the node currently evaluating (see NoteArg).
+  mutable std::vector<std::pair<std::string, int64_t>> pending_args_;
+  mutable std::vector<std::pair<std::string, std::string>> pending_str_args_;
 };
 
 }  // namespace ojv

@@ -63,6 +63,9 @@ class JoinTable {
 
   int64_t size() const { return entries_; }
 
+  /// Allocated slot count (instrumentation: build size vs. occupancy).
+  size_t capacity() const { return slots_.size(); }
+
  private:
   struct Slot {
     size_t hash;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace ojv {
 namespace {
@@ -11,10 +12,31 @@ namespace {
 /// loop; a ParallelFor issued in that state runs inline (see header).
 thread_local bool t_in_parallel_region = false;
 
+// Pool-wide morsel accounting (cheap: bumped per ParallelFor, not per
+// chunk). The per-thread distribution lives on the pool itself
+// (chunks_executed) since registry counters are process-global and
+// pools come and go.
+void CountLoop(int64_t chunks, bool serial) {
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& morsels =
+        obs::Registry::Global().GetCounter("ojv.exec.pool.morsels");
+    static obs::Counter& loops =
+        obs::Registry::Global().GetCounter("ojv.exec.pool.parallel_loops");
+    static obs::Counter& serial_loops =
+        obs::Registry::Global().GetCounter("ojv.exec.pool.serial_loops");
+    morsels.Add(chunks);
+    (serial ? serial_loops : loops).Add(1);
+  } else {
+    (void)chunks;
+    (void)serial;
+  }
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
-    : num_threads_(std::max(1, num_threads)) {
+    : num_threads_(std::max(1, num_threads)),
+      slot_chunks_(static_cast<size_t>(std::max(1, num_threads))) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i - 1); });
@@ -30,16 +52,22 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::RunChunks() {
+void ThreadPool::RunChunks(int slot) {
   t_in_parallel_region = true;
+  int64_t executed = 0;
   for (;;) {
     int64_t chunk = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= num_chunks_) break;
     int64_t begin = chunk * grain_;
     int64_t end = std::min(count_, begin + grain_);
     (*body_)(chunk, begin, end);
+    ++executed;
   }
   t_in_parallel_region = false;
+  if (executed > 0) {
+    slot_chunks_[static_cast<size_t>(slot)].fetch_add(
+        executed, std::memory_order_relaxed);
+  }
 }
 
 void ThreadPool::ParallelFor(
@@ -56,6 +84,8 @@ void ThreadPool::ParallelFor(
     for (int64_t c = 0; c < num_chunks; ++c) {
       body(c, c * grain, std::min(count, (c + 1) * grain));
     }
+    slot_chunks_[0].fetch_add(num_chunks, std::memory_order_relaxed);
+    CountLoop(num_chunks, /*serial=*/true);
     return;
   }
   {
@@ -71,10 +101,11 @@ void ThreadPool::ParallelFor(
     ++epoch_;
   }
   work_cv_.notify_all();
-  RunChunks();
+  RunChunks(/*slot=*/0);
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return busy_ == 0; });
   body_ = nullptr;
+  CountLoop(num_chunks, /*serial=*/false);
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
@@ -87,7 +118,7 @@ void ThreadPool::WorkerLoop(int worker_index) {
     seen_epoch = epoch_;
     const bool participate = worker_index < active_limit_;
     lock.unlock();
-    if (participate) RunChunks();
+    if (participate) RunChunks(worker_index + 1);
     lock.lock();
     if (--busy_ == 0) done_cv_.notify_all();
   }

@@ -56,10 +56,22 @@ class ThreadPool {
   /// threads than the current shared pool has replaces it.
   static std::shared_ptr<ThreadPool> Shared(int num_threads);
 
+  /// Cumulative morsels (chunks) executed by one thread slot since the
+  /// pool was built: slot 0 is the calling thread's share (including
+  /// serial fallbacks), slots 1..num_threads-1 the spawned workers.
+  /// Observability only — a skewed distribution means the pool was
+  /// under-utilized (e.g. more threads configured than the host has
+  /// cores, or inputs below parallel_min_rows).
+  int64_t chunks_executed(int slot) const {
+    return slot_chunks_[static_cast<size_t>(slot)].load(
+        std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop(int worker_index);
-  /// Claims chunks until the cursor passes `count`.
-  void RunChunks();
+  /// Claims chunks until the cursor passes `count`; `slot` attributes
+  /// the executed chunks (0 = caller, worker_index + 1 = workers).
+  void RunChunks(int slot);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -79,6 +91,9 @@ class ThreadPool {
   int active_limit_ = 0;
   std::atomic<int64_t> cursor_{0};
   int busy_ = 0;  // workers not yet done with the epoch (guarded by mu_)
+
+  /// Per-slot cumulative morsel counts (see chunks_executed).
+  std::vector<std::atomic<int64_t>> slot_chunks_;
 };
 
 }  // namespace ojv

@@ -102,6 +102,12 @@ class AggViewMaintainer {
     if (fkfree_inner_ != nullptr) fkfree_inner_->set_exec(exec);
   }
 
+  /// Attaches a trace context to both plan-set maintainers.
+  void set_trace(obs::TraceContext* trace) {
+    inner_->set_trace(trace);
+    if (fkfree_inner_ != nullptr) fkfree_inner_->set_trace(trace);
+  }
+
  private:
   struct RowLess {
     bool operator()(const Row& a, const Row& b) const {

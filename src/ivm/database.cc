@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "deferred/consolidate.h"
+#include "obs/trace.h"
 
 namespace ojv {
 namespace {
@@ -17,6 +18,13 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 }
 
 }  // namespace
+
+void Database::set_trace(obs::TraceContext* trace) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  default_options_.trace = trace;
+  for (auto& [name, view] : views_) view->set_trace(trace);
+  for (auto& [name, view] : agg_views_) view->set_trace(trace);
+}
 
 ViewMaintainer* Database::CreateMaterializedView(
     ViewDef view, const MaintenanceOptions* options) {
@@ -260,6 +268,9 @@ Relation Database::ReadAggregateRelation(const std::string& name) {
 deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
   deferred::RefreshStats stats;
   if (!scheduler_.IsDeferred(name)) return stats;  // never stale
+  obs::Span refresh_span(default_options_.trace, "deferred.refresh",
+                         "deferred");
+  refresh_span.AddArg("view", name);
   ViewMaintainer* row_view = nullptr;
   AggViewMaintainer* agg_view = nullptr;
   if (auto it = views_.find(name); it != views_.end()) {
@@ -399,6 +410,13 @@ deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
   delta_log_.TruncateConsumed();
   stats.refresh_micros = MicrosSince(start);
   scheduler_.RecordRefresh(name, stats);
+  refresh_span.AddArg("raw_entries", stats.raw_entries);
+  refresh_span.AddArg("consolidated_rows", stats.consolidated_rows);
+  refresh_span.AddArg("cancelled_rows", stats.cancelled_rows);
+  refresh_span.AddArg("update_pairs", stats.update_pairs);
+  refresh_span.AddArg("tables_touched", stats.tables_touched);
+  refresh_span.AddArg("maintenance_micros",
+                      static_cast<int64_t>(stats.maintenance_micros));
   return stats;
 }
 
@@ -492,6 +510,9 @@ void Database::MaintainDelete(const std::string& table,
 Database::StatementResult Database::Insert(const std::string& table,
                                            const std::vector<Row>& rows) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  obs::Span span(default_options_.trace, "db.insert", "db");
+  span.AddArg("table", table);
+  span.AddArg("rows_in", static_cast<int64_t>(rows.size()));
   StatementResult result;
   if (!catalog_.HasTable(table)) {
     result.error = "unknown table " + table;
@@ -520,14 +541,21 @@ Database::StatementResult Database::Insert(const std::string& table,
     }
   }
   MaybeAutoRefresh(&result);
+  span.AddArg("rows_affected", result.rows_affected);
+  span.AddArg("rows_rejected", result.rows_rejected);
   return result;
 }
 
 Database::StatementResult Database::Delete(const std::string& table,
                                            const std::vector<Row>& keys) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  obs::Span span(default_options_.trace, "db.delete", "db");
+  span.AddArg("table", table);
+  span.AddArg("rows_in", static_cast<int64_t>(keys.size()));
   StatementResult result = DeleteLocked(table, keys);
   if (result.ok()) MaybeAutoRefresh(&result);
+  span.AddArg("rows_affected", result.rows_affected);
+  span.AddArg("rows_rejected", result.rows_rejected);
   return result;
 }
 
@@ -597,6 +625,9 @@ Database::StatementResult Database::Update(const std::string& table,
                                            const std::vector<Row>& keys,
                                            const std::vector<Row>& new_rows) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  obs::Span span(default_options_.trace, "db.update", "db");
+  span.AddArg("table", table);
+  span.AddArg("rows_in", static_cast<int64_t>(keys.size()));
   StatementResult result;
   if (!catalog_.HasTable(table)) {
     result.error = "unknown table " + table;
@@ -667,6 +698,8 @@ Database::StatementResult Database::Update(const std::string& table,
         {UndoEntry::Kind::kReverseUpdate, table, applied_new, old_rows});
   }
   MaybeAutoRefresh(&result);
+  span.AddArg("rows_affected", result.rows_affected);
+  span.AddArg("rows_rejected", result.rows_rejected);
   return result;
 }
 

@@ -48,6 +48,13 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Attaches a trace context (null detaches) to every statement entry
+  /// point and to all current and future views: db.* statement spans,
+  /// deferred.refresh spans, and the nested ivm.*/exec.* spans of the
+  /// maintainers all land in `trace`.
+  void set_trace(obs::TraceContext* trace);
+  obs::TraceContext* trace() const { return default_options_.trace; }
+
   Catalog* catalog() { return &catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
@@ -74,7 +81,11 @@ class Database {
     int64_t rows_rejected = 0;        // duplicates / missing keys / FK
     double maintenance_micros = 0;    // summed over all views
     /// Per-view maintenance cost of this statement (deferred views show
-    /// up when their refresh runs inline, e.g. a threshold trip).
+    /// up when their refresh runs inline, e.g. a threshold trip). Each
+    /// entry accumulates MaintenanceStats::total_micros — the exact
+    /// number the maintainer also records as the duration of its
+    /// ivm.maintain root span, so this legacy figure and the trace can
+    /// never disagree.
     std::map<std::string, double> view_micros;
     std::string error;                // non-empty => statement rejected
     bool ok() const { return error.empty(); }

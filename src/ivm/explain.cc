@@ -1,5 +1,6 @@
 #include "ivm/explain.h"
 
+#include <map>
 #include <sstream>
 
 namespace ojv {
@@ -15,6 +16,104 @@ void AppendTermLine(std::ostringstream& out, const Term& term) {
     }
   }
   out << "\n";
+}
+
+/// Must mirror the evaluator's span naming (see Evaluator::EvalTraced):
+/// the zip below matches plan nodes to events by this name.
+const char* ExecSpanName(RelKind kind) {
+  switch (kind) {
+    case RelKind::kScan:
+      return "exec.scan";
+    case RelKind::kDeltaScan:
+      return "exec.delta_scan";
+    case RelKind::kSelect:
+      return "exec.select";
+    case RelKind::kProject:
+      return "exec.project";
+    case RelKind::kJoin:
+      return "exec.join";
+    case RelKind::kDedup:
+      return "exec.dedup";
+    case RelKind::kSubsumeRemove:
+      return "exec.subsume";
+    case RelKind::kOuterUnion:
+      return "exec.outer_union";
+    case RelKind::kMinUnion:
+      return "exec.min_union";
+    case RelKind::kNullIf:
+      return "exec.nullif";
+  }
+  return "exec.unknown";
+}
+
+std::string NodeLabel(const RelExpr& node) {
+  switch (node.kind()) {
+    case RelKind::kScan:
+      return "scan(" + node.table() + ")";
+    case RelKind::kDeltaScan:
+      return "delta_scan(" + node.table() + ")";
+    case RelKind::kSelect:
+      return "select " + node.predicate()->ToString();
+    case RelKind::kProject:
+      return "project";
+    case RelKind::kJoin:
+      return std::string("join[") + JoinKindName(node.join_kind()) + "]";
+    case RelKind::kDedup:
+      return "dedup";
+    case RelKind::kSubsumeRemove:
+      return "subsume-remove";
+    case RelKind::kOuterUnion:
+      return "outer-union";
+    case RelKind::kMinUnion:
+      return "min-union";
+    case RelKind::kNullIf:
+      return "null-if";
+  }
+  return "?";
+}
+
+/// Zips the post-order exec.* event sequence onto the plan tree: the
+/// evaluator records each node's span after its work (children first),
+/// so a post-order walk consuming events in order pairs them up. A name
+/// mismatch stops consuming for that node, leaving it unannotated.
+void ZipPlan(const RelExprPtr& node,
+             const std::vector<const obs::TraceEvent*>& events, size_t* next,
+             std::map<const RelExpr*, const obs::TraceEvent*>* stats) {
+  for (const RelExprPtr& child : node->children()) {
+    ZipPlan(child, events, next, stats);
+  }
+  if (*next < events.size() &&
+      events[*next]->name == ExecSpanName(node->kind())) {
+    (*stats)[node.get()] = events[*next];
+    ++*next;
+  }
+}
+
+void RenderAnnotatedPlan(
+    const RelExprPtr& node,
+    const std::map<const RelExpr*, const obs::TraceEvent*>& stats, int depth,
+    std::ostringstream& out) {
+  out << std::string(4 + 2 * static_cast<size_t>(depth), ' ')
+      << NodeLabel(*node);
+  auto it = stats.find(node.get());
+  if (it != stats.end()) {
+    const obs::TraceEvent& ev = *it->second;
+    out << "  [rows=" << ev.ArgOr("rows_out", 0) << " t=" << ev.dur_micros
+        << "us";
+    for (const auto& [key, value] : ev.args) {
+      if (key == "rows_out") continue;
+      out << " " << key << "=" << value;
+    }
+    for (const auto& [key, value] : ev.str_args) {
+      if (key == "table") continue;  // already in the label
+      out << " " << key << "=" << value;
+    }
+    out << "]";
+  }
+  out << "\n";
+  for (const RelExprPtr& child : node->children()) {
+    RenderAnnotatedPlan(child, stats, depth + 1, out);
+  }
 }
 
 }  // namespace
@@ -73,6 +172,87 @@ std::string ExplainMaintenance(const ViewMaintainer& maintainer) {
         out << "\n";
       }
     }
+  }
+  return out.str();
+}
+
+std::string ExplainMaintenance(const ViewMaintainer& maintainer,
+                               const obs::TraceContext& trace) {
+  std::ostringstream out;
+  out << ExplainMaintenance(maintainer);
+
+  std::vector<obs::TraceEvent> events = trace.Snapshot();
+  std::vector<std::vector<size_t>> children(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].parent >= 0) {
+      children[static_cast<size_t>(events[i].parent)].push_back(i);
+    }
+  }
+
+  const std::string& view_name = maintainer.view_def().name();
+  int invocation = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const obs::TraceEvent& root = events[i];
+    if (root.name != "ivm.maintain") continue;
+    const std::string* view = root.StrArg("view");
+    if (view == nullptr || *view != view_name) continue;
+    const std::string* table = root.StrArg("table");
+    const std::string* op = root.StrArg("op");
+    ++invocation;
+    if (invocation == 1) out << "\nmeasured maintenance (from trace):\n";
+    out << "\n[" << invocation << "] " << (op != nullptr ? *op : "?") << " of "
+        << root.ArgOr("delta_rows", 0) << " row(s) into "
+        << (table != nullptr ? *table : "?") << "  (total " << root.dur_micros
+        << "us, rows_out=" << root.ArgOr("rows_out", 0) << ")\n";
+    if (const std::string* skipped = root.StrArg("skipped")) {
+      out << "  skipped: " << *skipped << "\n";
+    }
+
+    for (size_t c : children[i]) {
+      const obs::TraceEvent& stage = events[c];
+      if (stage.name == "ivm.primary_delta") {
+        out << "  primary delta: " << stage.dur_micros
+            << "us, rows_in=" << stage.ArgOr("rows_in", 0)
+            << ", rows_out=" << stage.ArgOr("rows_out", 0) << "\n";
+        std::vector<const obs::TraceEvent*> execs;
+        for (size_t e : children[c]) {
+          if (events[e].category == "exec") execs.push_back(&events[e]);
+        }
+        if (!execs.empty() && table != nullptr &&
+            !maintainer.DeltaIsEmpty(*table)) {
+          const RelExprPtr& plan = maintainer.delta_expr(*table);
+          size_t next = 0;
+          std::map<const RelExpr*, const obs::TraceEvent*> stats;
+          ZipPlan(plan, execs, &next, &stats);
+          RenderAnnotatedPlan(plan, stats, 0, out);
+          if (next != execs.size()) {
+            out << "    (" << execs.size() - next
+                << " exec span(s) not matched to this plan — a different\n"
+                   "    plan policy or a batched rewrite was in effect)\n";
+          }
+        }
+      } else if (stage.name == "ivm.apply") {
+        out << "  apply: " << stage.dur_micros
+            << "us, rows=" << stage.ArgOr("rows", 0) << "\n";
+      } else if (stage.name == "ivm.secondary_delta") {
+        out << "  secondary delta: " << stage.dur_micros
+            << "us, rows=" << stage.ArgOr("rows", 0) << "\n";
+      } else if (stage.name == "ivm.secondary_delta.skipped") {
+        const std::string* reason = stage.StrArg("reason");
+        out << "  secondary delta: skipped ("
+            << (reason != nullptr ? *reason : "?") << ")\n";
+      } else if (stage.name == "ivm.secondary.strategy") {
+        const std::string* requested = stage.StrArg("requested");
+        const std::string* resolved = stage.StrArg("resolved");
+        out << "  secondary strategy: "
+            << (resolved != nullptr ? *resolved : "?") << " (requested "
+            << (requested != nullptr ? *requested : "?") << ")\n";
+      }
+    }
+  }
+  if (invocation == 0) {
+    out << "\nmeasured maintenance: no ivm.maintain spans for this view in"
+           " the trace\n";
   }
   return out.str();
 }

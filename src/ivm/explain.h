@@ -4,6 +4,7 @@
 #include <string>
 
 #include "ivm/maintainer.h"
+#include "obs/trace.h"
 
 namespace ojv {
 
@@ -14,6 +15,19 @@ namespace ojv {
 /// library's EXPLAIN: what will happen when each table is updated, and
 /// why.
 std::string ExplainMaintenance(const ViewMaintainer& maintainer);
+
+/// EXPLAIN with measured statistics: the static report above, followed by
+/// one section per traced maintenance of this view. Each section breaks
+/// the invocation into its stages (primary delta, apply, secondary delta
+/// or the reason it was skipped) and renders the primary-delta plan tree
+/// annotated per node with the row counts and inclusive timings recorded
+/// by the evaluator — the library's EXPLAIN ANALYZE. The per-node stats
+/// come from zipping the plan tree with the trace's post-order exec.*
+/// span sequence; nodes the trace cannot account for (e.g. a different
+/// plan policy was used) render without annotations and are counted at
+/// the end of the section.
+std::string ExplainMaintenance(const ViewMaintainer& maintainer,
+                               const obs::TraceContext& trace);
 
 /// The normal-form section only (terms + subsumption edges).
 std::string ExplainNormalForm(const ViewMaintainer& maintainer);

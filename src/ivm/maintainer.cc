@@ -6,6 +6,7 @@
 #include "ivm/left_deep.h"
 #include "ivm/primary_delta.h"
 #include "ivm/simplify_tree.h"
+#include "obs/metrics.h"
 
 namespace ojv {
 namespace {
@@ -40,17 +41,31 @@ ViewMaintainer::ViewMaintainer(const Catalog* catalog, ViewDef view,
 }
 
 void ViewMaintainer::BuildPlanSet(bool use_fks, PlanSet* out) {
+  obs::Span jdnf_span(options_.trace, "ivm.plan.jdnf", "ivm");
   JdnfOptions jdnf_options;
   jdnf_options.exploit_foreign_keys = use_fks;
   out->terms = ComputeJdnf(view_def_.tree(), *catalog_, jdnf_options);
   out->sgraph = std::make_unique<SubsumptionGraph>(out->terms);
+  jdnf_span.AddArg("view", view_def_.name());
+  jdnf_span.AddArg("terms", static_cast<int64_t>(out->terms.size()));
+  jdnf_span.AddArg("use_fks", static_cast<int64_t>(use_fks));
+  jdnf_span.Finish();
 
   for (const std::string& table : view_def_.tables()) {
+    obs::Span table_span(options_.trace, "ivm.plan.table", "ivm");
+    table_span.AddArg("view", view_def_.name());
+    table_span.AddArg("table", table);
     TablePlan plan;
     MaintenanceGraphOptions mg_options;
     mg_options.exploit_foreign_keys = use_fks;
     plan.graph = std::make_unique<MaintenanceGraph>(
         out->terms, *out->sgraph, table, *catalog_, mg_options);
+    table_span.AddArg(
+        "direct_terms", static_cast<int64_t>(plan.graph->DirectTerms().size()));
+    table_span.AddArg("indirect_terms",
+                      static_cast<int64_t>(plan.graph->IndirectTerms().size()));
+    table_span.AddArg("theorem3_eliminated",
+                      static_cast<int64_t>(plan.graph->fk_eliminated()));
     if (plan.graph->DirectTerms().empty()) {
       // Theorem 3 eliminated every directly affected term: updates of
       // this table cannot change the view at all.
@@ -60,6 +75,13 @@ void ViewMaintainer::BuildPlanSet(bool use_fks, PlanSet* out) {
       if (use_fks) {
         SimplifyResult simplified = SimplifyDeltaTree(
             expr, FkChildrenJoinedOnKey(view_def_, table, *catalog_));
+        table_span.AddArg("joins_eliminated",
+                          static_cast<int64_t>(simplified.joins_eliminated));
+        if constexpr (obs::kEnabled) {
+          static obs::Counter& pruned = obs::Registry::Global().GetCounter(
+              "ojv.ivm.simplify_joins_eliminated");
+          pruned.Add(simplified.joins_eliminated);
+        }
         if (simplified.empty) {
           plan.delta_empty = true;
           expr = nullptr;
@@ -72,26 +94,32 @@ void ViewMaintainer::BuildPlanSet(bool use_fks, PlanSet* out) {
       }
       plan.delta_expr = expr;
     }
+    table_span.AddArg("delta_empty", static_cast<int64_t>(plan.delta_empty));
     if (!plan.delta_empty) {
       plan.secondary = std::make_unique<SecondaryDeltaEngine>(
           view_def_, *catalog_, out->terms, *plan.graph, table);
       plan.secondary->set_table_cache(&table_cache_);
       plan.secondary->set_exec(options_.exec, pool_.get());
+      plan.secondary->set_trace(options_.trace);
     }
     out->plans.emplace(table, std::move(plan));
   }
 }
 
 void ViewMaintainer::InitializeView() {
+  obs::Span span(options_.trace, "ivm.init_view", "ivm");
+  span.AddArg("view", view_def_.name());
   view_store_ = std::make_unique<MaterializedView>(view_def_.output_schema());
   Evaluator evaluator(catalog_);
   evaluator.set_table_cache(&table_cache_);
   evaluator.set_exec(options_.exec, pool_.get());
   evaluator.set_join_algorithm(options_.join_algorithm);
+  evaluator.set_trace(options_.trace);
   Relation contents = evaluator.EvalToRelation(view_def_.WithProjection());
   for (const Row& row : contents.rows()) {
     view_store_->Insert(row);
   }
+  span.AddArg("rows", contents.size());
 }
 
 void ViewMaintainer::RestoreView(const std::vector<Row>& rows) {
@@ -116,6 +144,7 @@ Relation ViewMaintainer::ComputePrimaryDelta(const TablePlan& plan,
   evaluator.set_table_cache(&table_cache_);
   evaluator.set_exec(options_.exec, pool_.get());
   evaluator.set_join_algorithm(options_.join_algorithm);
+  evaluator.set_trace(options_.trace);
   // The delta leaf is named after the updated table.
   for (const std::string& table : view_def_.tables()) {
     if (delta_t.schema().HasTable(table)) {
@@ -171,6 +200,15 @@ void ViewMaintainer::set_exec(const ExecConfig& exec) {
       if (plan.secondary != nullptr) {
         plan.secondary->set_exec(options_.exec, pool_.get());
       }
+    }
+  }
+}
+
+void ViewMaintainer::set_trace(obs::TraceContext* trace) {
+  options_.trace = trace;
+  for (PlanSet* set : {&main_, &update_}) {
+    for (auto& [table, plan] : set->plans) {
+      if (plan.secondary != nullptr) plan.secondary->set_trace(trace);
     }
   }
 }
@@ -260,11 +298,23 @@ MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
     stats.indirect_terms =
         static_cast<int>(plan.graph->IndirectTerms().size());
   }
+  // The root span's duration is stamped from stats.total_micros below —
+  // the trace and the legacy numbers are one measurement, never two.
+  obs::Span root_span(options_.trace, "ivm.maintain", "ivm");
+  root_span.AddArg("view", view_def_.name());
+  root_span.AddArg("table", table);
+  root_span.AddArg("op", std::string(is_insert ? "insert" : "delete"));
+  root_span.AddArg("delta_rows", stats.delta_rows);
+  root_span.AddArg("direct_terms", stats.direct_terms);
+  root_span.AddArg("indirect_terms", stats.indirect_terms);
   auto total_start = std::chrono::steady_clock::now();
 
   if (plan.delta_empty || rows.empty()) {
     stats.fk_fast_path = plan.delta_empty;
     stats.total_micros = MicrosSince(total_start);
+    root_span.AddArg("skipped",
+                     std::string(plan.delta_empty ? "delta_empty" : "no_rows"));
+    root_span.FinishWithDuration(stats.total_micros);
     return stats;
   }
 
@@ -273,6 +323,7 @@ MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
   for (const Row& row : rows) delta_t.Add(row);
 
   // Step 1: compute the primary delta.
+  obs::Span primary_span(options_.trace, "ivm.primary_delta", "ivm");
   auto primary_start = std::chrono::steady_clock::now();
   Relation primary = ComputePrimaryDelta(plan, delta_t);
   stats.primary_rows = primary.size();
@@ -281,8 +332,13 @@ MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
       (plan.delta_expr->kind() == RelKind::kSelect &&
        plan.delta_expr->input()->kind() == RelKind::kDeltaScan);
   stats.primary_micros = MicrosSince(primary_start);
+  primary_span.AddArg("rows_in", stats.delta_rows);
+  primary_span.AddArg("rows_out", stats.primary_rows);
+  primary_span.AddArg("fk_fast_path", static_cast<int64_t>(stats.fk_fast_path));
+  primary_span.FinishWithDuration(stats.primary_micros);
 
   // Step 2: apply it.
+  obs::Span apply_span(options_.trace, "ivm.apply", "ivm");
   auto apply_start = std::chrono::steady_clock::now();
   if (is_insert) {
     for (const Row& row : primary.rows()) view_store_->Insert(row);
@@ -293,9 +349,12 @@ MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
     }
   }
   stats.apply_micros = MicrosSince(apply_start);
+  apply_span.AddArg("rows", stats.primary_rows);
+  apply_span.FinishWithDuration(stats.apply_micros);
 
   // Step 3: secondary delta for indirectly affected terms.
   if (plan.secondary != nullptr && stats.indirect_terms > 0) {
+    obs::Span secondary_span(options_.trace, "ivm.secondary_delta", "ivm");
     auto secondary_start = std::chrono::steady_clock::now();
     if (is_insert) {
       stats.secondary_rows = plan.secondary->ApplyAfterInsert(
@@ -305,8 +364,23 @@ MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
           options_.secondary_strategy, primary, view_store_.get());
     }
     stats.secondary_micros = MicrosSince(secondary_start);
+    secondary_span.AddArg("rows", stats.secondary_rows);
+    secondary_span.FinishWithDuration(stats.secondary_micros);
+  } else if constexpr (obs::kEnabled) {
+    // Record the skip and why — "secondary delta not needed" is exactly
+    // the FK effect the paper's §6 argues for, so make it visible.
+    if (options_.trace != nullptr) {
+      options_.trace->RecordComplete(
+          "ivm.secondary_delta.skipped", "ivm", options_.trace->NowMicros(), 0,
+          {{"indirect_terms", stats.indirect_terms}},
+          {{"reason", stats.indirect_terms == 0 ? "no_indirect_terms"
+                                                : "no_engine"}});
+    }
   }
   stats.total_micros = MicrosSince(total_start);
+  root_span.AddArg("rows_out", stats.primary_rows + stats.secondary_rows);
+  root_span.AddArg("fk_fast_path", static_cast<int64_t>(stats.fk_fast_path));
+  root_span.FinishWithDuration(stats.total_micros);
   return stats;
 }
 

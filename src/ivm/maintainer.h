@@ -14,6 +14,7 @@
 #include "normalform/jdnf.h"
 #include "normalform/maintenance_graph.h"
 #include "normalform/subsumption_graph.h"
+#include "obs/trace.h"
 
 namespace ojv {
 
@@ -34,6 +35,12 @@ struct MaintenanceOptions {
   /// Physical join algorithm for the delta expressions (cross-validation
   /// and benchmarks; results are identical).
   Evaluator::JoinAlgorithm join_algorithm = Evaluator::JoinAlgorithm::kHash;
+  /// Trace sink (not owned). When set, every maintenance operation
+  /// records per-stage spans — plan build, primary delta with one span
+  /// per exec operator, apply, secondary delta — into it. Null (the
+  /// default) disables tracing; under OJV_OBS=OFF recording also
+  /// compiles out entirely.
+  obs::TraceContext* trace = nullptr;
 };
 
 /// Which plan set a maintenance call uses. kConstraintFree selects the
@@ -167,6 +174,11 @@ class ViewMaintainer {
   /// path uses this to run background batch replays with more threads
   /// than foreground statements). Propagates to the secondary engines.
   void set_exec(const ExecConfig& exec);
+
+  /// Attaches/detaches a trace sink at runtime (propagates to the
+  /// secondary engines). Equivalent to constructing with options.trace.
+  void set_trace(obs::TraceContext* trace);
+  obs::TraceContext* trace() const { return options_.trace; }
 
  private:
   struct TablePlan {

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "exec/evaluator.h"
+#include "obs/metrics.h"
 
 namespace ojv {
 namespace {
@@ -165,11 +166,52 @@ SecondaryStrategy SecondaryDeltaEngine::ResolveStrategy(
                                 : SecondaryStrategy::kFromBaseTables;
 }
 
+const char* SecondaryStrategyName(SecondaryStrategy strategy) {
+  switch (strategy) {
+    case SecondaryStrategy::kAuto:
+      return "auto";
+    case SecondaryStrategy::kFromView:
+      return "from_view";
+    case SecondaryStrategy::kFromBaseTables:
+      return "from_base_tables";
+  }
+  return "?";
+}
+
+namespace {
+
+// One strategy-resolution record per apply: which plan kAuto (or an
+// explicit request) landed on, for the trace and the global counters.
+void RecordStrategy(obs::TraceContext* trace, SecondaryStrategy requested,
+                    SecondaryStrategy resolved, int64_t primary_rows,
+                    size_t num_terms) {
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& from_view =
+        obs::Registry::Global().GetCounter("ojv.secondary.from_view");
+    static obs::Counter& from_base =
+        obs::Registry::Global().GetCounter("ojv.secondary.from_base");
+    (resolved == SecondaryStrategy::kFromView ? from_view : from_base).Add(1);
+    if (trace != nullptr) {
+      trace->RecordComplete(
+          "ivm.secondary.strategy", "ivm", trace->NowMicros(), 0,
+          {{"primary_rows", primary_rows},
+           {"indirect_terms", static_cast<int64_t>(num_terms)}},
+          {{"requested", SecondaryStrategyName(requested)},
+           {"resolved", SecondaryStrategyName(resolved)}});
+    }
+  }
+}
+
+}  // namespace
+
 int64_t SecondaryDeltaEngine::ApplyAfterInsert(SecondaryStrategy strategy,
                                                const Relation& primary_delta,
                                                const Relation& delta_t,
                                                MaterializedView* view) {
+  SecondaryStrategy requested = strategy;
   strategy = ResolveStrategy(strategy, primary_delta.size());
+  RecordStrategy(trace_, requested, strategy, primary_delta.size(),
+                 plans_.size());
   int64_t affected = 0;
   for (const TermPlan& plan : plans_) {
     if (strategy == SecondaryStrategy::kFromView) {
@@ -186,7 +228,10 @@ int64_t SecondaryDeltaEngine::ApplyAfterInsert(SecondaryStrategy strategy,
 int64_t SecondaryDeltaEngine::ApplyAfterDelete(SecondaryStrategy strategy,
                                                const Relation& primary_delta,
                                                MaterializedView* view) {
+  SecondaryStrategy requested = strategy;
   strategy = ResolveStrategy(strategy, primary_delta.size());
+  RecordStrategy(trace_, requested, strategy, primary_delta.size(),
+                 plans_.size());
   int64_t affected = 0;
   for (const TermPlan& plan : plans_) {
     if (strategy == SecondaryStrategy::kFromView) {
@@ -275,6 +320,7 @@ std::vector<Row> SecondaryDeltaEngine::ComputeFromBaseTables(
   Evaluator evaluator(&catalog_);
   evaluator.set_table_cache(cache_);
   evaluator.set_exec(exec_, pool_);
+  evaluator.set_trace(trace_);
   evaluator.BindDelta("#primary", &primary_delta);
 
   // For an insertion, the paper's expressions need the *pre-insert*

@@ -10,6 +10,7 @@
 #include "ivm/view_def.h"
 #include "normalform/maintenance_graph.h"
 #include "normalform/term.h"
+#include "obs/trace.h"
 
 namespace ojv {
 
@@ -49,6 +50,11 @@ class SecondaryDeltaEngine {
     exec_ = exec;
     pool_ = pool;
   }
+
+  /// Trace sink (optional; not owned). Records which strategy each
+  /// apply resolved to and, for the base-table plan, the §5.3
+  /// expressions' operator spans.
+  void set_trace(obs::TraceContext* trace) { trace_ = trace; }
 
   /// Processes every indirectly affected term for an insertion into the
   /// updated table. Deletes subsumed orphans from `view`; returns the
@@ -130,7 +136,11 @@ class SecondaryDeltaEngine {
   TableRelationCache* cache_ = nullptr;
   ExecConfig exec_;
   ThreadPool* pool_ = nullptr;
+  obs::TraceContext* trace_ = nullptr;
 };
+
+/// Human-readable strategy name ("auto"/"from_view"/"from_base_tables").
+const char* SecondaryStrategyName(SecondaryStrategy strategy);
 
 }  // namespace ojv
 

@@ -4,6 +4,7 @@
 
 #include "exec/evaluator.h"
 #include "normalform/jdnf.h"
+#include "obs/metrics.h"
 
 namespace ojv {
 namespace {
@@ -131,10 +132,8 @@ ScalarExprPtr KeyIsNull(const BoundSchema& schema, const std::string& table,
   return want_null ? test : ScalarExpr::Not(test);
 }
 
-}  // namespace
-
-MatchResult MatchView(const ViewDef& query, const ViewDef& view,
-                      const Catalog& catalog) {
+MatchResult MatchViewImpl(const ViewDef& query, const ViewDef& view,
+                          const Catalog& catalog) {
   MatchResult result;
   if (query.tables() != view.tables()) {
     result.reason = "query and view reference different table sets";
@@ -261,6 +260,24 @@ MatchResult MatchView(const ViewDef& query, const ViewDef& view,
   }
   result.rewrite = RelExpr::Project(expr, query.output());
   result.matched = true;
+  return result;
+}
+
+}  // namespace
+
+MatchResult MatchView(const ViewDef& query, const ViewDef& view,
+                      const Catalog& catalog) {
+  MatchResult result = MatchViewImpl(query, view, catalog);
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& attempts =
+        obs::Registry::Global().GetCounter("ojv.matching.attempts");
+    static obs::Counter& matched =
+        obs::Registry::Global().GetCounter("ojv.matching.matched");
+    static obs::Counter& rejected =
+        obs::Registry::Global().GetCounter("ojv.matching.rejected");
+    attempts.Add(1);
+    (result.matched ? matched : rejected).Add(1);
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace ojv {
 namespace {
@@ -84,6 +85,12 @@ MaintenanceGraph::MaintenanceGraph(const std::vector<Term>& terms,
     if (term.source.count(updated_table) == 0) continue;
     if (options.exploit_foreign_keys &&
         TermImmuneByForeignKey(term, updated_table, catalog)) {
+      ++fk_eliminated_;
+      if constexpr (obs::kEnabled) {
+        static obs::Counter& eliminated = obs::Registry::Global().GetCounter(
+            "ojv.normalform.theorem3_eliminations");
+        eliminated.Add(1);
+      }
       continue;  // eliminated from the maintenance graph
     }
     kinds_[static_cast<size_t>(i)] = AffectKind::kDirect;

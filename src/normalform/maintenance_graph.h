@@ -63,7 +63,12 @@ class MaintenanceGraph {
   /// paper's Figures 1(b) and 4.
   std::string ToString(const std::vector<Term>& terms) const;
 
+  /// Directly affected terms Theorem 3 eliminated from the graph (0
+  /// when exploit_foreign_keys was off or nothing was immune).
+  int fk_eliminated() const { return fk_eliminated_; }
+
  private:
+  int fk_eliminated_ = 0;
   std::vector<AffectKind> kinds_;
   std::vector<int> direct_;
   std::vector<int> indirect_;

@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace ojv {
+namespace obs {
+
+namespace {
+
+// Bucket index for a sample: 0 for v <= 1, else 1 + floor(log2(v)),
+// clamped to the last bucket (unreachable for int64 inputs).
+int BucketOf(int64_t value) {
+  if (value <= 1) return 0;
+  int b = 64 - std::countl_zero(static_cast<uint64_t>(value) - 1);
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Histogram::Record(int64_t value) {
+  buckets_[static_cast<size_t>(BucketOf(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+int64_t Histogram::PercentileBound(double p) const {
+  int64_t total = count();
+  if (total <= 0) return 0;
+  // Rank of the p-th percentile sample, rounding up: p99.9 of 100
+  // samples is the 100th sample, not the 99th.
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  rank = std::clamp<int64_t>(rank, 1, total);
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen >= rank) {
+      return b == 0 ? 1 : int64_t{1} << b;
+    }
+  }
+  return int64_t{1} << (kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Registry::Shard& Registry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.counters[name];
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.histograms[name];
+}
+
+std::vector<std::pair<std::string, int64_t>> Registry::CounterSnapshot() const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, counter] : shard.counters) {
+      out.emplace_back(name, counter.value());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::HistogramSnapshots() const {
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, hist] : shard.histograms) {
+      HistogramSnapshot snap;
+      snap.count = hist.count();
+      snap.sum = hist.sum();
+      snap.p50 = hist.PercentileBound(50);
+      snap.p99 = hist.PercentileBound(99);
+      out.emplace_back(name, snap);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void Registry::WriteJson(std::ostream& out) const {
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : CounterSnapshot()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\": " << value;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : HistogramSnapshots()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\": {\"count\": " << snap.count
+        << ", \"sum\": " << snap.sum << ", \"p50\": " << snap.p50
+        << ", \"p99\": " << snap.p99 << "}";
+  }
+  out << "}}";
+}
+
+void Registry::ResetForTest() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [name, counter] : shard.counters) counter.Reset();
+    for (auto& [name, hist] : shard.histograms) hist.Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace ojv

@@ -1,0 +1,24 @@
+#ifndef OJV_OBS_OBS_CONFIG_H_
+#define OJV_OBS_OBS_CONFIG_H_
+
+/// Compile-time switch for the observability layer. The build defines
+/// OJV_OBS_ENABLED (CMake option OJV_OBS, ON by default); with the
+/// option OFF every recording path — span events, counter increments,
+/// histogram samples — is behind `if constexpr (obs::kEnabled)` and
+/// compiles to nothing. The classes and their APIs stay available
+/// either way, so instrumented code needs no #ifdefs; tools/check.sh's
+/// obs stage verifies the disabled build records zero events and that
+/// inert spans cost nothing measurable.
+#ifndef OJV_OBS_ENABLED
+#define OJV_OBS_ENABLED 1
+#endif
+
+namespace ojv {
+namespace obs {
+
+inline constexpr bool kEnabled = OJV_OBS_ENABLED != 0;
+
+}  // namespace obs
+}  // namespace ojv
+
+#endif  // OJV_OBS_OBS_CONFIG_H_

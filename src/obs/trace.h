@@ -1,0 +1,210 @@
+#ifndef OJV_OBS_TRACE_H_
+#define OJV_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs_config.h"
+
+namespace ojv {
+namespace obs {
+
+/// One recorded span. Events are appended in completion order: a span
+/// opened after its children finished (the evaluator does this so the
+/// event order is a post-order walk of the plan tree) still nests
+/// correctly in Chrome tracing because "X" events nest by time, and
+/// `parent` records the lexically enclosing open span at record time.
+struct TraceEvent {
+  std::string name;        // e.g. "exec.join", "ivm.primary_delta"
+  std::string category;    // subsystem: "exec", "ivm", "deferred", ...
+  int64_t start_micros = 0;  // relative to the context's epoch
+  int64_t dur_micros = -1;   // -1 while the span is still open
+  int tid = 0;               // dense per-context thread number
+  int parent = -1;           // event index of enclosing span, -1 = root
+  std::vector<std::pair<std::string, int64_t>> args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+
+  int64_t ArgOr(const std::string& key, int64_t fallback) const;
+  const std::string* StrArg(const std::string& key) const;
+};
+
+/// Per-maintenance trace buffer. Thread it through MaintenanceOptions
+/// (`options.trace = &ctx`) and every stage of the pipeline — plan
+/// build, primary/secondary delta, exec operators, deferred refresh —
+/// records spans into it. Null context (the default) means tracing off;
+/// every recording call also compiles out entirely under OJV_OBS=OFF.
+///
+/// Thread-safety: all mutation goes through one mutex; spans are cheap
+/// (operators record one event per *node*, not per row or per morsel),
+/// so the lock is not on any hot path.
+class TraceContext {
+ public:
+  TraceContext();
+
+  /// Micros since this context was created (monotonic clock).
+  int64_t NowMicros() const;
+
+  /// Opens a span: appends an open event (dur -1) and pushes it on the
+  /// calling thread's span stack, so spans recorded underneath know
+  /// their parent. Returns the event index. Prefer the Span RAII guard.
+  int BeginSpan(std::string name, std::string category);
+
+  /// Closes the span opened by BeginSpan and pops the thread's stack.
+  void EndSpan(int index, int64_t dur_micros,
+               std::vector<std::pair<std::string, int64_t>> args,
+               std::vector<std::pair<std::string, std::string>> str_args);
+
+  /// Appends an already-finished span without touching the span stack
+  /// (its parent is the thread's current open span). The evaluator uses
+  /// this after a node's own work completes, which makes event order a
+  /// post-order walk of the plan tree — what ExplainMaintenance zips
+  /// against.
+  void RecordComplete(
+      std::string name, std::string category, int64_t start_micros,
+      int64_t dur_micros,
+      std::vector<std::pair<std::string, int64_t>> args = {},
+      std::vector<std::pair<std::string, std::string>> str_args = {});
+
+  size_t event_count() const;
+  std::vector<TraceEvent> Snapshot() const;
+  void Clear();
+
+  // --- queries (tests, explain, bench) ---
+
+  /// Summed duration of all finished spans with this name.
+  double StageMicros(const std::string& name) const;
+  int64_t SpanCount(const std::string& name) const;
+  bool HasSpan(const std::string& name) const;
+  /// Sum of integer arg `arg` over all spans named `name`.
+  int64_t ArgSum(const std::string& name, const std::string& arg) const;
+
+  // --- exports ---
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) — load it in
+  /// chrome://tracing or https://ui.perfetto.dev. Still-open spans are
+  /// emitted with their elapsed time so a crash dump stays loadable.
+  void WriteChromeTrace(std::ostream& out) const;
+
+  /// Flat per-stage aggregates plus the global metric registry:
+  /// {"spans": {name: {count, total_micros, args: {...}}},
+  ///  "metrics": {"counters": ..., "histograms": ...}}.
+  void WriteStatsJson(std::ostream& out) const;
+
+  /// Human-readable indented span tree with durations and args.
+  std::string RenderTree() const;
+
+ private:
+  int TidFor(std::thread::id id);  // requires mu_ held
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, int> tids_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span guard. Inert when constructed with a null context (or with
+/// the default constructor, or under OJV_OBS=OFF), so call sites write
+///
+///   obs::Span span(options.trace, "ivm.maintain", "ivm");
+///   ...
+///   span.AddArg("rows", n);
+///
+/// unconditionally. Args accumulate locally and are attached when the
+/// span finishes — no lock is taken between Begin and Finish. The
+/// destructor finishes an open span with wall time; call
+/// FinishWithDuration to stamp an externally measured duration instead
+/// (the maintainer feeds its MaintenanceStats micros in, so the legacy
+/// numbers and the trace are one measurement, not two).
+class Span {
+ public:
+  Span() = default;
+  Span(TraceContext* ctx, const char* name, const char* category) {
+    if constexpr (kEnabled) {
+      if (ctx != nullptr) {
+        ctx_ = ctx;
+        index_ = ctx->BeginSpan(name, category);
+        start_ = ctx->NowMicros();
+      }
+    } else {
+      (void)ctx;
+      (void)name;
+      (void)category;
+    }
+  }
+  ~Span() { Finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      Finish();
+      ctx_ = other.ctx_;
+      index_ = other.index_;
+      start_ = other.start_;
+      args_ = std::move(other.args_);
+      str_args_ = std::move(other.str_args_);
+      other.ctx_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool active() const { return ctx_ != nullptr; }
+
+  void AddArg(const char* key, int64_t value) {
+    if constexpr (kEnabled) {
+      if (ctx_ != nullptr) args_.emplace_back(key, value);
+    } else {
+      (void)key;
+      (void)value;
+    }
+  }
+  void AddArg(const char* key, std::string value) {
+    if constexpr (kEnabled) {
+      if (ctx_ != nullptr) str_args_.emplace_back(key, std::move(value));
+    } else {
+      (void)key;
+      (void)value;
+    }
+  }
+
+  /// Closes with measured wall time. Idempotent.
+  void Finish() {
+    if constexpr (kEnabled) {
+      if (ctx_ == nullptr) return;
+      FinishWithDuration(static_cast<double>(ctx_->NowMicros() - start_));
+    }
+  }
+
+  /// Closes with the caller's duration (micros) — use when the stage
+  /// already times itself and the trace must agree exactly.
+  void FinishWithDuration(double micros) {
+    if constexpr (kEnabled) {
+      if (ctx_ == nullptr) return;
+      ctx_->EndSpan(index_, static_cast<int64_t>(micros), std::move(args_),
+                    std::move(str_args_));
+      ctx_ = nullptr;
+    } else {
+      (void)micros;
+    }
+  }
+
+ private:
+  TraceContext* ctx_ = nullptr;
+  int index_ = -1;
+  int64_t start_ = 0;
+  std::vector<std::pair<std::string, int64_t>> args_;
+  std::vector<std::pair<std::string, std::string>> str_args_;
+};
+
+}  // namespace obs
+}  // namespace ojv
+
+#endif  // OJV_OBS_TRACE_H_

@@ -3,13 +3,18 @@
 # Release build, an ASan/UBSan build (-DOJV_SANITIZE=address,undefined),
 # and a ThreadSanitizer build (-DOJV_TSAN=ON) that runs the
 # concurrency-sensitive tests: the morsel-parallel executor equivalence
-# suite and the deferred/background-refresh tests. Run from anywhere;
-# builds land in build-check-* at the repository root.
+# suite, the deferred/background-refresh tests, and the obs
+# thread-hammer tests — plus an observability stage that exercises the
+# instrumented pipeline (ojv_trace --check) and verifies that a
+# -DOJV_OBS=OFF build really compiles recording out (the obs tests
+# assert zero events in that tree). Run from anywhere; builds land in
+# build-check-* at the repository root.
 #
 #   tools/check.sh            # all configurations
 #   tools/check.sh release    # Release only
 #   tools/check.sh sanitize   # ASan/UBSan only
 #   tools/check.sh tsan       # ThreadSanitizer only
+#   tools/check.sh obs        # observability: traced run + OBS=OFF no-op
 
 set -euo pipefail
 
@@ -45,14 +50,37 @@ case "$mode" in
   tsan|all)
     # The full suite is serial-dominated; under TSan only the tests that
     # actually spawn threads carry signal, and they carry all of it.
-    run_config tsan --tests 'parallel_executor|deferred|database' \
+    # metrics/trace join the filter for their thread-hammer cases.
+    run_config tsan --tests 'parallel_executor|deferred|database|metrics|trace' \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_TSAN=ON
     ;;&
-  release|sanitize|tsan|all)
+  obs|all)
+    # Instrumented run: the trace tool replays a TPC-H workload with
+    # tracing on and asserts the expected stage set + valid JSON output.
+    run_config obs --tests 'metrics_test|trace_test|trace_integration|trace_tool' \
+        -DCMAKE_BUILD_TYPE=Release -DOJV_OBS=ON
+    # Compiled-out run: same tests against -DOJV_OBS=OFF. The trace/
+    # metrics tests flip to their "records nothing" branches and
+    # trace_tool verifies it degrades gracefully (empty trace, no
+    # check failures).
+    run_config obs-off --tests 'metrics_test|trace_test|trace_integration|trace_tool' \
+        -DCMAKE_BUILD_TYPE=Release -DOJV_OBS=OFF
+    # Size sanity for the no-op claim: compiling recording out must not
+    # grow the instrumented binary (the if-constexpr guards really are
+    # dead code, not runtime branches).
+    on_size=$(wc -c < "$root/build-check-obs/tools/ojv_trace")
+    off_size=$(wc -c < "$root/build-check-obs-off/tools/ojv_trace")
+    echo "==> [obs] ojv_trace size: OBS=ON ${on_size}B, OBS=OFF ${off_size}B"
+    if [ "$off_size" -gt "$on_size" ]; then
+      echo "==> [obs] FAIL: OBS=OFF binary is larger than OBS=ON" >&2
+      exit 1
+    fi
+    ;;&
+  release|sanitize|tsan|obs|all)
     echo "==> all requested configurations passed"
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|obs|all]" >&2
     exit 2
     ;;
 esac
