@@ -168,9 +168,7 @@ std::shared_ptr<const Relation> Evaluator::Eval(const RelExprPtr& expr) const {
   return EvalNode(expr);
 }
 
-namespace {
-
-const char* SpanNameFor(RelKind kind) {
+const char* ExecSpanNameFor(RelKind kind) {
   switch (kind) {
     case RelKind::kScan:
       return "exec.scan";
@@ -196,8 +194,6 @@ const char* SpanNameFor(RelKind kind) {
   return "exec.node";
 }
 
-}  // namespace
-
 std::shared_ptr<const Relation> Evaluator::EvalTraced(
     const RelExprPtr& expr) const {
   const int64_t start = trace_->NowMicros();
@@ -215,7 +211,8 @@ std::shared_ptr<const Relation> Evaluator::EvalTraced(
   if (expr->kind() == RelKind::kScan || expr->kind() == RelKind::kDeltaScan) {
     str_args.emplace_back("table", expr->table());
   }
-  trace_->RecordComplete(SpanNameFor(expr->kind()), "exec", start, end - start,
+  trace_->RecordComplete(ExecSpanNameFor(expr->kind()), "exec", start,
+                         end - start,
                          std::move(args), std::move(str_args));
   return result;
 }
@@ -440,6 +437,9 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
     AppendChunked(
         r.size(), &out,
         [&](std::vector<Row>& dst, int64_t begin, int64_t end) {
+          // One output per probe row is the common case (key joins);
+          // reserving it up front avoids regrowth inside the hot loop.
+          dst.reserve(dst.size() + static_cast<size_t>(end - begin));
           Row combined_row(static_cast<size_t>(lcols + rcols));
           int64_t local_hits = 0;
           for (int64_t ri = begin; ri < end; ++ri) {
@@ -499,6 +499,9 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
   AppendChunked(
       l.size(), &out,
       [&](std::vector<Row>& dst, int64_t begin, int64_t end) {
+        // Outer joins emit at least one row per probe row; reserve that
+        // floor so the hot loop does not regrow the buffer.
+        dst.reserve(dst.size() + static_cast<size_t>(end - begin));
         Row combined_row(static_cast<size_t>(lcols + rcols));
         int64_t local_hits = 0;
         for (int64_t li = begin; li < end; ++li) {

@@ -2,9 +2,9 @@
 #define OJV_EXEC_EVALUATOR_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "algebra/rel_expr.h"
 #include "catalog/catalog.h"
@@ -14,6 +14,11 @@
 #include "obs/trace.h"
 
 namespace ojv {
+
+/// Span name the evaluator records for a node of this kind (e.g.
+/// "exec.join"). Shared by EXPLAIN and the planner feedback loop, which
+/// zip recorded exec spans back onto plan trees by this name.
+const char* ExecSpanNameFor(RelKind kind);
 
 /// Version-checked cache of base tables materialized as tagged
 /// relations. A maintenance operation evaluates several expressions over
@@ -30,7 +35,8 @@ class TableRelationCache {
     uint64_t version = 0;
     std::shared_ptr<const Relation> relation;
   };
-  std::map<std::string, Entry> entries_;
+  // Hot path: hit once per scan node per evaluation.
+  std::unordered_map<std::string, Entry> entries_;
 };
 
 /// Executes relational expression trees against a catalog.
@@ -177,8 +183,8 @@ class Evaluator {
       const;
 
   const Catalog* catalog_;
-  std::map<std::string, const Relation*> deltas_;
-  std::map<std::string, const Relation*> overrides_;
+  std::unordered_map<std::string, const Relation*> deltas_;
+  std::unordered_map<std::string, const Relation*> overrides_;
   TableRelationCache* cache_ = nullptr;
   JoinAlgorithm join_algorithm_ = JoinAlgorithm::kHash;
   ExecConfig exec_;

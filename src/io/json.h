@@ -1,0 +1,74 @@
+#ifndef OJV_IO_JSON_H_
+#define OJV_IO_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ojv {
+namespace io {
+
+/// A parsed JSON value. Dependency-free recursive-descent parser for the
+/// benchmark JSON the repo's own tools emit (bench_util WriteJson,
+/// BENCH_pipeline.json): full JSON syntax, numbers as double, objects as
+/// ordered maps (deterministic iteration for tooling output).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+  /// Object member lookup; null for missing keys or non-objects.
+  const JsonValue* Find(const std::string& key) const;
+  /// Nested lookup: Find("a") then Find("b")...; null on any miss.
+  const JsonValue* FindPath(const std::vector<std::string>& keys) const;
+  /// Number at `key`, or `fallback` when absent / not a number.
+  double NumberOr(const std::string& key, double fallback) const;
+  /// String at `key`, or `fallback` when absent / not a string.
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed).
+/// Returns false and fills *error (with byte offset) on malformed input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+/// Reads and parses a JSON file; false with *error on IO/parse failure.
+bool ParseJsonFile(const std::string& path, JsonValue* out,
+                   std::string* error);
+
+}  // namespace io
+}  // namespace ojv
+
+#endif  // OJV_IO_JSON_H_

@@ -3,6 +3,8 @@
 #include <map>
 #include <sstream>
 
+#include "exec/evaluator.h"
+
 namespace ojv {
 namespace {
 
@@ -16,34 +18,6 @@ void AppendTermLine(std::ostringstream& out, const Term& term) {
     }
   }
   out << "\n";
-}
-
-/// Must mirror the evaluator's span naming (see Evaluator::EvalTraced):
-/// the zip below matches plan nodes to events by this name.
-const char* ExecSpanName(RelKind kind) {
-  switch (kind) {
-    case RelKind::kScan:
-      return "exec.scan";
-    case RelKind::kDeltaScan:
-      return "exec.delta_scan";
-    case RelKind::kSelect:
-      return "exec.select";
-    case RelKind::kProject:
-      return "exec.project";
-    case RelKind::kJoin:
-      return "exec.join";
-    case RelKind::kDedup:
-      return "exec.dedup";
-    case RelKind::kSubsumeRemove:
-      return "exec.subsume";
-    case RelKind::kOuterUnion:
-      return "exec.outer_union";
-    case RelKind::kMinUnion:
-      return "exec.min_union";
-    case RelKind::kNullIf:
-      return "exec.nullif";
-  }
-  return "exec.unknown";
 }
 
 std::string NodeLabel(const RelExpr& node) {
@@ -83,18 +57,37 @@ void ZipPlan(const RelExprPtr& node,
     ZipPlan(child, events, next, stats);
   }
   if (*next < events.size() &&
-      events[*next]->name == ExecSpanName(node->kind())) {
+      events[*next]->name == ExecSpanNameFor(node->kind())) {
     (*stats)[node.get()] = events[*next];
     ++*next;
   }
 }
 
+/// Renders a planner cardinality estimate compactly (they are floats but
+/// read as row counts).
+std::string FormatEst(double est) {
+  if (est < 0) est = 0;
+  std::ostringstream s;
+  if (est >= 10 || est == static_cast<double>(static_cast<int64_t>(est))) {
+    s << static_cast<int64_t>(est + 0.5);
+  } else {
+    s.precision(2);
+    s << est;
+  }
+  return s.str();
+}
+
 void RenderAnnotatedPlan(
     const RelExprPtr& node,
-    const std::map<const RelExpr*, const obs::TraceEvent*>& stats, int depth,
+    const std::map<const RelExpr*, const obs::TraceEvent*>& stats,
+    const std::unordered_map<const RelExpr*, double>* est, int depth,
     std::ostringstream& out) {
   out << std::string(4 + 2 * static_cast<size_t>(depth), ' ')
       << NodeLabel(*node);
+  if (est != nullptr) {
+    auto eit = est->find(node.get());
+    if (eit != est->end()) out << "  (est=" << FormatEst(eit->second) << ")";
+  }
   auto it = stats.find(node.get());
   if (it != stats.end()) {
     const obs::TraceEvent& ev = *it->second;
@@ -112,7 +105,20 @@ void RenderAnnotatedPlan(
   }
   out << "\n";
   for (const RelExprPtr& child : node->children()) {
-    RenderAnnotatedPlan(child, stats, depth + 1, out);
+    RenderAnnotatedPlan(child, stats, est, depth + 1, out);
+  }
+}
+
+void AppendPlanEntryLine(std::ostringstream& out, const char* op,
+                         const opt::PlanCacheEntry* entry) {
+  if (entry == nullptr) return;
+  out << "  plan[" << op << "]: order=["
+      << (entry->plan.order.empty() ? "-" : entry->plan.order)
+      << "] source=" << entry->source << " hits=" << entry->hits
+      << " replans=" << entry->replans
+      << (entry->plan.reordered ? " (reordered)" : " (static order)") << "\n";
+  if (entry->plan.expr != nullptr && !entry->plan.node_est.empty()) {
+    RenderAnnotatedPlan(entry->plan.expr, {}, &entry->plan.node_est, 0, out);
   }
 }
 
@@ -153,6 +159,18 @@ std::string ExplainMaintenance(const ViewMaintainer& maintainer) {
     out << "\n";
     const RelExprPtr& delta = maintainer.delta_expr(table);
     out << "  primary delta  = " << delta->ToString() << "\n";
+    if (maintainer.planner_options().mode ==
+        opt::PlannerOptions::Mode::kCostBased) {
+      out << "  planner: cost-based\n";
+      AppendPlanEntryLine(
+          out, "insert",
+          maintainer.plan_entry(table, /*is_insert=*/true,
+                                PlanPolicy::kDefault));
+      AppendPlanEntryLine(
+          out, "delete",
+          maintainer.plan_entry(table, /*is_insert=*/false,
+                                PlanPolicy::kDefault));
+    }
     if (delta->kind() == RelKind::kDeltaScan ||
         (delta->kind() == RelKind::kSelect &&
          delta->input()->kind() == RelKind::kDeltaScan)) {
@@ -198,6 +216,7 @@ std::string ExplainMaintenance(const ViewMaintainer& maintainer,
     if (view == nullptr || *view != view_name) continue;
     const std::string* table = root.StrArg("table");
     const std::string* op = root.StrArg("op");
+    const std::string* policy = root.StrArg("policy");
     ++invocation;
     if (invocation == 1) out << "\nmeasured maintenance (from trace):\n";
     out << "\n[" << invocation << "] " << (op != nullptr ? *op : "?") << " of "
@@ -206,6 +225,15 @@ std::string ExplainMaintenance(const ViewMaintainer& maintainer,
         << "us, rows_out=" << root.ArgOr("rows_out", 0) << ")\n";
     if (const std::string* skipped = root.StrArg("skipped")) {
       out << "  skipped: " << *skipped << "\n";
+    }
+    if (const std::string* source = root.StrArg("plan_source")) {
+      const std::string* order = root.StrArg("join_order");
+      out << "  plan: order=["
+          << (order != nullptr && !order->empty() ? *order : "-")
+          << "] source=" << *source
+          << (root.ArgOr("reordered", 0) != 0 ? " (reordered)"
+                                              : " (static order)")
+          << "\n";
     }
 
     for (size_t c : children[i]) {
@@ -220,11 +248,26 @@ std::string ExplainMaintenance(const ViewMaintainer& maintainer,
         }
         if (!execs.empty() && table != nullptr &&
             !maintainer.DeltaIsEmpty(*table)) {
-          const RelExprPtr& plan = maintainer.delta_expr(*table);
+          // Prefer the planner-chosen expression this invocation actually
+          // executed (cached per table/op/policy); fall back to the
+          // static delta tree. A plan that was since replaced zips with
+          // mismatches, which the counter below surfaces.
+          const PlanPolicy pp = policy != nullptr && *policy == "cf"
+                                    ? PlanPolicy::kConstraintFree
+                                    : PlanPolicy::kDefault;
+          const opt::PlanCacheEntry* entry =
+              op != nullptr
+                  ? maintainer.plan_entry(*table, *op == "insert", pp)
+                  : nullptr;
+          const RelExprPtr& plan = entry != nullptr && entry->plan.expr != nullptr
+                                       ? entry->plan.expr
+                                       : maintainer.delta_expr(*table);
           size_t next = 0;
           std::map<const RelExpr*, const obs::TraceEvent*> stats;
           ZipPlan(plan, execs, &next, &stats);
-          RenderAnnotatedPlan(plan, stats, 0, out);
+          RenderAnnotatedPlan(
+              plan, stats, entry != nullptr ? &entry->plan.node_est : nullptr,
+              0, out);
           if (next != execs.size()) {
             out << "    (" << execs.size() - next
                 << " exec span(s) not matched to this plan — a different\n"

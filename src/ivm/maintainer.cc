@@ -1,6 +1,8 @@
 #include "ivm/maintainer.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "common/check.h"
 #include "ivm/left_deep.h"
@@ -17,6 +19,33 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Only trees with at least one join are worth planning; the FK fast
+// path (ΔV^D ≡ σ(ΔT)) has no order to choose.
+bool ContainsJoin(const RelExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (expr->kind() == RelKind::kJoin) return true;
+  for (const RelExprPtr& child : expr->children()) {
+    if (ContainsJoin(child)) return true;
+  }
+  return false;
+}
+
+// Every column the view's predicates reference, grouped by table — the
+// statistics the estimator can ever be asked for.
+void CollectPredicateColumns(
+    const RelExprPtr& expr,
+    std::unordered_map<std::string, std::vector<std::string>>* out) {
+  if (expr == nullptr) return;
+  if (expr->predicate() != nullptr) {
+    std::vector<ColumnRef> cols;
+    expr->predicate()->CollectColumns(&cols);
+    for (const ColumnRef& col : cols) (*out)[col.table].push_back(col.column);
+  }
+  for (const RelExprPtr& child : expr->children()) {
+    CollectPredicateColumns(child, out);
+  }
+}
+
 }  // namespace
 
 const ViewMaintainer::TablePlan& ViewMaintainer::PlanSet::For(
@@ -31,6 +60,16 @@ ViewMaintainer::ViewMaintainer(const Catalog* catalog, ViewDef view,
     : catalog_(catalog), view_def_(std::move(view)), options_(options) {
   if (options_.exec.num_threads > 1) {
     pool_ = ThreadPool::Shared(options_.exec.num_threads);
+  }
+  if (options_.planner.mode == opt::PlannerOptions::Mode::kCostBased) {
+    stats_catalog_ = std::make_unique<opt::StatsCatalog>(catalog_);
+    planner_ = std::make_unique<opt::DeltaPlanner>(stats_catalog_.get(),
+                                                   options_.planner);
+    std::unordered_map<std::string, std::vector<std::string>> pred_columns;
+    CollectPredicateColumns(view_def_.tree(), &pred_columns);
+    for (const std::string& table : view_def_.tables()) {
+      stats_catalog_->RestrictColumns(table, pred_columns[table]);
+    }
   }
   BuildPlanSet(options_.exploit_foreign_keys, &main_);
   if (options_.exploit_foreign_keys) {
@@ -101,6 +140,7 @@ void ViewMaintainer::BuildPlanSet(bool use_fks, PlanSet* out) {
       plan.secondary->set_table_cache(&table_cache_);
       plan.secondary->set_exec(options_.exec, pool_.get());
       plan.secondary->set_trace(options_.trace);
+      if (planner_ != nullptr) plan.secondary->set_planner(planner_.get());
     }
     out->plans.emplace(table, std::move(plan));
   }
@@ -120,6 +160,16 @@ void ViewMaintainer::InitializeView() {
     view_store_->Insert(row);
   }
   span.AddArg("rows", contents.size());
+  if (stats_catalog_ != nullptr) {
+    // Prime statistics while initialization already owns a full scan of
+    // every base table; the first maintenance call should plan, not
+    // ANALYZE.
+    obs::Span stats_span(options_.trace, "ivm.init_stats", "ivm");
+    for (const std::string& table : view_def_.tables()) {
+      stats_catalog_->Get(table);
+    }
+    stats_span.Finish();
+  }
 }
 
 void ViewMaintainer::RestoreView(const std::vector<Row>& rows) {
@@ -140,18 +190,24 @@ const RelExprPtr& ViewMaintainer::delta_expr(const std::string& table) const {
 
 Relation ViewMaintainer::ComputePrimaryDelta(const TablePlan& plan,
                                              const Relation& delta_t) {
+  return EvalPrimaryDelta(plan.delta_expr, delta_t, options_.trace);
+}
+
+Relation ViewMaintainer::EvalPrimaryDelta(const RelExprPtr& expr,
+                                          const Relation& delta_t,
+                                          obs::TraceContext* eval_trace) {
   Evaluator evaluator(catalog_);
   evaluator.set_table_cache(&table_cache_);
   evaluator.set_exec(options_.exec, pool_.get());
   evaluator.set_join_algorithm(options_.join_algorithm);
-  evaluator.set_trace(options_.trace);
+  evaluator.set_trace(eval_trace);
   // The delta leaf is named after the updated table.
   for (const std::string& table : view_def_.tables()) {
     if (delta_t.schema().HasTable(table)) {
       evaluator.BindDelta(table, &delta_t);
     }
   }
-  std::shared_ptr<const Relation> raw_ptr = evaluator.Eval(plan.delta_expr);
+  std::shared_ptr<const Relation> raw_ptr = evaluator.Eval(expr);
   const Relation& raw = *raw_ptr;
 
   // Align to the view's output schema; tables eliminated by SimplifyTree
@@ -213,6 +269,21 @@ void ViewMaintainer::set_trace(obs::TraceContext* trace) {
   }
 }
 
+const opt::PlanCacheEntry* ViewMaintainer::plan_entry(const std::string& table,
+                                                      bool is_insert,
+                                                      PlanPolicy policy) const {
+  // Mirror SetFor: without FK exploitation there is no separate
+  // constraint-free plan set, so both policies share the main key.
+  const bool cf = policy == PlanPolicy::kConstraintFree &&
+                  options_.exploit_foreign_keys;
+  return plan_cache_.Find(opt::PlanCache::Key(table, is_insert, cf));
+}
+
+void ViewMaintainer::InvalidatePlans() {
+  plan_cache_.Clear();
+  if (stats_catalog_ != nullptr) stats_catalog_->InvalidateAll();
+}
+
 MaintenanceStats& MaintenanceStats::Merge(const MaintenanceStats& other) {
   delta_rows += other.delta_rows;
   primary_rows += other.primary_rows;
@@ -230,8 +301,9 @@ MaintenanceStats& MaintenanceStats::Merge(const MaintenanceStats& other) {
 MaintenanceStats ViewMaintainer::OnInsert(const std::string& table,
                                           const std::vector<Row>& rows,
                                           PlanPolicy policy) {
+  if (stats_catalog_ != nullptr) stats_catalog_->OnInsert(table, rows);
   MaintenanceStats stats = Maintain(SetFor(policy).For(table), table, rows,
-                                    /*is_insert=*/true);
+                                    /*is_insert=*/true, policy);
   if (stats_hook_) stats_hook_(table, stats);
   return stats;
 }
@@ -239,8 +311,9 @@ MaintenanceStats ViewMaintainer::OnInsert(const std::string& table,
 MaintenanceStats ViewMaintainer::OnDelete(const std::string& table,
                                           const std::vector<Row>& rows,
                                           PlanPolicy policy) {
+  if (stats_catalog_ != nullptr) stats_catalog_->OnDelete(table, rows);
   MaintenanceStats stats = Maintain(SetFor(policy).For(table), table, rows,
-                                    /*is_insert=*/false);
+                                    /*is_insert=*/false, policy);
   if (stats_hook_) stats_hook_(table, stats);
   return stats;
 }
@@ -248,11 +321,16 @@ MaintenanceStats ViewMaintainer::OnDelete(const std::string& table,
 MaintenanceStats ViewMaintainer::OnUpdate(const std::string& table,
                                           const std::vector<Row>& old_rows,
                                           const std::vector<Row>& new_rows) {
+  if (stats_catalog_ != nullptr) {
+    stats_catalog_->OnUpdate(table, old_rows, new_rows);
+  }
   const PlanSet& set = SetFor(PlanPolicy::kConstraintFree);
   MaintenanceStats stats =
-      Maintain(set.For(table), table, old_rows, /*is_insert=*/false);
+      Maintain(set.For(table), table, old_rows, /*is_insert=*/false,
+               PlanPolicy::kConstraintFree);
   stats.fk_fast_path = false;
-  stats.Merge(Maintain(set.For(table), table, new_rows, /*is_insert=*/true));
+  stats.Merge(Maintain(set.For(table), table, new_rows, /*is_insert=*/true,
+                       PlanPolicy::kConstraintFree));
   if (stats_hook_) stats_hook_(table, stats);
   return stats;
 }
@@ -290,7 +368,7 @@ MaintenanceStats ViewMaintainer::OnConsolidatedBatch(
 MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
                                           const std::string& table,
                                           const std::vector<Row>& rows,
-                                          bool is_insert) {
+                                          bool is_insert, PlanPolicy policy) {
   MaintenanceStats stats;
   stats.delta_rows = static_cast<int64_t>(rows.size());
   if (plan.graph != nullptr) {
@@ -304,6 +382,9 @@ MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
   root_span.AddArg("view", view_def_.name());
   root_span.AddArg("table", table);
   root_span.AddArg("op", std::string(is_insert ? "insert" : "delete"));
+  root_span.AddArg(
+      "policy",
+      std::string(policy == PlanPolicy::kConstraintFree ? "cf" : "main"));
   root_span.AddArg("delta_rows", stats.delta_rows);
   root_span.AddArg("direct_terms", stats.direct_terms);
   root_span.AddArg("indirect_terms", stats.indirect_terms);
@@ -318,20 +399,91 @@ MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
     return stats;
   }
 
+  // Cost-based plan selection: reuse the cached order unless feedback
+  // marked it dirty or |Δ| moved far from what it was costed for.
+  RelExprPtr exec_expr = plan.delta_expr;
+  opt::PlanCacheEntry* cache_entry = nullptr;
+  if (planner_ != nullptr && ContainsJoin(plan.delta_expr)) {
+    const std::string key = opt::PlanCache::Key(
+        table, is_insert,
+        policy == PlanPolicy::kConstraintFree && options_.exploit_foreign_keys);
+    cache_entry = plan_cache_.Find(key);
+    const double drows = static_cast<double>(rows.size());
+    const bool replan_size =
+        cache_entry != nullptr &&
+        std::abs(std::log2(std::max(drows, 1.0)) -
+                 std::log2(cache_entry->planned_delta_rows)) >=
+            options_.planner.replan_delta_log2;
+    if (cache_entry == nullptr || cache_entry->dirty || replan_size) {
+      const bool had = cache_entry != nullptr;
+      opt::PlannedDelta planned =
+          planner_->Plan(plan.delta_expr, table, drows,
+                         had ? &cache_entry->fanout_ema : nullptr);
+      cache_entry = plan_cache_.Put(key, std::move(planned), drows);
+      cache_entry->source = had ? "replan" : "planned";
+      if (had) ++cache_entry->replans;
+    } else {
+      cache_entry->source = "cache";
+      ++cache_entry->hits;
+    }
+    exec_expr = cache_entry->plan.expr;
+    root_span.AddArg("plan_source", cache_entry->source);
+    root_span.AddArg("join_order", cache_entry->plan.order);
+    root_span.AddArg("reordered",
+                     static_cast<int64_t>(cache_entry->plan.reordered));
+  }
+
   // ΔT as a tagged relation.
   Relation delta_t(Evaluator::SchemaFor(*catalog_->GetTable(table)));
   for (const Row& row : rows) delta_t.Add(row);
 
-  // Step 1: compute the primary delta.
+  // Step 1: compute the primary delta, routing exec spans into a private
+  // sink when feedback needs them but the caller attached no trace.
+  obs::TraceContext* eval_trace = options_.trace;
+  size_t feedback_first = 0;
+  bool harvest = false;
+  if constexpr (obs::kEnabled) {
+    if (planner_ != nullptr && options_.planner.feedback &&
+        cache_entry != nullptr) {
+      if (eval_trace == nullptr) {
+        if (feedback_trace_ == nullptr) {
+          feedback_trace_ = std::make_unique<obs::TraceContext>();
+        }
+        eval_trace = feedback_trace_.get();
+      }
+      feedback_first = eval_trace->event_count();
+      harvest = true;
+    }
+  }
   obs::Span primary_span(options_.trace, "ivm.primary_delta", "ivm");
   auto primary_start = std::chrono::steady_clock::now();
-  Relation primary = ComputePrimaryDelta(plan, delta_t);
+  Relation primary = EvalPrimaryDelta(exec_expr, delta_t, eval_trace);
   stats.primary_rows = primary.size();
   stats.fk_fast_path =
       plan.delta_expr->kind() == RelKind::kDeltaScan ||
       (plan.delta_expr->kind() == RelKind::kSelect &&
        plan.delta_expr->input()->kind() == RelKind::kDeltaScan);
   stats.primary_micros = MicrosSince(primary_start);
+  if constexpr (obs::kEnabled) {
+    if (harvest) {
+      // LEO-style feedback: zip actual per-operator cardinalities onto
+      // the planned tree, fold observed fanouts into the EMA, and mark
+      // the plan dirty when estimates drifted past the threshold.
+      std::vector<obs::TraceEvent> events = eval_trace->Snapshot();
+      std::vector<obs::TraceEvent> window(
+          events.begin() +
+              static_cast<std::ptrdiff_t>(
+                  std::min(feedback_first, events.size())),
+          events.end());
+      opt::FeedbackResult fb = opt::HarvestFeedback(cache_entry->plan, window);
+      opt::UpdateFanoutEma(fb, options_.planner.ema_alpha,
+                           &cache_entry->fanout_ema);
+      if (fb.max_drift > options_.planner.replan_drift) {
+        cache_entry->dirty = true;
+      }
+      if (eval_trace == feedback_trace_.get()) feedback_trace_->Clear();
+    }
+  }
   primary_span.AddArg("rows_in", stats.delta_rows);
   primary_span.AddArg("rows_out", stats.primary_rows);
   primary_span.AddArg("fk_fast_path", static_cast<int64_t>(stats.fk_fast_path));

@@ -15,6 +15,9 @@
 #include "normalform/maintenance_graph.h"
 #include "normalform/subsumption_graph.h"
 #include "obs/trace.h"
+#include "opt/feedback.h"
+#include "opt/planner.h"
+#include "opt/stats.h"
 
 namespace ojv {
 
@@ -35,6 +38,13 @@ struct MaintenanceOptions {
   /// Physical join algorithm for the delta expressions (cross-validation
   /// and benchmarks; results are identical).
   Evaluator::JoinAlgorithm join_algorithm = Evaluator::JoinAlgorithm::kHash;
+  /// Cost-based delta planning (src/opt/): statistics-driven join order
+  /// for the primary-delta tree and the §5.3 from-base chains, with a
+  /// per-(table, op, policy) plan cache and trace-feedback re-planning.
+  /// planner.mode = kStatic reproduces the pre-planner plans and results
+  /// byte for byte. View contents are identical either way — only join
+  /// order (and therefore intermediate sizes) changes.
+  opt::PlannerOptions planner;
   /// Trace sink (not owned). When set, every maintenance operation
   /// records per-stage spans — plan build, primary delta with one span
   /// per exec operator, apply, secondary delta — into it. Null (the
@@ -180,6 +190,30 @@ class ViewMaintainer {
   void set_trace(obs::TraceContext* trace);
   obs::TraceContext* trace() const { return options_.trace; }
 
+  // --- cost-based planner access (EXPLAIN, tests, benchmarks) ---
+
+  /// The statistics catalog backing the cost-based planner; null under
+  /// planner.mode = kStatic.
+  opt::StatsCatalog* stats_catalog() { return stats_catalog_.get(); }
+
+  const opt::PlannerOptions& planner_options() const {
+    return options_.planner;
+  }
+
+  /// The per-(table, op, policy) plan cache (empty under kStatic).
+  const opt::PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// The cached plan for maintenance of `table` under the given op and
+  /// policy; null when the planner is off or the op never ran.
+  const opt::PlanCacheEntry* plan_entry(const std::string& table,
+                                        bool is_insert,
+                                        PlanPolicy policy) const;
+
+  /// Drops every cached plan and marks all statistics stale; the next
+  /// maintenance op re-scans and re-plans. (Schema or constraint changes
+  /// outside the maintainer's view should call this.)
+  void InvalidatePlans();
+
  private:
   struct TablePlan {
     std::unique_ptr<MaintenanceGraph> graph;
@@ -209,9 +243,14 @@ class ViewMaintainer {
   }
 
   MaintenanceStats Maintain(const TablePlan& plan, const std::string& table,
-                            const std::vector<Row>& rows, bool is_insert);
+                            const std::vector<Row>& rows, bool is_insert,
+                            PlanPolicy policy);
   // Evaluates ΔV^D and aligns it to the view's output schema.
   Relation ComputePrimaryDelta(const TablePlan& plan, const Relation& delta_t);
+  // Evaluates one primary-delta expression (static or planner-chosen)
+  // under an explicit trace sink and aligns it to the output schema.
+  Relation EvalPrimaryDelta(const RelExprPtr& expr, const Relation& delta_t,
+                            obs::TraceContext* eval_trace);
 
   const Catalog* catalog_;
   ViewDef view_def_;
@@ -227,6 +266,15 @@ class ViewMaintainer {
   /// options_.exec.num_threads <= 1 (serial execution).
   std::shared_ptr<ThreadPool> pool_;
   MaintenanceStatsHook stats_hook_;
+  /// Cost-based planner state; all null/empty under planner.mode =
+  /// kStatic, which leaves plans and results byte-identical to the
+  /// pre-planner code path.
+  std::unique_ptr<opt::StatsCatalog> stats_catalog_;
+  std::unique_ptr<opt::DeltaPlanner> planner_;
+  opt::PlanCache plan_cache_;
+  /// Internal sink for feedback harvesting when the caller did not
+  /// attach a trace; created lazily, cleared after each harvest.
+  std::unique_ptr<obs::TraceContext> feedback_trace_;
 };
 
 /// Inserts rows into a base table; returns the rows actually inserted

@@ -443,7 +443,13 @@ std::vector<Row> SecondaryDeltaEngine::ComputeFromBaseTables(
       Term rk_term;
       rk_term.source = rk;
       rk_term.predicates = q_rk;
-      RelExprPtr rk_expr = rk_term.ToRelExpr();
+      // Inner-join chain over the residual parent tables: any order is
+      // valid, so let the cost-based planner (when attached) start from
+      // the smallest estimated input.
+      RelExprPtr rk_expr =
+          planner_ != nullptr
+              ? rk_term.ToRelExprOrdered(planner_->OrderTablesByRows(rk))
+              : rk_term.ToRelExpr();
       if (!q_ip_rk.empty()) {
         rk_expr = RelExpr::Join(JoinKind::kLeftSemi, rk_expr,
                                 RelExpr::DeltaScan("#cands"),

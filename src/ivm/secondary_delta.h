@@ -11,6 +11,7 @@
 #include "normalform/maintenance_graph.h"
 #include "normalform/term.h"
 #include "obs/trace.h"
+#include "opt/planner.h"
 
 namespace ojv {
 
@@ -55,6 +56,12 @@ class SecondaryDeltaEngine {
   /// apply resolved to and, for the base-table plan, the §5.3
   /// expressions' operator spans.
   void set_trace(obs::TraceContext* trace) { trace_ = trace; }
+
+  /// Cost-based planner (optional; not owned). When set, the §5.3
+  /// expressions' inner-join chains over the residual parent tables (rk)
+  /// are ordered by estimated cardinality instead of name order. Null
+  /// (the static default) keeps the historic name order byte-for-byte.
+  void set_planner(opt::DeltaPlanner* planner) { planner_ = planner; }
 
   /// Processes every indirectly affected term for an insertion into the
   /// updated table. Deletes subsumed orphans from `view`; returns the
@@ -137,6 +144,7 @@ class SecondaryDeltaEngine {
   ExecConfig exec_;
   ThreadPool* pool_ = nullptr;
   obs::TraceContext* trace_ = nullptr;
+  opt::DeltaPlanner* planner_ = nullptr;
 };
 
 /// Human-readable strategy name ("auto"/"from_view"/"from_base_tables").

@@ -33,6 +33,13 @@ struct Term {
   /// applied in a single selection on top, which the evaluator's
   /// conjunct-splitting turns back into hash joins where possible.
   RelExprPtr ToRelExpr() const;
+
+  /// ToRelExpr with an explicit join order. `order` must be a
+  /// permutation of `source`; each conjunct still attaches at the first
+  /// join where all its tables are bound (inner joins and conjunctive
+  /// predicates make every order equivalent). Cost-based planning feeds
+  /// an order sorted by estimated cardinality here.
+  RelExprPtr ToRelExprOrdered(const std::vector<std::string>& order) const;
 };
 
 /// Evaluable expression for the minimum union E1 ⊕ E2 ⊕ ... ⊕ En of all

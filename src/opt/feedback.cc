@@ -1,0 +1,102 @@
+#include "opt/feedback.h"
+
+#include <algorithm>
+
+#include "exec/evaluator.h"
+
+namespace ojv {
+namespace opt {
+
+namespace {
+
+/// Post-order zip of exec events onto the plan tree (same pairing rule
+/// as ExplainMaintenance): children first, then this node consumes the
+/// next event if the span name matches its kind.
+void ZipPlan(const RelExprPtr& node,
+             const std::vector<const obs::TraceEvent*>& events, size_t* next,
+             std::unordered_map<const RelExpr*, const obs::TraceEvent*>* out) {
+  for (const RelExprPtr& child : node->children()) {
+    ZipPlan(child, events, next, out);
+  }
+  if (*next < events.size() &&
+      events[*next]->name == ExecSpanNameFor(node->kind())) {
+    (*out)[node.get()] = events[*next];
+    ++*next;
+  }
+}
+
+void Collect(const RelExprPtr& node, const PlannedDelta& plan,
+             const std::unordered_map<const RelExpr*, const obs::TraceEvent*>&
+                 node_event,
+             FeedbackResult* result) {
+  if (node->kind() != RelKind::kJoin) {
+    if (!node->children().empty()) Collect(node->children()[0], plan, node_event, result);
+    return;
+  }
+  // Main path first so steps come out bottom-up.
+  Collect(node->left(), plan, node_event, result);
+
+  auto ev_it = node_event.find(node.get());
+  if (ev_it == node_event.end()) return;
+  double actual = static_cast<double>(ev_it->second->ArgOr("rows_out", 0));
+
+  auto est_it = plan.node_est.find(node.get());
+  if (est_it != plan.node_est.end()) {
+    double est = est_it->second;
+    double drift = (std::max(est, actual) + 1.0) / (std::min(est, actual) + 1.0);
+    result->max_drift = std::max(result->max_drift, drift);
+  }
+
+  std::set<std::string> right_tables = node->right()->ReferencedTables();
+  if (right_tables.size() != 1) return;
+
+  double left_rows = 1;
+  auto left_ev = node_event.find(node->left().get());
+  if (left_ev != node_event.end()) {
+    left_rows = static_cast<double>(left_ev->second->ArgOr("rows_out", 0));
+  }
+
+  StepFeedback step;
+  step.right_table = *right_tables.begin();
+  step.actual_rows = actual;
+  step.actual_fanout = actual / std::max(left_rows, 1.0);
+  if (est_it != plan.node_est.end()) step.est_rows = est_it->second;
+  result->steps.push_back(std::move(step));
+}
+
+}  // namespace
+
+FeedbackResult HarvestFeedback(const PlannedDelta& plan,
+                               const std::vector<obs::TraceEvent>& events) {
+  FeedbackResult result;
+  if (plan.expr == nullptr) return result;
+
+  std::vector<const obs::TraceEvent*> execs;
+  execs.reserve(events.size());
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.category == "exec") execs.push_back(&ev);
+  }
+  if (execs.empty()) return result;
+
+  std::unordered_map<const RelExpr*, const obs::TraceEvent*> node_event;
+  size_t next = 0;
+  ZipPlan(plan.expr, execs, &next, &node_event);
+
+  Collect(plan.expr, plan, node_event, &result);
+  return result;
+}
+
+void UpdateFanoutEma(const FeedbackResult& feedback, double alpha,
+                     std::unordered_map<std::string, double>* ema) {
+  for (const StepFeedback& step : feedback.steps) {
+    auto it = ema->find(step.right_table);
+    if (it == ema->end()) {
+      (*ema)[step.right_table] = step.actual_fanout;
+    } else {
+      it->second = alpha * step.actual_fanout + (1.0 - alpha) * it->second;
+    }
+  }
+}
+
+}  // namespace opt
+}  // namespace ojv

@@ -1,0 +1,90 @@
+#ifndef OJV_OPT_PLANNER_H_
+#define OJV_OPT_PLANNER_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/cardinality.h"
+#include "opt/plan_cache.h"
+
+namespace ojv {
+namespace opt {
+
+/// Knobs for cost-based delta planning (MaintenanceOptions.planner).
+struct PlannerOptions {
+  enum class Mode {
+    kStatic,     // keep the syntactic left-deep order (pre-planner behavior)
+    kCostBased,  // reorder join steps by estimated cost
+  };
+  Mode mode = Mode::kCostBased;
+
+  /// Runs with at most this many join steps are ordered by exhaustive
+  /// (branch-and-bound) enumeration; longer runs fall back to greedy
+  /// min-output-cardinality.
+  int exhaustive_max_joins = 6;
+
+  /// Re-plan when max per-step estimate/actual row drift exceeds this
+  /// ratio, or when |Δ| shifts by more than 2^replan_delta_log2 from the
+  /// |Δ| the cached plan was costed for.
+  double replan_drift = 4.0;
+  double replan_delta_log2 = 3.0;
+
+  /// Feedback loop: harvest actual per-operator cardinalities from the
+  /// obs trace after each run and fold them into a fanout EMA.
+  bool feedback = true;
+  double ema_alpha = 0.5;
+};
+
+/// Picks the left-deep join order of a delta tree by estimated cost.
+///
+/// The static expression is decomposed into a base leaf plus a bottom-up
+/// sequence of main-path steps (join / select / null-if / dedup /
+/// subsume-remove). Only *joins* move, and only within maximal runs of
+/// consecutive inner/left-outer join steps: the λ/δ/↓/σ fix-up operators
+/// introduced by the §4.1 conversion are barriers that no join crosses,
+/// which keeps every reordering semantically equal to the original (see
+/// DESIGN.md §10 for the legality argument). Within a run, an order is
+/// valid when each step's predicate only references tables already below
+/// it; runs up to `exhaustive_max_joins` are ordered exhaustively with
+/// cost pruning, longer runs greedily. Cost is the sum of estimated
+/// intermediate cardinalities (C_out).
+///
+/// Any decomposition or validation failure returns the static expression
+/// unchanged (reordered=false), so planning can never produce a plan the
+/// executor has not already been proven against.
+class DeltaPlanner {
+ public:
+  DeltaPlanner(StatsCatalog* stats, const PlannerOptions& options)
+      : stats_(stats), options_(options) {}
+
+  /// Plans `static_expr` (the ToLeftDeep output for updates of
+  /// `delta_table`) for a pending delta of `delta_rows` rows.
+  /// `fanout_ema` optionally injects observed per-right-table fanouts
+  /// that override the ndv-based estimates.
+  PlannedDelta Plan(
+      const RelExprPtr& static_expr, const std::string& delta_table,
+      double delta_rows,
+      const std::unordered_map<std::string, double>* fanout_ema = nullptr);
+
+  /// Orders `tables` by ascending estimated row count (deterministic:
+  /// ties break by name). Used for inner-join chains whose order is
+  /// unconstrained, e.g. the secondary-delta from-base rk chains.
+  std::vector<std::string> OrderTablesByRows(
+      const std::set<std::string>& tables);
+
+  const PlannerOptions& options() const { return options_; }
+  StatsCatalog* stats() { return stats_; }
+
+ private:
+  StatsCatalog* stats_;
+  PlannerOptions options_;
+};
+
+const char* PlannerModeName(PlannerOptions::Mode mode);
+
+}  // namespace opt
+}  // namespace ojv
+
+#endif  // OJV_OPT_PLANNER_H_

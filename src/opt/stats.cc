@@ -1,0 +1,243 @@
+#include "opt/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ojv {
+namespace opt {
+
+namespace {
+
+// Rebuild once deletions exceed this fraction of the rows an entry was
+// built from: the insert-only sketches can no longer be trusted.
+constexpr double kDeleteStaleFraction = 0.30;
+constexpr int64_t kDeleteStaleFloor = 64;
+
+// Finalizes the value hash for sketch insertion. Value::Hash is a good
+// per-value hash but KMV needs uniform high bits; a Fibonacci-style
+// mix spreads clustered hashes across the full 64-bit range.
+uint64_t MixHash(size_t h) {
+  uint64_t x = static_cast<uint64_t>(h);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kFloat64 ||
+         t == ValueType::kDate;
+}
+
+// Catalog::GetTable aborts on unknown names; the planner must instead
+// degrade to default estimates for tables it cannot see.
+const Table* Lookup(const Catalog* catalog, const std::string& name) {
+  return catalog->HasTable(name) ? catalog->GetTable(name) : nullptr;
+}
+
+}  // namespace
+
+KmvSketch::KmvSketch(int k) : k_(k < 2 ? 2 : k) { mins_.reserve(k_); }
+
+void KmvSketch::Insert(uint64_t hash) {
+  auto it = std::lower_bound(mins_.begin(), mins_.end(), hash);
+  if (it != mins_.end() && *it == hash) return;
+  if (static_cast<int>(mins_.size()) < k_) {
+    mins_.insert(it, hash);
+    return;
+  }
+  if (hash >= mins_.back()) return;
+  mins_.insert(it, hash);
+  mins_.pop_back();
+}
+
+double KmvSketch::Estimate() const {
+  if (static_cast<int>(mins_.size()) < k_) {
+    return static_cast<double>(mins_.size());
+  }
+  // (k-1) / normalized k-th minimum.
+  double rk = (static_cast<double>(mins_.back()) + 1.0) /
+              std::pow(2.0, 64);
+  if (rk <= 0) return static_cast<double>(k_);
+  return static_cast<double>(k_ - 1) / rk;
+}
+
+double ColumnStats::DistinctEstimate(int64_t row_count) const {
+  double est = distinct.Estimate();
+  double cap = static_cast<double>(row_count);
+  if (est > cap) est = cap;
+  if (est < 1.0) est = 1.0;
+  return est;
+}
+
+const ColumnStats* TableStats::Column(const std::string& name) const {
+  auto it = column_index.find(name);
+  if (it == column_index.end()) return nullptr;
+  return &columns[static_cast<size_t>(it->second)];
+}
+
+double TableStats::DistinctOf(const std::string& name, double fallback) const {
+  const ColumnStats* col = Column(name);
+  if (col == nullptr || !col->tracked) return fallback;
+  return col->DistinctEstimate(row_count);
+}
+
+const TableStats* StatsCatalog::Get(const std::string& table) {
+  const Table* t = Lookup(catalog_, table);
+  if (t == nullptr) return nullptr;
+  Entry& entry = entries_[table];
+  bool fresh = !entry.stale && entry.expected_version == t->version() &&
+               entry.stats.row_count == t->size();
+  if (!fresh) Rebuild(table, *t, &entry);
+  return &entry.stats;
+}
+
+void StatsCatalog::OnInsert(const std::string& table,
+                            const std::vector<Row>& rows) {
+  const Table* t = Lookup(catalog_, table);
+  if (t == nullptr || rows.empty()) return;
+  auto it = entries_.find(table);
+  if (it == entries_.end()) return;  // never scanned; Get will build fresh
+  Entry& entry = it->second;
+  if (entry.stale) return;
+  if (entry.expected_version == t->version()) return;  // already accounted
+  if (entry.expected_version + rows.size() != t->version()) {
+    // The table moved in a way we did not observe.
+    entry.stale = true;
+    return;
+  }
+  for (const Row& row : rows) AddRow(*t, row, &entry.stats);
+  entry.stats.row_count += static_cast<int64_t>(rows.size());
+  entry.expected_version = t->version();
+}
+
+void StatsCatalog::OnDelete(const std::string& table,
+                            const std::vector<Row>& rows) {
+  const Table* t = Lookup(catalog_, table);
+  if (t == nullptr || rows.empty()) return;
+  auto it = entries_.find(table);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (entry.stale) return;
+  if (entry.expected_version == t->version()) return;  // already accounted
+  if (entry.expected_version + rows.size() != t->version()) {
+    entry.stale = true;
+    return;
+  }
+  entry.stats.row_count -= static_cast<int64_t>(rows.size());
+  if (entry.stats.row_count < 0) entry.stats.row_count = 0;
+  entry.deleted_since_rebuild += static_cast<int64_t>(rows.size());
+  entry.expected_version = t->version();
+  int64_t limit = static_cast<int64_t>(
+      kDeleteStaleFraction * static_cast<double>(entry.rows_at_rebuild));
+  if (limit < kDeleteStaleFloor) limit = kDeleteStaleFloor;
+  if (entry.deleted_since_rebuild > limit) entry.stale = true;
+}
+
+void StatsCatalog::OnUpdate(const std::string& table,
+                            const std::vector<Row>& old_rows,
+                            const std::vector<Row>& new_rows) {
+  const Table* t = Lookup(catalog_, table);
+  if (t == nullptr || (old_rows.empty() && new_rows.empty())) return;
+  auto it = entries_.find(table);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (entry.stale) return;
+  if (entry.expected_version == t->version()) return;  // already accounted
+  if (entry.expected_version + old_rows.size() + new_rows.size() !=
+      t->version()) {
+    entry.stale = true;
+    return;
+  }
+  for (const Row& row : new_rows) AddRow(*t, row, &entry.stats);
+  entry.stats.row_count += static_cast<int64_t>(new_rows.size()) -
+                           static_cast<int64_t>(old_rows.size());
+  if (entry.stats.row_count < 0) entry.stats.row_count = 0;
+  entry.deleted_since_rebuild += static_cast<int64_t>(old_rows.size());
+  entry.expected_version = t->version();
+  int64_t limit = static_cast<int64_t>(
+      kDeleteStaleFraction * static_cast<double>(entry.rows_at_rebuild));
+  if (limit < kDeleteStaleFloor) limit = kDeleteStaleFloor;
+  if (entry.deleted_since_rebuild > limit) entry.stale = true;
+}
+
+void StatsCatalog::RestrictColumns(const std::string& table,
+                                   const std::vector<std::string>& columns) {
+  std::unordered_set<std::string>& set = interest_[table];
+  size_t before = set.size();
+  for (const std::string& column : columns) set.insert(column);
+  // Widening the set after a build must re-sketch the new columns.
+  if (set.size() != before) Invalidate(table);
+}
+
+void StatsCatalog::Invalidate(const std::string& table) {
+  auto it = entries_.find(table);
+  if (it != entries_.end()) it->second.stale = true;
+}
+
+void StatsCatalog::InvalidateAll() {
+  for (auto& [name, entry] : entries_) entry.stale = true;
+}
+
+bool StatsCatalog::IsFresh(const std::string& table) const {
+  auto it = entries_.find(table);
+  if (it == entries_.end()) return false;
+  const Table* t = Lookup(catalog_, table);
+  if (t == nullptr) return false;
+  return !it->second.stale && it->second.expected_version == t->version();
+}
+
+void StatsCatalog::Rebuild(const std::string& name, const Table& table,
+                           Entry* entry) {
+  TableStats stats;
+  stats.columns.assign(static_cast<size_t>(table.schema().num_columns()),
+                       ColumnStats());
+  for (int i = 0; i < table.schema().num_columns(); ++i) {
+    stats.column_index[table.schema().column(i).name] = i;
+  }
+  auto interest = interest_.find(name);
+  if (interest != interest_.end()) {
+    for (int i = 0; i < table.schema().num_columns(); ++i) {
+      stats.columns[static_cast<size_t>(i)].tracked =
+          interest->second.count(table.schema().column(i).name) > 0;
+    }
+  }
+  table.ForEach([&](const Row& row) { AddRow(table, row, &stats); });
+  stats.row_count = table.size();
+  entry->stats = std::move(stats);
+  entry->expected_version = table.version();
+  entry->rows_at_rebuild = table.size();
+  entry->deleted_since_rebuild = 0;
+  entry->stale = false;
+  ++rebuild_count_;
+}
+
+void StatsCatalog::AddRow(const Table& table, const Row& row,
+                          TableStats* stats) {
+  for (size_t i = 0; i < stats->columns.size() && i < row.size(); ++i) {
+    ColumnStats& col = stats->columns[i];
+    if (!col.tracked) continue;
+    const Value& v = row[i];
+    if (v.is_null()) {
+      ++col.null_count;
+      continue;
+    }
+    col.distinct.Insert(MixHash(v.Hash()));
+    if (IsNumeric(table.schema().column(static_cast<int>(i)).type) &&
+        !v.is_string()) {
+      double d = v.AsDouble();
+      if (!col.has_range) {
+        col.min = col.max = d;
+        col.has_range = true;
+      } else {
+        if (d < col.min) col.min = d;
+        if (d > col.max) col.max = d;
+      }
+    }
+  }
+}
+
+}  // namespace opt
+}  // namespace ojv

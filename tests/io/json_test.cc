@@ -1,0 +1,136 @@
+// JSON parser: round-trips of the benchmark document shape, escape and
+// number handling, lookup helpers, and malformed-input diagnostics.
+
+#include "io/json.h"
+
+#include <gtest/gtest.h>
+
+namespace ojv {
+namespace io {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson("null", &v, &error)) << error;
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(ParseJson("true", &v, &error));
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.AsBool());
+  ASSERT_TRUE(ParseJson("false", &v, &error));
+  EXPECT_FALSE(v.AsBool());
+  ASSERT_TRUE(ParseJson("-12.5e2", &v, &error));
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), -1250.0);
+  ASSERT_TRUE(ParseJson("42", &v, &error));
+  EXPECT_EQ(v.AsInt(), 42);
+  ASSERT_TRUE(ParseJson("\"hi\"", &v, &error));
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"("a\"b\\c\n\tA")", &v, &error)) << error;
+  EXPECT_EQ(v.AsString(), "a\"b\\c\n\tA");
+  // é is é, encoded as two UTF-8 bytes.
+  ASSERT_TRUE(ParseJson(R"("é")", &v, &error));
+  EXPECT_EQ(v.AsString(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, ArraysAndNesting) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson("[1, [2, 3], {\"k\": 4}, []]", &v, &error)) << error;
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.AsArray().size(), 4u);
+  EXPECT_DOUBLE_EQ(v.AsArray()[0].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(v.AsArray()[1].AsArray()[1].AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(v.AsArray()[2].NumberOr("k", -1), 4.0);
+  EXPECT_TRUE(v.AsArray()[3].AsArray().empty());
+}
+
+TEST(JsonParseTest, BenchDocumentShape) {
+  // The shape bench_util emits and bench_gate consumes.
+  const std::string doc = R"({
+    "benchmark": "fig5_insert",
+    "scale_factor": 0.01,
+    "threads": 4,
+    "sanitize": "",
+    "parallel_valid": true,
+    "results": [
+      {"batch_rows": 100, "ours_ms": 1.5,
+       "stages": {"primary_ms": 0.8, "apply_ms": 0.2}},
+      {"batch_rows": 1000, "ours_ms": 9.25}
+    ]
+  })";
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(doc, &v, &error)) << error;
+  EXPECT_EQ(v.StringOr("benchmark", "?"), "fig5_insert");
+  EXPECT_DOUBLE_EQ(v.NumberOr("scale_factor", 0), 0.01);
+  EXPECT_TRUE(v.Find("parallel_valid")->AsBool());
+  const JsonValue* results = v.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->AsArray().size(), 2u);
+  const JsonValue& row = results->AsArray()[0];
+  EXPECT_EQ(row.NumberOr("batch_rows", 0), 100);
+  const JsonValue* primary = row.FindPath({"stages", "primary_ms"});
+  ASSERT_NE(primary, nullptr);
+  EXPECT_DOUBLE_EQ(primary->AsDouble(), 0.8);
+  // Second row has no stages object: path lookup misses cleanly.
+  EXPECT_EQ(results->AsArray()[1].FindPath({"stages", "primary_ms"}), nullptr);
+}
+
+TEST(JsonParseTest, LookupHelpersOnWrongKinds) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson("{\"s\": \"x\", \"n\": 3}", &v, &error));
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(v.NumberOr("s", 7.0), 7.0);   // string, not number
+  EXPECT_EQ(v.StringOr("n", "fb"), "fb");        // number, not string
+  JsonValue arr;
+  ASSERT_TRUE(ParseJson("[1]", &arr, &error));
+  EXPECT_EQ(arr.Find("k"), nullptr);  // non-object Find is a clean miss
+}
+
+TEST(JsonParseTest, MalformedInputsReportOffset) {
+  const char* bad[] = {
+      "",            // empty document
+      "{",           // unterminated object
+      "[1, 2",       // unterminated array
+      "{\"a\" 1}",   // missing colon
+      "{\"a\": 1,}", // trailing comma
+      "\"abc",       // unterminated string
+      "nul",         // truncated keyword
+      "1.2.3",       // malformed number
+      "[1] trailing" // garbage after document
+  };
+  for (const char* text : bad) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(ParseJson(text, &v, &error)) << "accepted: " << text;
+    EXPECT_NE(error.find("offset"), std::string::npos)
+        << "no offset in error for: " << text << " (" << error << ")";
+  }
+}
+
+TEST(JsonParseTest, DepthLimitRejectsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson(deep, &v, &error));
+}
+
+TEST(JsonParseTest, FileRoundTrip) {
+  std::string error;
+  JsonValue v;
+  EXPECT_FALSE(ParseJsonFile("/nonexistent/path.json", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace ojv

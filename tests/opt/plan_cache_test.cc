@@ -1,0 +1,180 @@
+// Plan cache: key construction, feedback state preserved across Put,
+// and the maintainer-level cache/replan/invalidate lifecycle.
+
+#include "opt/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "ivm/maintainer.h"
+#include "ivm/view_def.h"
+
+namespace ojv {
+namespace opt {
+namespace {
+
+TEST(PlanCacheTest, KeySeparatesTableOpAndPolicy) {
+  EXPECT_EQ(PlanCache::Key("T", true, false), "T|ins|main");
+  EXPECT_EQ(PlanCache::Key("T", false, false), "T|del|main");
+  EXPECT_EQ(PlanCache::Key("T", true, true), "T|ins|cf");
+  EXPECT_NE(PlanCache::Key("T", true, false), PlanCache::Key("U", true, false));
+}
+
+TEST(PlanCacheTest, PutPreservesFeedbackState) {
+  PlanCache cache;
+  PlannedDelta plan;
+  plan.order = "A,B";
+  PlanCacheEntry* entry = cache.Put("k", std::move(plan), 100);
+  entry->fanout_ema["A"] = 3.5;
+  entry->hits = 7;
+  entry->replans = 2;
+  entry->dirty = true;
+
+  PlannedDelta replanned;
+  replanned.order = "B,A";
+  PlanCacheEntry* again = cache.Put("k", std::move(replanned), 800);
+  EXPECT_EQ(again, entry);
+  EXPECT_EQ(again->plan.order, "B,A");
+  EXPECT_DOUBLE_EQ(again->fanout_ema.at("A"), 3.5);  // EMA survives
+  EXPECT_EQ(again->hits, 7);
+  EXPECT_EQ(again->replans, 2);
+  EXPECT_FALSE(again->dirty);  // a fresh plan starts clean
+  EXPECT_DOUBLE_EQ(again->planned_delta_rows, 800.0);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Find("k"), nullptr);
+}
+
+ScalarExprPtr Eq(const char* t1, const char* c1, const char* t2,
+                 const char* c2) {
+  return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                             ScalarExpr::Column(t2, c2));
+}
+
+class MaintainerPlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.CreateTable(
+        "D",
+        Schema({ColumnDef{"d_id", ValueType::kInt64, false},
+                ColumnDef{"d_b", ValueType::kInt64, true}}),
+        {"d_id"});
+    catalog_.CreateTable(
+        "B",
+        Schema({ColumnDef{"b_id", ValueType::kInt64, false},
+                ColumnDef{"b_v", ValueType::kInt64, true}}),
+        {"b_id"});
+    Table* d = catalog_.GetTable("D");
+    for (int64_t i = 0; i < 200; ++i) {
+      d->Insert(Row{Value::Int64(i), Value::Int64(i % 50)});
+    }
+    Table* b = catalog_.GetTable("B");
+    for (int64_t i = 0; i < 50; ++i) {
+      b->Insert(Row{Value::Int64(i), Value::Int64(i)});
+    }
+    view_ = std::make_unique<ViewDef>(
+        "v",
+        RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("D"),
+                      RelExpr::Scan("B"), Eq("D", "d_b", "B", "b_id")),
+        std::vector<ColumnRef>{
+            {"D", "d_id"}, {"D", "d_b"}, {"B", "b_id"}, {"B", "b_v"}},
+        catalog_);
+  }
+
+  std::vector<Row> Fresh(int64_t n) {
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < n; ++i) {
+      rows.push_back(Row{Value::Int64(next_key_++), Value::Int64(i % 50)});
+    }
+    return rows;
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<ViewDef> view_;
+  int64_t next_key_ = 10000;
+};
+
+TEST_F(MaintainerPlanCacheTest, CachesPlanAndCountsHits) {
+  ViewMaintainer maintainer(&catalog_, *view_, MaintenanceOptions());
+  maintainer.InitializeView();
+  Table* d = catalog_.GetTable("D");
+
+  maintainer.OnInsert("D", ApplyBaseInsert(d, Fresh(8)));
+  const PlanCacheEntry* entry =
+      maintainer.plan_entry("D", true, PlanPolicy::kDefault);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->source, "planned");
+  EXPECT_EQ(entry->hits, 0);
+
+  maintainer.OnInsert("D", ApplyBaseInsert(d, Fresh(8)));
+  entry = maintainer.plan_entry("D", true, PlanPolicy::kDefault);
+  EXPECT_EQ(entry->source, "cache");
+  EXPECT_EQ(entry->hits, 1);
+
+  // Deletes get their own cache slot.
+  EXPECT_EQ(maintainer.plan_entry("D", false, PlanPolicy::kDefault), nullptr);
+}
+
+TEST_F(MaintainerPlanCacheTest, ReplansWhenDeltaSizeShifts) {
+  ViewMaintainer maintainer(&catalog_, *view_, MaintenanceOptions());
+  maintainer.InitializeView();
+  Table* d = catalog_.GetTable("D");
+
+  maintainer.OnInsert("D", ApplyBaseInsert(d, Fresh(4)));
+  // 4 -> 512 rows is a 7-doubling shift, past replan_delta_log2 = 3.
+  maintainer.OnInsert("D", ApplyBaseInsert(d, Fresh(512)));
+  const PlanCacheEntry* entry =
+      maintainer.plan_entry("D", true, PlanPolicy::kDefault);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->source, "replan");
+  EXPECT_EQ(entry->replans, 1);
+  EXPECT_DOUBLE_EQ(entry->planned_delta_rows, 512.0);
+}
+
+TEST_F(MaintainerPlanCacheTest, InvalidatePlansDropsCacheAndStats) {
+  ViewMaintainer maintainer(&catalog_, *view_, MaintenanceOptions());
+  maintainer.InitializeView();
+  Table* d = catalog_.GetTable("D");
+
+  maintainer.OnInsert("D", ApplyBaseInsert(d, Fresh(8)));
+  ASSERT_NE(maintainer.plan_entry("D", true, PlanPolicy::kDefault), nullptr);
+  ASSERT_NE(maintainer.stats_catalog(), nullptr);
+  int64_t rebuilds_before = maintainer.stats_catalog()->rebuild_count();
+
+  maintainer.InvalidatePlans();
+  EXPECT_EQ(maintainer.plan_entry("D", true, PlanPolicy::kDefault), nullptr);
+  EXPECT_EQ(maintainer.plan_cache().size(), 0u);
+  EXPECT_FALSE(maintainer.stats_catalog()->IsFresh("D"));
+
+  // The next operation re-plans from rebuilt statistics.
+  maintainer.OnInsert("D", ApplyBaseInsert(d, Fresh(8)));
+  const PlanCacheEntry* entry =
+      maintainer.plan_entry("D", true, PlanPolicy::kDefault);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->source, "planned");
+  EXPECT_GT(maintainer.stats_catalog()->rebuild_count(), rebuilds_before);
+}
+
+TEST_F(MaintainerPlanCacheTest, UpdatePolicyUsesConstraintFreeSlot) {
+  ViewMaintainer maintainer(&catalog_, *view_, MaintenanceOptions());
+  maintainer.InitializeView();
+  Table* d = catalog_.GetTable("D");
+
+  std::vector<Row> keys = {Row{Value::Int64(0)}};
+  std::vector<Row> new_rows = {Row{Value::Int64(0), Value::Int64(7)}};
+  std::vector<Row> old_rows;
+  ApplyBaseUpdate(d, keys, new_rows, &old_rows);
+  maintainer.OnUpdate("D", old_rows, new_rows);
+
+  EXPECT_NE(maintainer.plan_entry("D", true, PlanPolicy::kConstraintFree),
+            nullptr);
+  EXPECT_NE(maintainer.plan_entry("D", false, PlanPolicy::kConstraintFree),
+            nullptr);
+  EXPECT_EQ(maintainer.plan_entry("D", true, PlanPolicy::kDefault), nullptr);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace ojv

@@ -1,0 +1,188 @@
+// Statistics catalog: KMV sketch accuracy, incremental maintenance
+// against Table::version(), and staleness on unobserved changes.
+
+#include "opt/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace ojv {
+namespace opt {
+namespace {
+
+// Deterministic "hash" stream for sketch tests: the murmur finalizer the
+// catalog itself applies, so values spread across the 64-bit range.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+TEST(KmvSketchTest, ExactBelowK) {
+  KmvSketch sketch(64);
+  for (int i = 0; i < 50; ++i) sketch.Insert(Mix(static_cast<uint64_t>(i)));
+  // Duplicates must not count.
+  for (int i = 0; i < 50; ++i) sketch.Insert(Mix(static_cast<uint64_t>(i)));
+  EXPECT_FALSE(sketch.saturated());
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 50.0);
+}
+
+TEST(KmvSketchTest, EstimateWithinTolerance) {
+  KmvSketch sketch(128);
+  constexpr int kDistinct = 20000;
+  for (int i = 0; i < kDistinct; ++i) {
+    sketch.Insert(Mix(static_cast<uint64_t>(i) * 2654435761ULL));
+  }
+  EXPECT_TRUE(sketch.saturated());
+  double est = sketch.Estimate();
+  // KMV with k=128 has ~1/sqrt(k) ≈ 9% standard error; allow 3 sigma.
+  EXPECT_GT(est, kDistinct * 0.73);
+  EXPECT_LT(est, kDistinct * 1.27);
+}
+
+class StatsCatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.CreateTable(
+        "T",
+        Schema({ColumnDef{"t_id", ValueType::kInt64, false},
+                ColumnDef{"t_a", ValueType::kInt64, true}}),
+        {"t_id"});
+    table_ = catalog_.GetTable("T");
+    for (int64_t i = 0; i < 100; ++i) {
+      table_->Insert(Row{Value::Int64(i), Value::Int64(i % 10)});
+    }
+  }
+
+  std::vector<Row> MakeRows(int64_t first_key, int64_t n) {
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < n; ++i) {
+      rows.push_back(
+          Row{Value::Int64(first_key + i), Value::Int64((first_key + i) % 10)});
+    }
+    return rows;
+  }
+
+  Catalog catalog_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(StatsCatalogTest, BuildsOnFirstGet) {
+  StatsCatalog stats(&catalog_);
+  const TableStats* t = stats.Get("T");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->row_count, 100);
+  EXPECT_DOUBLE_EQ(t->DistinctOf("t_id", 0), 100.0);
+  EXPECT_DOUBLE_EQ(t->DistinctOf("t_a", 0), 10.0);
+  const ColumnStats* id = t->Column("t_id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_TRUE(id->has_range);
+  EXPECT_DOUBLE_EQ(id->min, 0.0);
+  EXPECT_DOUBLE_EQ(id->max, 99.0);
+  EXPECT_EQ(stats.rebuild_count(), 1);
+  EXPECT_EQ(stats.Get("unknown"), nullptr);
+}
+
+TEST_F(StatsCatalogTest, IncrementalInsertAvoidsRebuild) {
+  StatsCatalog stats(&catalog_);
+  stats.Get("T");
+  std::vector<Row> rows = MakeRows(100, 20);
+  for (const Row& row : rows) ASSERT_TRUE(table_->Insert(row));
+  stats.OnInsert("T", rows);
+  EXPECT_TRUE(stats.IsFresh("T"));
+  const TableStats* t = stats.Get("T");
+  EXPECT_EQ(t->row_count, 120);
+  EXPECT_EQ(stats.rebuild_count(), 1);  // no rebuild needed
+}
+
+TEST_F(StatsCatalogTest, IncrementalDeleteTracksRowCount) {
+  StatsCatalog stats(&catalog_);
+  stats.Get("T");
+  std::vector<Row> deleted;
+  for (int64_t i = 0; i < 5; ++i) {
+    Row full;
+    ASSERT_TRUE(table_->DeleteByKey(Row{Value::Int64(i)}, &full));
+    deleted.push_back(std::move(full));
+  }
+  stats.OnDelete("T", deleted);
+  EXPECT_TRUE(stats.IsFresh("T"));
+  EXPECT_EQ(stats.Get("T")->row_count, 95);
+  EXPECT_EQ(stats.rebuild_count(), 1);
+}
+
+TEST_F(StatsCatalogTest, UnobservedChangeGoesStaleAndRebuilds) {
+  StatsCatalog stats(&catalog_);
+  stats.Get("T");
+  // Out-of-band change the catalog never hears about through hooks.
+  ASSERT_TRUE(table_->Insert(Row{Value::Int64(500), Value::Int64(1)}));
+  EXPECT_FALSE(stats.IsFresh("T"));
+  const TableStats* t = stats.Get("T");
+  EXPECT_EQ(t->row_count, 101);
+  EXPECT_EQ(stats.rebuild_count(), 2);
+}
+
+TEST_F(StatsCatalogTest, MismatchedBatchMarksStale) {
+  StatsCatalog stats(&catalog_);
+  stats.Get("T");
+  std::vector<Row> rows = MakeRows(100, 3);
+  for (const Row& row : rows) ASSERT_TRUE(table_->Insert(row));
+  // Report only part of the batch: the version window cannot line up.
+  stats.OnInsert("T", MakeRows(100, 1));
+  EXPECT_FALSE(stats.IsFresh("T"));
+  EXPECT_EQ(stats.Get("T")->row_count, 103);  // rebuilt from the table
+}
+
+TEST_F(StatsCatalogTest, OnUpdateAccountsBothHalves) {
+  StatsCatalog stats(&catalog_);
+  stats.Get("T");
+  // Delete-then-insert as ApplyBaseUpdate does, reported as one pair.
+  std::vector<Row> old_rows;
+  for (int64_t i = 0; i < 4; ++i) {
+    Row full;
+    ASSERT_TRUE(table_->DeleteByKey(Row{Value::Int64(i)}, &full));
+    old_rows.push_back(std::move(full));
+  }
+  std::vector<Row> new_rows = MakeRows(1000, 4);
+  for (const Row& row : new_rows) ASSERT_TRUE(table_->Insert(row));
+  stats.OnUpdate("T", old_rows, new_rows);
+  EXPECT_TRUE(stats.IsFresh("T"));
+  EXPECT_EQ(stats.Get("T")->row_count, 100);
+  EXPECT_EQ(stats.rebuild_count(), 1);
+}
+
+TEST_F(StatsCatalogTest, HeavyDeletionForcesRebuild) {
+  // Grow the table so the 30% rule (floor 64) is reachable.
+  for (int64_t i = 100; i < 400; ++i) {
+    ASSERT_TRUE(table_->Insert(Row{Value::Int64(i), Value::Int64(i % 10)}));
+  }
+  StatsCatalog stats(&catalog_);
+  stats.Get("T");
+  ASSERT_EQ(stats.rebuild_count(), 1);
+  std::vector<Row> deleted;
+  for (int64_t i = 0; i < 200; ++i) {
+    Row full;
+    ASSERT_TRUE(table_->DeleteByKey(Row{Value::Int64(i)}, &full));
+    deleted.push_back(std::move(full));
+  }
+  stats.OnDelete("T", deleted);  // 200/400 = 50% > 30%: sketches distrusted
+  EXPECT_FALSE(stats.IsFresh("T"));
+  EXPECT_EQ(stats.Get("T")->row_count, 200);
+  EXPECT_EQ(stats.rebuild_count(), 2);
+}
+
+TEST_F(StatsCatalogTest, InvalidateForcesRebuild) {
+  StatsCatalog stats(&catalog_);
+  stats.Get("T");
+  stats.Invalidate("T");
+  EXPECT_FALSE(stats.IsFresh("T"));
+  stats.Get("T");
+  EXPECT_EQ(stats.rebuild_count(), 2);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace ojv

@@ -15,6 +15,7 @@
 #   tools/check.sh sanitize   # ASan/UBSan only
 #   tools/check.sh tsan       # ThreadSanitizer only
 #   tools/check.sh obs        # observability: traced run + OBS=OFF no-op
+#   tools/check.sh bench-gate # fig5 stage timings vs BENCH_pipeline.json
 
 set -euo pipefail
 
@@ -76,11 +77,36 @@ case "$mode" in
       exit 1
     fi
     ;;&
-  release|sanitize|tsan|obs|all)
+  bench-gate|all)
+    # Benchmark regression gate: re-run the fig5 benchmarks in the same
+    # configuration the committed BENCH_pipeline.json was measured in
+    # (RelWithDebInfo, no sanitizer) and compare the per-stage timings.
+    # bench_gate skips itself (exit 0) on hosts that don't match the
+    # baseline's host_cores/build_type, so this stage is safe everywhere
+    # and only gates machines comparable to the one that committed the
+    # numbers.
+    dir="$root/build-check-bench"
+    echo "==> [bench-gate] configure"
+    cmake -B "$dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> [bench-gate] build"
+    cmake --build "$dir" -j "$jobs" \
+        --target bench_fig5_insert bench_fig5_delete bench_gate >/dev/null
+    echo "==> [bench-gate] run fig5 benchmarks"
+    "$dir/bench/bench_fig5_insert" --threads=4 \
+        --json="$dir/fig5_insert.json" >/dev/null
+    "$dir/bench/bench_fig5_delete" --threads=4 \
+        --json="$dir/fig5_delete.json" >/dev/null
+    echo "==> [bench-gate] compare against BENCH_pipeline.json"
+    "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
+        --candidate="$dir/fig5_insert.json" --section=fig5_insert
+    "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
+        --candidate="$dir/fig5_delete.json" --section=fig5_delete
+    ;;&
+  release|sanitize|tsan|obs|bench-gate|all)
     echo "==> all requested configurations passed"
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|obs|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|obs|bench-gate|all]" >&2
     exit 2
     ;;
 esac
