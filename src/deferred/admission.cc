@@ -1,0 +1,215 @@
+#include "deferred/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace ojv {
+namespace deferred {
+
+namespace {
+
+/// Staleness debt used for hot-drain priority: staleness relative to
+/// the view's own tolerance (its max_staleness limit when configured,
+/// the controller window otherwise), so views with a tight staleness
+/// budget outrank views that merely tripped on pending rows.
+double StalenessDebt(const DueView& view, int64_t window_micros) {
+  const double denom = view.max_staleness_micros > 0
+                           ? view.max_staleness_micros
+                           : static_cast<double>(std::max<int64_t>(
+                                 window_micros, 1));
+  return view.staleness_micros / denom;
+}
+
+void BumpAdmissionCounter(const char* which, int64_t delta) {
+  if constexpr (obs::kEnabled) {
+    obs::Registry::Global()
+        .GetCounter(std::string("ojv.deferred.admission.") + which)
+        .Add(delta);
+  } else {
+    (void)which;
+    (void)delta;
+  }
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config),
+      statement_latency_(config.epoch_micros, config.epochs),
+      refresh_latency_(config.epoch_micros, config.epochs) {
+  OJV_CHECK(config.enter_hot >= config.exit_hot,
+            "admission hysteresis inverted: enter_hot < exit_hot");
+  OJV_CHECK(config.hot_slice >= 0, "negative admission hot_slice");
+}
+
+AdmissionController::ViewState& AdmissionController::StateFor(
+    const std::string& view) {
+  auto it = views_.find(view);
+  if (it == views_.end()) {
+    it = views_
+             .emplace(view, ViewState{obs::WindowedHistogram(
+                                          config_.epoch_micros,
+                                          config_.epochs),
+                                      0, 0})
+             .first;
+  }
+  return it->second;
+}
+
+void AdmissionController::ObserveStatement(double micros, int64_t now_micros) {
+  statement_latency_.Record(static_cast<int64_t>(micros), now_micros);
+}
+
+void AdmissionController::ObserveRefresh(double micros, int64_t now_micros) {
+  refresh_latency_.Record(static_cast<int64_t>(micros), now_micros);
+}
+
+double AdmissionController::LoadScore(int64_t log_depth,
+                                      int64_t now_micros) const {
+  const double stmt =
+      static_cast<double>(statement_latency_.PercentileBound(
+          config_.statement_percentile, now_micros)) /
+      static_cast<double>(std::max<int64_t>(config_.statement_budget_micros,
+                                            1));
+  const double refresh =
+      static_cast<double>(refresh_latency_.PercentileBound(
+          config_.refresh_percentile, now_micros)) /
+      static_cast<double>(std::max<int64_t>(config_.refresh_budget_micros,
+                                            1));
+  const double depth =
+      static_cast<double>(log_depth) /
+      static_cast<double>(std::max<int64_t>(config_.log_depth_budget_rows,
+                                            1));
+  return std::max({stmt, refresh, depth});
+}
+
+AdmissionPlan AdmissionController::Plan(const std::vector<DueView>& due,
+                                        int64_t log_depth,
+                                        int64_t now_micros) {
+  AdmissionPlan plan;
+  plan.load_score = LoadScore(log_depth, now_micros);
+
+  // Hysteresis: the enter/exit gap keeps a score hovering around the
+  // hot line from flapping the controller every scan.
+  if (!hot_ && plan.load_score >= config_.enter_hot) {
+    hot_ = true;
+    ++hot_transitions_;
+    BumpAdmissionCounter("hot_transitions", 1);
+  } else if (hot_ && plan.load_score <= config_.exit_hot) {
+    hot_ = false;
+  }
+  plan.hot = hot_;
+
+  // Record this scan's staleness samples, then split out promotions:
+  // a view whose recent staleness percentile drifted past its ceiling
+  // is refreshed regardless of load — that is what keeps staleness
+  // bounded under sustained pressure.
+  std::vector<const DueView*> promoted;
+  std::vector<const DueView*> normal;
+  for (const DueView& view : due) {
+    ViewState& state = StateFor(view.name);
+    state.staleness.Record(static_cast<int64_t>(view.staleness_micros),
+                           now_micros);
+    // The instantaneous sample participates directly (its own bucket
+    // bound, same round-up rule as the percentile): staleness grows
+    // monotonically while a backlog waits, so the freshest observation
+    // is the tightest bound, and a burst of low-staleness scans earlier
+    // in the window must not dilute it below the ceiling. The windowed
+    // percentile adds memory across refresh cycles: a view that
+    // repeatedly grazes its ceiling keeps promoting even right after a
+    // refresh clears its instantaneous staleness.
+    const int64_t sample_bound = obs::Histogram::BucketUpperBound(
+        obs::Histogram::BucketOf(static_cast<int64_t>(view.staleness_micros)));
+    const int64_t window_bound = state.staleness.PercentileBound(
+        config_.promotion_percentile, now_micros);
+    const bool promote =
+        view.staleness_ceiling_micros > 0 &&
+        static_cast<double>(std::max(sample_bound, window_bound)) >=
+            view.staleness_ceiling_micros;
+    (promote ? promoted : normal).push_back(&view);
+  }
+
+  auto admit = [&](const DueView& view) {
+    ViewState& state = StateFor(view.name);
+    state.not_before_micros = 0;
+    state.backoff_micros = 0;
+    plan.admitted.push_back(view.name);
+  };
+  auto by_debt_desc = [&](const DueView* a, const DueView* b) {
+    const double da = StalenessDebt(*a, statement_latency_.window_micros());
+    const double db = StalenessDebt(*b, statement_latency_.window_micros());
+    if (da != db) return da > db;
+    if (a->pending_rows != b->pending_rows) {
+      return a->pending_rows > b->pending_rows;
+    }
+    return a->name < b->name;  // deterministic tie-break
+  };
+
+  std::sort(promoted.begin(), promoted.end(), by_debt_desc);
+  for (const DueView* view : promoted) {
+    admit(*view);
+    plan.promoted.push_back(view->name);
+    ++promoted_total_;
+  }
+  BumpAdmissionCounter("promoted", static_cast<int64_t>(promoted.size()));
+
+  if (!hot_) {
+    // Cold: everything due is admitted, in the scan's own order (the
+    // same order the scheduler would have refreshed without admission).
+    for (const DueView* view : normal) admit(*view);
+    return plan;
+  }
+
+  // Hot: drain in staleness-debt order, capped to the slice; everyone
+  // else backs off (bounded: the backoff doubles up to the cap, so the
+  // next consideration is never pushed out indefinitely).
+  std::vector<const DueView*> candidates;
+  int64_t backed_off = 0;
+  for (const DueView* view : normal) {
+    ViewState& state = StateFor(view->name);
+    if (state.not_before_micros > now_micros) {
+      plan.deferred.push_back(view->name);
+      ++backed_off;
+    } else {
+      candidates.push_back(view);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), by_debt_desc);
+  int64_t newly_deferred = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const DueView& view = *candidates[i];
+    if (i < static_cast<size_t>(config_.hot_slice)) {
+      admit(view);
+      continue;
+    }
+    ViewState& state = StateFor(view.name);
+    state.backoff_micros =
+        state.backoff_micros == 0
+            ? config_.backoff_initial_micros
+            : std::min(state.backoff_micros * 2, config_.backoff_max_micros);
+    state.not_before_micros = now_micros + state.backoff_micros;
+    plan.deferred.push_back(view.name);
+    ++newly_deferred;
+  }
+  deferred_total_ += backed_off + newly_deferred;
+  BumpAdmissionCounter("deferred", backed_off + newly_deferred);
+  return plan;
+}
+
+int64_t AdmissionController::StalenessPercentile(const std::string& view,
+                                                 double p,
+                                                 int64_t now_micros) const {
+  auto it = views_.find(view);
+  if (it == views_.end()) return 0;
+  return it->second.staleness.PercentileBound(p, now_micros);
+}
+
+void AdmissionController::Forget(const std::string& view) {
+  views_.erase(view);
+}
+
+}  // namespace deferred
+}  // namespace ojv

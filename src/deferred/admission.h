@@ -1,0 +1,156 @@
+#ifndef OJV_DEFERRED_ADMISSION_H_
+#define OJV_DEFERRED_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "deferred/scheduler.h"
+#include "obs/windowed.h"
+
+namespace ojv {
+namespace deferred {
+
+/// Knobs for the refresh admission controller. The controller closes
+/// the loop on the deferred scheduler's own signals: recent statement
+/// and refresh latency percentiles plus delta-log depth become a load
+/// score; when the system is hot, threshold refreshes are deferred
+/// (bounded backoff, staleness-debt-first capped slices), and views
+/// whose staleness drifts past their configured ceiling are promoted
+/// and refreshed regardless of load.
+///
+/// The default (`enabled = false`) installs nothing: Database's
+/// due-view scan behaves exactly as without admission control.
+struct AdmissionConfig {
+  bool enabled = false;
+
+  /// Window for the "recent" percentiles: `epochs * epoch_micros` of
+  /// history, decaying a whole epoch at a time.
+  int64_t epoch_micros = 250'000;
+  int epochs = 8;
+
+  /// Percentiles fed into the load score.
+  double statement_percentile = 99.0;
+  double refresh_percentile = 99.0;
+
+  /// Budgets that normalize each signal: signal/budget == 1.0 means
+  /// "at the hot line". The load score is the max of the normalized
+  /// signals (a single saturated resource makes the system hot; a
+  /// weighted mean would let one overloaded signal hide behind two
+  /// idle ones).
+  int64_t statement_budget_micros = 2'000;
+  int64_t refresh_budget_micros = 20'000;
+  int64_t log_depth_budget_rows = 4'096;
+
+  /// Hysteresis on the load score: enter hot at >= enter_hot, leave at
+  /// <= exit_hot. The gap is what keeps the controller from flapping
+  /// when the score hovers near the threshold.
+  double enter_hot = 1.0;
+  double exit_hot = 0.5;
+
+  /// While hot: at most this many threshold refreshes admitted per
+  /// due-view scan, drained in staleness-debt order (most debt first).
+  int hot_slice = 1;
+
+  /// Deferred views back off before being reconsidered: the backoff
+  /// starts at `backoff_initial_micros`, doubles per consecutive
+  /// deferral, and is capped at `backoff_max_micros` — bounded, so a
+  /// long hot phase cannot push a view's next consideration out
+  /// indefinitely.
+  int64_t backoff_initial_micros = 500;
+  int64_t backoff_max_micros = 50'000;
+
+  /// Percentile of the view's recent staleness compared against its
+  /// ThresholdConfig::staleness_ceiling_micros for promotion.
+  double promotion_percentile = 99.0;
+};
+
+/// One kThreshold view that crossed its Due() limits this scan.
+struct DueView {
+  std::string name;
+  int64_t pending_rows = 0;
+  double staleness_micros = 0;
+  /// From the view's ThresholdConfig.
+  double max_staleness_micros = 0;
+  double staleness_ceiling_micros = 0;
+};
+
+/// What the controller decided for one due-view scan.
+struct AdmissionPlan {
+  bool hot = false;
+  double load_score = 0;
+  /// Views to refresh now, in order (promoted first, then the admitted
+  /// slice by staleness debt).
+  std::vector<std::string> admitted;
+  /// Subset of `admitted` that was promoted past the load gate.
+  std::vector<std::string> promoted;
+  /// Due views deferred to a later scan (now backing off).
+  std::vector<std::string> deferred;
+};
+
+/// Admission controller for the deferred refresh scheduler. All methods
+/// take an explicit `now_micros` (obs::SteadyNowMicros in production)
+/// so decisions are reproducible under test. Not thread-safe: Database
+/// owns one instance and calls it under its statement mutex.
+///
+/// Counter totals are mirrored into the obs registry when compiled in
+/// (`ojv.deferred.admission.{deferred,promoted,hot_transitions}`), but
+/// the controller keeps its own plain totals so admission — a
+/// correctness/robustness feature, not telemetry — works identically
+/// under -DOJV_OBS=OFF.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Feed one foreground statement's wall latency.
+  void ObserveStatement(double micros, int64_t now_micros);
+  /// Feed one refresh's wall latency.
+  void ObserveRefresh(double micros, int64_t now_micros);
+
+  /// Normalized load score at `now_micros` (1.0 = at the hot line).
+  double LoadScore(int64_t log_depth, int64_t now_micros) const;
+
+  /// Decides one due-view scan: updates the hot state (hysteresis),
+  /// records staleness samples, promotes ceiling violations, and
+  /// splits the rest into an admitted slice and deferrals.
+  AdmissionPlan Plan(const std::vector<DueView>& due, int64_t log_depth,
+                     int64_t now_micros);
+
+  /// Recent staleness percentile for one view (0 when unobserved).
+  int64_t StalenessPercentile(const std::string& view, double p,
+                              int64_t now_micros) const;
+
+  /// Drops per-view state (backoff, staleness window).
+  void Forget(const std::string& view);
+
+  bool hot() const { return hot_; }
+  int64_t deferred_total() const { return deferred_total_; }
+  int64_t promoted_total() const { return promoted_total_; }
+  /// Cold->hot transitions observed (the flap count hysteresis bounds).
+  int64_t hot_transitions() const { return hot_transitions_; }
+
+ private:
+  struct ViewState {
+    obs::WindowedHistogram staleness;
+    int64_t not_before_micros = 0;  // backoff gate; 0 = not backing off
+    int64_t backoff_micros = 0;     // current (doubling, capped) backoff
+  };
+  ViewState& StateFor(const std::string& view);
+
+  AdmissionConfig config_;
+  obs::WindowedHistogram statement_latency_;
+  obs::WindowedHistogram refresh_latency_;
+  std::map<std::string, ViewState> views_;
+  bool hot_ = false;
+  int64_t deferred_total_ = 0;
+  int64_t promoted_total_ = 0;
+  int64_t hot_transitions_ = 0;
+};
+
+}  // namespace deferred
+}  // namespace ojv
+
+#endif  // OJV_DEFERRED_ADMISSION_H_

@@ -1,6 +1,7 @@
 #include "deferred/scheduler.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 #include "common/check.h"
@@ -115,20 +116,26 @@ const ViewRefreshState* RefreshScheduler::state(const std::string& view) const {
 }
 
 std::string RefreshScheduler::Report() const {
-  std::ostringstream out;
-  out << "view                policy     refreshes    raw-rows   net-rows"
-      << "   cancelled  refresh-ms" << '\n';
+  // The view column widens to the longest registered name, so long
+  // names neither break alignment nor get truncated.
+  size_t name_width = 4;  // "view"
   for (const auto& [view, s] : views_) {
-    char line[200];
-    std::snprintf(line, sizeof(line),
-                  "%-18s %-10s %10lld %11lld %10lld %11lld %11.2f\n",
-                  view.c_str(), RefreshPolicyName(s.policy),
-                  static_cast<long long>(s.refreshes),
-                  static_cast<long long>(s.raw_entries),
-                  static_cast<long long>(s.consolidated_rows),
-                  static_cast<long long>(s.cancelled_rows),
-                  s.refresh_micros / 1000.0);
-    out << line;
+    name_width = std::max(name_width, view.size());
+  }
+  std::ostringstream out;
+  out << std::left << std::setw(static_cast<int>(name_width)) << "view" << ' '
+      << std::setw(10) << "policy" << std::right << std::setw(10)
+      << "refreshes" << std::setw(12) << "raw-rows" << std::setw(11)
+      << "net-rows" << std::setw(12) << "cancelled" << std::setw(12)
+      << "refresh-ms" << std::setw(13) << "staleness-ms" << '\n';
+  out << std::fixed << std::setprecision(2);
+  for (const auto& [view, s] : views_) {
+    out << std::left << std::setw(static_cast<int>(name_width)) << view << ' '
+        << std::setw(10) << RefreshPolicyName(s.policy) << std::right
+        << std::setw(10) << s.refreshes << std::setw(12) << s.raw_entries
+        << std::setw(11) << s.consolidated_rows << std::setw(12)
+        << s.cancelled_rows << std::setw(12) << s.refresh_micros / 1000.0
+        << std::setw(13) << s.last.staleness_micros / 1000.0 << '\n';
   }
   return out.str();
 }

@@ -40,6 +40,12 @@ struct ThresholdConfig {
   /// Deferred batches are much larger than single statements, so the
   /// refresh path is where morsel parallelism pays off most.
   int refresh_threads = 0;
+  /// Staleness bound enforced by the admission controller (0 = none):
+  /// when the view's recent staleness percentile drifts past this
+  /// ceiling, its refresh is *promoted* — admitted regardless of load —
+  /// so deferral under sustained pressure cannot leave the view stale
+  /// without bound. Ignored when no AdmissionController is installed.
+  double staleness_ceiling_micros = 0;
 };
 
 /// Outcome of one refresh of one view.

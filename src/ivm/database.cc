@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "deferred/consolidate.h"
 #include "obs/trace.h"
+#include "obs/windowed.h"
 
 namespace ojv {
 namespace {
@@ -83,6 +84,7 @@ bool Database::DropView(const std::string& name) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (delta_log_.IsConsumer(name)) delta_log_.UnregisterConsumer(name);
   scheduler_.Forget(name);
+  if (admission_ != nullptr) admission_->Forget(name);
   stats_.erase(name);
   return views_.erase(name) > 0 || agg_views_.erase(name) > 0;
 }
@@ -410,6 +412,9 @@ deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
   delta_log_.TruncateConsumed();
   stats.refresh_micros = MicrosSince(start);
   scheduler_.RecordRefresh(name, stats);
+  if (admission_ != nullptr) {
+    admission_->ObserveRefresh(stats.refresh_micros, obs::SteadyNowMicros());
+  }
   refresh_span.AddArg("raw_entries", stats.raw_entries);
   refresh_span.AddArg("consolidated_rows", stats.consolidated_rows);
   refresh_span.AddArg("cancelled_rows", stats.cancelled_rows);
@@ -422,6 +427,16 @@ deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
 
 void Database::MaybeAutoRefresh(StatementResult* result) {
   if (in_transaction_ || !scheduler_.HasDeferredViews()) return;
+  if (admission_ != nullptr) {
+    if (refresher_.running()) {
+      // The worker's DrainDueViews applies the admission plan; the
+      // statement path only needs to wake it when something is due.
+      if (!CollectDueViews().empty()) refresher_.Notify();
+    } else {
+      AdmitAndRefresh(result);
+    }
+    return;
+  }
   for (const std::string& view : scheduler_.DeferredViews()) {
     if (scheduler_.policy(view) != deferred::RefreshPolicy::kThreshold) {
       continue;
@@ -445,6 +460,10 @@ void Database::MaybeAutoRefresh(StatementResult* result) {
 void Database::DrainDueViews() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (in_transaction_) return;  // transactions drain at Begin and run eager
+  if (admission_ != nullptr) {
+    AdmitAndRefresh(nullptr);
+    return;
+  }
   for (const std::string& view : scheduler_.DeferredViews()) {
     if (scheduler_.policy(view) != deferred::RefreshPolicy::kThreshold) {
       continue;
@@ -454,6 +473,73 @@ void Database::DrainDueViews() {
     double staleness = delta_log_.OldestPendingMicros(view, tables);
     if (scheduler_.Due(view, pending, staleness)) RefreshLocked(view);
   }
+}
+
+std::vector<deferred::DueView> Database::CollectDueViews() const {
+  std::vector<deferred::DueView> due;
+  for (const std::string& view : scheduler_.DeferredViews()) {
+    if (scheduler_.policy(view) != deferred::RefreshPolicy::kThreshold) {
+      continue;
+    }
+    const std::set<std::string>& tables = TablesOf(view);
+    int64_t pending = delta_log_.PendingRows(view, tables);
+    double staleness = delta_log_.OldestPendingMicros(view, tables);
+    if (!scheduler_.Due(view, pending, staleness)) continue;
+    const deferred::ThresholdConfig& config = scheduler_.config(view);
+    due.push_back({view, pending, staleness, config.max_staleness_micros,
+                   config.staleness_ceiling_micros});
+  }
+  return due;
+}
+
+void Database::AdmitAndRefresh(StatementResult* result) {
+  std::vector<deferred::DueView> due = CollectDueViews();
+  // Plan even on an empty due set: the hot state tracks load between
+  // trips, so the controller exits hot as soon as pressure fades rather
+  // than on the next due view.
+  deferred::AdmissionPlan plan =
+      admission_->Plan(due, delta_log_.size(), obs::SteadyNowMicros());
+  for (const std::string& view : plan.admitted) {
+    deferred::RefreshStats stats = RefreshLocked(view);
+    if (result != nullptr) {
+      result->maintenance_micros += stats.maintenance_micros;
+      result->view_micros[view] += stats.maintenance_micros;
+    }
+  }
+}
+
+void Database::SetAdmissionControl(const deferred::AdmissionConfig& config) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  admission_ = config.enabled
+                   ? std::make_unique<deferred::AdmissionController>(config)
+                   : nullptr;
+}
+
+Database::AdmissionStats Database::GetAdmissionStats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  AdmissionStats stats;
+  if (admission_ == nullptr) return stats;
+  stats.enabled = true;
+  stats.hot = admission_->hot();
+  stats.load_score =
+      admission_->LoadScore(delta_log_.size(), obs::SteadyNowMicros());
+  stats.deferred = admission_->deferred_total();
+  stats.promoted = admission_->promoted_total();
+  stats.hot_transitions = admission_->hot_transitions();
+  return stats;
+}
+
+int64_t Database::AdmissionStalenessPercentile(const std::string& view,
+                                               double p) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (admission_ == nullptr) return 0;
+  return admission_->StalenessPercentile(view, p, obs::SteadyNowMicros());
+}
+
+void Database::ObserveStatementLatency(
+    std::chrono::steady_clock::time_point start) {
+  if (admission_ == nullptr) return;
+  admission_->ObserveStatement(MicrosSince(start), obs::SteadyNowMicros());
 }
 
 void Database::StartBackgroundRefresh(std::chrono::milliseconds interval) {
@@ -510,6 +596,7 @@ void Database::MaintainDelete(const std::string& table,
 Database::StatementResult Database::Insert(const std::string& table,
                                            const std::vector<Row>& rows) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto stmt_start = std::chrono::steady_clock::now();
   obs::Span span(default_options_.trace, "db.insert", "db");
   span.AddArg("table", table);
   span.AddArg("rows_in", static_cast<int64_t>(rows.size()));
@@ -541,6 +628,7 @@ Database::StatementResult Database::Insert(const std::string& table,
     }
   }
   MaybeAutoRefresh(&result);
+  ObserveStatementLatency(stmt_start);
   span.AddArg("rows_affected", result.rows_affected);
   span.AddArg("rows_rejected", result.rows_rejected);
   return result;
@@ -549,11 +637,13 @@ Database::StatementResult Database::Insert(const std::string& table,
 Database::StatementResult Database::Delete(const std::string& table,
                                            const std::vector<Row>& keys) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto stmt_start = std::chrono::steady_clock::now();
   obs::Span span(default_options_.trace, "db.delete", "db");
   span.AddArg("table", table);
   span.AddArg("rows_in", static_cast<int64_t>(keys.size()));
   StatementResult result = DeleteLocked(table, keys);
   if (result.ok()) MaybeAutoRefresh(&result);
+  ObserveStatementLatency(stmt_start);
   span.AddArg("rows_affected", result.rows_affected);
   span.AddArg("rows_rejected", result.rows_rejected);
   return result;
@@ -625,6 +715,7 @@ Database::StatementResult Database::Update(const std::string& table,
                                            const std::vector<Row>& keys,
                                            const std::vector<Row>& new_rows) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto stmt_start = std::chrono::steady_clock::now();
   obs::Span span(default_options_.trace, "db.update", "db");
   span.AddArg("table", table);
   span.AddArg("rows_in", static_cast<int64_t>(keys.size()));
@@ -698,6 +789,7 @@ Database::StatementResult Database::Update(const std::string& table,
         {UndoEntry::Kind::kReverseUpdate, table, applied_new, old_rows});
   }
   MaybeAutoRefresh(&result);
+  ObserveStatementLatency(stmt_start);
   span.AddArg("rows_affected", result.rows_affected);
   span.AddArg("rows_rejected", result.rows_rejected);
   return result;

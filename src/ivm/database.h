@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "deferred/admission.h"
 #include "deferred/delta_log.h"
 #include "deferred/scheduler.h"
 #include "ivm/aggregate_view.h"
@@ -151,6 +152,35 @@ class Database {
   void StopBackgroundRefresh();
   bool background_refresh_running() const { return refresher_.running(); }
 
+  /// Installs (enabled=true) or removes (enabled=false, the default)
+  /// the refresh admission controller. Without one, the due-view scan
+  /// behaves exactly as it always has: every due kThreshold view is
+  /// refreshed on the spot. With one, statement/refresh latencies and
+  /// delta-log depth feed a load score; when hot, due refreshes are
+  /// deferred with bounded backoff and drained staleness-debt-first in
+  /// capped slices, and views past their staleness ceiling are promoted
+  /// past the load gate (see deferred::AdmissionConfig).
+  void SetAdmissionControl(const deferred::AdmissionConfig& config);
+
+  /// Point-in-time admission counters (zero-valued when no controller
+  /// is installed). Locked, so safe against the background worker.
+  struct AdmissionStats {
+    bool enabled = false;
+    bool hot = false;
+    double load_score = 0;
+    int64_t deferred = 0;
+    int64_t promoted = 0;
+    int64_t hot_transitions = 0;
+  };
+  AdmissionStats GetAdmissionStats() const;
+
+  /// The view's staleness percentile over the admission window, in
+  /// microseconds (0 when no controller is installed or the view has
+  /// not been observed). Benches compare this against the configured
+  /// staleness ceiling.
+  int64_t AdmissionStalenessPercentile(const std::string& view,
+                                       double p) const;
+
   // --- multi-statement transactions (§6 caveat 3) ---
   //
   // Inside a transaction, foreign-key checking is deferred: statements
@@ -213,6 +243,14 @@ class Database {
   void MaybeAutoRefresh(StatementResult* result);
   /// Background worker body: drains every due kThreshold view.
   void DrainDueViews();
+  /// The kThreshold views past their Due() limits right now, with the
+  /// signals the admission controller plans on.
+  std::vector<deferred::DueView> CollectDueViews() const;
+  /// Runs the admission plan over the current due set and refreshes the
+  /// admitted views, attributing inline costs to `result` when non-null.
+  void AdmitAndRefresh(StatementResult* result);
+  /// Feeds one finished statement's wall latency to the controller.
+  void ObserveStatementLatency(std::chrono::steady_clock::time_point start);
 
   deferred::RefreshStats RefreshLocked(const std::string& view);
   StatementResult DeleteLocked(const std::string& table,
@@ -246,6 +284,8 @@ class Database {
   deferred::DeltaLog delta_log_;
   deferred::RefreshScheduler scheduler_;
   deferred::BackgroundRefresher refresher_;
+  /// Null unless SetAdmissionControl installed an enabled config.
+  std::unique_ptr<deferred::AdmissionController> admission_;
 
   struct UndoEntry {
     enum class Kind { kDeleteInserted, kReinsertDeleted, kReverseUpdate };

@@ -9,17 +9,11 @@
 namespace ojv {
 namespace obs {
 
-namespace {
-
-// Bucket index for a sample: 0 for v <= 1, else 1 + floor(log2(v)),
-// clamped to the last bucket (unreachable for int64 inputs).
-int BucketOf(int64_t value) {
+int Histogram::BucketOf(int64_t value) {
   if (value <= 1) return 0;
   int b = 64 - std::countl_zero(static_cast<uint64_t>(value) - 1);
   return std::min(b, Histogram::kBuckets - 1);
 }
-
-}  // namespace
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -55,6 +49,10 @@ std::string JsonEscape(const std::string& s) {
 }
 
 void Histogram::Record(int64_t value) {
+  // Clamp negatives: a negative duration (wall-clock adjustment) would
+  // land in bucket 0 regardless, but poison sum_ and every mean derived
+  // from it.
+  if (value < 0) value = 0;
   buckets_[static_cast<size_t>(BucketOf(value))].fetch_add(
       1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -73,7 +71,7 @@ int64_t Histogram::PercentileBound(double p) const {
   for (int b = 0; b < kBuckets; ++b) {
     seen += bucket(b);
     if (seen >= rank) {
-      return b == 0 ? 1 : int64_t{1} << b;
+      return BucketUpperBound(b);
     }
   }
   return int64_t{1} << (kBuckets - 1);

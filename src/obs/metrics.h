@@ -44,9 +44,21 @@ class Counter {
 /// samples in [2^(b-1), 2^b) (bucket 0 holds <= 0 and 1... precisely,
 /// samples v <= 1). Good to a factor of two, which is all the
 /// maintenance latencies need, and Record is two relaxed fetch_adds.
+/// Negative samples are clamped to 0 at record time: they would land in
+/// bucket 0 anyway but drive sum_ negative, corrupting means (durations
+/// can come out negative under wall-clock adjustment).
 class Histogram {
  public:
   static constexpr int kBuckets = 64;
+
+  /// Bucket index for a sample: 0 for v <= 1, else 1 + floor(log2(v-1)),
+  /// clamped to the last bucket. Shared with WindowedHistogram so both
+  /// agree on bucket boundaries.
+  static int BucketOf(int64_t value);
+  /// Upper bound of bucket b (the value PercentileBound reports).
+  static int64_t BucketUpperBound(int b) {
+    return b == 0 ? 1 : int64_t{1} << b;
+  }
 
   void Record(int64_t value);
 

@@ -50,11 +50,15 @@ void Collect(const RelExprPtr& node, const PlannedDelta& plan,
   std::set<std::string> right_tables = node->right()->ReferencedTables();
   if (right_tables.size() != 1) return;
 
-  double left_rows = 1;
+  // Fanout is rows-out per *left-input* row. With a partial event
+  // stream the left child may have no span; defaulting its cardinality
+  // would overstate the fanout by the missing row count and poison the
+  // EMA (a spurious drift re-plan at the next maintenance), so the step
+  // is skipped entirely — no observation beats a fabricated one.
   auto left_ev = node_event.find(node->left().get());
-  if (left_ev != node_event.end()) {
-    left_rows = static_cast<double>(left_ev->second->ArgOr("rows_out", 0));
-  }
+  if (left_ev == node_event.end()) return;
+  double left_rows =
+      static_cast<double>(left_ev->second->ArgOr("rows_out", 0));
 
   StepFeedback step;
   step.right_table = *right_tables.begin();

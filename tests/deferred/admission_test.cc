@@ -1,0 +1,479 @@
+// Refresh admission control: scheduler Due() gates (staleness-only
+// thresholds, the pending==0 gate), the AdmissionController state
+// machine (hysteresis, staleness-debt priority, bounded backoff,
+// promotion on staleness drift), and the Database integration — with
+// the controller disabled the refresh schedule must be byte-for-byte
+// the schedule the legacy scan produces. The interplay test at the
+// bottom runs the BackgroundRefresher against the controller and is
+// part of the tsan stage of tools/check.sh.
+
+#include "deferred/admission.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "deferred/scheduler.h"
+#include "ivm/database.h"
+#include "test_util.h"
+
+namespace ojv {
+namespace deferred {
+namespace {
+
+// --- RefreshScheduler::Due() gates ---------------------------------
+
+TEST(RefreshSchedulerDueTest, StalenessOnlyThreshold) {
+  RefreshScheduler s;
+  ThresholdConfig config;
+  config.max_pending_rows = 0;  // row limit disabled
+  config.max_staleness_micros = 1000;
+  s.SetPolicy("v", RefreshPolicy::kThreshold, config);
+
+  EXPECT_FALSE(s.Due("v", 5, 999));
+  EXPECT_TRUE(s.Due("v", 5, 1000));
+  EXPECT_TRUE(s.Due("v", 1, 5000));
+}
+
+TEST(RefreshSchedulerDueTest, NothingPendingIsNeverDue) {
+  RefreshScheduler s;
+  ThresholdConfig config;
+  config.max_pending_rows = 0;
+  config.max_staleness_micros = 1;
+  s.SetPolicy("v", RefreshPolicy::kThreshold, config);
+
+  // Staleness is measured on pending log entries; with none pending the
+  // view cannot be stale, whatever the staleness figure says.
+  EXPECT_FALSE(s.Due("v", 0, 1e9));
+  EXPECT_FALSE(s.Due("v", -3, 1e9));
+}
+
+TEST(RefreshSchedulerDueTest, NonThresholdPoliciesAreNeverDue) {
+  RefreshScheduler s;
+  ThresholdConfig config;
+  config.max_pending_rows = 1;
+  s.SetPolicy("od", RefreshPolicy::kOnDemand, config);
+  EXPECT_FALSE(s.Due("od", 100, 1e9));
+  EXPECT_FALSE(s.Due("unknown", 100, 1e9));
+}
+
+TEST(RefreshSchedulerReportTest, LongViewNamesStayAligned) {
+  RefreshScheduler s;
+  const std::string long_name = "a_view_name_much_longer_than_18_chars";
+  s.SetPolicy("v", RefreshPolicy::kThreshold, ThresholdConfig{});
+  s.SetPolicy(long_name, RefreshPolicy::kOnDemand, ThresholdConfig{});
+  RefreshStats stats;
+  stats.raw_entries = 5;
+  stats.consolidated_rows = 3;
+  stats.refresh_micros = 1500;
+  stats.staleness_micros = 2500;
+  s.RecordRefresh(long_name, stats);
+
+  const std::string report = s.Report();
+  // Every row's policy column starts where the header's does, even with
+  // a 37-char view name (the old fixed %-18s layout broke here).
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t nl = report.find('\n'); nl != std::string::npos;
+       nl = report.find('\n', start)) {
+    lines.push_back(report.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  const size_t policy_col = lines[0].find("policy");
+  ASSERT_NE(policy_col, std::string::npos);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const bool od = lines[i].find("on-demand") != std::string::npos;
+    EXPECT_EQ(lines[i].find(od ? "on-demand" : "threshold"), policy_col)
+        << "misaligned row: " << lines[i];
+  }
+  // The new staleness column is present and carries the recorded value.
+  EXPECT_NE(lines[0].find("staleness-ms"), std::string::npos);
+  EXPECT_NE(lines[1].find("2.50"), std::string::npos);
+}
+
+// --- AdmissionController unit tests --------------------------------
+
+AdmissionConfig DepthDrivenConfig() {
+  // Load score driven purely by delta-log depth: latency budgets are
+  // huge so those signals stay ~0 and tests are deterministic.
+  AdmissionConfig config;
+  config.enabled = true;
+  config.statement_budget_micros = 1'000'000'000;
+  config.refresh_budget_micros = 1'000'000'000;
+  config.log_depth_budget_rows = 100;
+  config.enter_hot = 1.0;
+  config.exit_hot = 0.5;
+  config.hot_slice = 1;
+  config.backoff_initial_micros = 1000;
+  config.backoff_max_micros = 4000;
+  return config;
+}
+
+DueView DV(const char* name, int64_t pending, double staleness,
+           double max_staleness = 0, double ceiling = 0) {
+  DueView v;
+  v.name = name;
+  v.pending_rows = pending;
+  v.staleness_micros = staleness;
+  v.max_staleness_micros = max_staleness;
+  v.staleness_ceiling_micros = ceiling;
+  return v;
+}
+
+TEST(AdmissionControllerTest, HysteresisDoesNotFlap) {
+  AdmissionController c(DepthDrivenConfig());
+  EXPECT_FALSE(c.hot());
+
+  // Below enter_hot: stays cold.
+  EXPECT_FALSE(c.Plan({}, /*log_depth=*/50, /*now=*/0).hot);
+  EXPECT_EQ(c.hot_transitions(), 0);
+
+  // Crosses enter_hot (score 1.0): one transition.
+  EXPECT_TRUE(c.Plan({}, 100, 0).hot);
+  EXPECT_EQ(c.hot_transitions(), 1);
+
+  // Score drops into the hysteresis band (0.5 < 0.6 < 1.0): still hot —
+  // this is exactly the flap a single threshold would produce.
+  EXPECT_TRUE(c.Plan({}, 60, 0).hot);
+  EXPECT_EQ(c.hot_transitions(), 1);
+
+  // At or below exit_hot: cold again.
+  EXPECT_FALSE(c.Plan({}, 50, 0).hot);
+
+  // And a second excursion counts a second transition.
+  EXPECT_TRUE(c.Plan({}, 200, 0).hot);
+  EXPECT_EQ(c.hot_transitions(), 2);
+}
+
+TEST(AdmissionControllerTest, ColdAdmitsEverythingInScanOrder) {
+  AdmissionController c(DepthDrivenConfig());
+  AdmissionPlan plan =
+      c.Plan({DV("a", 10, 100), DV("b", 5, 900), DV("c", 1, 50)}, 0, 0);
+  EXPECT_FALSE(plan.hot);
+  EXPECT_EQ(plan.admitted, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(plan.deferred.empty());
+  EXPECT_TRUE(plan.promoted.empty());
+  EXPECT_EQ(c.deferred_total(), 0);
+}
+
+TEST(AdmissionControllerTest, HotSliceDrainsByStalenessDebt) {
+  AdmissionController c(DepthDrivenConfig());
+  // "a" is more stale in absolute terms but has a loose tolerance;
+  // "b" has burned 2x its own staleness budget. Debt ranks b first.
+  AdmissionPlan plan = c.Plan(
+      {DV("a", 10, /*staleness=*/5000, /*max_staleness=*/100'000),
+       DV("b", 1, /*staleness=*/2000, /*max_staleness=*/1000)},
+      /*log_depth=*/500, /*now=*/0);
+  EXPECT_TRUE(plan.hot);
+  EXPECT_EQ(plan.admitted, (std::vector<std::string>{"b"}));
+  EXPECT_EQ(plan.deferred, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(c.deferred_total(), 1);
+}
+
+TEST(AdmissionControllerTest, BackoffDoublesAndIsCapped) {
+  AdmissionController c(DepthDrivenConfig());  // initial 1000, cap 4000
+  const DueView a = DV("a", 1, 1000);
+  const DueView b = DV("b", 1, 2'000'000);  // always outranks a on debt
+  const int64_t depth = 500;                // keeps the controller hot
+
+  // t=0: slice goes to b; a starts backing off (1000us).
+  AdmissionPlan plan = c.Plan({a, b}, depth, 0);
+  EXPECT_EQ(plan.admitted, (std::vector<std::string>{"b"}));
+  EXPECT_EQ(plan.deferred, (std::vector<std::string>{"a"}));
+
+  // t=500: inside the backoff window, a is not even a candidate — it
+  // would have been admitted (alone, slice=1) otherwise.
+  plan = c.Plan({a}, depth, 500);
+  EXPECT_TRUE(plan.admitted.empty());
+  EXPECT_EQ(plan.deferred, (std::vector<std::string>{"a"}));
+
+  // t=1000: backoff expired; a competes, loses to b, backs off 2000us.
+  plan = c.Plan({a, b}, depth, 1000);
+  EXPECT_EQ(plan.deferred, (std::vector<std::string>{"a"}));
+
+  // t=2500: if the backoff had stayed at 1000us it would have expired
+  // at t=3000... (1000 + 2000) — a still backed off proves doubling.
+  plan = c.Plan({a}, depth, 2500);
+  EXPECT_TRUE(plan.admitted.empty());
+
+  // t=3000 and t=7000: two more losses; backoff hits the 4000us cap.
+  c.Plan({a, b}, depth, 3000);
+  plan = c.Plan({a}, depth, 6999);
+  EXPECT_TRUE(plan.admitted.empty());  // still inside 3000+4000
+  c.Plan({a, b}, depth, 7000);
+
+  // Without the cap the next consideration would be 7000+8000=15000.
+  // With it, a is reconsidered (and, alone, admitted) at 7000+4000.
+  plan = c.Plan({a}, depth, 11'000);
+  EXPECT_EQ(plan.admitted, (std::vector<std::string>{"a"}));
+}
+
+TEST(AdmissionControllerTest, StalenessDriftPromotesPastLoadGate) {
+  AdmissionConfig config = DepthDrivenConfig();
+  config.hot_slice = 0;  // while hot, nothing gets in on load alone
+  AdmissionController c(config);
+
+  // Hot, no ceiling: deferred.
+  AdmissionPlan plan = c.Plan({DV("a", 1, 5000)}, 500, 0);
+  EXPECT_TRUE(plan.hot);
+  EXPECT_EQ(plan.deferred, (std::vector<std::string>{"a"}));
+
+  // Hot, ceiling configured and the recent staleness percentile sits
+  // past it: promoted and refreshed regardless of load.
+  plan = c.Plan({DV("b", 1, 20'000, 0, /*ceiling=*/10'000)}, 500, 0);
+  EXPECT_TRUE(plan.hot);
+  EXPECT_EQ(plan.admitted, (std::vector<std::string>{"b"}));
+  EXPECT_EQ(plan.promoted, (std::vector<std::string>{"b"}));
+  EXPECT_EQ(c.promoted_total(), 1);
+
+  // Ceiling configured but staleness well under it: no promotion.
+  plan = c.Plan({DV("c", 1, 10, 0, /*ceiling=*/1'000'000'000)}, 500, 0);
+  EXPECT_TRUE(plan.promoted.empty());
+  EXPECT_EQ(plan.deferred, (std::vector<std::string>{"c"}));
+
+  EXPECT_GE(c.StalenessPercentile("b", 99, 0), 20'000);
+}
+
+TEST(AdmissionControllerTest, PromotionNotDilutedByFrequentSmallSamples) {
+  AdmissionConfig config = DepthDrivenConfig();
+  config.hot_slice = 0;
+  AdmissionController c(config);
+
+  // A hot phase scans the due view often while its staleness is still
+  // tiny: 200 low samples land in the window.
+  for (int i = 0; i < 200; ++i) {
+    c.Plan({DV("a", 1, /*staleness=*/100, 0, /*ceiling=*/10'000)}, 500,
+           /*now=*/i * 10);
+  }
+  EXPECT_EQ(c.promoted_total(), 0);
+
+  // Now the backlog has aged to 9ms (bucket bound 16384 >= ceiling).
+  // The windowed p99 is still dominated by the 200 small samples, but
+  // the instantaneous observation alone must trigger the promotion —
+  // staleness is monotone, so the freshest sample is the tightest bound.
+  AdmissionPlan plan =
+      c.Plan({DV("a", 1, 9'000, 0, 10'000)}, 500, /*now=*/3000);
+  EXPECT_EQ(plan.promoted, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(c.promoted_total(), 1);
+}
+
+TEST(AdmissionControllerTest, ForgetClearsBackoffState) {
+  AdmissionConfig config = DepthDrivenConfig();
+  config.hot_slice = 0;
+  AdmissionController c(config);
+  c.Plan({DV("a", 1, 100)}, 500, 0);  // hot -> a backs off
+  EXPECT_EQ(c.deferred_total(), 1);
+
+  c.Forget("a");
+  // Re-created state has no backoff gate: a is a candidate again at the
+  // same instant (still deferred by the zero slice, but as a fresh
+  // deferral, which restarts at the initial backoff).
+  AdmissionPlan plan = c.Plan({DV("a", 1, 100)}, 500, 0);
+  EXPECT_EQ(plan.deferred, (std::vector<std::string>{"a"}));
+  plan = c.Plan({DV("a", 1, 100)}, 500, config.backoff_initial_micros);
+  // One initial backoff after the post-Forget deferral, the view is a
+  // candidate again — proof the doubled pre-Forget backoff was dropped.
+  EXPECT_EQ(plan.deferred, (std::vector<std::string>{"a"}));
+}
+
+// --- Database integration ------------------------------------------
+
+class AdmissionDatabaseTest : public ::testing::Test {
+ protected:
+  void SetUpDatabase(Database* db) {
+    db->catalog()->CreateTable(
+        "dept",
+        Schema({ColumnDef{"d_id", ValueType::kInt64, false},
+                ColumnDef{"d_name", ValueType::kString, false}}),
+        {"d_id"});
+    db->catalog()->CreateTable(
+        "emp",
+        Schema({ColumnDef{"e_id", ValueType::kInt64, false},
+                ColumnDef{"e_dept", ValueType::kInt64, false},
+                ColumnDef{"e_salary", ValueType::kFloat64, true}}),
+        {"e_id"});
+    RelExprPtr tree = RelExpr::Join(
+        JoinKind::kFullOuter, RelExpr::Scan("dept"), RelExpr::Scan("emp"),
+        ScalarExpr::Compare(CompareOp::kEq,
+                            ScalarExpr::Column("dept", "d_id"),
+                            ScalarExpr::Column("emp", "e_dept")));
+    ViewDef def("dept_emp", tree,
+                {{"dept", "d_id"},
+                 {"dept", "d_name"},
+                 {"emp", "e_id"},
+                 {"emp", "e_dept"},
+                 {"emp", "e_salary"}},
+                *db->catalog());
+    db->CreateMaterializedView(def);
+    db->Insert("dept", {Row{Value::Int64(1), Value::String("eng")}});
+  }
+
+  Row Emp(int64_t id, double salary) {
+    return Row{Value::Int64(id), Value::Int64(1), Value::Float64(salary)};
+  }
+};
+
+TEST_F(AdmissionDatabaseTest, DisabledConfigReproducesLegacySchedule) {
+  // Same statement stream against the legacy scan and against a
+  // database with a disabled AdmissionConfig: the refresh schedule
+  // (refresh count and pending rows after every statement) must match
+  // step for step — the disabled default installs nothing.
+  Database legacy;
+  Database disabled;
+  Database cold;  // enabled, but budgets so high it never goes hot
+  SetUpDatabase(&legacy);
+  SetUpDatabase(&disabled);
+  SetUpDatabase(&cold);
+
+  ThresholdConfig threshold;
+  threshold.max_pending_rows = 3;
+  for (Database* db : {&legacy, &disabled, &cold}) {
+    db->SetRefreshPolicy("dept_emp", RefreshPolicy::kThreshold, threshold);
+  }
+  disabled.SetAdmissionControl(AdmissionConfig{});  // enabled=false
+  AdmissionConfig never_hot;
+  never_hot.enabled = true;
+  never_hot.statement_budget_micros = 1'000'000'000;
+  never_hot.refresh_budget_micros = 1'000'000'000;
+  never_hot.log_depth_budget_rows = 1'000'000'000;
+  cold.SetAdmissionControl(never_hot);
+
+  EXPECT_FALSE(disabled.GetAdmissionStats().enabled);
+  EXPECT_TRUE(cold.GetAdmissionStats().enabled);
+
+  for (int i = 0; i < 10; ++i) {
+    for (Database* db : {&legacy, &disabled, &cold}) {
+      db->Insert("emp", {Emp(100 + i, 10.0 * i)});
+    }
+    ASSERT_EQ(disabled.PendingRows("dept_emp"),
+              legacy.PendingRows("dept_emp"))
+        << "after statement " << i;
+    ASSERT_EQ(cold.PendingRows("dept_emp"), legacy.PendingRows("dept_emp"))
+        << "after statement " << i;
+    ASSERT_EQ(disabled.RefreshState("dept_emp")->refreshes,
+              legacy.RefreshState("dept_emp")->refreshes)
+        << "after statement " << i;
+    ASSERT_EQ(cold.RefreshState("dept_emp")->refreshes,
+              legacy.RefreshState("dept_emp")->refreshes)
+        << "after statement " << i;
+  }
+  // The threshold tripped at least once over ten single-row inserts.
+  EXPECT_GE(legacy.RefreshState("dept_emp")->refreshes, 2);
+  EXPECT_EQ(cold.GetAdmissionStats().deferred, 0);
+  EXPECT_FALSE(cold.GetAdmissionStats().hot);
+}
+
+TEST_F(AdmissionDatabaseTest, HotLoadDefersThenStalenessPromotes) {
+  Database db;
+  SetUpDatabase(&db);
+
+  ThresholdConfig threshold;
+  threshold.max_pending_rows = 1;
+  threshold.staleness_ceiling_micros = 1500;  // 1.5ms staleness bound
+  db.SetRefreshPolicy("dept_emp", RefreshPolicy::kThreshold, threshold);
+
+  AdmissionConfig config;
+  config.enabled = true;
+  config.statement_budget_micros = 1'000'000'000;
+  config.refresh_budget_micros = 1'000'000'000;
+  config.log_depth_budget_rows = 1;  // any pending row => hot
+  config.hot_slice = 0;
+  config.backoff_initial_micros = 100;
+  config.backoff_max_micros = 1000;
+  db.SetAdmissionControl(config);
+
+  // First statement: the view is due (pending 1 >= 1) but the system is
+  // hot and staleness is microseconds — the refresh is deferred.
+  db.Insert("emp", {Emp(100, 1.0)});
+  EXPECT_EQ(db.PendingRows("dept_emp"), 1);
+  Database::AdmissionStats stats = db.GetAdmissionStats();
+  EXPECT_TRUE(stats.enabled);
+  EXPECT_TRUE(stats.hot);
+  EXPECT_GE(stats.deferred, 1);
+  EXPECT_EQ(stats.promoted, 0);
+  EXPECT_GE(stats.hot_transitions, 1);
+
+  // Let staleness drift past the 1.5ms ceiling, then touch the database
+  // again: the due-view scan promotes the view past the load gate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  db.Insert("emp", {Emp(101, 2.0)});
+  EXPECT_EQ(db.PendingRows("dept_emp"), 0);
+  stats = db.GetAdmissionStats();
+  EXPECT_GE(stats.promoted, 1);
+  EXPECT_GE(db.RefreshState("dept_emp")->refreshes, 1);
+  // The promotion happened because the recent staleness percentile sat
+  // above the ceiling at decision time.
+  EXPECT_GE(db.AdmissionStalenessPercentile("dept_emp", 99.0), 1500);
+}
+
+TEST_F(AdmissionDatabaseTest, DropViewForgetsAdmissionState) {
+  Database db;
+  SetUpDatabase(&db);
+  ThresholdConfig threshold;
+  threshold.max_pending_rows = 1;
+  db.SetRefreshPolicy("dept_emp", RefreshPolicy::kThreshold, threshold);
+  AdmissionConfig config;
+  config.enabled = true;
+  config.log_depth_budget_rows = 1;
+  config.hot_slice = 0;
+  db.SetAdmissionControl(config);
+  db.Insert("emp", {Emp(100, 1.0)});
+  EXPECT_GE(db.AdmissionStalenessPercentile("dept_emp", 99.0), 0);
+  db.DropView("dept_emp");
+  EXPECT_EQ(db.AdmissionStalenessPercentile("dept_emp", 99.0), 0);
+}
+
+// BackgroundRefresher + admission interplay: the worker keeps scanning
+// while hot, defers under load, and the staleness ceiling eventually
+// promotes the view so staleness stays bounded. Runs under tsan via
+// tools/check.sh (the worker thread, the statement thread, and the
+// stats reader all cross the controller).
+TEST_F(AdmissionDatabaseTest, BackgroundWorkerDefersUntilPromotion) {
+  Database db;
+  SetUpDatabase(&db);
+
+  ThresholdConfig threshold;
+  threshold.max_pending_rows = 1;
+  threshold.staleness_ceiling_micros = 20'000;  // 20ms bound
+  db.SetRefreshPolicy("dept_emp", RefreshPolicy::kThreshold, threshold);
+
+  AdmissionConfig config;
+  config.enabled = true;
+  config.statement_budget_micros = 1'000'000'000;
+  config.refresh_budget_micros = 1'000'000'000;
+  config.log_depth_budget_rows = 1;  // pending work keeps it hot
+  config.hot_slice = 0;              // only promotion can drain it
+  config.backoff_initial_micros = 500;
+  config.backoff_max_micros = 5'000;
+  db.SetAdmissionControl(config);
+
+  // Inline first so the "hot => deferred" leg is deterministic even if
+  // the worker is slow to schedule.
+  db.Insert("emp", {Emp(100, 1.0)});
+  EXPECT_EQ(db.PendingRows("dept_emp"), 1);
+  EXPECT_GE(db.GetAdmissionStats().deferred, 1);
+
+  db.StartBackgroundRefresh(std::chrono::milliseconds(2));
+  // The worker keeps rescanning; once staleness drifts past the 20ms
+  // ceiling it promotes and refreshes. Allow generous slack for tsan.
+  for (int i = 0; i < 5000 && db.PendingRows("dept_emp") > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    (void)db.GetAdmissionStats();  // concurrent reader for tsan
+  }
+  db.StopBackgroundRefresh();
+
+  EXPECT_EQ(db.PendingRows("dept_emp"), 0);
+  Database::AdmissionStats stats = db.GetAdmissionStats();
+  EXPECT_GE(stats.deferred, 1);
+  EXPECT_GE(stats.promoted, 1);
+  EXPECT_GE(stats.hot_transitions, 1);
+  EXPECT_GE(db.RefreshState("dept_emp")->refreshes, 1);
+}
+
+}  // namespace
+}  // namespace deferred
+}  // namespace ojv

@@ -1,0 +1,109 @@
+// LEO-style feedback harvesting: full event streams yield per-step
+// fanouts; partial streams (a missing left-child exec span) must not
+// fabricate a fanout — the regression here is that a missing left event
+// used to default left_rows to 1, overstating the fanout by orders of
+// magnitude and poisoning the plan cache's EMA.
+
+#include "opt/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/rel_expr.h"
+#include "algebra/scalar_expr.h"
+#include "exec/evaluator.h"
+
+namespace ojv {
+namespace opt {
+namespace {
+
+ScalarExprPtr JoinPred(const char* t1, const char* c1, const char* t2,
+                       const char* c2) {
+  return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                             ScalarExpr::Column(t2, c2));
+}
+
+obs::TraceEvent ExecEvent(const char* name, int64_t rows_out) {
+  obs::TraceEvent ev;
+  ev.name = name;
+  ev.category = "exec";
+  ev.args.emplace_back("rows_out", rows_out);
+  return ev;
+}
+
+/// ΔR ⋈ S ⋈ T, the left-deep main path the planner emits.
+PlannedDelta MakePlan() {
+  PlannedDelta plan;
+  RelExprPtr join1 =
+      RelExpr::Join(JoinKind::kLeftOuter, RelExpr::DeltaScan("R"),
+                    RelExpr::Scan("S"), JoinPred("R", "a", "S", "a"));
+  plan.expr = RelExpr::Join(JoinKind::kLeftOuter, join1, RelExpr::Scan("T"),
+                            JoinPred("S", "b", "T", "b"));
+  return plan;
+}
+
+TEST(FeedbackTest, FullEventStreamYieldsBothFanouts) {
+  PlannedDelta plan = MakePlan();
+  // Post-order: ΔR(10) S(50) join1(20) T(5) join2(40).
+  std::vector<obs::TraceEvent> events = {
+      ExecEvent("exec.delta_scan", 10), ExecEvent("exec.scan", 50),
+      ExecEvent("exec.join", 20), ExecEvent("exec.scan", 5),
+      ExecEvent("exec.join", 40)};
+
+  FeedbackResult result = HarvestFeedback(plan, events);
+  ASSERT_EQ(result.steps.size(), 2u);
+  EXPECT_EQ(result.steps[0].right_table, "S");
+  EXPECT_DOUBLE_EQ(result.steps[0].actual_fanout, 20.0 / 10.0);
+  EXPECT_EQ(result.steps[1].right_table, "T");
+  EXPECT_DOUBLE_EQ(result.steps[1].actual_fanout, 40.0 / 20.0);
+}
+
+TEST(FeedbackTest, MissingLeftEventSkipsStepInsteadOfFabricatingFanout) {
+  PlannedDelta plan = MakePlan();
+  // Partial stream: the ΔR delta-scan span is missing (e.g. the trace
+  // window started mid-evaluation). join1's left child then has no
+  // event; its step must be dropped, not computed against left_rows=1
+  // (which would claim fanout 20 instead of 2).
+  std::vector<obs::TraceEvent> events = {
+      ExecEvent("exec.scan", 50), ExecEvent("exec.join", 20),
+      ExecEvent("exec.scan", 5), ExecEvent("exec.join", 40)};
+
+  FeedbackResult result = HarvestFeedback(plan, events);
+  ASSERT_EQ(result.steps.size(), 1u);
+  // join2's left (join1) still has its event, so T's step survives.
+  EXPECT_EQ(result.steps[0].right_table, "T");
+  EXPECT_DOUBLE_EQ(result.steps[0].actual_fanout, 40.0 / 20.0);
+}
+
+TEST(FeedbackTest, MissingLeftEventLeavesEmaUnperturbed) {
+  PlannedDelta plan = MakePlan();
+  std::vector<obs::TraceEvent> partial = {
+      ExecEvent("exec.scan", 50), ExecEvent("exec.join", 20),
+      ExecEvent("exec.scan", 5), ExecEvent("exec.join", 40)};
+
+  std::unordered_map<std::string, double> ema = {{"S", 2.0}, {"T", 2.0}};
+  FeedbackResult result = HarvestFeedback(plan, partial);
+  UpdateFanoutEma(result, /*alpha=*/0.5, &ema);
+
+  // S saw no (fabricated) observation: its EMA is untouched. T folded
+  // in the real fanout of 2.0.
+  EXPECT_DOUBLE_EQ(ema["S"], 2.0);
+  EXPECT_DOUBLE_EQ(ema["T"], 2.0);
+
+  // The regression: before the fix, the partial stream produced an S
+  // step with fanout = 20 (actual rows over a defaulted left of 1),
+  // which at alpha=0.5 would have dragged the EMA to 11.
+  for (const StepFeedback& step : result.steps) {
+    EXPECT_NE(step.right_table, "S");
+  }
+}
+
+TEST(FeedbackTest, EmptyEventStreamYieldsNothing) {
+  PlannedDelta plan = MakePlan();
+  FeedbackResult result = HarvestFeedback(plan, {});
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_DOUBLE_EQ(result.max_drift, 1.0);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace ojv
