@@ -1,0 +1,189 @@
+// Multi-view maintenance: N overlapping TPC-H views refreshed under
+// MultiviewMode::kShared vs kIndependent.
+//
+// The catalog is three clusters of views over customer ⟕ σ(orders)
+// [⟕ lineitem], where each cluster shares the orders-side date filter
+// but alternates between the 2-table and 3-table shape. Every view in a
+// cluster therefore shares its Δorders delta prefix — σ(date) over the
+// delta followed by the join against the customer base — so shared mode
+// executes that join once per group per refresh batch and fans the
+// per-view suffixes out from the cached prefix. Independent mode runs
+// the full delta plan once per view.
+//
+// The join probe-volume counter (ojv.exec.join.rows_in) makes the win
+// architectural rather than a timing artifact: shared mode must feed
+// strictly fewer rows into join operators, and the benchmark aborts if
+// it does not (obs-enabled builds only).
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/date.h"
+#include "ivm/database.h"
+#include "obs/metrics.h"
+
+namespace ojv {
+namespace bench {
+namespace {
+
+constexpr const char* kClusterDates[] = {"1993-01-01", "1995-01-01",
+                                         "1997-01-01"};
+constexpr int kNumClusters = 3;
+// The refresh batch is new *orders* for existing customers: the Δorders
+// plan must genuinely join against the customer base table, so sharing
+// the prefix is visible in join probe volume. (New customers would hit
+// the FK fast path — fresh keys cannot match any order, maintenance
+// null-extends without running a single join — and both modes would
+// report zero probes.)
+constexpr int64_t kDeltaOrders = 200;
+
+ScalarExprPtr Col(const char* table, const char* column) {
+  return ScalarExpr::Column(table, column);
+}
+
+// View i: customer ⟕ σ(o_orderdate >= cluster date)(orders), extended to
+// lineitem for every second view of the cluster. The customer side is
+// deliberately unfiltered: a selection on the delta table is the first
+// fingerprint step, so per-view customer predicates would break Δcustomer
+// prefix sharing at step 0.
+ViewDef MakeOverlappingView(const Catalog& catalog, int index) {
+  const int cluster = index % kNumClusters;
+  const bool wide = (index / kNumClusters) % 2 == 1;
+  RelExprPtr orders = RelExpr::Select(
+      RelExpr::Scan("orders"),
+      ScalarExpr::Compare(
+          CompareOp::kGe, Col("orders", "o_orderdate"),
+          ScalarExpr::Literal(Value::Date(ParseDate(kClusterDates[cluster])))));
+  RelExprPtr tree =
+      RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("customer"),
+                    std::move(orders),
+                    ScalarExpr::Compare(CompareOp::kEq,
+                                        Col("customer", "c_custkey"),
+                                        Col("orders", "o_custkey")));
+  std::vector<ColumnRef> output = {{"customer", "c_custkey"},
+                                   {"customer", "c_acctbal"},
+                                   {"orders", "o_orderkey"},
+                                   {"orders", "o_custkey"},
+                                   {"orders", "o_orderdate"}};
+  if (wide) {
+    tree = RelExpr::Join(JoinKind::kLeftOuter, std::move(tree),
+                         RelExpr::Scan("lineitem"),
+                         ScalarExpr::Compare(CompareOp::kEq,
+                                             Col("orders", "o_orderkey"),
+                                             Col("lineitem", "l_orderkey")));
+    output.push_back({"lineitem", "l_orderkey"});
+    output.push_back({"lineitem", "l_linenumber"});
+    output.push_back({"lineitem", "l_quantity"});
+  }
+  return ViewDef("mv" + std::to_string(index), std::move(tree),
+                 std::move(output), catalog);
+}
+
+/// A populated TPC-H database carrying `num_views` overlapping deferred
+/// views under the given multiview mode.
+struct MvInstance {
+  Database db;
+
+  MvInstance(tpch::Dbgen* dbgen, int num_views, MultiviewMode mode,
+             int threads) {
+    tpch::CreateSchema(db.catalog());
+    dbgen->Populate(db.catalog());
+    db.SetMultiviewMode(mode);
+    deferred::ThresholdConfig config;
+    config.refresh_threads = threads;
+    for (int i = 0; i < num_views; ++i) {
+      ViewDef def = MakeOverlappingView(*db.catalog(), i);
+      const std::string name = def.name();
+      db.CreateMaterializedView(std::move(def));
+      db.SetRefreshPolicy(name, deferred::RefreshPolicy::kOnDemand, config);
+    }
+  }
+};
+
+int64_t CounterValue(const char* name) {
+  if constexpr (obs::kEnabled) {
+    return obs::Registry::Global().GetCounter(name).value();
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  std::printf("TPC-H SF=%.3f, %lld new orders per refresh batch\n",
+              options.scale_factor, static_cast<long long>(kDeltaOrders));
+
+  JsonReport report("multiview", options);
+  PrintHeader("Shared delta plans vs independent refresh (RefreshAll wall)",
+              {"Views", "Groups", "Independent", "Shared", "Speedup",
+               "JoinRows(ind)", "JoinRows(shr)"});
+  for (int num_views : {50, 200}) {
+    tpch::DbgenOptions gen_options;
+    gen_options.scale_factor = options.scale_factor;
+    gen_options.seed = options.seed;
+    tpch::Dbgen dbgen(gen_options);
+    MvInstance shared(&dbgen, num_views, MultiviewMode::kShared,
+                      options.threads);
+    MvInstance independent(&dbgen, num_views, MultiviewMode::kIndependent,
+                           options.threads);
+    tpch::RefreshStream stream(shared.db.catalog(), &dbgen, options.seed);
+
+    // One order batch staged into both logs, drained two ways.
+    std::vector<Row> rows = stream.NewOrders(kDeltaOrders);
+    shared.db.Insert("orders", rows);
+    independent.db.Insert("orders", rows);
+
+    const int64_t join0 = CounterValue("ojv.exec.join.rows_in");
+    double independent_ms = TimeMs([&] { independent.db.RefreshAll(); });
+    const int64_t join1 = CounterValue("ojv.exec.join.rows_in");
+    const int64_t evals0 = CounterValue("ojv.multiview.shared_prefix_evals");
+    const int64_t hits0 = CounterValue("ojv.multiview.shared_prefix_hits");
+    const int64_t suffix0 = CounterValue("ojv.multiview.suffix_refreshes");
+    double shared_ms = TimeMs([&] { shared.db.RefreshAll(); });
+    const int64_t join2 = CounterValue("ojv.exec.join.rows_in");
+
+    const int64_t independent_join_rows = join1 - join0;
+    const int64_t shared_join_rows = join2 - join1;
+    const int64_t groups =
+        static_cast<int64_t>(shared.db.ViewGroups().size());
+    if (obs::kEnabled) {
+      // The whole point of the subsystem: sharing must cut probe volume.
+      OJV_CHECK(shared_join_rows < independent_join_rows,
+                "shared refresh fed >= join rows vs independent");
+    }
+
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  independent_ms / std::max(shared_ms, 1e-3));
+    PrintRow({FormatCount(num_views), FormatCount(groups),
+              FormatMs(independent_ms), FormatMs(shared_ms), speedup,
+              FormatCount(independent_join_rows),
+              FormatCount(shared_join_rows)});
+    report.BeginRow();
+    report.Str("workload", "refresh_all");
+    report.Count("batch_rows", num_views);  // gate key: the view count
+    report.Count("views", num_views);
+    report.Count("groups", groups);
+    report.Count("delta_orders", kDeltaOrders);
+    report.Num("independent_ms", independent_ms);
+    report.Num("ours_ms", shared_ms);
+    report.Count("join_rows_independent", independent_join_rows);
+    report.Count("join_rows_shared", shared_join_rows);
+    report.Count("shared_prefix_evals",
+                 CounterValue("ojv.multiview.shared_prefix_evals") - evals0);
+    report.Count("shared_prefix_hits",
+                 CounterValue("ojv.multiview.shared_prefix_hits") - hits0);
+    report.Count("suffix_refreshes",
+                 CounterValue("ojv.multiview.suffix_refreshes") - suffix0);
+  }
+
+  report.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ojv
+
+int main(int argc, char** argv) { return ojv::bench::Run(argc, argv); }

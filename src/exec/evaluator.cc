@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "exec/bound_scalar.h"
 #include "exec/join_table.h"
+#include "obs/metrics.h"
 
 namespace ojv {
 namespace {
@@ -362,6 +363,14 @@ Relation Evaluator::EvalJoin(const RelExpr& expr) const {
   const bool semi_or_anti =
       kind == JoinKind::kLeftSemi || kind == JoinKind::kLeftAnti;
   NoteArg("kind", std::string(JoinKindName(kind)));
+  if constexpr (obs::kEnabled) {
+    // Global probe-volume counter (rows fed into join operators). The
+    // multiview benchmark asserts shared-prefix maintenance strictly
+    // reduces this, so it counts regardless of tracing.
+    static obs::Counter& rows_in =
+        obs::Registry::Global().GetCounter("ojv.exec.join.rows_in");
+    rows_in.Add(l.size() + r.size());
+  }
   // Probe-side key matches that passed the residual, counted per morsel
   // and flushed once per chunk — only when tracing is on.
   const bool count_hits = obs::kEnabled && trace_ != nullptr;

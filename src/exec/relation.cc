@@ -1,6 +1,7 @@
 #include "exec/relation.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.h"
 
@@ -34,6 +35,14 @@ int BoundSchema::Find(const std::string& table,
 
 int BoundSchema::IndexOf(const ColumnRef& ref) const {
   int i = Find(ref);
+  if (i < 0) {
+    std::string have;
+    for (const BoundColumn& col : columns_) {
+      have += " " + col.table + "." + col.column;
+    }
+    std::fprintf(stderr, "BoundSchema::IndexOf: missing %s.%s; have:%s\n",
+                 ref.table.c_str(), ref.column.c_str(), have.c_str());
+  }
   OJV_CHECK(i >= 0, "column not found in bound schema");
   return i;
 }

@@ -215,10 +215,26 @@ MaintenanceStats AggViewMaintainer::OnConsolidatedBatch(
   return stats;
 }
 
+MaintenanceStats AggViewMaintainer::OnSharedDelta(
+    const std::string& table, const std::vector<Row>& rows, bool is_insert,
+    PlanPolicy policy, const RelExprPtr& shared_suffix,
+    const Relation& shared_prefix) {
+  ViewMaintainer* planner =
+      policy == PlanPolicy::kConstraintFree && fkfree_inner_ != nullptr
+          ? fkfree_inner_.get()
+          : inner_.get();
+  MaintenanceStats stats = Maintain(planner, table, rows, is_insert,
+                                    &shared_suffix, &shared_prefix);
+  if (stats_hook_) stats_hook_(table, stats);
+  return stats;
+}
+
 MaintenanceStats AggViewMaintainer::Maintain(ViewMaintainer* planner,
                                              const std::string& table,
                                              const std::vector<Row>& rows,
-                                             bool is_insert) {
+                                             bool is_insert,
+                                             const RelExprPtr* shared_suffix,
+                                             const Relation* shared_prefix) {
   MaintenanceStats stats;
   stats.delta_rows = static_cast<int64_t>(rows.size());
   auto total_start = std::chrono::steady_clock::now();
@@ -233,7 +249,11 @@ MaintenanceStats AggViewMaintainer::Maintain(ViewMaintainer* planner,
 
   // Primary delta, aggregated and merged with the update's sign.
   auto primary_start = std::chrono::steady_clock::now();
-  Relation primary = planner->ComputePrimaryDeltaRelation(table, delta_t);
+  Relation primary =
+      shared_suffix != nullptr
+          ? planner->ComputeSharedPrimaryDeltaRelation(
+                table, delta_t, *shared_suffix, *shared_prefix)
+          : planner->ComputePrimaryDeltaRelation(table, delta_t);
   stats.primary_rows = primary.size();
   stats.primary_micros = MicrosSince(primary_start);
 

@@ -14,6 +14,8 @@
 #include "ivm/aggregate_view.h"
 #include "ivm/maintainer.h"
 #include "ivm/view_def.h"
+#include "multiview/shared_plan.h"
+#include "multiview/view_group.h"
 
 namespace ojv {
 
@@ -136,6 +138,10 @@ class Database {
   /// Pending (not yet applied) log rows relevant to the view.
   int64_t PendingRows(const std::string& view) const;
 
+  /// Entries currently held in the staging log across all tables (drops
+  /// to 0 once every deferred consumer has refreshed past them).
+  int64_t DeltaLogSize() const;
+
   /// Cumulative refresh bookkeeping, or null for unknown views.
   const deferred::ViewRefreshState* RefreshState(
       const std::string& view) const;
@@ -180,6 +186,24 @@ class Database {
   /// staleness ceiling.
   int64_t AdmissionStalenessPercentile(const std::string& view,
                                        double p) const;
+
+  // --- multi-view maintenance (src/multiview/) ---
+
+  /// Switches between independent per-view refresh (the default, the
+  /// paper's behavior) and grouped refresh with shared delta-plan
+  /// prefixes. Under kShared, refreshing any member of a view group
+  /// drains the whole group: cohorts of members with equal delta-log
+  /// high-water marks replay the consolidated batch together, the
+  /// group's common plan prefix is evaluated once per (table, batch),
+  /// and per-view suffixes fan out from the cached prefix relation.
+  /// View contents are identical in both modes.
+  void SetMultiviewMode(MultiviewMode mode);
+  MultiviewMode multiview_mode() const;
+
+  /// The current view groups (views clustered by ΔT source table and
+  /// longest common delta-join prefix). Groups form as views are
+  /// created regardless of mode; they only drive refresh under kShared.
+  std::vector<multiview::ViewGroup> ViewGroups() const;
 
   // --- multi-statement transactions (§6 caveat 3) ---
   //
@@ -256,6 +280,41 @@ class Database {
   StatementResult DeleteLocked(const std::string& table,
                                const std::vector<Row>& keys);
 
+  // --- multi-view internals ---
+
+  bool MultiviewActive() const {
+    return default_options_.multiview == MultiviewMode::kShared;
+  }
+  /// Fingerprints a freshly created view's delta plans into the group
+  /// catalog and refreshes the scheduler's group labels.
+  void RegisterMultiview(const std::string& name);
+  void SyncGroupLabels();
+  /// Refreshes every deferred member of `group` together; returns
+  /// per-member stats. One admission observation for the whole group.
+  std::map<std::string, deferred::RefreshStats> RefreshGroupLocked(
+      const multiview::ViewGroup& group);
+  /// Replays one consolidated cohort (members with equal high-water
+  /// marks) over the union of their table sets.
+  void RefreshCohort(const multiview::ViewGroup& group,
+                     const std::vector<std::string>& members,
+                     std::map<std::string, deferred::RefreshStats>* out);
+  /// Maintains every cohort member referencing `table` for one
+  /// consolidated statement, evaluating the group's shared plan prefix
+  /// at most once.
+  void MaintainGroupTable(const multiview::ViewGroup& group,
+                          const std::vector<std::string>& members,
+                          const std::string& table,
+                          const std::vector<Row>& rows, bool is_insert,
+                          PlanPolicy policy,
+                          std::map<std::string, deferred::RefreshStats>* out);
+  /// Collapses due views that belong to one group into a single
+  /// admission candidate (pending summed, staleness maxed, tightest
+  /// member limits), so one group refresh is one admission decision and
+  /// any member's staleness breach promotes the group.
+  std::vector<deferred::DueView> GroupDueViews(
+      std::vector<deferred::DueView> due,
+      std::map<std::string, const multiview::ViewGroup*>* group_reps) const;
+
   PlanPolicy CurrentPolicy() const {
     return in_transaction_ ? PlanPolicy::kConstraintFree
                            : PlanPolicy::kDefault;
@@ -286,6 +345,11 @@ class Database {
   deferred::BackgroundRefresher refresher_;
   /// Null unless SetAdmissionControl installed an enabled config.
   std::unique_ptr<deferred::AdmissionController> admission_;
+  /// Multi-view group catalog and shared-plan cache. Fingerprints are
+  /// registered at view creation in every mode; the plans only execute
+  /// under MultiviewMode::kShared.
+  multiview::ViewGroupCatalog mv_catalog_;
+  multiview::SharedPlanBuilder mv_plans_{&mv_catalog_};
 
   struct UndoEntry {
     enum class Kind { kDeleteInserted, kReinsertDeleted, kReverseUpdate };

@@ -9,6 +9,7 @@
 #include "ivm/primary_delta.h"
 #include "ivm/simplify_tree.h"
 #include "obs/metrics.h"
+#include "opt/fingerprint.h"
 
 namespace ojv {
 namespace {
@@ -188,6 +189,11 @@ const RelExprPtr& ViewMaintainer::delta_expr(const std::string& table) const {
   return main_.For(table).delta_expr;
 }
 
+const RelExprPtr& ViewMaintainer::delta_expr(const std::string& table,
+                                             PlanPolicy policy) const {
+  return SetFor(policy).For(table).delta_expr;
+}
+
 Relation ViewMaintainer::ComputePrimaryDelta(const TablePlan& plan,
                                              const Relation& delta_t) {
   return EvalPrimaryDelta(plan.delta_expr, delta_t, options_.trace);
@@ -195,7 +201,8 @@ Relation ViewMaintainer::ComputePrimaryDelta(const TablePlan& plan,
 
 Relation ViewMaintainer::EvalPrimaryDelta(const RelExprPtr& expr,
                                           const Relation& delta_t,
-                                          obs::TraceContext* eval_trace) {
+                                          obs::TraceContext* eval_trace,
+                                          const Relation* shared_prefix) {
   Evaluator evaluator(catalog_);
   evaluator.set_table_cache(&table_cache_);
   evaluator.set_exec(options_.exec, pool_.get());
@@ -206,6 +213,11 @@ Relation ViewMaintainer::EvalPrimaryDelta(const RelExprPtr& expr,
     if (delta_t.schema().HasTable(table)) {
       evaluator.BindDelta(table, &delta_t);
     }
+  }
+  // Shared-plan suffixes read the group's pre-evaluated prefix through
+  // a synthetic delta leaf.
+  if (shared_prefix != nullptr) {
+    evaluator.BindDelta(opt::kSharedPrefixLeaf, shared_prefix);
   }
   std::shared_ptr<const Relation> raw_ptr = evaluator.Eval(expr);
   const Relation& raw = *raw_ptr;
@@ -239,6 +251,15 @@ Relation ViewMaintainer::ComputePrimaryDeltaRelation(const std::string& table,
   const TablePlan& plan = main_.For(table);
   OJV_CHECK(!plan.delta_empty, "delta is provably empty");
   return ComputePrimaryDelta(plan, delta_t);
+}
+
+Relation ViewMaintainer::ComputeSharedPrimaryDeltaRelation(
+    const std::string& table, const Relation& delta_t,
+    const RelExprPtr& shared_suffix, const Relation& shared_prefix) {
+  OJV_CHECK(shared_suffix != nullptr, "shared suffix required");
+  (void)table;
+  return EvalPrimaryDelta(shared_suffix, delta_t, options_.trace,
+                          &shared_prefix);
 }
 
 SecondaryDeltaEngine* ViewMaintainer::secondary_engine(
@@ -365,10 +386,32 @@ MaintenanceStats ViewMaintainer::OnConsolidatedBatch(
   return stats;
 }
 
+MaintenanceStats ViewMaintainer::OnSharedDelta(const std::string& table,
+                                               const std::vector<Row>& rows,
+                                               bool is_insert,
+                                               PlanPolicy policy,
+                                               const RelExprPtr& shared_suffix,
+                                               const Relation& shared_prefix) {
+  if (stats_catalog_ != nullptr) {
+    if (is_insert) {
+      stats_catalog_->OnInsert(table, rows);
+    } else {
+      stats_catalog_->OnDelete(table, rows);
+    }
+  }
+  MaintenanceStats stats =
+      Maintain(SetFor(policy).For(table), table, rows, is_insert, policy,
+               &shared_suffix, &shared_prefix);
+  if (stats_hook_) stats_hook_(table, stats);
+  return stats;
+}
+
 MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
                                           const std::string& table,
                                           const std::vector<Row>& rows,
-                                          bool is_insert, PlanPolicy policy) {
+                                          bool is_insert, PlanPolicy policy,
+                                          const RelExprPtr* shared_suffix,
+                                          const Relation* shared_prefix) {
   MaintenanceStats stats;
   stats.delta_rows = static_cast<int64_t>(rows.size());
   if (plan.graph != nullptr) {
@@ -400,10 +443,15 @@ MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
   }
 
   // Cost-based plan selection: reuse the cached order unless feedback
-  // marked it dirty or |Δ| moved far from what it was costed for.
+  // marked it dirty or |Δ| moved far from what it was costed for. A
+  // shared-plan run executes a fixed suffix instead — the planner, its
+  // cache, and the feedback loop are all bypassed.
   RelExprPtr exec_expr = plan.delta_expr;
   opt::PlanCacheEntry* cache_entry = nullptr;
-  if (planner_ != nullptr && ContainsJoin(plan.delta_expr)) {
+  if (shared_suffix != nullptr) {
+    exec_expr = *shared_suffix;
+    root_span.AddArg("plan_source", std::string("shared_prefix"));
+  } else if (planner_ != nullptr && ContainsJoin(plan.delta_expr)) {
     const std::string key = opt::PlanCache::Key(
         table, is_insert,
         policy == PlanPolicy::kConstraintFree && options_.exploit_foreign_keys);
@@ -457,7 +505,8 @@ MaintenanceStats ViewMaintainer::Maintain(const TablePlan& plan,
   }
   obs::Span primary_span(options_.trace, "ivm.primary_delta", "ivm");
   auto primary_start = std::chrono::steady_clock::now();
-  Relation primary = EvalPrimaryDelta(exec_expr, delta_t, eval_trace);
+  Relation primary =
+      EvalPrimaryDelta(exec_expr, delta_t, eval_trace, shared_prefix);
   stats.primary_rows = primary.size();
   stats.fk_fast_path =
       plan.delta_expr->kind() == RelKind::kDeltaScan ||

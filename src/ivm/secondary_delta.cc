@@ -1,6 +1,8 @@
 #include "ivm/secondary_delta.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -377,6 +379,32 @@ std::vector<Row> SecondaryDeltaEngine::ComputeFromBaseTables(
                                        MakeConjunction(qi)),
                        ti_columns)));
   if (candidates.empty()) return {};
+
+  // The anti-join predicates below may reference Si columns the view
+  // does not output (join columns that appear only inside a parent
+  // predicate, like O.o_custkey in C ⟕ O when the view projects it
+  // away). The view does carry every table's full unique key (§2), so
+  // recover the missing values by key lookup against the base tables.
+  {
+    std::vector<ColumnRef> referenced;
+    for (int parent_index : plan.direct_parents) {
+      for (const ScalarExprPtr& c :
+           terms_[static_cast<size_t>(parent_index)].predicates) {
+        c->CollectColumns(&referenced);
+      }
+    }
+    std::set<ColumnRef> seen;
+    std::vector<ColumnRef> missing;
+    for (const ColumnRef& ref : referenced) {
+      if (term.source.count(ref.table) == 0) continue;
+      if (candidates.schema().Find(ref) >= 0) continue;
+      if (seen.insert(ref).second) missing.push_back(ref);
+    }
+    if (!missing.empty()) {
+      candidates = EnrichCandidates(candidates, missing);
+      if (candidates.empty()) return {};
+    }
+  }
   evaluator.BindDelta("#cands", &candidates);
 
   // One anti-semijoin per directly affected parent. The anti-join only
@@ -467,22 +495,90 @@ std::vector<Row> SecondaryDeltaEngine::ComputeFromBaseTables(
 
   Relation result = evaluator.EvalToRelation(expr);
 
-  // Null-extend candidates to the full view schema.
+  // Null-extend candidates to the full view schema. Enriched columns
+  // (predicate-only, not part of the view output) are dropped here.
   std::vector<Row> out;
   out.reserve(static_cast<size_t>(result.size()));
   std::vector<int> target_positions;
   for (const BoundColumn& col : result.schema().columns()) {
-    target_positions.push_back(
-        schema.IndexOf(ColumnRef{col.table, col.column}));
+    target_positions.push_back(schema.Find(col.table, col.column));
   }
   for (const Row& row : result.rows()) {
     Row candidate(static_cast<size_t>(schema.num_columns()), Value::Null());
     for (size_t i = 0; i < row.size(); ++i) {
+      if (target_positions[i] < 0) continue;
       candidate[static_cast<size_t>(target_positions[i])] = row[i];
     }
     out.push_back(std::move(candidate));
   }
   return out;
+}
+
+Relation SecondaryDeltaEngine::EnrichCandidates(
+    const Relation& candidates, const std::vector<ColumnRef>& missing) const {
+  // Group the missing columns by source table and precompute, per table,
+  // where its key sits in the candidate schema and where the wanted
+  // values sit in the base schema.
+  struct TableLookup {
+    const Table* base;
+    std::vector<int> key_in_cands;   // candidate positions of the key
+    std::vector<int> value_in_base;  // base positions of the missing cols
+  };
+  std::map<std::string, std::vector<ColumnRef>> by_table;
+  for (const ColumnRef& ref : missing) by_table[ref.table].push_back(ref);
+
+  BoundSchema enriched_schema = candidates.schema();
+  std::vector<TableLookup> lookups;
+  for (const auto& [table, refs] : by_table) {
+    const Table* base = catalog_.GetTable(table);
+    OJV_CHECK(base != nullptr, "candidate enrichment needs the base table");
+    TableLookup lookup{base, {}, {}};
+    for (const std::string& key_col : base->key_columns()) {
+      int pos = candidates.schema().Find(table, key_col);
+      OJV_CHECK(pos >= 0, "candidate enrichment requires the table's key");
+      lookup.key_in_cands.push_back(pos);
+    }
+    for (const ColumnRef& ref : refs) {
+      int pos = base->schema().IndexOf(ref.column);
+      lookup.value_in_base.push_back(pos);
+      enriched_schema.AddColumn(BoundColumn{
+          ref.table, ref.column, base->schema().column(pos).type, -1});
+    }
+    lookups.push_back(std::move(lookup));
+  }
+
+  Relation enriched(std::move(enriched_schema));
+  for (const Row& row : candidates.rows()) {
+    Row extended = row;
+    bool alive = true;
+    for (const TableLookup& lookup : lookups) {
+      Row key;
+      key.reserve(lookup.key_in_cands.size());
+      bool null_extended = false;
+      for (int pos : lookup.key_in_cands) {
+        if (row[static_cast<size_t>(pos)].is_null()) null_extended = true;
+        key.push_back(row[static_cast<size_t>(pos)]);
+      }
+      if (null_extended) {
+        // The candidate is null on this table; the missing columns are
+        // genuinely NULL for it.
+        for (size_t i = 0; i < lookup.value_in_base.size(); ++i) {
+          extended.push_back(Value::Null());
+        }
+        continue;
+      }
+      const Row* base_row = lookup.base->FindByKey(key);
+      if (base_row == nullptr) {
+        alive = false;
+        break;
+      }
+      for (int pos : lookup.value_in_base) {
+        extended.push_back((*base_row)[static_cast<size_t>(pos)]);
+      }
+    }
+    if (alive) enriched.Add(std::move(extended));
+  }
+  return enriched;
 }
 
 int64_t SecondaryDeltaEngine::DeleteCandidateOrphans(

@@ -129,6 +129,13 @@ class SecondaryDeltaEngine {
                                          const Relation& primary_delta,
                                          const Relation& delta_t,
                                          bool is_insert);
+  // Appends to `candidates` the Si columns in `missing` — predicate-only
+  // columns the view does not output — recovered by unique-key lookup
+  // against the base tables. A candidate whose base row no longer exists
+  // (deleted elsewhere in the same consolidated batch) is dropped: its
+  // term tuple cannot survive the batch either.
+  Relation EnrichCandidates(const Relation& candidates,
+                            const std::vector<ColumnRef>& missing) const;
   int64_t DeleteCandidateOrphans(const std::vector<Row>& candidates,
                                  const TermPlan& plan, MaterializedView* view);
   int64_t InsertCandidateOrphans(const std::vector<Row>& candidates,

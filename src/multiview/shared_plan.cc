@@ -1,0 +1,69 @@
+#include "multiview/shared_plan.h"
+
+#include <algorithm>
+
+namespace ojv {
+namespace multiview {
+
+const SharedPlan& SharedPlanBuilder::Get(
+    const ViewGroup& group, const std::string& table, bool constraint_free,
+    const std::map<std::string, RelExprPtr>& member_exprs) {
+  if (cached_version_ != catalog_->version()) {
+    cache_.clear();
+    cached_version_ = catalog_->version();
+  }
+  std::string key =
+      group.id + "/" + table + "/" + (constraint_free ? "cf" : "d");
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, Build(table, member_exprs)).first;
+  }
+  return it->second;
+}
+
+SharedPlan SharedPlanBuilder::Build(
+    const std::string& table,
+    const std::map<std::string, RelExprPtr>& member_exprs) const {
+  SharedPlan plan;
+
+  // Re-fingerprint the actual expressions being maintained (the policy
+  // in force may differ from the default-policy prints used for
+  // clustering) and cluster by first-step signature.
+  std::map<std::string, opt::DeltaFingerprint> fps;
+  std::map<std::string, std::vector<std::string>> clusters;  // sig1 -> views
+  for (const auto& [view, expr] : member_exprs) {
+    opt::DeltaFingerprint fp = opt::FingerprintDelta(expr, table);
+    if (!fp.ok || fp.steps.empty()) continue;
+    clusters[fp.Signature(1)].push_back(view);
+    fps.emplace(view, std::move(fp));
+  }
+
+  // Largest cluster wins (ties: smallest signature — map order). Views
+  // outside it keep their independent plans for this table.
+  const std::vector<std::string>* best = nullptr;
+  for (const auto& [sig, views] : clusters) {
+    if (views.size() < 2) continue;
+    if (best == nullptr || views.size() > best->size()) best = &views;
+  }
+  if (best == nullptr) return plan;
+
+  // Longest common step prefix across every cluster member.
+  const opt::DeltaFingerprint& first = fps.at(best->front());
+  size_t len = first.steps.size();
+  for (const std::string& view : *best) {
+    len = std::min(len, CommonPrefixLength(first, fps.at(view)));
+  }
+  if (len == 0) return plan;
+
+  plan.prefix_len = len;
+  plan.prefix = opt::BuildPrefixExpr(first, len);
+  plan.prefix_signature = first.Signature(len);
+  for (const std::string& view : *best) {
+    plan.suffixes[view] =
+        opt::BuildSuffixExpr(fps.at(view), len, opt::kSharedPrefixLeaf);
+  }
+  return plan;
+}
+
+}  // namespace multiview
+}  // namespace ojv

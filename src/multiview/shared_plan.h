@@ -1,0 +1,60 @@
+#ifndef OJV_MULTIVIEW_SHARED_PLAN_H_
+#define OJV_MULTIVIEW_SHARED_PLAN_H_
+
+#include <map>
+#include <string>
+
+#include "multiview/view_group.h"
+
+namespace ojv {
+namespace multiview {
+
+/// The merged maintenance DAG for one (group, ΔT table, policy): a
+/// shared prefix expression evaluated once per batch into a transient
+/// relation, and per-view suffix expressions whose DeltaScan leaf
+/// (opt::kSharedPrefixLeaf) is bound to that relation. Members absent
+/// from `suffixes` fall back to their independent plan for this table.
+struct SharedPlan {
+  size_t prefix_len = 0;
+  RelExprPtr prefix;
+  std::string prefix_signature;
+  std::map<std::string, RelExprPtr> suffixes;  // view -> suffix expr
+
+  /// True when sharing is worthwhile: at least two views fan out of a
+  /// non-empty common prefix.
+  bool Shareable() const { return prefix_len > 0 && suffixes.size() >= 2; }
+};
+
+/// Builds and caches SharedPlans per (group id, table, policy). The
+/// cache self-invalidates when the group catalog's version changes
+/// (view created/dropped), and group ids are never reused, so a stale
+/// entry can never be served for a re-created view.
+class SharedPlanBuilder {
+ public:
+  explicit SharedPlanBuilder(const ViewGroupCatalog* catalog)
+      : catalog_(catalog) {}
+
+  /// The shared plan for maintaining `group`'s members against ΔT of
+  /// `table`. `member_exprs` maps each due member to the delta
+  /// expression its maintainer would run independently under the
+  /// current policy (constraint-free plans differ from default ones, so
+  /// the two policies cache separately via `constraint_free`).
+  const SharedPlan& Get(const ViewGroup& group, const std::string& table,
+                        bool constraint_free,
+                        const std::map<std::string, RelExprPtr>& member_exprs);
+
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  SharedPlan Build(const std::string& table,
+                   const std::map<std::string, RelExprPtr>& member_exprs) const;
+
+  const ViewGroupCatalog* catalog_;
+  uint64_t cached_version_ = 0;
+  std::map<std::string, SharedPlan> cache_;  // "<gid>/<table>/<cf>"
+};
+
+}  // namespace multiview
+}  // namespace ojv
+
+#endif  // OJV_MULTIVIEW_SHARED_PLAN_H_

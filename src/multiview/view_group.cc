@@ -1,0 +1,100 @@
+#include "multiview/view_group.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace ojv {
+namespace multiview {
+
+void ViewGroupCatalog::Register(const std::string& view,
+                                MemberFingerprints fingerprints) {
+  registered_[view] = std::move(fingerprints);
+  Rebuild();
+}
+
+void ViewGroupCatalog::Remove(const std::string& view) {
+  if (registered_.erase(view) == 0) return;
+  Rebuild();
+}
+
+const MemberFingerprints* ViewGroupCatalog::FingerprintsOf(
+    const std::string& view) const {
+  auto it = registered_.find(view);
+  return it == registered_.end() ? nullptr : &it->second;
+}
+
+const ViewGroup* ViewGroupCatalog::GroupOf(const std::string& view) const {
+  auto it = member_to_group_.find(view);
+  return it == member_to_group_.end() ? nullptr : &groups_[it->second];
+}
+
+void ViewGroupCatalog::Rebuild() {
+  int64_t old_count = static_cast<int64_t>(groups_.size());
+  groups_.clear();
+  member_to_group_.clear();
+
+  // Bucket views by (ΔT table, signature of the first delta step). A
+  // view appears in one bucket per table it references with a
+  // decomposable, non-trivial delta plan; plans with no steps share
+  // nothing beyond ΔT itself, which every member already has.
+  struct Bucket {
+    std::string table;
+    std::string signature;
+    std::vector<std::string> views;
+  };
+  std::map<std::string, Bucket> buckets;  // key = table + '\x1f' + sig
+  for (const auto& [view, fps] : registered_) {
+    for (const auto& [table, fp] : fps.prints) {
+      if (!fp.ok || fp.steps.empty()) continue;
+      std::string sig = fp.Signature(1);
+      Bucket& b = buckets[table + '\x1f' + sig];
+      b.table = table;
+      b.signature = sig;
+      b.views.push_back(view);
+    }
+  }
+
+  // Greedily assign each view to its largest bucket: biggest buckets
+  // first (ties broken by key order), a view joins the first bucket
+  // that claims it. Buckets left with fewer than two unclaimed members
+  // form no group — singletons maintain independently.
+  std::vector<const Bucket*> ordered;
+  ordered.reserve(buckets.size());
+  for (const auto& [key, b] : buckets) ordered.push_back(&b);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Bucket* a, const Bucket* b) {
+                     return a->views.size() > b->views.size();
+                   });
+
+  std::map<std::string, bool> assigned;
+  for (const Bucket* b : ordered) {
+    std::vector<std::string> members;
+    for (const std::string& view : b->views) {
+      if (!assigned[view]) members.push_back(view);
+    }
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    for (const std::string& view : members) {
+      assigned[view] = true;
+      member_to_group_[view] = groups_.size();
+    }
+    ViewGroup group;
+    group.id = "g" + std::to_string(next_id_++);
+    group.anchor_table = b->table;
+    group.anchor_signature = b->signature;
+    group.members = std::move(members);
+    groups_.push_back(std::move(group));
+  }
+
+  ++version_;
+  if constexpr (obs::kEnabled) {
+    // Tracks the *current* number of groups (adds the delta per rebuild).
+    static obs::Counter& groups_gauge =
+        obs::Registry::Global().GetCounter("ojv.multiview.groups");
+    groups_gauge.Add(static_cast<int64_t>(groups_.size()) - old_count);
+  }
+}
+
+}  // namespace multiview
+}  // namespace ojv

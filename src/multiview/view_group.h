@@ -1,0 +1,82 @@
+#ifndef OJV_MULTIVIEW_VIEW_GROUP_H_
+#define OJV_MULTIVIEW_VIEW_GROUP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "opt/fingerprint.h"
+
+namespace ojv {
+namespace multiview {
+
+/// Per-view fingerprint bundle: the decomposed default-policy delta
+/// expression for each base table the view references. Clustering and
+/// shared-plan construction both read these.
+struct MemberFingerprints {
+  bool is_aggregate = false;
+  std::map<std::string, opt::DeltaFingerprint> prints;  // table -> fp
+};
+
+/// A maintenance group: views that share a ΔT source table and at least
+/// the first delta step (the pre-filter or first delta join) of their
+/// delta plan for that table. Members are maintained together — one
+/// consolidated-replay pass over the union of their tables, with the
+/// common plan prefix evaluated once per (table, batch).
+struct ViewGroup {
+  std::string id;                // stable "g<N>" label, never reused
+  std::string anchor_table;      // the shared ΔT source table
+  std::string anchor_signature;  // Signature(1) of the shared first step
+  std::vector<std::string> members;  // sorted view names, size >= 2
+
+  const std::string& leader() const { return members.front(); }
+};
+
+/// Registry of view fingerprints and the groups derived from them.
+/// Registration happens at view-creation time regardless of the
+/// multiview mode; grouping is recomputed on every register/remove so
+/// GroupOf is always current. Group ids are monotonic across rebuilds:
+/// a dropped-and-recreated view lands in a fresh id, so caches keyed by
+/// group id can never serve a stale plan.
+class ViewGroupCatalog {
+ public:
+  /// Registers (or re-registers) a view's fingerprints and rebuilds the
+  /// grouping.
+  void Register(const std::string& view, MemberFingerprints fingerprints);
+
+  /// Drops a view (no-op when absent) and rebuilds the grouping.
+  void Remove(const std::string& view);
+
+  bool Has(const std::string& view) const {
+    return registered_.count(view) > 0;
+  }
+
+  /// Fingerprints of a registered view; nullptr when unknown.
+  const MemberFingerprints* FingerprintsOf(const std::string& view) const;
+
+  /// The group containing `view`, or nullptr when the view is ungrouped
+  /// (singleton buckets never form groups).
+  const ViewGroup* GroupOf(const std::string& view) const;
+
+  const std::vector<ViewGroup>& groups() const { return groups_; }
+
+  /// Bumped on every rebuild; shared-plan caches self-invalidate on it.
+  uint64_t version() const { return version_; }
+
+  size_t num_registered() const { return registered_.size(); }
+
+ private:
+  void Rebuild();
+
+  std::map<std::string, MemberFingerprints> registered_;
+  std::vector<ViewGroup> groups_;
+  std::map<std::string, size_t> member_to_group_;  // view -> groups_ index
+  uint64_t version_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace multiview
+}  // namespace ojv
+
+#endif  // OJV_MULTIVIEW_VIEW_GROUP_H_

@@ -1,0 +1,173 @@
+#include "opt/fingerprint.h"
+
+#include <algorithm>
+
+namespace ojv {
+namespace opt {
+
+namespace {
+
+bool IsLeaf(const RelExprPtr& e) {
+  return e->kind() == RelKind::kScan || e->kind() == RelKind::kDeltaScan;
+}
+
+bool IsSimpleRight(const RelExprPtr& e) {
+  if (IsLeaf(e)) return true;
+  return e->kind() == RelKind::kSelect && IsLeaf(e->input());
+}
+
+std::string PredSig(const ScalarExprPtr& pred) {
+  return pred == nullptr ? std::string("-") : pred->ToString();
+}
+
+/// Signature of a simple join right operand: the table name, wrapped in
+/// sel(...) when the operand carries a pushed-down selection.
+std::string RightSig(const RelExprPtr& right) {
+  if (IsLeaf(right)) return right->table();
+  return "sel(" + PredSig(right->predicate()) + ")" + right->input()->table();
+}
+
+std::string StepSig(const FingerprintStep& s) {
+  switch (s.kind) {
+    case RelKind::kSelect:
+      return "select|" + PredSig(s.pred);
+    case RelKind::kDedup:
+      return "dedup";
+    case RelKind::kSubsumeRemove:
+      return "subsume";
+    case RelKind::kNullIf: {
+      std::string tables;
+      for (const std::string& t : s.null_tables) {
+        if (!tables.empty()) tables += ",";
+        tables += t;
+      }
+      return "nullif|" + tables + "|" + PredSig(s.pred);
+    }
+    case RelKind::kJoin:
+      return std::string("join|") + JoinKindName(s.join_kind) + "|" +
+             RightSig(s.right) + "|" + PredSig(s.pred);
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string DeltaFingerprint::Signature(size_t prefix_len) const {
+  std::string sig = "d(" + delta_table + ")";
+  prefix_len = std::min(prefix_len, steps.size());
+  for (size_t i = 0; i < prefix_len; ++i) {
+    sig += ";" + steps[i].signature;
+  }
+  return sig;
+}
+
+DeltaFingerprint FingerprintDelta(const RelExprPtr& expr,
+                                  const std::string& delta_table) {
+  DeltaFingerprint fp;
+  fp.delta_table = delta_table;
+  if (expr == nullptr) return fp;
+
+  std::vector<FingerprintStep> top_down;
+  RelExprPtr cur = expr;
+  while (true) {
+    switch (cur->kind()) {
+      case RelKind::kDeltaScan:
+        if (cur->table() != delta_table) return fp;
+        fp.steps.assign(top_down.rbegin(), top_down.rend());
+        for (FingerprintStep& s : fp.steps) s.signature = StepSig(s);
+        fp.ok = true;
+        return fp;
+      case RelKind::kScan:
+        return fp;  // base leaf must be the ΔT scan
+      case RelKind::kSelect:
+      case RelKind::kNullIf: {
+        FingerprintStep s;
+        s.kind = cur->kind();
+        s.pred = cur->predicate();
+        if (cur->kind() == RelKind::kNullIf) s.null_tables = cur->null_tables();
+        top_down.push_back(std::move(s));
+        cur = cur->input();
+        break;
+      }
+      case RelKind::kDedup:
+      case RelKind::kSubsumeRemove: {
+        FingerprintStep s;
+        s.kind = cur->kind();
+        top_down.push_back(std::move(s));
+        cur = cur->input();
+        break;
+      }
+      case RelKind::kJoin: {
+        if (!IsSimpleRight(cur->right())) return fp;
+        FingerprintStep s;
+        s.kind = RelKind::kJoin;
+        s.join_kind = cur->join_kind();
+        s.right = cur->right();
+        std::set<std::string> right_tables = cur->right()->ReferencedTables();
+        if (right_tables.size() == 1) s.right_table = *right_tables.begin();
+        s.pred = cur->predicate();
+        top_down.push_back(std::move(s));
+        cur = cur->left();
+        break;
+      }
+      default:
+        return fp;  // project / unions: not a delta main path
+    }
+  }
+}
+
+size_t CommonPrefixLength(const DeltaFingerprint& a,
+                          const DeltaFingerprint& b) {
+  if (!a.ok || !b.ok || a.delta_table != b.delta_table) return 0;
+  size_t n = std::min(a.steps.size(), b.steps.size());
+  size_t len = 0;
+  while (len < n && a.steps[len].signature == b.steps[len].signature) ++len;
+  return len;
+}
+
+namespace {
+
+RelExprPtr ApplySteps(const DeltaFingerprint& fp, size_t begin, size_t end,
+                      RelExprPtr base) {
+  RelExprPtr cur = std::move(base);
+  for (size_t i = begin; i < end; ++i) {
+    const FingerprintStep& s = fp.steps[i];
+    switch (s.kind) {
+      case RelKind::kSelect:
+        cur = RelExpr::Select(cur, s.pred);
+        break;
+      case RelKind::kNullIf:
+        cur = RelExpr::NullIf(cur, s.null_tables, s.pred);
+        break;
+      case RelKind::kDedup:
+        cur = RelExpr::Dedup(cur);
+        break;
+      case RelKind::kSubsumeRemove:
+        cur = RelExpr::SubsumeRemove(cur);
+        break;
+      case RelKind::kJoin:
+        cur = RelExpr::Join(s.join_kind, cur, s.right, s.pred);
+        break;
+      default:
+        break;
+    }
+  }
+  return cur;
+}
+
+}  // namespace
+
+RelExprPtr BuildPrefixExpr(const DeltaFingerprint& fp, size_t len) {
+  len = std::min(len, fp.steps.size());
+  return ApplySteps(fp, 0, len, RelExpr::DeltaScan(fp.delta_table));
+}
+
+RelExprPtr BuildSuffixExpr(const DeltaFingerprint& fp, size_t len,
+                           const std::string& leaf_name) {
+  len = std::min(len, fp.steps.size());
+  return ApplySteps(fp, len, fp.steps.size(), RelExpr::DeltaScan(leaf_name));
+}
+
+}  // namespace opt
+}  // namespace ojv

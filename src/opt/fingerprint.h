@@ -1,0 +1,80 @@
+#ifndef OJV_OPT_FINGERPRINT_H_
+#define OJV_OPT_FINGERPRINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/rel_expr.h"
+
+namespace ojv {
+namespace opt {
+
+/// Leaf name used by shared suffix expressions: the multiview layer
+/// evaluates a group's common prefix once and binds the resulting
+/// relation under this name (Evaluator::BindDelta), so the per-view
+/// suffixes read it like a delta scan. The '#' prefix keeps it out of
+/// the base-table namespace.
+inline constexpr char kSharedPrefixLeaf[] = "#mv.prefix";
+
+/// One main-path step of a decomposed left-deep delta expression, plus
+/// a structural signature used to compare steps across views. Two steps
+/// with equal signatures compute the same operator over the same
+/// inputs, so a run of equal signatures starting at the ΔT leaf is a
+/// shareable prefix.
+struct FingerprintStep {
+  RelKind kind = RelKind::kJoin;
+  // kJoin
+  JoinKind join_kind = JoinKind::kInner;
+  RelExprPtr right;         // original right operand (leaf or σ(leaf))
+  std::string right_table;  // single right table, "" when composite
+  // kJoin / kSelect / kNullIf
+  ScalarExprPtr pred;
+  // kNullIf
+  std::set<std::string> null_tables;
+  /// Structural rendering, e.g. "join|lojn|sel(O.o_a>=5)O|C.c_id=O.o_fk".
+  std::string signature;
+};
+
+/// A view's delta expression for one base table, decomposed into the ΔT
+/// base leaf and the bottom-up main-path steps. `ok` is false when the
+/// expression falls outside the left-deep delta grammar (or the base
+/// leaf is not ΔT of the expected table); such views never share.
+struct DeltaFingerprint {
+  bool ok = false;
+  std::string delta_table;          // the ΔT source table
+  std::vector<FingerprintStep> steps;
+
+  /// Signature of the first `prefix_len` steps joined with ";", prefixed
+  /// by the delta table. Signature(0) identifies just the ΔT source.
+  std::string Signature(size_t prefix_len) const;
+};
+
+/// Decomposes `expr` (a per-table primary-delta expression whose base
+/// leaf must be DeltaScan(delta_table)) into a fingerprint. Mirrors the
+/// planner's left-deep decomposition: Scan/DeltaScan terminate;
+/// Select/NullIf/Dedup/SubsumeRemove/Join with a simple right operand
+/// become steps; anything else yields ok = false.
+DeltaFingerprint FingerprintDelta(const RelExprPtr& expr,
+                                  const std::string& delta_table);
+
+/// Length of the longest common step prefix of two fingerprints with
+/// the same delta table (0 when tables differ or either is not ok).
+size_t CommonPrefixLength(const DeltaFingerprint& a, const DeltaFingerprint& b);
+
+/// Rebuilds the prefix expression: steps [0, len) applied bottom-up
+/// over DeltaScan(delta_table). Uses the retained operand/predicate
+/// pointers, so the rebuilt tree evaluates identically to the original.
+RelExprPtr BuildPrefixExpr(const DeltaFingerprint& fp, size_t len);
+
+/// Rebuilds the suffix expression: steps [len, size) applied bottom-up
+/// over DeltaScan(leaf_name). The caller binds the evaluated prefix
+/// relation under `leaf_name` (normally kSharedPrefixLeaf) before
+/// evaluating. BuildSuffixExpr(fp, 0, table) reproduces the full plan.
+RelExprPtr BuildSuffixExpr(const DeltaFingerprint& fp, size_t len,
+                           const std::string& leaf_name);
+
+}  // namespace opt
+}  // namespace ojv
+
+#endif  // OJV_OPT_FINGERPRINT_H_

@@ -1,0 +1,249 @@
+// End-to-end multi-view maintenance through the Database facade: a
+// shared-mode database must produce byte-identical view contents to an
+// independent-mode database fed the same statements, group refreshes
+// must actually share the prefix (observed via the multiview counters),
+// the scheduler report must label grouped views, and dropping +
+// re-creating a view under the same name must never reuse a stale plan.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/recompute.h"
+#include "ivm/database.h"
+#include "obs/metrics.h"
+
+namespace ojv {
+namespace {
+
+using deferred::RefreshPolicy;
+
+ScalarExprPtr Eq(const char* t1, const char* c1, const char* t2,
+                 const char* c2) {
+  return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                             ScalarExpr::Column(t2, c2));
+}
+
+void CreateColSchema(Catalog* catalog) {
+  catalog->CreateTable(
+      "C",
+      Schema({ColumnDef{"c_id", ValueType::kInt64, false},
+              ColumnDef{"c_a", ValueType::kInt64, true}}),
+      {"c_id"});
+  catalog->CreateTable(
+      "O",
+      Schema({ColumnDef{"o_id", ValueType::kInt64, false},
+              ColumnDef{"o_c", ValueType::kInt64, true},
+              ColumnDef{"o_a", ValueType::kInt64, true}}),
+      {"o_id"});
+  catalog->CreateTable(
+      "L",
+      Schema({ColumnDef{"l_id", ValueType::kInt64, false},
+              ColumnDef{"l_o", ValueType::kInt64, true},
+              ColumnDef{"l_q", ValueType::kInt64, true}}),
+      {"l_id"});
+}
+
+// v_co and v_col share the ΔC prefix (the join to O); v_cl does not.
+ViewDef MakeCoView(const Catalog& catalog) {
+  RelExprPtr tree =
+      RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("C"),
+                    RelExpr::Scan("O"), Eq("C", "c_id", "O", "o_c"));
+  return ViewDef("v_co", tree,
+                 {{"C", "c_id"}, {"C", "c_a"}, {"O", "o_id"}, {"O", "o_a"}},
+                 catalog);
+}
+
+ViewDef MakeColView(const Catalog& catalog) {
+  RelExprPtr co =
+      RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("C"),
+                    RelExpr::Scan("O"), Eq("C", "c_id", "O", "o_c"));
+  RelExprPtr tree =
+      RelExpr::Join(JoinKind::kLeftOuter, std::move(co), RelExpr::Scan("L"),
+                    Eq("O", "o_id", "L", "l_o"));
+  return ViewDef("v_col", tree,
+                 {{"C", "c_id"}, {"O", "o_id"}, {"L", "l_id"}, {"L", "l_q"}},
+                 catalog);
+}
+
+ViewDef MakeClView(const Catalog& catalog) {
+  // Joins C to L directly on c_a = l_q: a different first step, so this
+  // view must stay out of the {v_co, v_col} group.
+  RelExprPtr tree =
+      RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("C"),
+                    RelExpr::Scan("L"), Eq("C", "c_a", "L", "l_q"));
+  return ViewDef("v_cl", tree, {{"C", "c_id"}, {"L", "l_id"}}, catalog);
+}
+
+Row CRow(int64_t id, int64_t a) { return {Value::Int64(id), Value::Int64(a)}; }
+Row ORow(int64_t id, int64_t c, int64_t a) {
+  return {Value::Int64(id), Value::Int64(c), Value::Int64(a)};
+}
+Row LRow(int64_t id, int64_t o, int64_t q) {
+  return {Value::Int64(id), Value::Int64(o), Value::Int64(q)};
+}
+Row Key(int64_t id) { return {Value::Int64(id)}; }
+
+std::vector<Row> SortedRows(Relation rel) {
+  std::vector<Row> rows = std::move(*rel.mutable_rows());
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].SortCompare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return rows;
+}
+
+class SharedRefreshTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CreateColSchema(shared_.catalog());
+    CreateColSchema(independent_.catalog());
+    shared_.SetMultiviewMode(MultiviewMode::kShared);
+    for (Database* db : {&shared_, &independent_}) {
+      db->CreateMaterializedView(MakeCoView(*db->catalog()));
+      db->CreateMaterializedView(MakeColView(*db->catalog()));
+      db->CreateMaterializedView(MakeClView(*db->catalog()));
+      for (const char* v : {"v_co", "v_col", "v_cl"}) {
+        db->SetRefreshPolicy(v, RefreshPolicy::kOnDemand);
+      }
+    }
+  }
+
+  void ApplyToBoth(const std::string& table, const std::vector<Row>& rows,
+                   bool insert) {
+    for (Database* db : {&shared_, &independent_}) {
+      if (insert) {
+        db->Insert(table, rows);
+      } else {
+        db->Delete(table, rows);
+      }
+    }
+  }
+
+  void ExpectViewsMatch() {
+    for (const char* v : {"v_co", "v_col", "v_cl"}) {
+      ViewMaintainer* s = shared_.GetView(v);
+      ViewMaintainer* i = independent_.GetView(v);
+      ASSERT_NE(s, nullptr);
+      ASSERT_NE(i, nullptr);
+      EXPECT_EQ(SortedRows(s->view().AsRelation()),
+                SortedRows(i->view().AsRelation()))
+          << "shared and independent contents diverge for " << v;
+      std::string diff;
+      EXPECT_TRUE(ViewMatchesRecompute(*shared_.catalog(), s->view_def(),
+                                       s->view(), &diff))
+          << v << ": " << diff;
+    }
+  }
+
+  Database shared_;
+  Database independent_;
+};
+
+TEST_F(SharedRefreshTest, GroupsFormAsExpected) {
+  std::vector<multiview::ViewGroup> groups = shared_.ViewGroups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].anchor_table, "C");
+  EXPECT_EQ(groups[0].members,
+            (std::vector<std::string>{"v_co", "v_col"}));
+  // Mode is a knob, not a topology: the independent database sees the
+  // same grouping, it just refreshes members one at a time.
+  EXPECT_EQ(independent_.ViewGroups().size(), 1u);
+  EXPECT_EQ(independent_.multiview_mode(), MultiviewMode::kIndependent);
+}
+
+TEST_F(SharedRefreshTest, GroupRefreshMatchesIndependentRefresh) {
+  ApplyToBoth("O", {ORow(1, 1, 10), ORow(2, 2, 20), ORow(3, 1, 30)}, true);
+  ApplyToBoth("L", {LRow(1, 1, 5), LRow(2, 2, 15), LRow(3, 9, 7)}, true);
+  ApplyToBoth("C", {CRow(1, 5), CRow(2, 7), CRow(3, 15)}, true);
+
+  // Refreshing one member drains the whole group in shared mode; in
+  // independent mode each member refreshes alone.
+  shared_.Refresh("v_co");
+  independent_.RefreshAll();
+  shared_.RefreshAll();  // v_cl and anything left
+  ExpectViewsMatch();
+
+  EXPECT_EQ(shared_.PendingRows("v_co"), 0);
+  EXPECT_EQ(shared_.PendingRows("v_col"), 0);
+
+  // Mixed multi-table batch (general revert/replay path), including a
+  // delete that orphans L rows and a C delete.
+  ApplyToBoth("C", {CRow(4, 7)}, true);
+  ApplyToBoth("O", {Key(2)}, false);
+  ApplyToBoth("C", {Key(3)}, false);
+  ApplyToBoth("L", {LRow(4, 3, 25)}, true);
+  shared_.RefreshAll();
+  independent_.RefreshAll();
+  ExpectViewsMatch();
+}
+
+TEST_F(SharedRefreshTest, SharedModeActuallySharesThePrefix) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "obs disabled";
+  ApplyToBoth("C", {CRow(1, 5), CRow(2, 7)}, true);
+  obs::Registry& reg = obs::Registry::Global();
+  const int64_t evals_before =
+      reg.GetCounter("ojv.multiview.shared_prefix_evals").value();
+  const int64_t suffixes_before =
+      reg.GetCounter("ojv.multiview.suffix_refreshes").value();
+  shared_.Refresh("v_col");
+  const int64_t evals =
+      reg.GetCounter("ojv.multiview.shared_prefix_evals").value() -
+      evals_before;
+  const int64_t suffixes =
+      reg.GetCounter("ojv.multiview.suffix_refreshes").value() -
+      suffixes_before;
+  // One ΔC batch: the prefix ran once and both members rode on it.
+  EXPECT_EQ(evals, 1);
+  EXPECT_EQ(suffixes, 2);
+  shared_.RefreshAll();
+  independent_.RefreshAll();
+  ExpectViewsMatch();
+}
+
+TEST_F(SharedRefreshTest, SchedulerReportShowsGroupColumn) {
+  std::string report = shared_.RefreshReport();
+  EXPECT_NE(report.find("group"), std::string::npos);
+  std::vector<multiview::ViewGroup> groups = shared_.ViewGroups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_NE(report.find(groups[0].id), std::string::npos);
+}
+
+TEST_F(SharedRefreshTest, DropAndRecreateNeverServesStalePlan) {
+  ApplyToBoth("O", {ORow(1, 1, 10), ORow(2, 2, 20)}, true);
+  ApplyToBoth("C", {CRow(1, 5), CRow(2, 7)}, true);
+  shared_.RefreshAll();
+  independent_.RefreshAll();
+
+  // Drop v_col and re-create the name with a *different* definition
+  // (C x L instead of C x O x L). Any cached shared plan for the old
+  // group would now compute the wrong view.
+  for (Database* db : {&shared_, &independent_}) {
+    ASSERT_TRUE(db->DropView("v_col"));
+    RelExprPtr tree =
+        RelExpr::Join(JoinKind::kLeftOuter, RelExpr::Scan("C"),
+                      RelExpr::Scan("L"), Eq("C", "c_a", "L", "l_q"));
+    db->CreateMaterializedView(ViewDef(
+        "v_col", tree, {{"C", "c_id"}, {"L", "l_id"}}, *db->catalog()));
+    db->SetRefreshPolicy("v_col", RefreshPolicy::kOnDemand);
+  }
+  // The old {v_co, v_col} group is gone; v_col now clusters with v_cl
+  // (same C-to-L first step), and v_co is a singleton.
+  EXPECT_EQ(shared_.ViewGroups().size(), 1u);
+  EXPECT_EQ(shared_.ViewGroups()[0].members,
+            (std::vector<std::string>{"v_cl", "v_col"}));
+
+  ApplyToBoth("L", {LRow(1, 1, 5), LRow(2, 2, 7)}, true);
+  ApplyToBoth("C", {CRow(3, 5)}, true);
+  shared_.RefreshAll();
+  independent_.RefreshAll();
+  ExpectViewsMatch();
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,247 @@
+// Unit tests for the multiview subsystem's building blocks: delta-plan
+// fingerprinting (src/opt/fingerprint.*), prefix/suffix reconstruction,
+// the ViewGroupCatalog clustering, and SharedPlanBuilder caching.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algebra/rel_expr.h"
+#include "catalog/catalog.h"
+#include "exec/evaluator.h"
+#include "multiview/shared_plan.h"
+#include "multiview/view_group.h"
+#include "opt/fingerprint.h"
+
+namespace ojv {
+namespace {
+
+ScalarExprPtr Eq(const char* t1, const char* c1, const char* t2,
+                 const char* c2) {
+  return ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column(t1, c1),
+                             ScalarExpr::Column(t2, c2));
+}
+
+ScalarExprPtr GeConst(const char* table, const char* column, int64_t bound) {
+  return ScalarExpr::Compare(CompareOp::kGe, ScalarExpr::Column(table, column),
+                             ScalarExpr::Literal(Value::Int64(bound)));
+}
+
+// ΔC ⟕ O ⟕ L — the canonical left-deep delta shape.
+RelExprPtr ChainCOL() {
+  RelExprPtr col = RelExpr::Join(JoinKind::kLeftOuter, RelExpr::DeltaScan("C"),
+                                 RelExpr::Scan("O"), Eq("C", "c_id", "O", "o_c"));
+  return RelExpr::Join(JoinKind::kLeftOuter, std::move(col), RelExpr::Scan("L"),
+                       Eq("O", "o_id", "L", "l_o"));
+}
+
+TEST(FingerprintTest, DecomposesLeftDeepChain) {
+  opt::DeltaFingerprint fp = opt::FingerprintDelta(ChainCOL(), "C");
+  ASSERT_TRUE(fp.ok);
+  EXPECT_EQ(fp.delta_table, "C");
+  ASSERT_EQ(fp.steps.size(), 2u);
+  // Bottom-up order: the join to O is step 0, the join to L step 1.
+  EXPECT_EQ(fp.steps[0].right_table, "O");
+  EXPECT_EQ(fp.steps[1].right_table, "L");
+  EXPECT_NE(fp.Signature(1), fp.Signature(2));
+  EXPECT_EQ(fp.Signature(0), "d(C)");
+}
+
+TEST(FingerprintTest, RejectsWrongDeltaTableAndForeignShapes) {
+  EXPECT_FALSE(opt::FingerprintDelta(ChainCOL(), "O").ok);
+  // A bushy join (composite right side) is outside the grammar.
+  RelExprPtr bushy = RelExpr::Join(
+      JoinKind::kLeftOuter, RelExpr::DeltaScan("C"),
+      RelExpr::Join(JoinKind::kInner, RelExpr::Scan("O"), RelExpr::Scan("L"),
+                    Eq("O", "o_id", "L", "l_o")),
+      Eq("C", "c_id", "O", "o_c"));
+  EXPECT_FALSE(opt::FingerprintDelta(bushy, "C").ok);
+}
+
+TEST(FingerprintTest, SelectionOnRightSideIsPartOfTheStepSignature) {
+  auto chain = [](int64_t bound) {
+    RelExprPtr right =
+        RelExpr::Select(RelExpr::Scan("O"), GeConst("O", "o_a", bound));
+    return RelExpr::Join(JoinKind::kLeftOuter, RelExpr::DeltaScan("C"),
+                         std::move(right), Eq("C", "c_id", "O", "o_c"));
+  };
+  opt::DeltaFingerprint a = opt::FingerprintDelta(chain(5), "C");
+  opt::DeltaFingerprint b = opt::FingerprintDelta(chain(5), "C");
+  opt::DeltaFingerprint c = opt::FingerprintDelta(chain(7), "C");
+  ASSERT_TRUE(a.ok && b.ok && c.ok);
+  EXPECT_EQ(opt::CommonPrefixLength(a, b), 1u);
+  // Different pre-filter constant => different first step => no sharing.
+  EXPECT_EQ(opt::CommonPrefixLength(a, c), 0u);
+}
+
+TEST(FingerprintTest, CommonPrefixStopsAtFirstDivergence) {
+  RelExprPtr col = ChainCOL();
+  RelExprPtr co_only = RelExpr::Join(
+      JoinKind::kLeftOuter, RelExpr::DeltaScan("C"), RelExpr::Scan("O"),
+      Eq("C", "c_id", "O", "o_c"));
+  RelExprPtr co_then_n = RelExpr::Join(
+      JoinKind::kLeftOuter,
+      RelExpr::Join(JoinKind::kLeftOuter, RelExpr::DeltaScan("C"),
+                    RelExpr::Scan("O"), Eq("C", "c_id", "O", "o_c")),
+      RelExpr::Scan("N"), Eq("C", "c_n", "N", "n_id"));
+  opt::DeltaFingerprint a = opt::FingerprintDelta(col, "C");
+  opt::DeltaFingerprint b = opt::FingerprintDelta(co_only, "C");
+  opt::DeltaFingerprint c = opt::FingerprintDelta(co_then_n, "C");
+  ASSERT_TRUE(a.ok && b.ok && c.ok);
+  EXPECT_EQ(opt::CommonPrefixLength(a, b), 1u);
+  EXPECT_EQ(opt::CommonPrefixLength(a, c), 1u);
+  EXPECT_EQ(opt::CommonPrefixLength(a, a), 2u);
+}
+
+class PrefixSuffixEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.CreateTable(
+        "C",
+        Schema({ColumnDef{"c_id", ValueType::kInt64, false},
+                ColumnDef{"c_a", ValueType::kInt64, true}}),
+        {"c_id"});
+    catalog_.CreateTable(
+        "O",
+        Schema({ColumnDef{"o_id", ValueType::kInt64, false},
+                ColumnDef{"o_c", ValueType::kInt64, true},
+                ColumnDef{"o_a", ValueType::kInt64, true}}),
+        {"o_id"});
+    catalog_.CreateTable(
+        "L",
+        Schema({ColumnDef{"l_id", ValueType::kInt64, false},
+                ColumnDef{"l_o", ValueType::kInt64, true}}),
+        {"l_id"});
+    Table* o = catalog_.GetTable("O");
+    Table* l = catalog_.GetTable("L");
+    for (int64_t i = 0; i < 20; ++i) {
+      o->Insert({Value::Int64(i), Value::Int64(i % 7), Value::Int64(i % 3)});
+      l->Insert({Value::Int64(i), Value::Int64(i % 5)});
+    }
+  }
+
+  std::vector<Row> Sorted(const Relation& rel) {
+    std::vector<Row> rows = rel.rows();
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        int c = a[i].SortCompare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    });
+    return rows;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PrefixSuffixEquivalenceTest, PrefixPlusSuffixMatchesFullPlan) {
+  RelExprPtr full = ChainCOL();
+  opt::DeltaFingerprint fp = opt::FingerprintDelta(full, "C");
+  ASSERT_TRUE(fp.ok);
+  ASSERT_EQ(fp.steps.size(), 2u);
+
+  Relation delta_c(Evaluator::SchemaFor(*catalog_.GetTable("C")));
+  for (int64_t i = 0; i < 6; ++i) {
+    delta_c.Add({Value::Int64(100 + i), Value::Int64(i % 4)});
+  }
+
+  Evaluator direct(&catalog_);
+  direct.BindDelta("C", &delta_c);
+  Relation expected = direct.EvalToRelation(full);
+
+  for (size_t len = 1; len <= fp.steps.size(); ++len) {
+    RelExprPtr prefix = opt::BuildPrefixExpr(fp, len);
+    RelExprPtr suffix = opt::BuildSuffixExpr(fp, len, opt::kSharedPrefixLeaf);
+    Evaluator pre(&catalog_);
+    pre.BindDelta("C", &delta_c);
+    Relation prefix_rel = pre.EvalToRelation(prefix);
+    Evaluator suf(&catalog_);
+    suf.BindDelta(opt::kSharedPrefixLeaf, &prefix_rel);
+    Relation actual = suf.EvalToRelation(suffix);
+    EXPECT_EQ(Sorted(actual), Sorted(expected)) << "prefix length " << len;
+  }
+}
+
+multiview::MemberFingerprints Prints(const RelExprPtr& expr,
+                                     const std::string& table) {
+  multiview::MemberFingerprints fps;
+  opt::DeltaFingerprint fp = opt::FingerprintDelta(expr, table);
+  if (fp.ok) fps.prints[table] = std::move(fp);
+  return fps;
+}
+
+TEST(ViewGroupCatalogTest, ClustersViewsSharingFirstStep) {
+  multiview::ViewGroupCatalog cat;
+  cat.Register("v1", Prints(ChainCOL(), "C"));
+  EXPECT_EQ(cat.GroupOf("v1"), nullptr);  // singleton: no group
+  cat.Register("v2", Prints(ChainCOL(), "C"));
+  const multiview::ViewGroup* g = cat.GroupOf("v1");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->anchor_table, "C");
+  EXPECT_EQ(g->members, (std::vector<std::string>{"v1", "v2"}));
+  EXPECT_EQ(cat.GroupOf("v2")->id, g->id);
+
+  // A view whose first step differs stays out of the group.
+  RelExprPtr other = RelExpr::Join(
+      JoinKind::kLeftOuter, RelExpr::DeltaScan("C"), RelExpr::Scan("N"),
+      Eq("C", "c_n", "N", "n_id"));
+  cat.Register("v3", Prints(other, "C"));
+  EXPECT_EQ(cat.GroupOf("v3"), nullptr);
+  EXPECT_EQ(cat.GroupOf("v1")->members.size(), 2u);
+}
+
+TEST(ViewGroupCatalogTest, RemoveDissolvesGroupsAndIdsAreNeverReused) {
+  multiview::ViewGroupCatalog cat;
+  cat.Register("v1", Prints(ChainCOL(), "C"));
+  cat.Register("v2", Prints(ChainCOL(), "C"));
+  const uint64_t version_before = cat.version();
+  std::string first_id = cat.GroupOf("v1")->id;
+
+  cat.Remove("v2");
+  EXPECT_GT(cat.version(), version_before);
+  EXPECT_EQ(cat.GroupOf("v1"), nullptr);
+
+  // Re-forming the pair allocates a fresh id: caches keyed on group id
+  // can never confuse the old and new incarnations.
+  cat.Register("v2", Prints(ChainCOL(), "C"));
+  ASSERT_NE(cat.GroupOf("v1"), nullptr);
+  EXPECT_NE(cat.GroupOf("v1")->id, first_id);
+}
+
+TEST(SharedPlanBuilderTest, BuildsShareablePlanAndInvalidatesOnVersion) {
+  multiview::ViewGroupCatalog cat;
+  cat.Register("v1", Prints(ChainCOL(), "C"));
+  cat.Register("v2", Prints(ChainCOL(), "C"));
+  const multiview::ViewGroup* g = cat.GroupOf("v1");
+  ASSERT_NE(g, nullptr);
+
+  multiview::SharedPlanBuilder builder(&cat);
+  std::map<std::string, RelExprPtr> exprs;
+  exprs["v1"] = ChainCOL();
+  RelExprPtr v2_expr = RelExpr::Join(
+      JoinKind::kLeftOuter,
+      RelExpr::Join(JoinKind::kLeftOuter, RelExpr::DeltaScan("C"),
+                    RelExpr::Scan("O"), Eq("C", "c_id", "O", "o_c")),
+      RelExpr::Scan("N"), Eq("C", "c_n", "N", "n_id"));
+  exprs["v2"] = v2_expr;
+
+  const multiview::SharedPlan& plan = builder.Get(*g, "C", false, exprs);
+  EXPECT_TRUE(plan.Shareable());
+  EXPECT_EQ(plan.prefix_len, 1u);  // shared: the join to O only
+  EXPECT_EQ(plan.suffixes.size(), 2u);
+  EXPECT_EQ(builder.cache_size(), 1u);
+
+  // Same key is served from cache; a catalog change drops it.
+  builder.Get(*g, "C", false, exprs);
+  EXPECT_EQ(builder.cache_size(), 1u);
+  cat.Register("v9", Prints(ChainCOL(), "C"));
+  const multiview::ViewGroup* g2 = cat.GroupOf("v1");
+  builder.Get(*g2, "C", false, exprs);
+  EXPECT_EQ(builder.cache_size(), 1u);  // old entries evicted first
+}
+
+}  // namespace
+}  // namespace ojv
