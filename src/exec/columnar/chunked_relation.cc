@@ -1,0 +1,201 @@
+#include "exec/columnar/chunked_relation.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ojv {
+namespace columnar {
+
+namespace {
+
+size_t WordsFor(int64_t rows) {
+  return static_cast<size_t>((rows + 63) / 64);
+}
+
+}  // namespace
+
+ColumnClass ClassOf(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+    case ValueType::kDate:
+      return ColumnClass::kI64;
+    case ValueType::kFloat64:
+      return ColumnClass::kF64;
+    case ValueType::kString:
+      return ColumnClass::kValue;
+  }
+  return ColumnClass::kValue;
+}
+
+ChunkedRelation ChunkedRelation::FromRelation(const Relation& rel,
+                                              int64_t chunk_rows) {
+  OJV_CHECK(chunk_rows >= 1, "chunk_rows must be >= 1");
+  ChunkedRelation out;
+  out.schema_ = rel.schema();
+  out.chunk_rows_ = chunk_rows;
+  out.num_rows_ = rel.size();
+  const int cols = out.schema_.num_columns();
+  const int64_t n = out.num_rows_;
+  const std::vector<Row>& rows = rel.rows();
+  out.cols_.resize(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    Column* col = &out.cols_[static_cast<size_t>(c)];
+    col->cls = ClassOf(out.schema_.column(c).type);
+    col->valid.assign(WordsFor(n), 0);
+    // Typed fill; on the first value that contradicts the declared type
+    // the whole column degrades to kValue and restarts.
+    if (col->cls == ColumnClass::kI64) {
+      col->i64.resize(static_cast<size_t>(n));
+      for (int64_t r = 0; r < n; ++r) {
+        const Value& v = rows[static_cast<size_t>(r)][static_cast<size_t>(c)];
+        if (v.is_null()) continue;
+        if (!v.is_int64()) {
+          col->cls = ColumnClass::kValue;
+          break;
+        }
+        col->i64[static_cast<size_t>(r)] = v.int64();
+        col->SetValid(r);
+      }
+    } else if (col->cls == ColumnClass::kF64) {
+      col->f64.resize(static_cast<size_t>(n));
+      for (int64_t r = 0; r < n; ++r) {
+        const Value& v = rows[static_cast<size_t>(r)][static_cast<size_t>(c)];
+        if (v.is_null()) continue;
+        if (!v.is_float64()) {
+          col->cls = ColumnClass::kValue;
+          break;
+        }
+        col->f64[static_cast<size_t>(r)] = v.float64();
+        col->SetValid(r);
+      }
+    }
+    if (col->cls == ColumnClass::kValue) {
+      col->i64.clear();
+      col->f64.clear();
+      col->valid.assign(WordsFor(n), 0);
+      col->val.resize(static_cast<size_t>(n));
+      for (int64_t r = 0; r < n; ++r) {
+        const Value& v = rows[static_cast<size_t>(r)][static_cast<size_t>(c)];
+        if (v.is_null()) continue;
+        col->val[static_cast<size_t>(r)] = v;
+        col->SetValid(r);
+      }
+    }
+  }
+  // Null-extension masks: a row is null-extended on table T when T's
+  // first key column is NULL (the per-table all-or-nothing invariant the
+  // row engine's IsNullExtendedOn relies on too).
+  for (const std::string& table : out.schema_.Tables()) {
+    if (!out.schema_.HasFullKey(table)) continue;
+    if (out.schema_.KeyPositions(table).empty()) continue;
+    out.mask_tables_.push_back(table);
+    out.table_null_.emplace_back();
+  }
+  out.RebuildNullMasks();
+  return out;
+}
+
+ChunkedRelation ChunkedRelation::Allocate(
+    BoundSchema schema, const std::vector<ColumnClass>& classes, int64_t rows,
+    int64_t chunk_rows) {
+  OJV_CHECK(chunk_rows >= 1, "chunk_rows must be >= 1");
+  OJV_CHECK(static_cast<int>(classes.size()) == schema.num_columns(),
+            "one class per column");
+  ChunkedRelation out;
+  out.schema_ = std::move(schema);
+  out.chunk_rows_ = chunk_rows;
+  out.num_rows_ = rows;
+  out.cols_.resize(classes.size());
+  for (size_t c = 0; c < classes.size(); ++c) {
+    Column* col = &out.cols_[c];
+    col->cls = classes[c];
+    col->valid.assign(WordsFor(rows), 0);
+    switch (col->cls) {
+      case ColumnClass::kI64:
+        col->i64.resize(static_cast<size_t>(rows));
+        break;
+      case ColumnClass::kF64:
+        col->f64.resize(static_cast<size_t>(rows));
+        break;
+      case ColumnClass::kValue:
+        col->val.resize(static_cast<size_t>(rows));
+        break;
+    }
+  }
+  for (const std::string& table : out.schema_.Tables()) {
+    if (!out.schema_.HasFullKey(table)) continue;
+    if (out.schema_.KeyPositions(table).empty()) continue;
+    out.mask_tables_.push_back(table);
+    out.table_null_.emplace_back();
+  }
+  out.RebuildNullMasks();
+  return out;
+}
+
+void ChunkedRelation::RebuildNullMasks() {
+  const int64_t n = num_rows_;
+  for (size_t t = 0; t < mask_tables_.size(); ++t) {
+    const std::vector<int>& keys = schema_.KeyPositions(mask_tables_[t]);
+    const Column& key_col = cols_[static_cast<size_t>(keys[0])];
+    std::vector<uint64_t>& mask = table_null_[t];
+    mask.resize(WordsFor(n));
+    for (size_t w = 0; w < mask.size(); ++w) {
+      mask[w] = ~key_col.valid[w];
+    }
+    // Mask off the bits past num_rows in the last word.
+    if (n % 64 != 0 && !mask.empty()) {
+      mask.back() &= (uint64_t{1} << (n % 64)) - 1;
+    }
+  }
+}
+
+Relation ChunkedRelation::ToRelation() const {
+  Relation out(schema_);
+  const int cols = num_columns();
+  std::vector<Row>* rows = out.mutable_rows();
+  rows->resize(static_cast<size_t>(num_rows_));
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    Row& row = (*rows)[static_cast<size_t>(r)];
+    row.resize(static_cast<size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      row[static_cast<size_t>(c)] = GetValue(c, r);
+    }
+  }
+  return out;
+}
+
+Value ChunkedRelation::GetValue(int c, int64_t row) const {
+  const Column& col = cols_[static_cast<size_t>(c)];
+  if (!col.Valid(row)) return Value::Null();
+  switch (col.cls) {
+    case ColumnClass::kI64:
+      return Value::Int64(col.i64[static_cast<size_t>(row)]);
+    case ColumnClass::kF64:
+      return Value::Float64(col.f64[static_cast<size_t>(row)]);
+    case ColumnClass::kValue:
+      return col.val[static_cast<size_t>(row)];
+  }
+  return Value::Null();
+}
+
+bool ChunkedRelation::CellsEqual(const ChunkedRelation& a, int ca, int64_t ra,
+                                 const ChunkedRelation& b, int cb,
+                                 int64_t rb) {
+  const Column& x = a.cols_[static_cast<size_t>(ca)];
+  const Column& y = b.cols_[static_cast<size_t>(cb)];
+  const bool xv = x.Valid(ra);
+  const bool yv = y.Valid(rb);
+  if (xv != yv) return false;
+  if (!xv) return true;  // NULL == NULL, matching Value::operator==.
+  if (x.cls == ColumnClass::kI64 && y.cls == ColumnClass::kI64) {
+    return x.i64[static_cast<size_t>(ra)] == y.i64[static_cast<size_t>(rb)];
+  }
+  if (x.cls == ColumnClass::kF64 && y.cls == ColumnClass::kF64) {
+    return x.f64[static_cast<size_t>(ra)] == y.f64[static_cast<size_t>(rb)];
+  }
+  return a.GetValue(ca, ra) == b.GetValue(cb, rb);
+}
+
+}  // namespace columnar
+}  // namespace ojv

@@ -1,0 +1,148 @@
+#ifndef OJV_EXEC_COLUMNAR_CHUNKED_RELATION_H_
+#define OJV_EXEC_COLUMNAR_CHUNKED_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/relation.h"
+
+namespace ojv {
+namespace columnar {
+
+/// Storage class of a column: every value of a column shares one class,
+/// so kernels loop over contiguous typed arrays instead of dispatching
+/// on per-value tags.
+enum class ColumnClass {
+  kI64,    // kInt64 / kDate (dates are day counts)
+  kF64,    // kFloat64
+  kValue,  // kString, or a column whose values defied its declared type
+};
+
+ColumnClass ClassOf(ValueType type);
+
+/// One column of a chunked relation: a contiguous typed array over all
+/// rows plus a packed validity bitmap (bit r set = row r non-null).
+/// Exactly one of the payload vectors is populated, per `cls`. The
+/// bitmap is authoritative: payload slots of invalid rows hold
+/// unspecified values and must never be read as data.
+struct Column {
+  ColumnClass cls = ColumnClass::kI64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<Value> val;
+  std::vector<uint64_t> valid;
+
+  bool Valid(int64_t row) const {
+    return (valid[static_cast<size_t>(row >> 6)] >>
+            (static_cast<size_t>(row) & 63)) &
+           1;
+  }
+  void SetValid(int64_t row) {
+    valid[static_cast<size_t>(row >> 6)] |= uint64_t{1}
+                                            << (static_cast<size_t>(row) & 63);
+  }
+  void ClearValid(int64_t row) {
+    valid[static_cast<size_t>(row >> 6)] &=
+        ~(uint64_t{1} << (static_cast<size_t>(row) & 63));
+  }
+};
+
+/// Selection vector: row indexes into a ChunkedRelation, in ascending
+/// order within one kernel invocation. 32-bit on purpose — it halves
+/// the gather bandwidth and AVX2's i32gather consumes it directly.
+using SelVector = std::vector<int32_t>;
+
+/// Columnar twin of Relation: the same bound schema over per-column
+/// contiguous typed arrays with packed validity bitmaps, plus one
+/// packed null-extension bitmask per source table (bit r = row r is
+/// null-extended on that table, i.e. the table's key is NULL — the test
+/// every outer-join maintenance expression keeps asking). Rows are
+/// processed in fixed-size chunks: chunk c covers rows
+/// [c*chunk_rows, min((c+1)*chunk_rows, num_rows)), and chunks are also
+/// the morsel unit of the parallel kernel loops.
+class ChunkedRelation {
+ public:
+  ChunkedRelation() = default;
+
+  /// Converts a row relation (chunk_rows must be >= 1). Columns whose
+  /// declared type mismatches an actual non-null value degrade to
+  /// ColumnClass::kValue, so conversion never loses information.
+  static ChunkedRelation FromRelation(const Relation& rel,
+                                      int64_t chunk_rows);
+
+  /// Converts back to a row relation (validity-aware: invalid slots
+  /// come back as NULL values).
+  Relation ToRelation() const;
+
+  /// An all-NULL relation of `rows` rows: zeroed payloads, zeroed
+  /// validity, null masks all set. Kernels building an output fill the
+  /// typed arrays and validity, then call RebuildNullMasks. `classes`
+  /// carries over source-column degradations (one entry per column).
+  static ChunkedRelation Allocate(BoundSchema schema,
+                                  const std::vector<ColumnClass>& classes,
+                                  int64_t rows, int64_t chunk_rows);
+
+  /// Recomputes every table's null-extension mask from the validity of
+  /// its first key column (derived state; call after mutating validity).
+  void RebuildNullMasks();
+
+  const BoundSchema& schema() const { return schema_; }
+  int num_columns() const { return static_cast<int>(cols_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t chunk_rows() const { return chunk_rows_; }
+  int64_t num_chunks() const {
+    return chunk_rows_ == 0 ? 0
+                            : (num_rows_ + chunk_rows_ - 1) / chunk_rows_;
+  }
+  /// Row range of chunk c.
+  int64_t ChunkBegin(int64_t c) const { return c * chunk_rows_; }
+  int64_t ChunkEnd(int64_t c) const {
+    const int64_t end = (c + 1) * chunk_rows_;
+    return end < num_rows_ ? end : num_rows_;
+  }
+
+  const Column& column(int c) const { return cols_[static_cast<size_t>(c)]; }
+  Column* mutable_column(int c) { return &cols_[static_cast<size_t>(c)]; }
+
+  /// Tables with their full key present (the ones with a null-extension
+  /// mask), in deterministic order.
+  const std::vector<std::string>& mask_tables() const { return mask_tables_; }
+  /// Packed null-extension bitmask of mask_tables()[t].
+  const std::vector<uint64_t>& table_null_mask(int t) const {
+    return table_null_[static_cast<size_t>(t)];
+  }
+  std::vector<uint64_t>* mutable_table_null_mask(int t) {
+    return &table_null_[static_cast<size_t>(t)];
+  }
+  /// True when `row` is null-extended on mask_tables()[t].
+  bool IsNullExtended(int t, int64_t row) const {
+    return (table_null_[static_cast<size_t>(t)]
+                       [static_cast<size_t>(row >> 6)] >>
+            (static_cast<size_t>(row) & 63)) &
+           1;
+  }
+
+  /// Materializes one cell as a Value (any class; NULL when invalid).
+  /// Slow path — kernels use the typed arrays; this serves fallbacks,
+  /// conversion, and cross-class comparisons.
+  Value GetValue(int c, int64_t row) const;
+
+  /// Typed equality of two cells in possibly different relations,
+  /// matching Value::operator== (NULL == NULL is true).
+  static bool CellsEqual(const ChunkedRelation& a, int ca, int64_t ra,
+                         const ChunkedRelation& b, int cb, int64_t rb);
+
+ private:
+  BoundSchema schema_;
+  int64_t chunk_rows_ = 0;
+  int64_t num_rows_ = 0;
+  std::vector<Column> cols_;
+  std::vector<std::string> mask_tables_;
+  std::vector<std::vector<uint64_t>> table_null_;
+};
+
+}  // namespace columnar
+}  // namespace ojv
+
+#endif  // OJV_EXEC_COLUMNAR_CHUNKED_RELATION_H_

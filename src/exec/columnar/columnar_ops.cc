@@ -1,0 +1,732 @@
+#include "exec/columnar/columnar_ops.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "exec/columnar/predicate.h"
+#include "exec/columnar/simd.h"
+#include "exec/join_table.h"
+#include "obs/kernel_stats.h"
+
+namespace ojv {
+namespace columnar {
+namespace {
+
+static_assert(sizeof(size_t) == sizeof(uint64_t),
+              "hash kernels assume 64-bit size_t");
+
+constexpr uint64_t kHashBasis = 0xcbf29ce484222325ULL;
+// Pre-image a NULL cell contributes when NULL keys participate in the
+// hash (full-row dedup hashing; join hashing skips NULL keys instead).
+constexpr int64_t kNullPre = static_cast<int64_t>(0x9e3779b97f4a7c15ULL);
+
+int64_t ChunkRowsOf(const ExecConfig& config) {
+  return config.chunk_rows >= 1 ? config.chunk_rows : 1;
+}
+
+int StaticWorkers(const ExecConfig& config, ThreadPool* pool, int64_t rows) {
+  if (pool == nullptr || config.num_threads <= 1) return 1;
+  if (rows < config.parallel_min_rows) return 1;
+  return std::min(config.num_threads, pool->num_threads());
+}
+
+// Runs body(chunk, begin, end) over the chunks of an n-row input —
+// chunks are the morsel unit, so chunk indexes line up with the
+// ChunkedRelation's own chunking.
+void ForEachChunk(const ExecConfig& config, ThreadPool* pool, int64_t n,
+                  const std::function<void(int64_t, int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  const int64_t chunk_rows = ChunkRowsOf(config);
+  const int workers = StaticWorkers(config, pool, n);
+  if (workers == 1) {
+    const int64_t chunks = (n + chunk_rows - 1) / chunk_rows;
+    for (int64_t c = 0; c < chunks; ++c) {
+      body(c, c * chunk_rows, std::min(n, (c + 1) * chunk_rows));
+    }
+    return;
+  }
+  pool->ParallelFor(n, chunk_rows, body, workers);
+}
+
+// Hash pre-image of a double, consistent with int64 columns so mixed
+// int/float equality joins still collide: integral doubles contribute
+// their integer value, others their bit pattern (no int64 can equal
+// them anyway).
+int64_t F64Pre(double d) {
+  if (d >= -9223372036854775808.0 && d < 9223372036854775808.0) {
+    const int64_t as_int = static_cast<int64_t>(d);
+    if (d == static_cast<double>(as_int)) return as_int;
+  }
+  int64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+int64_t ValuePre(const Value& v) {
+  if (v.is_null()) return kNullPre;
+  if (v.is_int64()) return v.int64();
+  if (v.is_float64()) return F64Pre(v.float64());
+  return static_cast<int64_t>(std::hash<std::string>{}(v.string()));
+}
+
+enum class NullKeyPolicy { kSkip, kSentinel };
+
+// Combined key hashes for rows [begin, end), written to out[0..n).
+// kSkip gives any-NULL-key rows JoinTable::kSkipHash (SQL equality
+// never matches them); kSentinel folds NULLs in as kNullPre (the
+// NULL==NULL semantics dedup needs). All hashes are normalized.
+void HashKeysRange(const ChunkedRelation& rel, const std::vector<int>& keys,
+                   int64_t begin, int64_t end, NullKeyPolicy policy,
+                   uint64_t* out) {
+  const int64_t n = end - begin;
+  std::fill(out, out + n, kHashBasis);
+  std::vector<uint8_t> null_any;
+  if (policy == NullKeyPolicy::kSkip) null_any.assign(static_cast<size_t>(n), 0);
+  std::vector<int64_t> scratch;
+  for (int key : keys) {
+    const Column& col = rel.column(key);
+    // Scan this column's validity over the range once (word-skipping).
+    bool has_null = false;
+    {
+      int64_t i = begin;
+      while (i < end) {
+        const uint64_t bits = col.valid[static_cast<size_t>(i >> 6)];
+        const int64_t word_end = std::min<int64_t>(end, (i | 63) + 1);
+        if (bits == ~uint64_t{0}) {
+          i = word_end;
+          continue;
+        }
+        for (; i < word_end; ++i) {
+          if (!((bits >> (i & 63)) & 1)) {
+            has_null = true;
+            if (policy == NullKeyPolicy::kSkip) {
+              null_any[static_cast<size_t>(i - begin)] = 1;
+            }
+          }
+        }
+      }
+    }
+    if (col.cls == ColumnClass::kI64) {
+      const int64_t* vals = col.i64.data() + begin;
+      if (policy == NullKeyPolicy::kSentinel && has_null) {
+        scratch.assign(vals, vals + n);
+        for (int64_t i = 0; i < n; ++i) {
+          if (!col.Valid(begin + i)) scratch[static_cast<size_t>(i)] = kNullPre;
+        }
+        simd::HashCombineI64(scratch.data(), n, out);
+      } else {
+        // Under kSkip, NULL slots contribute garbage (zeros) that the
+        // final pass overwrites with kSkipHash.
+        simd::HashCombineI64(vals, n, out);
+      }
+    } else if (col.cls == ColumnClass::kF64) {
+      scratch.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        scratch[static_cast<size_t>(i)] =
+            col.Valid(begin + i)
+                ? F64Pre(col.f64[static_cast<size_t>(begin + i)])
+                : kNullPre;
+      }
+      simd::HashCombineI64(scratch.data(), n, out);
+    } else {
+      scratch.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        // Invalid slots hold default-constructed NULL Values, so
+        // ValuePre already yields kNullPre for them.
+        scratch[static_cast<size_t>(i)] =
+            ValuePre(col.val[static_cast<size_t>(begin + i)]);
+      }
+      simd::HashCombineI64(scratch.data(), n, out);
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    if (policy == NullKeyPolicy::kSkip && null_any[static_cast<size_t>(i)]) {
+      out[i] = JoinTable::kSkipHash;
+    } else {
+      out[i] = JoinTable::NormalizeHash(out[i]);
+    }
+  }
+}
+
+std::vector<size_t> HashAllRows(const ChunkedRelation& rel,
+                                const std::vector<int>& keys,
+                                NullKeyPolicy policy, const ExecConfig& config,
+                                ThreadPool* pool) {
+  std::vector<size_t> hashes(static_cast<size_t>(rel.num_rows()));
+  ForEachChunk(config, pool, rel.num_rows(),
+               [&](int64_t, int64_t begin, int64_t end) {
+                 HashKeysRange(
+                     rel, keys, begin, end, policy,
+                     reinterpret_cast<uint64_t*>(hashes.data()) + begin);
+               });
+  return hashes;
+}
+
+// Combined hashes of an arbitrary row subset (given as gatherable int32
+// indexes) over `proj` columns, all of which must be non-NULL at those
+// rows (the subsumption kernel's invariant): gather + vectorized mix.
+void HashRowsAt(const ChunkedRelation& rel, const std::vector<int>& proj,
+                const std::vector<int32_t>& idx, std::vector<size_t>* out) {
+  const int64_t n = static_cast<int64_t>(idx.size());
+  out->assign(static_cast<size_t>(n), kHashBasis);
+  uint64_t* h = reinterpret_cast<uint64_t*>(out->data());
+  std::vector<int64_t> scratch(static_cast<size_t>(n));
+  for (int p : proj) {
+    const Column& col = rel.column(p);
+    if (col.cls == ColumnClass::kI64) {
+      simd::GatherI64(col.i64.data(), idx.data(), n, scratch.data());
+    } else if (col.cls == ColumnClass::kF64) {
+      for (int64_t i = 0; i < n; ++i) {
+        scratch[static_cast<size_t>(i)] =
+            F64Pre(col.f64[static_cast<size_t>(idx[static_cast<size_t>(i)])]);
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        scratch[static_cast<size_t>(i)] =
+            ValuePre(col.val[static_cast<size_t>(idx[static_cast<size_t>(i)])]);
+      }
+    }
+    simd::HashCombineI64(scratch.data(), n, h);
+  }
+  for (int64_t i = 0; i < n; ++i) h[i] = JoinTable::NormalizeHash(h[i]);
+}
+
+// Packs 0/1 validity bytes into the packed bitmap (one word per 64
+// bytes; runs serially — parallel writers would race on shared words
+// when output ranges are not 64-aligned).
+void PackValidity(const uint8_t* bytes, int64_t n,
+                  std::vector<uint64_t>* valid) {
+  for (int64_t i = 0; i < n; i += 64) {
+    uint64_t w = 0;
+    const int64_t m = std::min<int64_t>(64, n - i);
+    for (int64_t j = 0; j < m; ++j) {
+      w |= uint64_t{bytes[i + j]} << j;
+    }
+    (*valid)[static_cast<size_t>(i >> 6)] = w;
+  }
+}
+
+// Gathers `n` cells of `src` at idx[0..n) into dst starting at
+// dst_begin; validity lands in valid_bytes (indexed by dst position).
+void GatherColumn(const Column& src, const int32_t* idx, int64_t n,
+                  int64_t dst_begin, Column* dst, uint8_t* valid_bytes) {
+  switch (src.cls) {
+    case ColumnClass::kI64:
+      simd::GatherI64(src.i64.data(), idx, n, dst->i64.data() + dst_begin);
+      break;
+    case ColumnClass::kF64:
+      simd::GatherF64(src.f64.data(), idx, n, dst->f64.data() + dst_begin);
+      break;
+    case ColumnClass::kValue:
+      for (int64_t i = 0; i < n; ++i) {
+        dst->val[static_cast<size_t>(dst_begin + i)] =
+            src.val[static_cast<size_t>(idx[i])];
+      }
+      break;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    valid_bytes[dst_begin + i] = src.Valid(idx[i]) ? 1 : 0;
+  }
+}
+
+// Same, but idx entries of -1 mean "NULL-extend this row": their cells
+// stay invalid. Sentinels are clamped to 0 so the SIMD gather stays in
+// bounds, then their validity bytes are cleared.
+void GatherColumnNullable(const Column& src, int64_t src_rows,
+                          const int32_t* idx, int64_t n, int64_t dst_begin,
+                          Column* dst, uint8_t* valid_bytes,
+                          std::vector<int32_t>* idx_scratch) {
+  if (src_rows == 0) {
+    // Allocate() zeroed the payload and validity; nothing to gather.
+    return;
+  }
+  idx_scratch->resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    (*idx_scratch)[static_cast<size_t>(i)] = idx[i] < 0 ? 0 : idx[i];
+  }
+  GatherColumn(src, idx_scratch->data(), n, dst_begin, dst, valid_bytes);
+  for (int64_t i = 0; i < n; ++i) {
+    if (idx[i] < 0) valid_bytes[dst_begin + i] = 0;
+  }
+}
+
+std::vector<ColumnClass> ClassesAt(const ChunkedRelation& rel,
+                                   const std::vector<int>& positions) {
+  std::vector<ColumnClass> classes;
+  classes.reserve(positions.size());
+  for (int p : positions) classes.push_back(rel.column(p).cls);
+  return classes;
+}
+
+std::vector<int> IdentityPositions(int n) {
+  std::vector<int> positions(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) positions[static_cast<size_t>(i)] = i;
+  return positions;
+}
+
+// Materializes rows sel of src (columns `positions`, schema `schema`)
+// as a new chunked relation, one parallel SIMD gather per column.
+ChunkedRelation GatherRows(const ChunkedRelation& src,
+                           const std::vector<int>& positions,
+                           BoundSchema schema, const SelVector& sel,
+                           const ExecConfig& config, ThreadPool* pool) {
+  const int64_t n = static_cast<int64_t>(sel.size());
+  ChunkedRelation out = ChunkedRelation::Allocate(
+      std::move(schema), ClassesAt(src, positions), n, ChunkRowsOf(config));
+  std::vector<uint8_t> bytes(static_cast<size_t>(n));
+  for (size_t c = 0; c < positions.size(); ++c) {
+    const Column& s = src.column(positions[c]);
+    Column* d = out.mutable_column(static_cast<int>(c));
+    ForEachChunk(config, pool, n, [&](int64_t, int64_t begin, int64_t end) {
+      GatherColumn(s, sel.data() + begin, end - begin, begin, d, bytes.data());
+    });
+    PackValidity(bytes.data(), n, &d->valid);
+  }
+  out.RebuildNullMasks();
+  return out;
+}
+
+void CheckAddressable(const Relation& rel) {
+  OJV_CHECK(rel.size() <= std::numeric_limits<int32_t>::max(),
+            "columnar engine addresses rows with int32 selection vectors");
+}
+
+}  // namespace
+
+Relation Select(const Relation& in, const ScalarExprPtr& pred,
+                const ExecConfig& config, ThreadPool* pool) {
+  CheckAddressable(in);
+  ChunkedRelation ch = ChunkedRelation::FromRelation(in, ChunkRowsOf(config));
+  const int64_t n = ch.num_rows();
+  if (n == 0) return Relation(in.schema());
+  ColumnarPredicate compiled = ColumnarPredicate::Compile(pred, ch);
+  const int64_t chunks = ch.num_chunks();
+  std::vector<SelVector> sels(static_cast<size_t>(chunks));
+  ForEachChunk(config, pool, n, [&](int64_t c, int64_t begin, int64_t end) {
+    compiled.SelectInto(ch, begin, end, &sels[static_cast<size_t>(c)]);
+  });
+  size_t total = 0;
+  for (const SelVector& s : sels) total += s.size();
+  SelVector sel;
+  sel.reserve(total);
+  for (const SelVector& s : sels) sel.insert(sel.end(), s.begin(), s.end());
+  ChunkedRelation out =
+      GatherRows(ch, IdentityPositions(ch.num_columns()), in.schema(), sel,
+                 config, pool);
+  obs::RecordKernel("select", n, static_cast<int64_t>(total), chunks);
+  obs::RecordSimdRows(simd::VectorBackendActive() && compiled.has_simd_leaf(),
+                      n);
+  return out.ToRelation();
+}
+
+Relation Project(const Relation& in, const std::vector<int>& positions,
+                 BoundSchema schema, const ExecConfig& config,
+                 ThreadPool* pool) {
+  (void)pool;
+  CheckAddressable(in);
+  ChunkedRelation ch = ChunkedRelation::FromRelation(in, ChunkRowsOf(config));
+  const int64_t n = ch.num_rows();
+  ChunkedRelation out = ChunkedRelation::Allocate(
+      std::move(schema), ClassesAt(ch, positions), n, ChunkRowsOf(config));
+  // Projection is a whole-column copy in this representation.
+  for (size_t c = 0; c < positions.size(); ++c) {
+    *out.mutable_column(static_cast<int>(c)) = ch.column(positions[c]);
+  }
+  out.RebuildNullMasks();
+  obs::RecordKernel("project", n, n, ch.num_chunks());
+  return out.ToRelation();
+}
+
+Relation NullIf(const Relation& in, const ScalarExprPtr& pred,
+                const std::set<std::string>& null_tables,
+                const ExecConfig& config, ThreadPool* pool) {
+  CheckAddressable(in);
+  ChunkedRelation ch = ChunkedRelation::FromRelation(in, ChunkRowsOf(config));
+  const int64_t n = ch.num_rows();
+  if (n == 0) return Relation(in.schema());
+  ColumnarPredicate compiled = ColumnarPredicate::Compile(pred, ch);
+  std::vector<int> null_positions;
+  for (int i = 0; i < ch.num_columns(); ++i) {
+    if (null_tables.count(ch.schema().column(i).table) > 0) {
+      null_positions.push_back(i);
+    }
+  }
+  // Pass 1 (parallel): which rows fail the predicate (false or unknown).
+  std::vector<uint8_t> nulled(static_cast<size_t>(n));
+  ForEachChunk(config, pool, n, [&](int64_t, int64_t begin, int64_t end) {
+    std::vector<int8_t> truth(static_cast<size_t>(end - begin));
+    compiled.EvalTruth(ch, begin, end, truth.data());
+    for (int64_t i = begin; i < end; ++i) {
+      nulled[static_cast<size_t>(i)] = truth[static_cast<size_t>(i - begin)] != 1;
+    }
+  });
+  // Pass 2 (serial, word-at-a-time): clear validity of the nulled
+  // tables' columns on failing rows. Serial because distinct chunks can
+  // share boundary words when chunk_rows is not a multiple of 64.
+  for (int64_t w = 0; w * 64 < n; ++w) {
+    uint64_t mask = 0;
+    const int64_t m = std::min<int64_t>(64, n - w * 64);
+    for (int64_t j = 0; j < m; ++j) {
+      mask |= uint64_t{nulled[static_cast<size_t>(w * 64 + j)]} << j;
+    }
+    if (mask == 0) continue;
+    for (int p : null_positions) {
+      ch.mutable_column(p)->valid[static_cast<size_t>(w)] &= ~mask;
+    }
+  }
+  ch.RebuildNullMasks();
+  obs::RecordKernel("nullif", n, n, ch.num_chunks());
+  obs::RecordSimdRows(simd::VectorBackendActive() && compiled.has_simd_leaf(),
+                      n);
+  return ch.ToRelation();
+}
+
+Relation HashJoin(JoinKind kind, const Relation& l, const Relation& r,
+                  const std::vector<int>& left_keys,
+                  const std::vector<int>& right_keys,
+                  const BoundSchema& combined, const ExecConfig& config,
+                  ThreadPool* pool, JoinStats* stats) {
+  OJV_CHECK(!left_keys.empty(), "columnar join requires equality keys");
+  CheckAddressable(l);
+  CheckAddressable(r);
+  const int64_t chunk_rows = ChunkRowsOf(config);
+  ChunkedRelation lc = ChunkedRelation::FromRelation(l, chunk_rows);
+  ChunkedRelation rc = ChunkedRelation::FromRelation(r, chunk_rows);
+  const bool semi_or_anti =
+      kind == JoinKind::kLeftSemi || kind == JoinKind::kLeftAnti;
+  const bool track_right =
+      kind == JoinKind::kRightOuter || kind == JoinKind::kFullOuter;
+  const bool left_outer =
+      kind == JoinKind::kLeftOuter || kind == JoinKind::kFullOuter;
+
+  // Build on the right, probe the left (always: output order then only
+  // depends on probe order, and bag equality is the engine contract).
+  std::vector<size_t> build_hashes =
+      HashAllRows(rc, right_keys, NullKeyPolicy::kSkip, config, pool);
+  JoinTable table;
+  table.Build(build_hashes, StaticWorkers(config, pool, rc.num_rows()), pool);
+  std::vector<size_t> probe_hashes =
+      HashAllRows(lc, left_keys, NullKeyPolicy::kSkip, config, pool);
+  if (stats != nullptr) {
+    stats->build_rows = table.size();
+    stats->build_capacity = static_cast<int64_t>(table.capacity());
+  }
+
+  auto keys_equal = [&](int64_t li, int64_t ri) {
+    for (size_t k = 0; k < left_keys.size(); ++k) {
+      if (!ChunkedRelation::CellsEqual(lc, left_keys[k], li, rc,
+                                       right_keys[k], ri)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Probe chunk-at-a-time into per-chunk match lists (ridx -1 =
+  // null-extended); concatenating them in chunk order keeps the output
+  // deterministic at any worker count.
+  const int64_t chunks = lc.num_chunks();
+  struct ChunkMatches {
+    SelVector lidx;
+    SelVector ridx;
+  };
+  std::vector<ChunkMatches> match_chunks(static_cast<size_t>(chunks));
+  std::vector<std::atomic<uint8_t>> right_matched(
+      track_right ? static_cast<size_t>(rc.num_rows()) : 0);
+  std::atomic<int64_t> probe_hits{0};
+  ForEachChunk(config, pool, lc.num_rows(),
+               [&](int64_t c, int64_t begin, int64_t end) {
+    ChunkMatches& m = match_chunks[static_cast<size_t>(c)];
+    m.lidx.reserve(static_cast<size_t>(end - begin));
+    if (!semi_or_anti) m.ridx.reserve(static_cast<size_t>(end - begin));
+    int64_t local_hits = 0;
+    for (int64_t li = begin; li < end; ++li) {
+      bool matched = false;
+      const size_t h = probe_hashes[static_cast<size_t>(li)];
+      if (h != JoinTable::kSkipHash) {
+        table.ForEachMatch(h, [&](int64_t ri) {
+          if (!keys_equal(li, ri)) return true;  // collision; keep probing
+          matched = true;
+          ++local_hits;
+          if (track_right) {
+            right_matched[static_cast<size_t>(ri)].store(
+                1, std::memory_order_relaxed);
+          }
+          if (!semi_or_anti) {
+            m.lidx.push_back(static_cast<int32_t>(li));
+            m.ridx.push_back(static_cast<int32_t>(ri));
+          }
+          return !semi_or_anti;  // semi/anti: first match settles the row
+        });
+      }
+      if (left_outer) {
+        if (!matched) {
+          m.lidx.push_back(static_cast<int32_t>(li));
+          m.ridx.push_back(-1);
+        }
+      } else if (kind == JoinKind::kLeftSemi) {
+        if (matched) m.lidx.push_back(static_cast<int32_t>(li));
+      } else if (kind == JoinKind::kLeftAnti) {
+        if (!matched) m.lidx.push_back(static_cast<int32_t>(li));
+      }
+    }
+    probe_hits.fetch_add(local_hits, std::memory_order_relaxed);
+  });
+  if (stats != nullptr) {
+    stats->probe_hits = probe_hits.load(std::memory_order_relaxed);
+  }
+
+  size_t num_matches = 0;
+  for (const ChunkMatches& m : match_chunks) num_matches += m.lidx.size();
+  SelVector all_l;
+  all_l.reserve(num_matches);
+  for (const ChunkMatches& m : match_chunks) {
+    all_l.insert(all_l.end(), m.lidx.begin(), m.lidx.end());
+  }
+
+  if (semi_or_anti) {
+    ChunkedRelation out =
+        GatherRows(lc, IdentityPositions(lc.num_columns()), l.schema(), all_l,
+                   config, pool);
+    obs::RecordKernel("join", lc.num_rows() + rc.num_rows(), out.num_rows(),
+                      chunks);
+    obs::RecordSimdRows(simd::VectorBackendActive(),
+                        lc.num_rows() + rc.num_rows());
+    return out.ToRelation();
+  }
+
+  SelVector all_r;
+  all_r.reserve(num_matches);
+  for (const ChunkMatches& m : match_chunks) {
+    all_r.insert(all_r.end(), m.ridx.begin(), m.ridx.end());
+  }
+
+  // Unmatched build rows surface after the probe output (right/full
+  // outer), mirroring the row engine's trailing pass.
+  SelVector unmatched_r;
+  if (track_right) {
+    for (int64_t ri = 0; ri < rc.num_rows(); ++ri) {
+      if (!right_matched[static_cast<size_t>(ri)].load(
+              std::memory_order_relaxed)) {
+        unmatched_r.push_back(static_cast<int32_t>(ri));
+      }
+    }
+  }
+
+  const int lcols = lc.num_columns();
+  const int rcols = rc.num_columns();
+  const int64_t probe_out = static_cast<int64_t>(all_l.size());
+  const int64_t total = probe_out + static_cast<int64_t>(unmatched_r.size());
+  std::vector<ColumnClass> classes =
+      ClassesAt(lc, IdentityPositions(lcols));
+  for (ColumnClass cls : ClassesAt(rc, IdentityPositions(rcols))) {
+    classes.push_back(cls);
+  }
+  ChunkedRelation out =
+      ChunkedRelation::Allocate(combined, classes, total, chunk_rows);
+  std::vector<uint8_t> bytes(static_cast<size_t>(total), 0);
+  // Left columns: gathered for the probe region, NULL in the trailing
+  // right-unmatched region (validity bytes stay 0 there).
+  for (int c = 0; c < lcols; ++c) {
+    const Column& s = lc.column(c);
+    Column* d = out.mutable_column(c);
+    std::fill(bytes.begin(), bytes.end(), 0);
+    ForEachChunk(config, pool, probe_out,
+                 [&](int64_t, int64_t begin, int64_t end) {
+                   GatherColumn(s, all_l.data() + begin, end - begin, begin, d,
+                                bytes.data());
+                 });
+    PackValidity(bytes.data(), total, &d->valid);
+  }
+  // Right columns: nullable gather over the probe region (-1 = null
+  // extension), then a plain gather of the unmatched build rows.
+  for (int c = 0; c < rcols; ++c) {
+    const Column& s = rc.column(c);
+    Column* d = out.mutable_column(lcols + c);
+    std::fill(bytes.begin(), bytes.end(), 0);
+    ForEachChunk(config, pool, probe_out,
+                 [&](int64_t, int64_t begin, int64_t end) {
+                   std::vector<int32_t> idx_scratch;
+                   GatherColumnNullable(s, rc.num_rows(),
+                                        all_r.data() + begin, end - begin,
+                                        begin, d, bytes.data(), &idx_scratch);
+                 });
+    if (!unmatched_r.empty()) {
+      GatherColumn(s, unmatched_r.data(),
+                   static_cast<int64_t>(unmatched_r.size()), probe_out, d,
+                   bytes.data());
+    }
+    PackValidity(bytes.data(), total, &d->valid);
+  }
+  out.RebuildNullMasks();
+  obs::RecordKernel("join", lc.num_rows() + rc.num_rows(), total, chunks);
+  obs::RecordSimdRows(simd::VectorBackendActive(),
+                      lc.num_rows() + rc.num_rows());
+  return out.ToRelation();
+}
+
+Relation Dedup(const Relation& in, const ExecConfig& config,
+               ThreadPool* pool) {
+  if (in.size() <= 1) return in;
+  CheckAddressable(in);
+  ChunkedRelation ch = ChunkedRelation::FromRelation(in, ChunkRowsOf(config));
+  const int64_t n = ch.num_rows();
+  const std::vector<int> all_cols = IdentityPositions(ch.num_columns());
+  std::vector<size_t> hashes =
+      HashAllRows(ch, all_cols, NullKeyPolicy::kSentinel, config, pool);
+  JoinTable table;
+  table.Build(hashes, StaticWorkers(config, pool, n), pool);
+
+  auto rows_equal = [&](int64_t a, int64_t b) {
+    for (int c : all_cols) {
+      if (!ChunkedRelation::CellsEqual(ch, c, a, ch, c, b)) return false;
+    }
+    return true;
+  };
+  // A row is a duplicate iff some earlier row equals it (ForEachMatch
+  // enumerates ascending), same as the row engine.
+  std::vector<uint8_t> drop(static_cast<size_t>(n), 0);
+  ForEachChunk(config, pool, n, [&](int64_t, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      table.ForEachMatch(hashes[static_cast<size_t>(i)], [&](int64_t j) {
+        if (j >= i) return false;
+        if (rows_equal(i, j)) {
+          drop[static_cast<size_t>(i)] = 1;
+          return false;
+        }
+        return true;
+      });
+    }
+  });
+  SelVector kept;
+  kept.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (!drop[static_cast<size_t>(i)]) kept.push_back(static_cast<int32_t>(i));
+  }
+  ChunkedRelation out =
+      GatherRows(ch, all_cols, in.schema(), kept, config, pool);
+  obs::RecordKernel("dedup", n, out.num_rows(), ch.num_chunks());
+  obs::RecordSimdRows(simd::VectorBackendActive(), n);
+  return out.ToRelation();
+}
+
+Relation RemoveSubsumed(const Relation& in, const ExecConfig& config,
+                        ThreadPool* pool) {
+  if (in.empty()) return in;
+  CheckAddressable(in);
+  ChunkedRelation ch = ChunkedRelation::FromRelation(in, ChunkRowsOf(config));
+  const int64_t n = ch.num_rows();
+  const int cols = ch.num_columns();
+  const size_t words = (static_cast<size_t>(cols) + 63) / 64;
+
+  // Row-major non-null masks, read straight off the validity bitmaps.
+  std::vector<uint64_t> masks(static_cast<size_t>(n) * words, 0);
+  ForEachChunk(config, pool, n, [&](int64_t, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      uint64_t* mask = &masks[static_cast<size_t>(i) * words];
+      for (int c = 0; c < cols; ++c) {
+        if (ch.column(c).Valid(i)) {
+          mask[static_cast<size_t>(c) / 64] |= uint64_t{1} << (c % 64);
+        }
+      }
+    }
+  });
+
+  // Group rows by mask (few distinct masks: one per term shape).
+  struct Group {
+    const uint64_t* mask;
+    std::vector<int32_t> rows;
+  };
+  std::vector<Group> groups;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t* mask = &masks[static_cast<size_t>(i) * words];
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (std::equal(mask, mask + words, g.mask)) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{mask, {}});
+      group = &groups.back();
+    }
+    group->rows.push_back(static_cast<int32_t>(i));
+  }
+  if (groups.size() == 1) return in;  // identical masks cannot subsume
+
+  auto strict_subset = [&](const uint64_t* small, const uint64_t* big) {
+    bool strict = false;
+    for (size_t w = 0; w < words; ++w) {
+      if ((small[w] & ~big[w]) != 0) return false;
+      if ((big[w] & ~small[w]) != 0) strict = true;
+    }
+    return strict;
+  };
+
+  std::vector<uint8_t> drop(static_cast<size_t>(n), 0);
+  JoinTable table;
+  std::vector<size_t> sup_hashes;
+  std::vector<size_t> sub_hashes;
+  std::vector<int> proj;
+  for (const Group& sub : groups) {
+    proj.clear();
+    for (int c = 0; c < cols; ++c) {
+      if ((sub.mask[static_cast<size_t>(c) / 64] >> (c % 64)) & 1) {
+        proj.push_back(c);
+      }
+    }
+    // The projection depends only on the subset group; hash its rows
+    // once and reuse across every superset group.
+    bool sub_hashed = false;
+    for (const Group& sup : groups) {
+      if (!strict_subset(sub.mask, sup.mask)) continue;
+      if (!sub_hashed) {
+        HashRowsAt(ch, proj, sub.rows, &sub_hashes);
+        sub_hashed = true;
+      }
+      HashRowsAt(ch, proj, sup.rows, &sup_hashes);
+      table.Build(sup_hashes,
+                  StaticWorkers(config, pool,
+                                static_cast<int64_t>(sup.rows.size())),
+                  pool);
+      ForEachChunk(
+          config, pool, static_cast<int64_t>(sub.rows.size()),
+          [&](int64_t, int64_t begin, int64_t end) {
+            for (int64_t k = begin; k < end; ++k) {
+              const int32_t i = sub.rows[static_cast<size_t>(k)];
+              if (drop[static_cast<size_t>(i)]) continue;
+              table.ForEachMatch(
+                  sub_hashes[static_cast<size_t>(k)], [&](int64_t t) {
+                    const int32_t j = sup.rows[static_cast<size_t>(t)];
+                    for (int p : proj) {
+                      if (!ChunkedRelation::CellsEqual(ch, p, i, ch, p, j)) {
+                        return true;
+                      }
+                    }
+                    drop[static_cast<size_t>(i)] = 1;
+                    return false;
+                  });
+            }
+          });
+    }
+  }
+  SelVector kept;
+  kept.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (!drop[static_cast<size_t>(i)]) kept.push_back(static_cast<int32_t>(i));
+  }
+  ChunkedRelation out = GatherRows(ch, IdentityPositions(cols), in.schema(),
+                                   kept, config, pool);
+  obs::RecordKernel("subsume", n, out.num_rows(), ch.num_chunks());
+  obs::RecordSimdRows(simd::VectorBackendActive(), n);
+  return out.ToRelation();
+}
+
+}  // namespace columnar
+}  // namespace ojv

@@ -1,0 +1,79 @@
+#ifndef OJV_EXEC_COLUMNAR_COLUMNAR_OPS_H_
+#define OJV_EXEC_COLUMNAR_COLUMNAR_OPS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/rel_expr.h"
+#include "algebra/scalar_expr.h"
+#include "exec/columnar/chunked_relation.h"
+#include "exec/exec_config.h"
+#include "exec/relation.h"
+#include "exec/thread_pool.h"
+
+namespace ojv {
+namespace columnar {
+
+/// Chunked-vectorized implementations of the delta pipeline's hot
+/// operators. Each op converts its Relation inputs at the boundary
+/// (FromRelation), runs chunk-at-a-time kernels — predicate evaluation
+/// into selection vectors, SIMD gathers, vectorized key hashing — and
+/// converts back, so the surrounding Evaluator/maintainer plumbing is
+/// untouched. Contract: results are bag-equal (Relation::Equals) to the
+/// row engine's at any chunk size and thread count; within one op the
+/// output row order is itself deterministic (per-chunk outputs are
+/// concatenated in chunk order).
+///
+/// `config.chunk_rows` is the chunk size; parallel loops reuse the
+/// morsel gates (`num_threads`, `parallel_min_rows`) with chunks as the
+/// morsel unit.
+
+/// σ: rows of `in` satisfying `pred` (tri-state true), in input order.
+Relation Select(const Relation& in, const ScalarExprPtr& pred,
+                const ExecConfig& config, ThreadPool* pool);
+
+/// π: columns `positions` of `in` under `schema` (no dedup) — a pure
+/// column-vector copy in this representation.
+Relation Project(const Relation& in, const std::vector<int>& positions,
+                 BoundSchema schema, const ExecConfig& config,
+                 ThreadPool* pool);
+
+/// Null-if: rows failing `pred` keep their row but have every column of
+/// `null_tables` set to NULL (validity cleared).
+Relation NullIf(const Relation& in, const ScalarExprPtr& pred,
+                const std::set<std::string>& null_tables,
+                const ExecConfig& config, ThreadPool* pool);
+
+/// Join instrumentation surfaced to the evaluator's trace spans.
+struct JoinStats {
+  int64_t build_rows = 0;
+  int64_t build_capacity = 0;
+  int64_t probe_hits = 0;
+};
+
+/// Equality hash join (inner/left/right/full outer, left semi/anti).
+/// Builds on `r`, probes `l` chunk-at-a-time; key hashing and output
+/// assembly run through the SIMD kernels. Callers must have verified
+/// the predicate is pure equality conjuncts (no residual) — residual
+/// and nested-loop joins stay on the row engine.
+Relation HashJoin(JoinKind kind, const Relation& l, const Relation& r,
+                  const std::vector<int>& left_keys,
+                  const std::vector<int>& right_keys,
+                  const BoundSchema& combined, const ExecConfig& config,
+                  ThreadPool* pool, JoinStats* stats);
+
+/// δ: duplicate elimination keeping first occurrences, in input order.
+Relation Dedup(const Relation& in, const ExecConfig& config,
+               ThreadPool* pool);
+
+/// ↓: removal of subsumed tuples (vectorized twin of
+/// Evaluator::RemoveSubsumed), in input order.
+Relation RemoveSubsumed(const Relation& in, const ExecConfig& config,
+                        ThreadPool* pool);
+
+}  // namespace columnar
+}  // namespace ojv
+
+#endif  // OJV_EXEC_COLUMNAR_COLUMNAR_OPS_H_

@@ -1,0 +1,326 @@
+#include "exec/columnar/predicate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "exec/columnar/simd.h"
+
+namespace ojv {
+namespace columnar {
+
+namespace {
+
+// Flips a comparison so `lit OP col` becomes `col OP' lit`.
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+bool CompareHolds(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+// Demotes rows whose bit is clear in `valid` to unknown (-1),
+// word-skipping fully-valid stretches.
+void UnknownWhereInvalid(const std::vector<uint64_t>& valid, int64_t begin,
+                         int64_t end, int8_t* out) {
+  int64_t i = begin;
+  while (i < end) {
+    const uint64_t bits = valid[static_cast<size_t>(i >> 6)];
+    const int64_t word_end = std::min<int64_t>(end, (i | 63) + 1);
+    if (bits == ~uint64_t{0}) {
+      i = word_end;
+      continue;
+    }
+    for (; i < word_end; ++i) {
+      if (!((bits >> (i & 63)) & 1)) out[i - begin] = -1;
+    }
+  }
+}
+
+}  // namespace
+
+ColumnarPredicate ColumnarPredicate::Compile(const ScalarExprPtr& expr,
+                                             const ChunkedRelation& rel) {
+  OJV_CHECK(expr != nullptr, "null predicate");
+  ColumnarPredicate out;
+  out.root_ = CompileNode(expr, rel, &out.has_simd_leaf_);
+  return out;
+}
+
+ColumnarPredicate::Node ColumnarPredicate::CompileNode(
+    const ScalarExprPtr& expr, const ChunkedRelation& rel,
+    bool* has_simd_leaf) {
+  Node node;
+  node.kind = expr->kind();
+  switch (expr->kind()) {
+    case ScalarKind::kColumn: {
+      node.position = rel.schema().IndexOf(expr->column());
+      if (rel.column(node.position).cls == ColumnClass::kI64) {
+        node.fast = Fast::kBoolI64Col;
+        node.fast_col = node.position;
+        *has_simd_leaf = true;
+      }
+      break;
+    }
+    case ScalarKind::kLiteral:
+      node.literal = expr->literal();
+      break;
+    case ScalarKind::kCompare: {
+      node.op = expr->compare_op();
+      node.children.push_back(CompileNode(expr->left(), rel, has_simd_leaf));
+      node.children.push_back(CompileNode(expr->right(), rel, has_simd_leaf));
+      // Normalize to column-on-the-left when the other side is a
+      // literal, flipping the operator.
+      const Node* col = nullptr;
+      const Node* lit = nullptr;
+      CompareOp op = node.op;
+      if (node.children[0].kind == ScalarKind::kColumn &&
+          node.children[1].kind == ScalarKind::kLiteral) {
+        col = &node.children[0];
+        lit = &node.children[1];
+      } else if (node.children[0].kind == ScalarKind::kLiteral &&
+                 node.children[1].kind == ScalarKind::kColumn) {
+        col = &node.children[1];
+        lit = &node.children[0];
+        op = FlipOp(op);
+      }
+      if (col != nullptr && !lit->literal.is_null()) {
+        const ColumnClass cls = rel.column(col->position).cls;
+        if (cls == ColumnClass::kI64 && lit->literal.is_int64()) {
+          node.fast = Fast::kI64ColLit;
+          node.fast_col = col->position;
+          node.fast_i64 = lit->literal.int64();
+          node.op = op;
+          *has_simd_leaf = true;
+        } else if (cls == ColumnClass::kF64 && !lit->literal.is_string()) {
+          node.fast = Fast::kF64ColLit;
+          node.fast_col = col->position;
+          node.fast_f64 = lit->literal.AsDouble();
+          node.op = op;
+          *has_simd_leaf = true;
+        }
+      } else if (node.children[0].kind == ScalarKind::kColumn &&
+                 node.children[1].kind == ScalarKind::kColumn &&
+                 rel.column(node.children[0].position).cls ==
+                     ColumnClass::kI64 &&
+                 rel.column(node.children[1].position).cls ==
+                     ColumnClass::kI64) {
+        node.fast = Fast::kI64ColCol;
+        node.fast_col = node.children[0].position;
+        node.fast_col2 = node.children[1].position;
+        *has_simd_leaf = true;
+      }
+      break;
+    }
+    case ScalarKind::kAnd:
+    case ScalarKind::kOr:
+      for (const ScalarExprPtr& c : expr->children()) {
+        node.children.push_back(CompileNode(c, rel, has_simd_leaf));
+      }
+      break;
+    case ScalarKind::kNot:
+      node.children.push_back(CompileNode(expr->child(), rel, has_simd_leaf));
+      break;
+    case ScalarKind::kIsNull:
+      node.children.push_back(CompileNode(expr->child(), rel, has_simd_leaf));
+      if (node.children[0].kind == ScalarKind::kColumn) {
+        node.fast = Fast::kIsNullCol;
+        node.fast_col = node.children[0].position;
+      }
+      break;
+  }
+  return node;
+}
+
+void ColumnarPredicate::EvalTruth(const ChunkedRelation& rel, int64_t begin,
+                                  int64_t end, int8_t* out) const {
+  EvalTruthNode(root_, rel, begin, end, out);
+}
+
+void ColumnarPredicate::SelectInto(const ChunkedRelation& rel, int64_t begin,
+                                   int64_t end, SelVector* sel) const {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  std::vector<int8_t> truth(static_cast<size_t>(n));
+  EvalTruthNode(root_, rel, begin, end, truth.data());
+  for (int64_t i = 0; i < n; ++i) {
+    if (truth[static_cast<size_t>(i)] == 1) {
+      sel->push_back(static_cast<int32_t>(begin + i));
+    }
+  }
+}
+
+void ColumnarPredicate::EvalTruthNode(const Node& node,
+                                      const ChunkedRelation& rel,
+                                      int64_t begin, int64_t end,
+                                      int8_t* out) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  // SIMD compare kernels write 0/1 bytes; they share out's storage
+  // (uint8 view), then invalid operand rows are demoted to unknown.
+  uint8_t* bytes = reinterpret_cast<uint8_t*>(out);
+  switch (node.fast) {
+    case Fast::kI64ColLit: {
+      const Column& col = rel.column(node.fast_col);
+      simd::CmpI64Lit(col.i64.data() + begin, n, node.op, node.fast_i64,
+                      bytes);
+      UnknownWhereInvalid(col.valid, begin, end, out);
+      return;
+    }
+    case Fast::kI64ColCol: {
+      const Column& a = rel.column(node.fast_col);
+      const Column& b = rel.column(node.fast_col2);
+      simd::CmpI64Cols(a.i64.data() + begin, b.i64.data() + begin, n, node.op,
+                       bytes);
+      UnknownWhereInvalid(a.valid, begin, end, out);
+      UnknownWhereInvalid(b.valid, begin, end, out);
+      return;
+    }
+    case Fast::kF64ColLit: {
+      const Column& col = rel.column(node.fast_col);
+      simd::CmpF64Lit(col.f64.data() + begin, n, node.op, node.fast_f64,
+                      bytes);
+      UnknownWhereInvalid(col.valid, begin, end, out);
+      return;
+    }
+    case Fast::kBoolI64Col: {
+      const Column& col = rel.column(node.fast_col);
+      simd::CmpI64Lit(col.i64.data() + begin, n, CompareOp::kNe, 0, bytes);
+      UnknownWhereInvalid(col.valid, begin, end, out);
+      return;
+    }
+    case Fast::kIsNullCol: {
+      const Column& col = rel.column(node.fast_col);
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = col.Valid(begin + i) ? 0 : 1;
+      }
+      return;
+    }
+    case Fast::kNone:
+      break;
+  }
+  switch (node.kind) {
+    case ScalarKind::kLiteral: {
+      const int8_t fill =
+          node.literal.is_null() ? -1 : (node.literal.int64() != 0 ? 1 : 0);
+      std::fill(out, out + n, fill);
+      return;
+    }
+    case ScalarKind::kColumn: {
+      // Truth of a bare column mirrors BoundScalar: NULL is unknown,
+      // otherwise int64() != 0 (same accessor, same failure mode on a
+      // non-integer column).
+      for (int64_t i = 0; i < n; ++i) {
+        const Value v = rel.GetValue(node.position, begin + i);
+        out[i] = v.is_null() ? -1 : (v.int64() != 0 ? 1 : 0);
+      }
+      return;
+    }
+    case ScalarKind::kCompare: {
+      std::vector<Value> l(static_cast<size_t>(n));
+      std::vector<Value> r(static_cast<size_t>(n));
+      EvalValueNode(node.children[0], rel, begin, end, l.data());
+      EvalValueNode(node.children[1], rel, begin, end, r.data());
+      for (int64_t i = 0; i < n; ++i) {
+        int cmp = 0;
+        if (!l[static_cast<size_t>(i)].SqlCompare(r[static_cast<size_t>(i)],
+                                                  &cmp)) {
+          out[i] = -1;
+        } else {
+          out[i] = CompareHolds(node.op, cmp) ? 1 : 0;
+        }
+      }
+      return;
+    }
+    case ScalarKind::kAnd:
+    case ScalarKind::kOr: {
+      const bool is_and = node.kind == ScalarKind::kAnd;
+      EvalTruthNode(node.children[0], rel, begin, end, out);
+      std::vector<int8_t> tmp(static_cast<size_t>(n));
+      for (size_t c = 1; c < node.children.size(); ++c) {
+        EvalTruthNode(node.children[c], rel, begin, end, tmp.data());
+        for (int64_t i = 0; i < n; ++i) {
+          const int8_t a = out[i];
+          const int8_t b = tmp[static_cast<size_t>(i)];
+          if (is_and) {
+            out[i] = (a == 0 || b == 0) ? 0 : ((a < 0 || b < 0) ? -1 : 1);
+          } else {
+            out[i] = (a == 1 || b == 1) ? 1 : ((a < 0 || b < 0) ? -1 : 0);
+          }
+        }
+      }
+      return;
+    }
+    case ScalarKind::kNot: {
+      EvalTruthNode(node.children[0], rel, begin, end, out);
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = out[i] < 0 ? -1 : (out[i] == 0 ? 1 : 0);
+      }
+      return;
+    }
+    case ScalarKind::kIsNull: {
+      std::vector<Value> v(static_cast<size_t>(n));
+      EvalValueNode(node.children[0], rel, begin, end, v.data());
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = v[static_cast<size_t>(i)].is_null() ? 1 : 0;
+      }
+      return;
+    }
+  }
+}
+
+void ColumnarPredicate::EvalValueNode(const Node& node,
+                                      const ChunkedRelation& rel,
+                                      int64_t begin, int64_t end, Value* out) {
+  const int64_t n = end - begin;
+  switch (node.kind) {
+    case ScalarKind::kColumn:
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = rel.GetValue(node.position, begin + i);
+      }
+      return;
+    case ScalarKind::kLiteral:
+      std::fill(out, out + n, node.literal);
+      return;
+    default: {
+      // Boolean-valued subtree: evaluate tri-state, then box.
+      std::vector<int8_t> truth(static_cast<size_t>(n));
+      EvalTruthNode(node, rel, begin, end, truth.data());
+      for (int64_t i = 0; i < n; ++i) {
+        const int8_t t = truth[static_cast<size_t>(i)];
+        out[i] = t < 0 ? Value::Null() : Value::Int64(t);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace columnar
+}  // namespace ojv

@@ -1,0 +1,79 @@
+#ifndef OJV_EXEC_COLUMNAR_PREDICATE_H_
+#define OJV_EXEC_COLUMNAR_PREDICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/scalar_expr.h"
+#include "exec/columnar/chunked_relation.h"
+
+namespace ojv {
+namespace columnar {
+
+/// A scalar predicate compiled against one ChunkedRelation: column
+/// references resolve to positions once, and each node is tagged at
+/// compile time with the SIMD fast path its operand classes admit.
+/// Evaluation is vector-at-a-time over a row range and produces SQL
+/// tri-state bytes: 1 = true, 0 = false, -1 = unknown — exactly the
+/// truth table BoundScalar implements row-at-a-time (NULL-in-compare =
+/// unknown, AND/OR Kleene logic).
+///
+/// A compiled predicate is immutable and safe to evaluate from multiple
+/// threads concurrently.
+class ColumnarPredicate {
+ public:
+  /// Compiles against rel's schema and column classes. expr != nullptr.
+  static ColumnarPredicate Compile(const ScalarExprPtr& expr,
+                                   const ChunkedRelation& rel);
+
+  /// Writes tri-state bytes for rows [begin, end) to out[0..end-begin).
+  void EvalTruth(const ChunkedRelation& rel, int64_t begin, int64_t end,
+                 int8_t* out) const;
+
+  /// Appends row ids of [begin, end) whose truth value is exactly 1.
+  void SelectInto(const ChunkedRelation& rel, int64_t begin, int64_t end,
+                  SelVector* sel) const;
+
+  /// True when the root or any descendant evaluates through a SIMD
+  /// kernel (as opposed to the per-row Value fallback).
+  bool has_simd_leaf() const { return has_simd_leaf_; }
+
+ private:
+  // Fast-path tag resolved at compile time from operand classes.
+  enum class Fast : uint8_t {
+    kNone,       // per-row Value evaluation
+    kI64ColLit,  // i64 column <op> int64 literal
+    kI64ColCol,  // i64 column <op> i64 column
+    kF64ColLit,  // f64 column <op> numeric literal (AsDouble)
+    kBoolI64Col, // i64 column used as a truth value (v != 0)
+    kIsNullCol,  // IS NULL over a direct column: read the validity bitmap
+  };
+
+  struct Node {
+    ScalarKind kind = ScalarKind::kLiteral;
+    int position = -1;          // kColumn
+    Value literal;              // kLiteral
+    CompareOp op = CompareOp::kEq;
+    Fast fast = Fast::kNone;
+    int fast_col = -1;
+    int fast_col2 = -1;
+    int64_t fast_i64 = 0;
+    double fast_f64 = 0;
+    std::vector<Node> children;
+  };
+
+  static Node CompileNode(const ScalarExprPtr& expr,
+                          const ChunkedRelation& rel, bool* has_simd_leaf);
+  static void EvalTruthNode(const Node& node, const ChunkedRelation& rel,
+                            int64_t begin, int64_t end, int8_t* out);
+  static void EvalValueNode(const Node& node, const ChunkedRelation& rel,
+                            int64_t begin, int64_t end, Value* out);
+
+  Node root_;
+  bool has_simd_leaf_ = false;
+};
+
+}  // namespace columnar
+}  // namespace ojv
+
+#endif  // OJV_EXEC_COLUMNAR_PREDICATE_H_

@@ -1,0 +1,115 @@
+// Backend dispatch: one function-pointer table resolved before main().
+// The scalar backend is always available; AVX2 joins when the TU was
+// compiled in (OJV_HAVE_AVX2) and the CPU reports support at runtime;
+// NEON is compile-time only (aarch64 guarantees it). -DOJV_SIMD=OFF
+// builds neither vector TU, so the table degenerates to scalar — the
+// tree tools/check.sh's simd-off stage exercises.
+
+#include "exec/columnar/simd.h"
+
+#include "exec/columnar/simd_avx2.h"
+#include "exec/columnar/simd_neon.h"
+
+namespace ojv {
+namespace columnar {
+namespace simd {
+
+namespace {
+
+struct Backend {
+  const char* name;
+  int lanes_i64;
+  void (*cmp_i64_lit)(const int64_t*, int64_t, CompareOp, int64_t, uint8_t*);
+  void (*cmp_i64_cols)(const int64_t*, const int64_t*, int64_t, CompareOp,
+                       uint8_t*);
+  void (*cmp_f64_lit)(const double*, int64_t, CompareOp, double, uint8_t*);
+  void (*hash_i64)(const int64_t*, int64_t, uint64_t*);
+  void (*hash_combine_i64)(const int64_t*, int64_t, uint64_t*);
+  void (*gather_i64)(const int64_t*, const int32_t*, int64_t, int64_t*);
+  void (*gather_f64)(const double*, const int32_t*, int64_t, double*);
+};
+
+constexpr Backend kScalarBackend = {
+    "scalar",        1,
+    scalar::CmpI64Lit,  scalar::CmpI64Cols, scalar::CmpF64Lit,
+    scalar::HashI64,    scalar::HashCombineI64,
+    scalar::GatherI64,  scalar::GatherF64,
+};
+
+#if defined(OJV_HAVE_AVX2)
+constexpr Backend kAvx2Backend = {
+    "avx2",        4,
+    avx2::CmpI64Lit,  avx2::CmpI64Cols, avx2::CmpF64Lit,
+    avx2::HashI64,    avx2::HashCombineI64,
+    avx2::GatherI64,  avx2::GatherF64,
+};
+#endif
+
+#if defined(OJV_HAVE_NEON)
+constexpr Backend kNeonBackend = {
+    "neon",        2,
+    neon::CmpI64Lit,  neon::CmpI64Cols, neon::CmpF64Lit,
+    neon::HashI64,    neon::HashCombineI64,
+    neon::GatherI64,  neon::GatherF64,
+};
+#endif
+
+const Backend& Select() {
+#if defined(OJV_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return kAvx2Backend;
+#endif
+#if defined(OJV_HAVE_NEON)
+  return kNeonBackend;
+#endif
+  return kScalarBackend;
+}
+
+// Resolved once; reads afterwards are a plain pointer load.
+const Backend& Active() {
+  static const Backend& backend = Select();
+  return backend;
+}
+
+}  // namespace
+
+const char* BackendName() { return Active().name; }
+
+bool VectorBackendActive() { return Active().lanes_i64 > 1; }
+
+int LanesI64() { return Active().lanes_i64; }
+
+void CmpI64Lit(const int64_t* vals, int64_t n, CompareOp op, int64_t literal,
+               uint8_t* out) {
+  Active().cmp_i64_lit(vals, n, op, literal, out);
+}
+
+void CmpI64Cols(const int64_t* a, const int64_t* b, int64_t n, CompareOp op,
+                uint8_t* out) {
+  Active().cmp_i64_cols(a, b, n, op, out);
+}
+
+void CmpF64Lit(const double* vals, int64_t n, CompareOp op, double literal,
+               uint8_t* out) {
+  Active().cmp_f64_lit(vals, n, op, literal, out);
+}
+
+void HashI64(const int64_t* vals, int64_t n, uint64_t* out) {
+  Active().hash_i64(vals, n, out);
+}
+
+void HashCombineI64(const int64_t* vals, int64_t n, uint64_t* inout) {
+  Active().hash_combine_i64(vals, n, inout);
+}
+
+void GatherI64(const int64_t* src, const int32_t* idx, int64_t n,
+               int64_t* dst) {
+  Active().gather_i64(src, idx, n, dst);
+}
+
+void GatherF64(const double* src, const int32_t* idx, int64_t n, double* dst) {
+  Active().gather_f64(src, idx, n, dst);
+}
+
+}  // namespace simd
+}  // namespace columnar
+}  // namespace ojv

@@ -1,0 +1,90 @@
+#ifndef OJV_EXEC_COLUMNAR_SIMD_H_
+#define OJV_EXEC_COLUMNAR_SIMD_H_
+
+#include <cstdint>
+
+#include "algebra/scalar_expr.h"
+
+namespace ojv {
+namespace columnar {
+
+/// Portable explicit-SIMD layer for the columnar kernels: filter
+/// compares, join-key hashing, and selection-vector gathers over
+/// contiguous typed arrays.
+///
+/// Three backends share one contract — identical outputs at every
+/// length:
+///   - AVX2 (x86-64): compiled in a separate -mavx2 TU when the
+///     compiler supports it and OJV_SIMD=ON; selected at process start
+///     only if the CPU reports AVX2.
+///   - NEON (aarch64): always available on that architecture.
+///   - scalar: the reference implementation (simd_common.h formulas),
+///     the fallback everywhere else and the whole story under
+///     -DOJV_SIMD=OFF.
+///
+/// Dispatch is a per-function pointer resolved once before main() —
+/// callers never branch on the backend. The kernels are deliberately
+/// oblivious to NULLs: validity is applied afterwards by the caller
+/// from the packed bitmaps (branch-free word ops), which keeps these
+/// loops straight-line.
+namespace simd {
+
+/// Name of the backend the dispatcher selected: "avx2", "neon", or
+/// "scalar". Stable for the process lifetime.
+const char* BackendName();
+
+/// True when an explicit vector backend (not scalar) is active.
+bool VectorBackendActive();
+
+/// Lane width (int64 elements per vector) of the active backend;
+/// 1 for scalar. The kernel unit tests exercise lengths around this.
+int LanesI64();
+
+/// out[i] = vals[i] <op> literal ? 1 : 0, for i in [0, n).
+void CmpI64Lit(const int64_t* vals, int64_t n, CompareOp op, int64_t literal,
+               uint8_t* out);
+
+/// out[i] = a[i] <op> b[i] ? 1 : 0, for i in [0, n).
+void CmpI64Cols(const int64_t* a, const int64_t* b, int64_t n, CompareOp op,
+                uint8_t* out);
+
+/// out[i] = vals[i] <op> literal ? 1 : 0 (IEEE semantics; NaN compares
+/// false except under kNe).
+void CmpF64Lit(const double* vals, int64_t n, CompareOp op, double literal,
+               uint8_t* out);
+
+/// out[i] = Mix64(vals[i]): full-avalanche per-element hash of the
+/// first (or only) key column.
+void HashI64(const int64_t* vals, int64_t n, uint64_t* out);
+
+/// inout[i] = CombineHash(inout[i], Mix64(vals[i])): folds another key
+/// column into running multi-key hashes.
+void HashCombineI64(const int64_t* vals, int64_t n, uint64_t* inout);
+
+/// dst[i] = src[idx[i]]: selection-vector gather.
+void GatherI64(const int64_t* src, const int32_t* idx, int64_t n,
+               int64_t* dst);
+void GatherF64(const double* src, const int32_t* idx, int64_t n, double* dst);
+
+/// Scalar reference entry points (always the scalar implementation,
+/// regardless of dispatch). The kernel unit tests compare the
+/// dispatched functions against these at boundary lengths.
+namespace scalar {
+void CmpI64Lit(const int64_t* vals, int64_t n, CompareOp op, int64_t literal,
+               uint8_t* out);
+void CmpI64Cols(const int64_t* a, const int64_t* b, int64_t n, CompareOp op,
+                uint8_t* out);
+void CmpF64Lit(const double* vals, int64_t n, CompareOp op, double literal,
+               uint8_t* out);
+void HashI64(const int64_t* vals, int64_t n, uint64_t* out);
+void HashCombineI64(const int64_t* vals, int64_t n, uint64_t* inout);
+void GatherI64(const int64_t* src, const int32_t* idx, int64_t n,
+               int64_t* dst);
+void GatherF64(const double* src, const int32_t* idx, int64_t n, double* dst);
+}  // namespace scalar
+
+}  // namespace simd
+}  // namespace columnar
+}  // namespace ojv
+
+#endif  // OJV_EXEC_COLUMNAR_SIMD_H_

@@ -1,0 +1,241 @@
+// AVX2 backend: 4 int64 lanes per op. This translation unit is the only
+// one compiled with -mavx2 (see src/exec/CMakeLists.txt); the dispatcher
+// in simd.cc only routes here after __builtin_cpu_supports("avx2")
+// confirms the host, so no AVX2 instruction can execute on an older CPU.
+//
+// Every function computes exactly the scalar_ref formula lane-wise.
+// AVX2 has no 64-bit low multiply, so the hash mix emulates it from
+// three 32x32 multiplies (lo*lo + ((lo*hi + hi*lo) << 32)) — bit-exact
+// modulo 2^64, which is all the formula needs.
+
+#include "exec/columnar/simd_avx2.h"
+
+#if defined(OJV_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "exec/columnar/simd_common.h"
+
+namespace ojv {
+namespace columnar {
+namespace simd {
+namespace avx2 {
+
+namespace {
+
+// Writes the low 4 bits of `mask` (one per 64-bit lane) as 0/1 bytes.
+inline void WriteLaneBytes(int mask, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(mask & 1);
+  out[1] = static_cast<uint8_t>((mask >> 1) & 1);
+  out[2] = static_cast<uint8_t>((mask >> 2) & 1);
+  out[3] = static_cast<uint8_t>((mask >> 3) & 1);
+}
+
+inline int MoveMask64(__m256i m) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(m));
+}
+
+// 4-lane compare of signed 64-bit vectors; returns the 4-bit lane mask.
+template <CompareOp op>
+inline int CmpMask(__m256i a, __m256i b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return MoveMask64(_mm256_cmpeq_epi64(a, b));
+    case CompareOp::kNe:
+      return MoveMask64(_mm256_cmpeq_epi64(a, b)) ^ 0xf;
+    case CompareOp::kGt:
+      return MoveMask64(_mm256_cmpgt_epi64(a, b));
+    case CompareOp::kLe:
+      return MoveMask64(_mm256_cmpgt_epi64(a, b)) ^ 0xf;
+    case CompareOp::kLt:
+      return MoveMask64(_mm256_cmpgt_epi64(b, a));
+    case CompareOp::kGe:
+      return MoveMask64(_mm256_cmpgt_epi64(b, a)) ^ 0xf;
+  }
+  return 0;
+}
+
+template <CompareOp op>
+void CmpI64LitImpl(const int64_t* vals, int64_t n, int64_t literal,
+                   uint8_t* out) {
+  const __m256i lit = _mm256_set1_epi64x(literal);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    WriteLaneBytes(CmpMask<op>(v, lit), out + i);
+  }
+  for (; i < n; ++i) {
+    out[i] = scalar_ref::CmpI64<op>(vals[i], literal) ? 1 : 0;
+  }
+}
+
+template <CompareOp op>
+void CmpI64ColsImpl(const int64_t* a, const int64_t* b, int64_t n,
+                    uint8_t* out) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    WriteLaneBytes(CmpMask<op>(va, vb), out + i);
+  }
+  for (; i < n; ++i) {
+    out[i] = scalar_ref::CmpI64<op>(a[i], b[i]) ? 1 : 0;
+  }
+}
+
+// Low 64 bits of a*b per lane (AVX2 lacks _mm256_mullo_epi64).
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+// splitmix64 finalizer, 4 lanes (scalar_ref::Mix64).
+inline __m256i Mix64x4(__m256i x) {
+  x = _mm256_add_epi64(x, _mm256_set1_epi64x(0x9e3779b97f4a7c15ULL));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+  x = MulLo64(x, _mm256_set1_epi64x(0xbf58476d1ce4e5b9ULL));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+  x = MulLo64(x, _mm256_set1_epi64x(0x94d049bb133111ebULL));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+}  // namespace
+
+void CmpI64Lit(const int64_t* vals, int64_t n, CompareOp op, int64_t literal,
+               uint8_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CmpI64LitImpl<CompareOp::kEq>(vals, n, literal, out);
+    case CompareOp::kNe:
+      return CmpI64LitImpl<CompareOp::kNe>(vals, n, literal, out);
+    case CompareOp::kLt:
+      return CmpI64LitImpl<CompareOp::kLt>(vals, n, literal, out);
+    case CompareOp::kLe:
+      return CmpI64LitImpl<CompareOp::kLe>(vals, n, literal, out);
+    case CompareOp::kGt:
+      return CmpI64LitImpl<CompareOp::kGt>(vals, n, literal, out);
+    case CompareOp::kGe:
+      return CmpI64LitImpl<CompareOp::kGe>(vals, n, literal, out);
+  }
+}
+
+void CmpI64Cols(const int64_t* a, const int64_t* b, int64_t n, CompareOp op,
+                uint8_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CmpI64ColsImpl<CompareOp::kEq>(a, b, n, out);
+    case CompareOp::kNe:
+      return CmpI64ColsImpl<CompareOp::kNe>(a, b, n, out);
+    case CompareOp::kLt:
+      return CmpI64ColsImpl<CompareOp::kLt>(a, b, n, out);
+    case CompareOp::kLe:
+      return CmpI64ColsImpl<CompareOp::kLe>(a, b, n, out);
+    case CompareOp::kGt:
+      return CmpI64ColsImpl<CompareOp::kGt>(a, b, n, out);
+    case CompareOp::kGe:
+      return CmpI64ColsImpl<CompareOp::kGe>(a, b, n, out);
+  }
+}
+
+void CmpF64Lit(const double* vals, int64_t n, CompareOp op, double literal,
+               uint8_t* out) {
+  const __m256d lit = _mm256_set1_pd(literal);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(vals + i);
+    int mask = 0;
+    // Ordered, non-signaling predicates: NaN compares false, except kNe
+    // where it compares true (matching scalar !=).
+    switch (op) {
+      case CompareOp::kEq:
+        mask = _mm256_movemask_pd(_mm256_cmp_pd(v, lit, _CMP_EQ_OQ));
+        break;
+      case CompareOp::kNe:
+        mask = _mm256_movemask_pd(_mm256_cmp_pd(v, lit, _CMP_NEQ_UQ));
+        break;
+      case CompareOp::kLt:
+        mask = _mm256_movemask_pd(_mm256_cmp_pd(v, lit, _CMP_LT_OQ));
+        break;
+      case CompareOp::kLe:
+        mask = _mm256_movemask_pd(_mm256_cmp_pd(v, lit, _CMP_LE_OQ));
+        break;
+      case CompareOp::kGt:
+        mask = _mm256_movemask_pd(_mm256_cmp_pd(v, lit, _CMP_GT_OQ));
+        break;
+      case CompareOp::kGe:
+        mask = _mm256_movemask_pd(_mm256_cmp_pd(v, lit, _CMP_GE_OQ));
+        break;
+    }
+    WriteLaneBytes(mask, out + i);
+  }
+  for (; i < n; ++i) {
+    out[i] = scalar_ref::CmpF64Dyn(vals[i], literal, op) ? 1 : 0;
+  }
+}
+
+void HashI64(const int64_t* vals, int64_t n, uint64_t* out) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), Mix64x4(v));
+  }
+  for (; i < n; ++i) {
+    out[i] = scalar_ref::Mix64(static_cast<uint64_t>(vals[i]));
+  }
+}
+
+void HashCombineI64(const int64_t* vals, int64_t n, uint64_t* inout) {
+  const __m256i prime = _mm256_set1_epi64x(0x100000001b3ULL);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    const __m256i h =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(inout + i));
+    const __m256i mixed = Mix64x4(v);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(inout + i),
+                        MulLo64(_mm256_xor_si256(h, mixed), prime));
+  }
+  for (; i < n; ++i) {
+    inout[i] = scalar_ref::CombineHash(
+        inout[i], scalar_ref::Mix64(static_cast<uint64_t>(vals[i])));
+  }
+}
+
+void GatherI64(const int64_t* src, const int32_t* idx, int64_t n,
+               int64_t* dst) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    const __m256i v = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(src), vi, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = src[idx[i]];
+}
+
+void GatherF64(const double* src, const int32_t* idx, int64_t n, double* dst) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    _mm256_storeu_pd(dst + i, _mm256_i32gather_pd(src, vi, 8));
+  }
+  for (; i < n; ++i) dst[i] = src[idx[i]];
+}
+
+}  // namespace avx2
+}  // namespace simd
+}  // namespace columnar
+}  // namespace ojv
+
+#endif  // OJV_HAVE_AVX2

@@ -1,0 +1,93 @@
+#ifndef OJV_EXEC_COLUMNAR_SIMD_COMMON_H_
+#define OJV_EXEC_COLUMNAR_SIMD_COMMON_H_
+
+#include <cstdint>
+
+#include "algebra/scalar_expr.h"
+
+namespace ojv {
+namespace columnar {
+
+/// Scalar reference formulas shared by every SIMD backend: the vector
+/// paths compute exactly these functions lane-wise (the hash mix in
+/// particular is chosen so its 64-bit multiplies can be emulated
+/// bit-exactly with 32-bit AVX2/NEON multiplies), and their tail loops
+/// call them directly. The SIMD-vs-scalar unit tests pin the
+/// equivalence at every boundary length.
+namespace scalar_ref {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix. Used per key
+/// element; multi-key hashes are combined with CombineHash.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-style fold of the next key column's mixed value into a running
+/// hash (matches the row engine's combine shape, not its values).
+inline uint64_t CombineHash(uint64_t h, uint64_t mixed) {
+  return (h ^ mixed) * 0x100000001b3ULL;
+}
+
+template <CompareOp op>
+inline bool CmpI64(int64_t a, int64_t b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+inline bool CmpI64Dyn(int64_t a, int64_t b, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+inline bool CmpF64Dyn(double a, double b, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace scalar_ref
+}  // namespace columnar
+}  // namespace ojv
+
+#endif  // OJV_EXEC_COLUMNAR_SIMD_COMMON_H_

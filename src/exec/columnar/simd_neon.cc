@@ -1,0 +1,143 @@
+// NEON backend (AArch64): 2 int64 lanes. Compares run vectorized;
+// hashing and gathers stay on the scalar_ref loops — NEON has no
+// indexed gather, and at 2 lanes the emulated 64-bit multiplies of the
+// hash mix do not pay for themselves. This TU is only compiled on
+// aarch64 (where NEON is architecturally guaranteed), so there is no
+// runtime feature check.
+
+#include "exec/columnar/simd_neon.h"
+
+#if defined(OJV_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include "exec/columnar/simd_common.h"
+
+namespace ojv {
+namespace columnar {
+namespace simd {
+namespace neon {
+
+namespace {
+
+template <CompareOp op>
+inline uint64x2_t CmpLanes(int64x2_t a, int64x2_t b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return vceqq_s64(a, b);
+    case CompareOp::kNe:
+      return veorq_u64(vceqq_s64(a, b), vdupq_n_u64(~0ULL));
+    case CompareOp::kGt:
+      return vcgtq_s64(a, b);
+    case CompareOp::kLe:
+      return veorq_u64(vcgtq_s64(a, b), vdupq_n_u64(~0ULL));
+    case CompareOp::kLt:
+      return vcltq_s64(a, b);
+    case CompareOp::kGe:
+      return veorq_u64(vcltq_s64(a, b), vdupq_n_u64(~0ULL));
+  }
+  return vdupq_n_u64(0);
+}
+
+template <CompareOp op>
+void CmpI64LitImpl(const int64_t* vals, int64_t n, int64_t literal,
+                   uint8_t* out) {
+  const int64x2_t lit = vdupq_n_s64(literal);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t m = CmpLanes<op>(vld1q_s64(vals + i), lit);
+    out[i] = static_cast<uint8_t>(vgetq_lane_u64(m, 0) & 1);
+    out[i + 1] = static_cast<uint8_t>(vgetq_lane_u64(m, 1) & 1);
+  }
+  for (; i < n; ++i) {
+    out[i] = scalar_ref::CmpI64<op>(vals[i], literal) ? 1 : 0;
+  }
+}
+
+template <CompareOp op>
+void CmpI64ColsImpl(const int64_t* a, const int64_t* b, int64_t n,
+                    uint8_t* out) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t m = CmpLanes<op>(vld1q_s64(a + i), vld1q_s64(b + i));
+    out[i] = static_cast<uint8_t>(vgetq_lane_u64(m, 0) & 1);
+    out[i + 1] = static_cast<uint8_t>(vgetq_lane_u64(m, 1) & 1);
+  }
+  for (; i < n; ++i) {
+    out[i] = scalar_ref::CmpI64<op>(a[i], b[i]) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+void CmpI64Lit(const int64_t* vals, int64_t n, CompareOp op, int64_t literal,
+               uint8_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CmpI64LitImpl<CompareOp::kEq>(vals, n, literal, out);
+    case CompareOp::kNe:
+      return CmpI64LitImpl<CompareOp::kNe>(vals, n, literal, out);
+    case CompareOp::kLt:
+      return CmpI64LitImpl<CompareOp::kLt>(vals, n, literal, out);
+    case CompareOp::kLe:
+      return CmpI64LitImpl<CompareOp::kLe>(vals, n, literal, out);
+    case CompareOp::kGt:
+      return CmpI64LitImpl<CompareOp::kGt>(vals, n, literal, out);
+    case CompareOp::kGe:
+      return CmpI64LitImpl<CompareOp::kGe>(vals, n, literal, out);
+  }
+}
+
+void CmpI64Cols(const int64_t* a, const int64_t* b, int64_t n, CompareOp op,
+                uint8_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CmpI64ColsImpl<CompareOp::kEq>(a, b, n, out);
+    case CompareOp::kNe:
+      return CmpI64ColsImpl<CompareOp::kNe>(a, b, n, out);
+    case CompareOp::kLt:
+      return CmpI64ColsImpl<CompareOp::kLt>(a, b, n, out);
+    case CompareOp::kLe:
+      return CmpI64ColsImpl<CompareOp::kLe>(a, b, n, out);
+    case CompareOp::kGt:
+      return CmpI64ColsImpl<CompareOp::kGt>(a, b, n, out);
+    case CompareOp::kGe:
+      return CmpI64ColsImpl<CompareOp::kGe>(a, b, n, out);
+  }
+}
+
+void CmpF64Lit(const double* vals, int64_t n, CompareOp op, double literal,
+               uint8_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = scalar_ref::CmpF64Dyn(vals[i], literal, op) ? 1 : 0;
+  }
+}
+
+void HashI64(const int64_t* vals, int64_t n, uint64_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = scalar_ref::Mix64(static_cast<uint64_t>(vals[i]));
+  }
+}
+
+void HashCombineI64(const int64_t* vals, int64_t n, uint64_t* inout) {
+  for (int64_t i = 0; i < n; ++i) {
+    inout[i] = scalar_ref::CombineHash(
+        inout[i], scalar_ref::Mix64(static_cast<uint64_t>(vals[i])));
+  }
+}
+
+void GatherI64(const int64_t* src, const int32_t* idx, int64_t n,
+               int64_t* dst) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[idx[i]];
+}
+
+void GatherF64(const double* src, const int32_t* idx, int64_t n, double* dst) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[idx[i]];
+}
+
+}  // namespace neon
+}  // namespace simd
+}  // namespace columnar
+}  // namespace ojv
+
+#endif  // OJV_HAVE_NEON

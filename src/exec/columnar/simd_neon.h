@@ -1,0 +1,35 @@
+#ifndef OJV_EXEC_COLUMNAR_SIMD_NEON_H_
+#define OJV_EXEC_COLUMNAR_SIMD_NEON_H_
+
+// Declarations of the NEON backend (simd_neon.cc, aarch64-only).
+
+#if defined(OJV_HAVE_NEON)
+
+#include <cstdint>
+
+#include "algebra/scalar_expr.h"
+
+namespace ojv {
+namespace columnar {
+namespace simd {
+namespace neon {
+
+void CmpI64Lit(const int64_t* vals, int64_t n, CompareOp op, int64_t literal,
+               uint8_t* out);
+void CmpI64Cols(const int64_t* a, const int64_t* b, int64_t n, CompareOp op,
+                uint8_t* out);
+void CmpF64Lit(const double* vals, int64_t n, CompareOp op, double literal,
+               uint8_t* out);
+void HashI64(const int64_t* vals, int64_t n, uint64_t* out);
+void HashCombineI64(const int64_t* vals, int64_t n, uint64_t* inout);
+void GatherI64(const int64_t* src, const int32_t* idx, int64_t n,
+               int64_t* dst);
+void GatherF64(const double* src, const int32_t* idx, int64_t n, double* dst);
+
+}  // namespace neon
+}  // namespace simd
+}  // namespace columnar
+}  // namespace ojv
+
+#endif  // OJV_HAVE_NEON
+#endif  // OJV_EXEC_COLUMNAR_SIMD_NEON_H_

@@ -1,0 +1,104 @@
+// Scalar backend: the reference implementation every vector backend
+// must match bit for bit. Written as tight branch-free-per-element
+// loops over typed arrays so compilers auto-vectorize them even here —
+// the explicit backends exist for the cases (64-bit compares producing
+// bytes, 64-bit hash mixing, indexed gathers) where autovectorizers
+// routinely give up.
+
+#include "exec/columnar/simd.h"
+#include "exec/columnar/simd_common.h"
+
+namespace ojv {
+namespace columnar {
+namespace simd {
+namespace scalar {
+
+namespace {
+
+template <CompareOp op>
+void CmpI64LitImpl(const int64_t* vals, int64_t n, int64_t literal,
+                   uint8_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = scalar_ref::CmpI64<op>(vals[i], literal) ? 1 : 0;
+  }
+}
+
+template <CompareOp op>
+void CmpI64ColsImpl(const int64_t* a, const int64_t* b, int64_t n,
+                    uint8_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = scalar_ref::CmpI64<op>(a[i], b[i]) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+void CmpI64Lit(const int64_t* vals, int64_t n, CompareOp op, int64_t literal,
+               uint8_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CmpI64LitImpl<CompareOp::kEq>(vals, n, literal, out);
+    case CompareOp::kNe:
+      return CmpI64LitImpl<CompareOp::kNe>(vals, n, literal, out);
+    case CompareOp::kLt:
+      return CmpI64LitImpl<CompareOp::kLt>(vals, n, literal, out);
+    case CompareOp::kLe:
+      return CmpI64LitImpl<CompareOp::kLe>(vals, n, literal, out);
+    case CompareOp::kGt:
+      return CmpI64LitImpl<CompareOp::kGt>(vals, n, literal, out);
+    case CompareOp::kGe:
+      return CmpI64LitImpl<CompareOp::kGe>(vals, n, literal, out);
+  }
+}
+
+void CmpI64Cols(const int64_t* a, const int64_t* b, int64_t n, CompareOp op,
+                uint8_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CmpI64ColsImpl<CompareOp::kEq>(a, b, n, out);
+    case CompareOp::kNe:
+      return CmpI64ColsImpl<CompareOp::kNe>(a, b, n, out);
+    case CompareOp::kLt:
+      return CmpI64ColsImpl<CompareOp::kLt>(a, b, n, out);
+    case CompareOp::kLe:
+      return CmpI64ColsImpl<CompareOp::kLe>(a, b, n, out);
+    case CompareOp::kGt:
+      return CmpI64ColsImpl<CompareOp::kGt>(a, b, n, out);
+    case CompareOp::kGe:
+      return CmpI64ColsImpl<CompareOp::kGe>(a, b, n, out);
+  }
+}
+
+void CmpF64Lit(const double* vals, int64_t n, CompareOp op, double literal,
+               uint8_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = scalar_ref::CmpF64Dyn(vals[i], literal, op) ? 1 : 0;
+  }
+}
+
+void HashI64(const int64_t* vals, int64_t n, uint64_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = scalar_ref::Mix64(static_cast<uint64_t>(vals[i]));
+  }
+}
+
+void HashCombineI64(const int64_t* vals, int64_t n, uint64_t* inout) {
+  for (int64_t i = 0; i < n; ++i) {
+    inout[i] = scalar_ref::CombineHash(
+        inout[i], scalar_ref::Mix64(static_cast<uint64_t>(vals[i])));
+  }
+}
+
+void GatherI64(const int64_t* src, const int32_t* idx, int64_t n,
+               int64_t* dst) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[idx[i]];
+}
+
+void GatherF64(const double* src, const int32_t* idx, int64_t n, double* dst) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[idx[i]];
+}
+
+}  // namespace scalar
+}  // namespace simd
+}  // namespace columnar
+}  // namespace ojv

@@ -226,7 +226,9 @@ Relation ViewMaintainer::EvalPrimaryDelta(const RelExprPtr& expr,
   // are null-extended.
   const BoundSchema& out_schema = view_def_.output_schema();
   Relation aligned(out_schema);
+  aligned.mutable_rows()->reserve(static_cast<size_t>(raw.size()));
   std::vector<int> source_positions;
+  source_positions.reserve(static_cast<size_t>(out_schema.num_columns()));
   for (const BoundColumn& col : out_schema.columns()) {
     source_positions.push_back(raw.schema().Find(col.table, col.column));
   }

@@ -51,6 +51,14 @@ SecondaryDeltaEngine::SecondaryDeltaEngine(const ViewDef& view_def,
       terms_(terms),
       graph_(graph),
       updated_table_(updated_table) {
+  const BoundSchema& schema = view_def_.output_schema();
+  // A table is null-extended iff its first key column (non-nullable in
+  // the base table) is NULL, so one probe position per table suffices.
+  auto first_key_of = [&schema](const std::string& table) {
+    const std::vector<int>& keys = schema.KeyPositions(table);
+    OJV_CHECK(!keys.empty(), "null test requires the table's key in the view");
+    return keys[0];
+  };
   for (int i : graph.IndirectTerms()) {
     TermPlan plan;
     plan.term_index = i;
@@ -68,23 +76,34 @@ SecondaryDeltaEngine::SecondaryDeltaEngine(const ViewDef& view_def,
         if (term.source.count(t) == 0) plan.indirect_parent_extra.insert(t);
       }
     }
+    // Resolve every schema position the per-row probes need, once.
+    for (const std::string& t : plan.ti_tables) {
+      plan.ti_null_probes.push_back(first_key_of(t));
+      for (int p : schema.KeyPositions(t)) plan.ti_key_positions.push_back(p);
+    }
+    for (const std::string& t : plan.null_tables) {
+      plan.null_table_probes.push_back(first_key_of(t));
+    }
+    for (int parent : plan.direct_parents) {
+      std::vector<int> probes;
+      for (const std::string& t :
+           terms_[static_cast<size_t>(parent)].source) {
+        probes.push_back(first_key_of(t));
+      }
+      plan.parent_nn_probes.push_back(std::move(probes));
+    }
+    plan.first_ti_keys = schema.KeyPositions(plan.ti_tables[0]);
     plans_.push_back(std::move(plan));
   }
-}
-
-bool SecondaryDeltaEngine::RowNonNullOn(const Row& row,
-                                        const std::string& table) const {
-  const std::vector<int>& keys = view_def_.output_schema().KeyPositions(table);
-  return !row[static_cast<size_t>(keys[0])].is_null();
 }
 
 bool SecondaryDeltaEngine::SatisfiesPi(const Row& delta_row,
                                        const TermPlan& plan) const {
   // Pi = ∨ over directly affected parents Ek of nn(Tk).
-  for (int parent : plan.direct_parents) {
+  for (const std::vector<int>& probes : plan.parent_nn_probes) {
     bool all_non_null = true;
-    for (const std::string& t : terms_[static_cast<size_t>(parent)].source) {
-      if (!RowNonNullOn(delta_row, t)) {
+    for (int p : probes) {
+      if (delta_row[static_cast<size_t>(p)].is_null()) {
         all_non_null = false;
         break;
       }
@@ -96,24 +115,21 @@ bool SecondaryDeltaEngine::SatisfiesPi(const Row& delta_row,
 
 bool SecondaryDeltaEngine::IsOrphanOf(const Row& view_row,
                                       const TermPlan& plan) const {
-  for (const std::string& t : plan.ti_tables) {
-    if (!RowNonNullOn(view_row, t)) return false;
+  for (int p : plan.ti_null_probes) {
+    if (view_row[static_cast<size_t>(p)].is_null()) return false;
   }
-  for (const std::string& t : plan.null_tables) {
-    if (RowNonNullOn(view_row, t)) return false;
+  for (int p : plan.null_table_probes) {
+    if (!view_row[static_cast<size_t>(p)].is_null()) return false;
   }
   return true;
 }
 
 bool SecondaryDeltaEngine::TiKeysMatch(const Row& a, const Row& b,
                                        const TermPlan& plan) const {
-  const BoundSchema& schema = view_def_.output_schema();
-  for (const std::string& t : plan.ti_tables) {
-    for (int p : schema.KeyPositions(t)) {
-      const Value& va = a[static_cast<size_t>(p)];
-      const Value& vb = b[static_cast<size_t>(p)];
-      if (va.is_null() || vb.is_null() || va != vb) return false;
-    }
+  for (int p : plan.ti_key_positions) {
+    const Value& va = a[static_cast<size_t>(p)];
+    const Value& vb = b[static_cast<size_t>(p)];
+    if (va.is_null() || vb.is_null() || va != vb) return false;
   }
   return true;
 }
@@ -121,9 +137,8 @@ bool SecondaryDeltaEngine::TiKeysMatch(const Row& a, const Row& b,
 std::vector<int64_t> SecondaryDeltaEngine::LookupTi(
     const MaterializedView& view, const Row& probe,
     const TermPlan& plan) const {
-  const std::string& first = plan.ti_tables[0];
-  const std::vector<int>& keys = view_def_.output_schema().KeyPositions(first);
-  std::vector<int64_t> hits = view.LookupByTableKey(first, probe, keys);
+  std::vector<int64_t> hits =
+      view.LookupByTableKey(plan.ti_tables[0], probe, plan.first_ti_keys);
   std::vector<int64_t> out;
   for (int64_t id : hits) {
     if (TiKeysMatch(view.row(id), probe, plan)) out.push_back(id);

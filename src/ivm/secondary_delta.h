@@ -103,10 +103,22 @@ class SecondaryDeltaEngine {
     std::vector<int> direct_parents;
     // Tables added by indirectly affected parents (for Qi).
     std::set<std::string> indirect_parent_extra;
+    // Output-schema positions resolved once at construction, so the
+    // per-row probe loops below never touch the schema's name→position
+    // maps. A table is null-extended iff its first key column is NULL,
+    // so one position per table suffices for the nn/n tests.
+    std::vector<int> ti_null_probes;    // first key col of each ti table
+    std::vector<int> null_table_probes;  // first key col of each null table
+    // Per direct parent (index-aligned with direct_parents): first key
+    // col of each of the parent's source tables, for SatisfiesPi.
+    std::vector<std::vector<int>> parent_nn_probes;
+    // All key columns of all ti tables, flattened, for TiKeysMatch.
+    std::vector<int> ti_key_positions;
+    // KeyPositions(ti_tables[0]), for the view-index probe in LookupTi.
+    std::vector<int> first_ti_keys;
   };
 
   // --- shared helpers ---
-  bool RowNonNullOn(const Row& row, const std::string& table) const;
   bool SatisfiesPi(const Row& delta_row, const TermPlan& plan) const;
   bool IsOrphanOf(const Row& view_row, const TermPlan& plan) const;
   bool TiKeysMatch(const Row& a, const Row& b, const TermPlan& plan) const;

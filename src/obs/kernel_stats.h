@@ -1,0 +1,45 @@
+#ifndef OJV_OBS_KERNEL_STATS_H_
+#define OJV_OBS_KERNEL_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ojv {
+namespace obs {
+
+/// Columnar-kernel counters, one family per kernel:
+///   ojv.exec.columnar.<kernel>.rows_in   rows fed to the kernel
+///   ojv.exec.columnar.<kernel>.rows_out  rows surviving it
+///   ojv.exec.columnar.<kernel>.chunks    chunks processed
+/// rows_out / rows_in is the kernel's observed selectivity. Called once
+/// per operator invocation, not per row, so the registry lookup cost is
+/// irrelevant (and compiled out entirely under OJV_OBS=OFF).
+inline void RecordKernel(const char* kernel, int64_t rows_in, int64_t rows_out,
+                         int64_t chunks) {
+  if constexpr (kEnabled) {
+    Registry& reg = Registry::Global();
+    const std::string base = std::string("ojv.exec.columnar.") + kernel + ".";
+    reg.GetCounter(base + "rows_in").Add(rows_in);
+    reg.GetCounter(base + "rows_out").Add(rows_out);
+    reg.GetCounter(base + "chunks").Add(chunks);
+  }
+}
+
+/// SIMD-vs-scalar split: rows whose kernel loops dispatched to a vector
+/// backend (AVX2/NEON) vs. the scalar fallback tree.
+inline void RecordSimdRows(bool vector_backend, int64_t rows) {
+  if constexpr (kEnabled) {
+    static Counter& vec =
+        Registry::Global().GetCounter("ojv.exec.columnar.rows_vector");
+    static Counter& sca =
+        Registry::Global().GetCounter("ojv.exec.columnar.rows_scalar");
+    (vector_backend ? vec : sca).Add(rows);
+  }
+}
+
+}  // namespace obs
+}  // namespace ojv
+
+#endif  // OJV_OBS_KERNEL_STATS_H_

@@ -1,0 +1,375 @@
+// Unit tests for the columnar executor's building blocks: the explicit
+// SIMD kernels against their pinned scalar references at vector-boundary
+// lengths, the ChunkedRelation round-trip (including type degradation
+// and null-extension masks), and the compiled predicate's SQL tri-state
+// truth tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "algebra/scalar_expr.h"
+#include "common/rng.h"
+#include "exec/columnar/chunked_relation.h"
+#include "exec/columnar/predicate.h"
+#include "exec/columnar/simd.h"
+#include "exec/relation.h"
+
+namespace ojv {
+namespace columnar {
+namespace {
+
+constexpr CompareOp kAllOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                 CompareOp::kLt, CompareOp::kLe,
+                                 CompareOp::kGt, CompareOp::kGe};
+
+// Lengths straddling every vector boundary of the active backend: 0, 1,
+// one lane minus/plus one, exactly one lane, a few lanes plus a tail,
+// and a "large" length.
+std::vector<int64_t> BoundaryLengths() {
+  const int64_t lanes = simd::LanesI64();
+  std::vector<int64_t> lengths = {0, 1, lanes - 1, lanes, lanes + 1,
+                                  4 * lanes + 3, 1000};
+  std::vector<int64_t> out;
+  for (int64_t n : lengths) {
+    if (n >= 0) out.push_back(n);
+  }
+  return out;
+}
+
+TEST(SimdKernelTest, BackendReportsLanes) {
+  EXPECT_GE(simd::LanesI64(), 1);
+  std::string name = simd::BackendName();
+  EXPECT_TRUE(name == "avx2" || name == "neon" || name == "scalar") << name;
+  EXPECT_EQ(simd::VectorBackendActive(), name != "scalar");
+}
+
+TEST(SimdKernelTest, CmpI64LitMatchesScalar) {
+  Rng rng(1);
+  const int64_t interesting[] = {0, 1, -1, 42,
+                                 std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max()};
+  for (int64_t n : BoundaryLengths()) {
+    std::vector<int64_t> vals(static_cast<size_t>(n));
+    for (auto& v : vals) v = rng.Uniform(-5, 4);
+    for (int64_t lit : interesting) {
+      if (n > 0) vals[static_cast<size_t>(n / 2)] = lit;  // force equality
+      for (CompareOp op : kAllOps) {
+        std::vector<uint8_t> got(static_cast<size_t>(n) + 1, 0xee);
+        std::vector<uint8_t> want(static_cast<size_t>(n) + 1, 0xee);
+        simd::CmpI64Lit(vals.data(), n, op, lit, got.data());
+        simd::scalar::CmpI64Lit(vals.data(), n, op, lit, want.data());
+        EXPECT_EQ(got, want) << "n=" << n << " op=" << CompareOpName(op)
+                             << " lit=" << lit;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, CmpI64ColsMatchesScalar) {
+  Rng rng(2);
+  for (int64_t n : BoundaryLengths()) {
+    std::vector<int64_t> a(static_cast<size_t>(n));
+    std::vector<int64_t> b(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      a[static_cast<size_t>(i)] = rng.Uniform(-3, 2);
+      b[static_cast<size_t>(i)] = rng.Uniform(-3, 2);
+    }
+    for (CompareOp op : kAllOps) {
+      std::vector<uint8_t> got(static_cast<size_t>(n) + 1, 0xee);
+      std::vector<uint8_t> want(static_cast<size_t>(n) + 1, 0xee);
+      simd::CmpI64Cols(a.data(), b.data(), n, op, got.data());
+      simd::scalar::CmpI64Cols(a.data(), b.data(), n, op, want.data());
+      EXPECT_EQ(got, want) << "n=" << n << " op=" << CompareOpName(op);
+    }
+  }
+}
+
+TEST(SimdKernelTest, CmpF64LitMatchesScalar) {
+  Rng rng(3);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int64_t n : BoundaryLengths()) {
+    std::vector<double> vals(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      vals[static_cast<size_t>(i)] = static_cast<double>(rng.Uniform(-4, 4)) * 0.5;
+    }
+    if (n > 2) {
+      vals[0] = nan;
+      vals[1] = inf;
+      vals[2] = -inf;
+    }
+    for (double lit : {0.0, -1.5, 2.0}) {
+      for (CompareOp op : kAllOps) {
+        std::vector<uint8_t> got(static_cast<size_t>(n) + 1, 0xee);
+        std::vector<uint8_t> want(static_cast<size_t>(n) + 1, 0xee);
+        simd::CmpF64Lit(vals.data(), n, op, lit, got.data());
+        simd::scalar::CmpF64Lit(vals.data(), n, op, lit, want.data());
+        EXPECT_EQ(got, want) << "n=" << n << " op=" << CompareOpName(op)
+                             << " lit=" << lit;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, HashKernelsMatchScalar) {
+  Rng rng(4);
+  for (int64_t n : BoundaryLengths()) {
+    std::vector<int64_t> vals(static_cast<size_t>(n));
+    for (auto& v : vals) {
+      v = rng.Uniform(-500000, 500000);
+    }
+    std::vector<uint64_t> got(static_cast<size_t>(n) + 1, 0xabcdef);
+    std::vector<uint64_t> want(static_cast<size_t>(n) + 1, 0xabcdef);
+    simd::HashI64(vals.data(), n, got.data());
+    simd::scalar::HashI64(vals.data(), n, want.data());
+    EXPECT_EQ(got, want) << "HashI64 n=" << n;
+
+    // Combine starts from the per-element hashes just computed.
+    std::vector<int64_t> more(static_cast<size_t>(n));
+    for (auto& v : more) v = rng.Uniform(0, 96);
+    got.resize(static_cast<size_t>(n));
+    want.resize(static_cast<size_t>(n));
+    simd::HashCombineI64(more.data(), n, got.data());
+    simd::scalar::HashCombineI64(more.data(), n, want.data());
+    EXPECT_EQ(got, want) << "HashCombineI64 n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, GatherMatchesScalar) {
+  Rng rng(5);
+  const int64_t src_n = 257;
+  std::vector<int64_t> src_i(src_n);
+  std::vector<double> src_f(src_n);
+  for (int64_t i = 0; i < src_n; ++i) {
+    src_i[static_cast<size_t>(i)] = i * 3 - 100;
+    src_f[static_cast<size_t>(i)] = i * 0.25 - 10;
+  }
+  for (int64_t n : BoundaryLengths()) {
+    std::vector<int32_t> idx(static_cast<size_t>(n));
+    for (auto& v : idx) v = static_cast<int32_t>(rng.Uniform(0, src_n - 1));
+    std::vector<int64_t> got_i(static_cast<size_t>(n) + 1, -7777);
+    std::vector<int64_t> want_i(static_cast<size_t>(n) + 1, -7777);
+    simd::GatherI64(src_i.data(), idx.data(), n, got_i.data());
+    simd::scalar::GatherI64(src_i.data(), idx.data(), n, want_i.data());
+    EXPECT_EQ(got_i, want_i) << "GatherI64 n=" << n;
+
+    std::vector<double> got_f(static_cast<size_t>(n) + 1, -7777.0);
+    std::vector<double> want_f(static_cast<size_t>(n) + 1, -7777.0);
+    simd::GatherF64(src_f.data(), idx.data(), n, got_f.data());
+    simd::scalar::GatherF64(src_f.data(), idx.data(), n, want_f.data());
+    EXPECT_EQ(got_f, want_f) << "GatherF64 n=" << n;
+  }
+}
+
+// --- ChunkedRelation round-trip ---
+
+BoundSchema MixedSchema() {
+  BoundSchema schema;
+  schema.AddColumn(BoundColumn{"t", "k", ValueType::kInt64, 0});
+  schema.AddColumn(BoundColumn{"t", "f", ValueType::kFloat64, -1});
+  schema.AddColumn(BoundColumn{"t", "s", ValueType::kString, -1});
+  schema.AddColumn(BoundColumn{"u", "k", ValueType::kInt64, 0});
+  return schema;
+}
+
+Relation MixedRelation(int64_t rows) {
+  Relation rel(MixedSchema());
+  for (int64_t i = 0; i < rows; ++i) {
+    Row row;
+    row.push_back(i % 5 == 0 ? Value::Null() : Value::Int64(i));
+    row.push_back(i % 3 == 0 ? Value::Null() : Value::Float64(i * 0.5));
+    row.push_back(i % 4 == 0 ? Value::Null()
+                             : Value::String("s" + std::to_string(i % 7)));
+    row.push_back(i % 2 == 0 ? Value::Null() : Value::Int64(i * 10));
+    rel.Add(std::move(row));
+  }
+  return rel;
+}
+
+TEST(ChunkedRelationTest, RoundTripPreservesRowsExactly) {
+  for (int64_t chunk_rows : {1, 7, 1024}) {
+    Relation in = MixedRelation(100);
+    ChunkedRelation chunked = ChunkedRelation::FromRelation(in, chunk_rows);
+    EXPECT_EQ(chunked.num_rows(), in.size());
+    EXPECT_EQ(chunked.num_chunks(), (in.size() + chunk_rows - 1) / chunk_rows);
+    Relation out = chunked.ToRelation();
+    ASSERT_EQ(out.size(), in.size());
+    // Conversion must preserve row order and every value exactly, not
+    // just as a bag.
+    for (int64_t r = 0; r < in.size(); ++r) {
+      for (size_t c = 0; c < in.row(r).size(); ++c) {
+        EXPECT_TRUE(in.row(r)[c] == out.row(r)[c])
+            << "chunk_rows=" << chunk_rows << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(ChunkedRelationTest, NullMasksMatchRowEngine) {
+  Relation in = MixedRelation(100);
+  ChunkedRelation chunked = ChunkedRelation::FromRelation(in, 7);
+  ASSERT_EQ(chunked.mask_tables().size(), 2u);  // t and u both carry keys
+  for (size_t t = 0; t < chunked.mask_tables().size(); ++t) {
+    const std::string& table = chunked.mask_tables()[t];
+    for (int64_t r = 0; r < in.size(); ++r) {
+      EXPECT_EQ(chunked.IsNullExtended(static_cast<int>(t), r),
+                in.IsNullExtendedOn(in.row(r), table))
+          << table << " row " << r;
+    }
+  }
+}
+
+TEST(ChunkedRelationTest, MistypedColumnDegradesLosslessly) {
+  // Declared kInt64, but one value is a string: the column must degrade
+  // to ColumnClass::kValue and still round-trip every value.
+  BoundSchema schema;
+  schema.AddColumn(BoundColumn{"t", "x", ValueType::kInt64, -1});
+  Relation rel(schema);
+  rel.Add({Value::Int64(1)});
+  rel.Add({Value::String("oops")});
+  rel.Add({Value::Null()});
+  rel.Add({Value::Float64(2.5)});
+  ChunkedRelation chunked = ChunkedRelation::FromRelation(rel, 2);
+  EXPECT_EQ(chunked.column(0).cls, ColumnClass::kValue);
+  Relation out = chunked.ToRelation();
+  ASSERT_EQ(out.size(), rel.size());
+  for (int64_t r = 0; r < rel.size(); ++r) {
+    EXPECT_TRUE(rel.row(r)[0] == out.row(r)[0]) << "row " << r;
+  }
+}
+
+TEST(ChunkedRelationTest, EmptyRelationRoundTrips) {
+  Relation in(MixedSchema());
+  ChunkedRelation chunked = ChunkedRelation::FromRelation(in, 1024);
+  EXPECT_EQ(chunked.num_rows(), 0);
+  EXPECT_EQ(chunked.num_chunks(), 0);
+  EXPECT_TRUE(chunked.ToRelation().empty());
+}
+
+// --- Predicate tri-state ---
+
+// Expected SQL tri-state of `col > 2` for the value at row r of the
+// relation built below, then AND/OR combinations per Kleene logic.
+TEST(ColumnarPredicateTest, CompareProducesSqlTriState) {
+  BoundSchema schema;
+  schema.AddColumn(BoundColumn{"t", "a", ValueType::kInt64, -1});
+  Relation rel(schema);
+  rel.Add({Value::Int64(1)});   // a > 2 : false
+  rel.Add({Value::Int64(5)});   // a > 2 : true
+  rel.Add({Value::Null()});     // a > 2 : unknown
+  rel.Add({Value::Int64(3)});   // a > 2 : true
+  ChunkedRelation chunked = ChunkedRelation::FromRelation(rel, 1024);
+
+  ScalarExprPtr gt = ScalarExpr::Compare(CompareOp::kGt,
+                                         ScalarExpr::Column("t", "a"),
+                                         ScalarExpr::Literal(Value::Int64(2)));
+  ColumnarPredicate pred = ColumnarPredicate::Compile(gt, chunked);
+  EXPECT_TRUE(pred.has_simd_leaf());
+  int8_t truth[4];
+  pred.EvalTruth(chunked, 0, 4, truth);
+  EXPECT_EQ(truth[0], 0);
+  EXPECT_EQ(truth[1], 1);
+  EXPECT_EQ(truth[2], -1);
+  EXPECT_EQ(truth[3], 1);
+
+  SelVector sel;
+  pred.SelectInto(chunked, 0, 4, &sel);
+  EXPECT_EQ(sel, (SelVector{1, 3}));  // unknown rows are not selected
+}
+
+TEST(ColumnarPredicateTest, KleeneAndOr) {
+  BoundSchema schema;
+  schema.AddColumn(BoundColumn{"t", "a", ValueType::kInt64, -1});
+  schema.AddColumn(BoundColumn{"t", "b", ValueType::kInt64, -1});
+  Relation rel(schema);
+  // (a > 0, b > 0) truth pairs: (T,T) (T,U) (U,F) (F,U) (U,U)
+  rel.Add({Value::Int64(1), Value::Int64(1)});
+  rel.Add({Value::Int64(1), Value::Null()});
+  rel.Add({Value::Null(), Value::Int64(-1)});
+  rel.Add({Value::Int64(-1), Value::Null()});
+  rel.Add({Value::Null(), Value::Null()});
+  ChunkedRelation chunked = ChunkedRelation::FromRelation(rel, 1024);
+
+  auto gt0 = [](const char* col) {
+    return ScalarExpr::Compare(CompareOp::kGt, ScalarExpr::Column("t", col),
+                               ScalarExpr::Literal(Value::Int64(0)));
+  };
+  std::vector<ScalarExprPtr> both;
+  both.push_back(gt0("a"));
+  both.push_back(gt0("b"));
+  ColumnarPredicate conj =
+      ColumnarPredicate::Compile(ScalarExpr::And(both), chunked);
+  int8_t truth[5];
+  conj.EvalTruth(chunked, 0, 5, truth);
+  EXPECT_EQ(truth[0], 1);   // T AND T
+  EXPECT_EQ(truth[1], -1);  // T AND U
+  EXPECT_EQ(truth[2], 0);   // U AND F = F
+  EXPECT_EQ(truth[3], 0);   // F AND U = F
+  EXPECT_EQ(truth[4], -1);  // U AND U
+
+  std::vector<ScalarExprPtr> either;
+  either.push_back(gt0("a"));
+  either.push_back(gt0("b"));
+  ColumnarPredicate disj =
+      ColumnarPredicate::Compile(ScalarExpr::Or(either), chunked);
+  disj.EvalTruth(chunked, 0, 5, truth);
+  EXPECT_EQ(truth[0], 1);   // T OR T
+  EXPECT_EQ(truth[1], 1);   // T OR U = T
+  EXPECT_EQ(truth[2], -1);  // U OR F
+  EXPECT_EQ(truth[3], -1);  // F OR U
+  EXPECT_EQ(truth[4], -1);  // U OR U
+}
+
+TEST(ColumnarPredicateTest, NotAndIsNull) {
+  BoundSchema schema;
+  schema.AddColumn(BoundColumn{"t", "a", ValueType::kInt64, -1});
+  Relation rel(schema);
+  rel.Add({Value::Int64(5)});
+  rel.Add({Value::Null()});
+  ChunkedRelation chunked = ChunkedRelation::FromRelation(rel, 1024);
+
+  ColumnarPredicate is_null = ColumnarPredicate::Compile(
+      ScalarExpr::IsNull(ScalarExpr::Column("t", "a")), chunked);
+  int8_t truth[2];
+  is_null.EvalTruth(chunked, 0, 2, truth);
+  EXPECT_EQ(truth[0], 0);
+  EXPECT_EQ(truth[1], 1);  // IS NULL is never unknown
+
+  ColumnarPredicate not_gt = ColumnarPredicate::Compile(
+      ScalarExpr::Not(ScalarExpr::Compare(
+          CompareOp::kGt, ScalarExpr::Column("t", "a"),
+          ScalarExpr::Literal(Value::Int64(0)))),
+      chunked);
+  not_gt.EvalTruth(chunked, 0, 2, truth);
+  EXPECT_EQ(truth[0], 0);   // NOT true
+  EXPECT_EQ(truth[1], -1);  // NOT unknown = unknown
+}
+
+TEST(ColumnarPredicateTest, StringCompareTakesGeneralPath) {
+  BoundSchema schema;
+  schema.AddColumn(BoundColumn{"t", "s", ValueType::kString, -1});
+  Relation rel(schema);
+  rel.Add({Value::String("apple")});
+  rel.Add({Value::String("banana")});
+  rel.Add({Value::Null()});
+  ChunkedRelation chunked = ChunkedRelation::FromRelation(rel, 1024);
+
+  ColumnarPredicate pred = ColumnarPredicate::Compile(
+      ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column("t", "s"),
+                          ScalarExpr::Literal(Value::String("banana"))),
+      chunked);
+  int8_t truth[3];
+  pred.EvalTruth(chunked, 0, 3, truth);
+  EXPECT_EQ(truth[0], 0);
+  EXPECT_EQ(truth[1], 1);
+  EXPECT_EQ(truth[2], -1);
+}
+
+}  // namespace
+}  // namespace columnar
+}  // namespace ojv

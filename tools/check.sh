@@ -15,7 +15,8 @@
 #   tools/check.sh sanitize   # ASan/UBSan only
 #   tools/check.sh tsan       # ThreadSanitizer only
 #   tools/check.sh obs        # observability: traced run + OBS=OFF no-op
-#   tools/check.sh bench-gate # fig5 stage timings vs BENCH_pipeline.json
+#   tools/check.sh simd-off   # columnar scalar fallback under UBSan
+#   tools/check.sh bench-gate # fig5 + kernel timings vs BENCH_pipeline.json
 
 set -euo pipefail
 
@@ -52,8 +53,20 @@ case "$mode" in
     # The full suite is serial-dominated; under TSan only the tests that
     # actually spawn threads carry signal, and they carry all of it.
     # metrics/trace join the filter for their thread-hammer cases.
-    run_config tsan --tests 'parallel_executor|deferred|database|metrics|trace|admission|multiview' \
+    run_config tsan --tests 'parallel_executor|columnar|deferred|database|metrics|trace|admission|multiview' \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_TSAN=ON
+    ;;&
+  simd-off|all)
+    # The explicit-SIMD kernels compiled out: every columnar operator
+    # must fall back to the pinned scalar tree and still bag-match the
+    # row engine. UBSan is the interesting sanitizer here — the scalar
+    # hash/compare loops are where integer-conversion mistakes would
+    # hide (the kernel unit tests compare dispatched-vs-scalar, which
+    # this tree degenerates to scalar-vs-scalar; the equivalence suite
+    # still carries full signal).
+    run_config simd-off --tests 'columnar' \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_SIMD=OFF \
+        -DOJV_SANITIZE=undefined
     ;;&
   obs|all)
     # Instrumented run: the trace tool replays a TPC-H workload with
@@ -91,7 +104,7 @@ case "$mode" in
     echo "==> [bench-gate] build"
     cmake --build "$dir" -j "$jobs" \
         --target bench_fig5_insert bench_fig5_delete bench_deferred \
-        bench_multiview bench_gate >/dev/null
+        bench_multiview bench_operators bench_gate >/dev/null
     echo "==> [bench-gate] run fig5 benchmarks"
     "$dir/bench/bench_fig5_insert" --threads=4 \
         --json="$dir/fig5_insert.json" >/dev/null
@@ -106,6 +119,9 @@ case "$mode" in
     # is scale-independent (the benchmark self-checks the counter).
     "$dir/bench/bench_multiview" --sf=0.01 \
         --json="$dir/multiview.json" >/dev/null
+    # Row-vs-columnar kernel suite: one row per hot operator.
+    "$dir/bench/bench_operators" --kernels \
+        --json="$dir/kernels.json" >/dev/null
     echo "==> [bench-gate] compare against BENCH_pipeline.json"
     "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
         --candidate="$dir/fig5_insert.json" --section=fig5_insert
@@ -123,12 +139,17 @@ case "$mode" in
     "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
         --candidate="$dir/multiview.json" --section=multiview \
         --floor-ms=5
+    # Floor 2ms on the kernel rows: the fast kernels run ~1ms at 100k
+    # rows, so only movement beyond timer noise counts.
+    "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
+        --candidate="$dir/kernels.json" --section=kernels \
+        --floor-ms=2
     ;;&
-  release|sanitize|tsan|obs|bench-gate|all)
+  release|sanitize|tsan|obs|simd-off|bench-gate|all)
     echo "==> all requested configurations passed"
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|obs|bench-gate|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|obs|simd-off|bench-gate|all]" >&2
     exit 2
     ;;
 esac
