@@ -13,11 +13,15 @@
 // maintainers never see them, while immediate maintenance pays for both
 // statements.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <thread>
 
 #include "bench_util.h"
 #include "ivm/database.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_server.h"
 #include "tpch/views.h"
 
 namespace ojv {
@@ -50,6 +54,30 @@ int Run(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
   std::printf("TPC-H SF=%.3f (lineitem rows: ~%lld)\n", options.scale_factor,
               static_cast<long long>(options.scale_factor * 6000000));
+
+  // Live telemetry: `--metrics-port=9464` serves /metrics (Prometheus),
+  // /snapshot.json, and /flight.json on localhost for the whole run, so
+  // the admission tables below can be watched from curl or ojv_top
+  // while they execute.
+  obs::HttpExportServer metrics_server;
+  if (options.metrics_port != 0) {
+    if (metrics_server.Start(options.metrics_port)) {
+      std::printf("telemetry: http://127.0.0.1:%d/metrics\n",
+                  metrics_server.port());
+      // Arm SIGUSR2 flight dumps too: a served bench is the process the
+      // README tells people to poke, and without a handler the default
+      // SIGUSR2 disposition kills it.
+      if (obs::FlightRecorder::Global().StartSignalDumps("/tmp/ojv")) {
+        std::printf("flight dumps: kill -USR2 %d -> /tmp/ojv/flight-<n>.json\n",
+                    static_cast<int>(getpid()));
+      }
+    } else {
+      std::fprintf(stderr,
+                   "cannot serve telemetry on port %d (OJV_OBS=OFF build, "
+                   "or port in use)\n",
+                   options.metrics_port);
+    }
+  }
 
   tpch::DbgenOptions gen_options;
   gen_options.scale_factor = options.scale_factor;

@@ -1,0 +1,132 @@
+// Cost of the always-on telemetry layer on the V3 maintenance path.
+//
+// The same batched lineitem insert (one statement per batch, so the
+// evaluator runs thousands of per-node evaluations) is timed in three
+// instrumentation modes:
+//
+//   baseline    flight recorder off, no TraceContext — the bare
+//               maintenance pipeline
+//   recorder    flight recorder on at sample_every=1 (the always-on
+//               default): every span pays the sampling check plus four
+//               relaxed stores into the per-thread ring
+//   ours        recorder on + a TraceContext attached + one full
+//               exporter scrape (Prometheus text + JSON snapshot
+//               serialized to memory) per batch — everything the live
+//               telemetry endpoint costs while being polled
+//
+// Each mode runs kReps times per batch size and reports the minimum,
+// which is the right statistic for an overhead question on a noisy
+// 1-core container. `ours_ms` is the gated column (check.sh bench-gate,
+// sections obs_overhead / obs_overhead_off in BENCH_pipeline.json); the
+// overhead percentages are what DESIGN.md §15 quotes. Under
+// -DOJV_OBS=OFF all three modes compile to the same uninstrumented
+// loop, and the table pins that: the OFF build's three columns must
+// agree to within timer noise.
+
+#include <algorithm>
+#include <sstream>
+
+#include "bench_util.h"
+#include "ivm/database.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace bench {
+namespace {
+
+constexpr int kReps = 3;
+
+std::vector<Row> LineitemKeys(const std::vector<Row>& rows) {
+  std::vector<Row> keys;
+  keys.reserve(rows.size());
+  for (const Row& row : rows) {
+    keys.push_back(Row{row[0], row[3]});  // (l_orderkey, l_linenumber)
+  }
+  return keys;
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  std::printf("TPC-H SF=%.3f, obs_enabled=%s, %d reps/mode (min reported)\n",
+              options.scale_factor, obs::kEnabled ? "true" : "false", kReps);
+
+  Database db;
+  tpch::CreateSchema(db.catalog());
+  tpch::DbgenOptions gen_options;
+  gen_options.scale_factor = options.scale_factor;
+  gen_options.seed = options.seed;
+  tpch::Dbgen dbgen(gen_options);
+  dbgen.Populate(db.catalog());
+  db.CreateMaterializedView(tpch::MakeV3(*db.catalog()));
+  tpch::RefreshStream stream(db.catalog(), &dbgen, options.seed);
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const bool recorder_was_enabled = recorder.enabled();
+
+  JsonReport report("obs_overhead", options);
+  PrintHeader("Telemetry overhead on batched V3 maintenance",
+              {"Rows", "Baseline", "Recorder", "Ours", "Rec%", "Ours%"});
+  for (int64_t batch : options.batches) {
+    // One insert+restore cycle, maintenance timed; `trace` non-null
+    // attaches a TraceContext, `scrape` additionally serializes one
+    // exporter snapshot inside the timed region.
+    auto measure = [&](bool trace, bool scrape) {
+      double best = 1e18;
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::vector<Row> rows = stream.NewLineitems(batch);
+        obs::TraceContext ctx;
+        if (trace) db.set_trace(&ctx);
+        double ms = TimeMs([&] {
+          db.Insert("lineitem", rows);
+          if (scrape) {
+            std::ostringstream prom;
+            obs::WritePrometheus(obs::Registry::Global(), prom);
+            std::ostringstream json;
+            obs::WriteSnapshotJson(obs::Registry::Global(), json);
+          }
+        });
+        if (trace) db.set_trace(nullptr);
+        best = std::min(best, ms);
+        db.Delete("lineitem", LineitemKeys(rows));
+      }
+      return best;
+    };
+
+    recorder.SetEnabled(false);
+    double baseline_ms = measure(/*trace=*/false, /*scrape=*/false);
+    recorder.SetEnabled(true);
+    recorder.SetSampleEvery(1);
+    double recorder_ms = measure(/*trace=*/false, /*scrape=*/false);
+    double ours_ms = measure(/*trace=*/true, /*scrape=*/true);
+
+    auto pct = [&](double ms) {
+      return baseline_ms > 0 ? (ms / baseline_ms - 1.0) * 100.0 : 0.0;
+    };
+    char rec_pct[32], ours_pct[32];
+    std::snprintf(rec_pct, sizeof(rec_pct), "%+.1f%%", pct(recorder_ms));
+    std::snprintf(ours_pct, sizeof(ours_pct), "%+.1f%%", pct(ours_ms));
+    PrintRow({FormatCount(batch), FormatMs(baseline_ms), FormatMs(recorder_ms),
+              FormatMs(ours_ms), rec_pct, ours_pct});
+    report.BeginRow();
+    report.Count("batch_rows", batch);
+    report.Num("baseline_ms", baseline_ms);
+    report.Num("recorder_ms", recorder_ms);
+    report.Num("ours_ms", ours_ms);
+    report.Num("recorder_overhead_pct", pct(recorder_ms));
+    report.Num("ours_overhead_pct", pct(ours_ms));
+  }
+
+  recorder.SetEnabled(recorder_was_enabled);
+  report.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ojv
+
+int main(int argc, char** argv) { return ojv::bench::Run(argc, argv); }

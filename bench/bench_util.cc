@@ -43,6 +43,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.json_path = arg + 7;
     } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
       options.json_path = argv[++i];
+    } else if (std::strncmp(arg, "--metrics-port=", 15) == 0) {
+      options.metrics_port = std::atoi(arg + 15);
     }
   }
   if (!options.ParallelValid()) {

@@ -29,12 +29,18 @@ namespace bench {
 ///                      (--json=<path> works too); the file carries the
 ///                      benchmark name, options, host core count, and
 ///                      one object per printed row
+///   --metrics-port=N   serve live telemetry on 127.0.0.1:N for the
+///                      duration of the run (GET /metrics,
+///                      /snapshot.json, /flight.json — see
+///                      obs/http_server.h); 0 (default) = off, no-op
+///                      under OJV_OBS=OFF
 struct BenchOptions {
   double scale_factor = 0.05;
   uint64_t seed = 19940601;
   std::vector<int64_t> batches = {60, 600, 6000};
   int threads = 1;
   std::string json_path;
+  int metrics_port = 0;
 
   /// Parses the flags; when --threads exceeds the host's core count it
   /// prints a loud warning (the parallel columns then measure

@@ -102,6 +102,17 @@ AdmissionPlan AdmissionController::Plan(const std::vector<DueView>& due,
     hot_ = false;
   }
   plan.hot = hot_;
+  if constexpr (obs::kEnabled) {
+    // Live decision inputs: the hot flag and load score are *levels*
+    // (they go down), hence gauges. Score in milli-units — gauges are
+    // integral.
+    static obs::Gauge& hot_gauge =
+        obs::Registry::Global().GetGauge("ojv.deferred.admission.hot");
+    hot_gauge.Set(hot_ ? 1 : 0);
+    static obs::Gauge& load_gauge = obs::Registry::Global().GetGauge(
+        "ojv.deferred.admission.load_score_milli");
+    load_gauge.Set(static_cast<int64_t>(plan.load_score * 1000.0));
+  }
 
   // Record this scan's staleness samples, then split out promotions:
   // a view whose recent staleness percentile drifted past its ceiling

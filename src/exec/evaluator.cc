@@ -166,6 +166,15 @@ std::shared_ptr<const Relation> Evaluator::Eval(const RelExprPtr& expr) const {
   OJV_CHECK(expr != nullptr, "null relational expression");
   if constexpr (obs::kEnabled) {
     if (trace_ != nullptr) return EvalTraced(expr);
+    // Untraced runs still feed the flight recorder so a post-hoc dump
+    // shows per-operator timings, not just the enclosing Span.
+    if (obs::flight_hook::Sample()) {
+      const int64_t start = obs::flight_hook::NowMicros();
+      std::shared_ptr<const Relation> result = EvalNode(expr);
+      obs::flight_hook::Record(ExecSpanNameFor(expr->kind()), "exec", start,
+                               obs::flight_hook::NowMicros() - start);
+      return result;
+    }
   }
   return EvalNode(expr);
 }
@@ -216,6 +225,13 @@ std::shared_ptr<const Relation> Evaluator::EvalTraced(
   trace_->RecordComplete(ExecSpanNameFor(expr->kind()), "exec", start,
                          end - start,
                          std::move(args), std::move(str_args));
+  if (obs::flight_hook::Sample()) {
+    // Re-anchor on the recorder's clock: the context's micros are
+    // relative to the context's epoch, not the process's.
+    const int64_t fnow = obs::flight_hook::NowMicros();
+    obs::flight_hook::Record(ExecSpanNameFor(expr->kind()), "exec",
+                             fnow - (end - start), end - start);
+  }
   return result;
 }
 

@@ -20,6 +20,28 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Publishes a deferred view's live backlog pressure. Every due scan
+/// calls this for every threshold view (due or not), so the gauges
+/// track the backlog statement-by-statement; RecordRefresh writes the
+/// same staleness gauge with the consumed batch's figure, which is the
+/// identical quantity at the refresh instant.
+void PublishViewPressure(const std::string& view, int64_t pending_rows,
+                         double staleness_micros) {
+  if constexpr (obs::kEnabled) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetGauge(obs::LabeledMetric("ojv.deferred.view.pending_rows", "view",
+                                    view))
+        .Set(pending_rows);
+    reg.GetGauge(obs::LabeledMetric("ojv.deferred.view.staleness_micros",
+                                    "view", view))
+        .Set(static_cast<int64_t>(staleness_micros));
+  } else {
+    (void)view;
+    (void)pending_rows;
+    (void)staleness_micros;
+  }
+}
+
 }  // namespace
 
 void Database::set_trace(obs::TraceContext* trace) {
@@ -796,6 +818,7 @@ void Database::MaybeAutoRefresh(StatementResult* result) {
     const std::set<std::string>& tables = TablesOf(view);
     int64_t pending = delta_log_.PendingRows(view, tables);
     double staleness = delta_log_.OldestPendingMicros(view, tables);
+    PublishViewPressure(view, pending, staleness);
     if (!scheduler_.Due(view, pending, staleness)) continue;
     if (refresher_.running()) {
       refresher_.Notify();
@@ -823,6 +846,7 @@ void Database::DrainDueViews() {
     const std::set<std::string>& tables = TablesOf(view);
     int64_t pending = delta_log_.PendingRows(view, tables);
     double staleness = delta_log_.OldestPendingMicros(view, tables);
+    PublishViewPressure(view, pending, staleness);
     if (scheduler_.Due(view, pending, staleness)) RefreshLocked(view);
   }
 }
@@ -836,6 +860,7 @@ std::vector<deferred::DueView> Database::CollectDueViews() const {
     const std::set<std::string>& tables = TablesOf(view);
     int64_t pending = delta_log_.PendingRows(view, tables);
     double staleness = delta_log_.OldestPendingMicros(view, tables);
+    PublishViewPressure(view, pending, staleness);
     if (!scheduler_.Due(view, pending, staleness)) continue;
     const deferred::ThresholdConfig& config = scheduler_.config(view);
     due.push_back({view, pending, staleness, config.max_staleness_micros,
@@ -878,6 +903,8 @@ std::vector<deferred::DueView> Database::GroupDueViews(
 }
 
 void Database::AdmitAndRefresh(StatementResult* result) {
+  obs::Span admission_span(default_options_.trace, "deferred.admission",
+                           "deferred");
   std::vector<deferred::DueView> due = CollectDueViews();
   std::map<std::string, const multiview::ViewGroup*> group_reps;
   if (MultiviewActive()) {
@@ -891,6 +918,16 @@ void Database::AdmitAndRefresh(StatementResult* result) {
   // than on the next due view.
   deferred::AdmissionPlan plan =
       admission_->Plan(due, delta_log_.size(), obs::SteadyNowMicros());
+  admission_span.AddArg("due", static_cast<int64_t>(due.size()));
+  admission_span.AddArg("admitted",
+                        static_cast<int64_t>(plan.admitted.size()));
+  admission_span.AddArg("promoted",
+                        static_cast<int64_t>(plan.promoted.size()));
+  admission_span.AddArg("deferred",
+                        static_cast<int64_t>(plan.deferred.size()));
+  admission_span.AddArg("hot", plan.hot ? 1 : 0);
+  admission_span.AddArg("load_score_milli",
+                        static_cast<int64_t>(plan.load_score * 1000.0));
   for (const std::string& view : plan.admitted) {
     if (auto git = group_reps.find(view); git != group_reps.end()) {
       std::map<std::string, deferred::RefreshStats> all =

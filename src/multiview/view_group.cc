@@ -30,7 +30,6 @@ const ViewGroup* ViewGroupCatalog::GroupOf(const std::string& view) const {
 }
 
 void ViewGroupCatalog::Rebuild() {
-  int64_t old_count = static_cast<int64_t>(groups_.size());
   groups_.clear();
   member_to_group_.clear();
 
@@ -89,10 +88,24 @@ void ViewGroupCatalog::Rebuild() {
 
   ++version_;
   if constexpr (obs::kEnabled) {
-    // Tracks the *current* number of groups (adds the delta per rebuild).
-    static obs::Counter& groups_gauge =
-        obs::Registry::Global().GetCounter("ojv.multiview.groups");
-    groups_gauge.Add(static_cast<int64_t>(groups_.size()) - old_count);
+    obs::Registry& reg = obs::Registry::Global();
+    static obs::Gauge& groups_gauge = reg.GetGauge("ojv.multiview.groups");
+    groups_gauge.Set(static_cast<int64_t>(groups_.size()));
+    // Per-group membership. Zero the gauges of ids from the previous
+    // rebuild first: ids are regenerated every rebuild, so without this
+    // a vanished group would keep its last member count forever.
+    for (const std::string& id : published_gauge_ids_) {
+      reg.GetGauge(obs::LabeledMetric("ojv.multiview.group_members", "group",
+                                      id))
+          .Set(0);
+    }
+    published_gauge_ids_.clear();
+    for (const ViewGroup& group : groups_) {
+      reg.GetGauge(obs::LabeledMetric("ojv.multiview.group_members", "group",
+                                      group.id))
+          .Set(static_cast<int64_t>(group.members.size()));
+      published_gauge_ids_.push_back(group.id);
+    }
   }
 }
 

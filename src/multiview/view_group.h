@@ -74,6 +74,10 @@ class ViewGroupCatalog {
   std::map<std::string, size_t> member_to_group_;  // view -> groups_ index
   uint64_t version_ = 0;
   uint64_t next_id_ = 1;
+  /// Group ids whose member-count gauge was published: ids regenerate
+  /// on every rebuild, so vanished ids must be zeroed or the exporter
+  /// would keep reporting phantom groups.
+  std::vector<std::string> published_gauge_ids_;
 };
 
 }  // namespace multiview

@@ -1,0 +1,126 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ojv {
+namespace obs {
+namespace {
+
+// Splits a registry key "base{labels}" into the sanitized family name
+// and the label block ("" when unlabeled, else `{...}` verbatim).
+std::pair<std::string, std::string> SplitFamily(const std::string& name) {
+  size_t brace = name.find('{');
+  std::string base =
+      brace == std::string::npos ? name : name.substr(0, brace);
+  std::string labels =
+      brace == std::string::npos ? std::string() : name.substr(brace);
+  for (char& c : base) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!base.empty() && base[0] >= '0' && base[0] <= '9') {
+    base.insert(base.begin(), '_');
+  }
+  return {base, labels};
+}
+
+void TypeLineOnce(std::ostream& out, std::set<std::string>& emitted,
+                  const std::string& family, const char* type) {
+  if (emitted.insert(family).second) {
+    out << "# TYPE " << family << " " << type << "\n";
+  }
+}
+
+// Inserts an extra label into a (possibly empty) label block:
+// ("", quantile="0.5") => {quantile="0.5"};
+// ({view="x"}, ...)    => {view="x",quantile="0.5"}.
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  std::string out = labels;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+bool RenameInto(const std::string& tmp, const std::string& path,
+                std::string* error) {
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "rename failed: " + tmp + " -> " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteFileAtomic(const std::string& path, const std::string& body,
+                     std::string* error) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      if (error) *error = "cannot open " + tmp;
+      return false;
+    }
+    out << body;
+    out.flush();
+    if (!out) {
+      if (error) *error = "write failed: " + tmp;
+      return false;
+    }
+  }
+  return RenameInto(tmp, path, error);
+}
+
+std::string PrometheusName(const std::string& name) {
+  auto [base, labels] = SplitFamily(name);
+  return base + labels;
+}
+
+void WritePrometheus(const Registry& registry, std::ostream& out) {
+  std::set<std::string> typed;
+  for (const auto& [name, value] : registry.CounterSnapshot()) {
+    auto [family, labels] = SplitFamily(name);
+    family += "_total";
+    TypeLineOnce(out, typed, family, "counter");
+    out << family << labels << " " << value << "\n";
+  }
+  for (const auto& [name, value] : registry.GaugeSnapshot()) {
+    auto [family, labels] = SplitFamily(name);
+    TypeLineOnce(out, typed, family, "gauge");
+    out << family << labels << " " << value << "\n";
+  }
+  for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+    auto [family, labels] = SplitFamily(name);
+    TypeLineOnce(out, typed, family, "summary");
+    out << family << WithLabel(labels, "quantile=\"0.5\"") << " " << snap.p50
+        << "\n";
+    out << family << WithLabel(labels, "quantile=\"0.99\"") << " " << snap.p99
+        << "\n";
+    out << family << "_sum" << labels << " " << snap.sum << "\n";
+    out << family << "_count" << labels << " " << snap.count << "\n";
+  }
+}
+
+void WriteSnapshotJson(const Registry& registry, std::ostream& out) {
+  registry.WriteJson(out);
+}
+
+bool WriteSnapshotFiles(const Registry& registry, const std::string& dir,
+                        std::string* error) {
+  std::ostringstream prom;
+  WritePrometheus(registry, prom);
+  if (!WriteFileAtomic(dir + "/metrics.prom", prom.str(), error)) return false;
+  std::ostringstream json;
+  WriteSnapshotJson(registry, json);
+  return WriteFileAtomic(dir + "/snapshot.json", json.str(), error);
+}
+
+}  // namespace obs
+}  // namespace ojv

@@ -48,6 +48,34 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+std::string LabeledMetric(const std::string& base, const std::string& label_key,
+                          const std::string& label_value) {
+  std::string out;
+  out.reserve(base.size() + label_key.size() + label_value.size() + 5);
+  out += base;
+  out += '{';
+  out += label_key;
+  out += "=\"";
+  // Prometheus label-value escaping: backslash, double quote, newline.
+  for (char c : label_value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "\"}";
+  return out;
+}
+
 void Histogram::Record(int64_t value) {
   // Clamp negatives: a negative duration (wall-clock adjustment) would
   // land in bucket 0 regardless, but poison sum_ and every mean derived
@@ -98,6 +126,12 @@ Counter& Registry::GetCounter(const std::string& name) {
   return shard.counters[name];
 }
 
+Gauge& Registry::GetGauge(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.gauges[name];
+}
+
 Histogram& Registry::GetHistogram(const std::string& name) {
   Shard& shard = ShardFor(name);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -110,6 +144,18 @@ std::vector<std::pair<std::string, int64_t>> Registry::CounterSnapshot() const {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [name, counter] : shard.counters) {
       out.emplace_back(name, counter.value());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> Registry::GaugeSnapshot() const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, gauge] : shard.gauges) {
+      out.emplace_back(name, gauge.value());
     }
   }
   std::sort(out.begin(), out.end());
@@ -143,6 +189,13 @@ void Registry::WriteJson(std::ostream& out) const {
     first = false;
     out << "\"" << JsonEscape(name) << "\": " << value;
   }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : GaugeSnapshot()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\": " << value;
+  }
   out << "}, \"histograms\": {";
   first = true;
   for (const auto& [name, snap] : HistogramSnapshots()) {
@@ -159,6 +212,7 @@ void Registry::ResetForTest() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto& [name, counter] : shard.counters) counter.Reset();
+    for (auto& [name, gauge] : shard.gauges) gauge.Reset();
     for (auto& [name, hist] : shard.histograms) hist.Reset();
   }
 }

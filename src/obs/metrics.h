@@ -40,6 +40,38 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+/// Point-in-time level. Unlike Counter, a Gauge can go down: Set stores
+/// the current level (log depth, group count, hot-phase flag), Add
+/// applies a delta for call sites that track increments/decrements.
+/// Both are single relaxed atomics, safe from any thread. Same caching
+/// idiom as Counter:
+///
+///   if constexpr (obs::kEnabled) {
+///     static obs::Gauge& g =
+///         obs::Registry::Global().GetGauge("ojv.deferred.log_depth_rows");
+///     g.Set(static_cast<int64_t>(entries_.size()));
+///   }
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Builds a per-instance metric name in the Prometheus label idiom:
+/// LabeledMetric("ojv.deferred.view.staleness_micros", "view", "mv1")
+/// => `ojv.deferred.view.staleness_micros{view="mv1"}`. The registry
+/// treats the whole string as an opaque key; the exporter splits the
+/// base name from the label block so Prometheus sees one metric family
+/// with a `view` label rather than one family per view. Label values
+/// are escaped per the exposition format (backslash, quote, newline).
+std::string LabeledMetric(const std::string& base, const std::string& label_key,
+                          const std::string& label_value);
+
 /// Lock-free histogram over power-of-two buckets: bucket b counts
 /// samples in [2^(b-1), 2^b) (bucket 0 holds <= 0 and 1... precisely,
 /// samples v <= 1). Good to a factor of two, which is all the
@@ -96,15 +128,18 @@ class Registry {
   static Registry& Global();
 
   Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
   /// All counters (name, value), sorted by name. Zero-valued counters
   /// are included: a registered-but-zero counter is information.
   std::vector<std::pair<std::string, int64_t>> CounterSnapshot() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeSnapshot() const;
   std::vector<std::pair<std::string, HistogramSnapshot>> HistogramSnapshots()
       const;
 
-  /// JSON object fragment: {"counters": {...}, "histograms": {...}}.
+  /// JSON object fragment:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   void WriteJson(std::ostream& out) const;
 
   /// Zeroes every metric (tests). References stay valid — entries are
@@ -116,6 +151,7 @@ class Registry {
   struct Shard {
     mutable std::mutex mu;
     std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
     std::map<std::string, Histogram> histograms;
   };
   Shard& ShardFor(const std::string& name);

@@ -186,15 +186,16 @@ void WriteArgsJson(std::ostream& out, const TraceEvent& ev) {
 
 }  // namespace
 
-void TraceContext::WriteChromeTrace(std::ostream& out) const {
-  std::vector<TraceEvent> events = Snapshot();
-  int64_t now = NowMicros();
+void WriteChromeTraceEvents(std::ostream& out,
+                            const std::vector<TraceEvent>& events,
+                            int64_t now_micros) {
   out << "{\"traceEvents\": [\n";
   bool first = true;
   for (const TraceEvent& ev : events) {
     if (!first) out << ",\n";
     first = false;
-    int64_t dur = ev.dur_micros >= 0 ? ev.dur_micros : now - ev.start_micros;
+    int64_t dur =
+        ev.dur_micros >= 0 ? ev.dur_micros : now_micros - ev.start_micros;
     out << "  {\"name\": \"" << JsonEscape(ev.name) << "\", \"cat\": \""
         << JsonEscape(ev.category) << "\", \"ph\": \"X\", \"ts\": "
         << ev.start_micros << ", \"dur\": " << dur
@@ -203,6 +204,10 @@ void TraceContext::WriteChromeTrace(std::ostream& out) const {
     out << "}";
   }
   out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void TraceContext::WriteChromeTrace(std::ostream& out) const {
+  WriteChromeTraceEvents(out, Snapshot(), NowMicros());
 }
 
 void TraceContext::WriteStatsJson(std::ostream& out) const {

@@ -35,6 +35,26 @@ struct TraceEvent {
   const std::string* StrArg(const std::string& key) const;
 };
 
+/// Writes a flat event list as Chrome trace_event JSON
+/// ({"traceEvents": [...]}) — load it in chrome://tracing or
+/// https://ui.perfetto.dev. Shared by TraceContext::WriteChromeTrace
+/// and the flight recorder, so both dumps open in the same viewer.
+/// Still-open spans (dur < 0) are stamped with `now_micros` elapsed
+/// time so a crash dump stays loadable.
+void WriteChromeTraceEvents(std::ostream& out,
+                            const std::vector<TraceEvent>& events,
+                            int64_t now_micros);
+
+/// Hooks from Span into the process-wide flight recorder, implemented
+/// in flight_recorder.cc (declared here so trace.h need not include
+/// flight_recorder.h, which includes this header for TraceEvent).
+namespace flight_hook {
+bool Sample();
+int64_t NowMicros();
+void Record(const char* name, const char* category, int64_t start_micros,
+            int64_t dur_micros);
+}  // namespace flight_hook
+
 /// Per-maintenance trace buffer. Thread it through MaintenanceOptions
 /// (`options.trace = &ctx`) and every stage of the pipeline — plan
 /// build, primary/secondary delta, exec operators, deferred refresh —
@@ -122,6 +142,13 @@ class TraceContext {
 /// FinishWithDuration to stamp an externally measured duration instead
 /// (the maintainer feeds its MaintenanceStats micros in, so the legacy
 /// numbers and the trace are one measurement, not two).
+///
+/// Every Span — traced or not — also feeds the process-wide flight
+/// recorder (see obs/flight_recorder.h) when its sampling gate says
+/// yes, so the last few thousand spans are always reconstructible even
+/// with no TraceContext attached. `name` and `category` must be string
+/// literals (or otherwise process-lifetime): the recorder stores the
+/// pointers, not copies.
 class Span {
  public:
   Span() = default;
@@ -131,6 +158,11 @@ class Span {
         ctx_ = ctx;
         index_ = ctx->BeginSpan(name, category);
         start_ = ctx->NowMicros();
+      }
+      if (flight_hook::Sample()) {
+        flight_name_ = name;
+        flight_cat_ = category;
+        flight_start_ = flight_hook::NowMicros();
       }
     } else {
       (void)ctx;
@@ -151,7 +183,11 @@ class Span {
       start_ = other.start_;
       args_ = std::move(other.args_);
       str_args_ = std::move(other.str_args_);
+      flight_name_ = other.flight_name_;
+      flight_cat_ = other.flight_cat_;
+      flight_start_ = other.flight_start_;
       other.ctx_ = nullptr;
+      other.flight_name_ = nullptr;
     }
     return *this;
   }
@@ -178,8 +214,15 @@ class Span {
   /// Closes with measured wall time. Idempotent.
   void Finish() {
     if constexpr (kEnabled) {
-      if (ctx_ == nullptr) return;
-      FinishWithDuration(static_cast<double>(ctx_->NowMicros() - start_));
+      if (ctx_ != nullptr) {
+        FinishWithDuration(static_cast<double>(ctx_->NowMicros() - start_));
+        return;
+      }
+      if (flight_name_ != nullptr) {
+        flight_hook::Record(flight_name_, flight_cat_, flight_start_,
+                            flight_hook::NowMicros() - flight_start_);
+        flight_name_ = nullptr;
+      }
     }
   }
 
@@ -187,10 +230,16 @@ class Span {
   /// already times itself and the trace must agree exactly.
   void FinishWithDuration(double micros) {
     if constexpr (kEnabled) {
-      if (ctx_ == nullptr) return;
-      ctx_->EndSpan(index_, static_cast<int64_t>(micros), std::move(args_),
-                    std::move(str_args_));
-      ctx_ = nullptr;
+      if (ctx_ != nullptr) {
+        ctx_->EndSpan(index_, static_cast<int64_t>(micros), std::move(args_),
+                      std::move(str_args_));
+        ctx_ = nullptr;
+      }
+      if (flight_name_ != nullptr) {
+        flight_hook::Record(flight_name_, flight_cat_, flight_start_,
+                            static_cast<int64_t>(micros));
+        flight_name_ = nullptr;
+      }
     } else {
       (void)micros;
     }
@@ -200,6 +249,9 @@ class Span {
   TraceContext* ctx_ = nullptr;
   int index_ = -1;
   int64_t start_ = 0;
+  const char* flight_name_ = nullptr;
+  const char* flight_cat_ = nullptr;
+  int64_t flight_start_ = 0;
   std::vector<std::pair<std::string, int64_t>> args_;
   std::vector<std::pair<std::string, std::string>> str_args_;
 };

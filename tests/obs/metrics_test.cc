@@ -39,6 +39,33 @@ TEST(CounterTest, ThreadHammer) {
   EXPECT_EQ(counter.value(), int64_t{kThreads} * kPerThread);
 }
 
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.Set(42);
+  EXPECT_EQ(gauge.value(), 42);
+  gauge.Set(7);  // unlike Counter, a gauge can go down
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.value(), -3);  // and negative
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(GaugeTest, ThreadHammerOnAdd) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(gauge.value(), int64_t{kThreads} * kPerThread);
+}
+
 TEST(HistogramTest, CountSumAndBuckets) {
   Histogram h;
   h.Record(1);
@@ -189,12 +216,26 @@ TEST(RegistryTest, ConcurrentGetAndBump) {
   EXPECT_EQ(registry.GetHistogram("ojv.shared.h").count(), kThreads * 1000);
 }
 
+TEST(RegistryTest, SameNameSameGauge) {
+  Registry registry;
+  Gauge& a = registry.GetGauge("ojv.test.g");
+  Gauge& b = registry.GetGauge("ojv.test.g");
+  EXPECT_EQ(&a, &b);
+  a.Set(11);
+  auto snapshot = registry.GaugeSnapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, "ojv.test.g");
+  EXPECT_EQ(snapshot[0].second, 11);
+}
+
 TEST(RegistryTest, ResetForTestZeroesEverything) {
   Registry registry;
   registry.GetCounter("ojv.x").Add(9);
+  registry.GetGauge("ojv.g").Set(9);
   registry.GetHistogram("ojv.y").Record(9);
   registry.ResetForTest();
   EXPECT_EQ(registry.GetCounter("ojv.x").value(), 0);
+  EXPECT_EQ(registry.GetGauge("ojv.g").value(), 0);
   EXPECT_EQ(registry.GetHistogram("ojv.y").count(), 0);
 }
 

@@ -15,6 +15,8 @@
 #   tools/check.sh sanitize   # ASan/UBSan only
 #   tools/check.sh tsan       # ThreadSanitizer only
 #   tools/check.sh obs        # observability: traced run + OBS=OFF no-op
+#   tools/check.sh obs-export # live telemetry: exporter/recorder under TSan,
+#                             # OBS=OFF inertness, OFF-tree overhead gate
 #   tools/check.sh simd-off   # columnar scalar fallback under UBSan
 #   tools/check.sh bench-gate # fig5 + kernel timings vs BENCH_pipeline.json
 
@@ -55,6 +57,32 @@ case "$mode" in
     # metrics/trace join the filter for their thread-hammer cases.
     run_config tsan --tests 'parallel_executor|columnar|deferred|database|metrics|trace|admission|multiview' \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_TSAN=ON
+    ;;&
+  obs-export|all)
+    # Live-telemetry stage. Under TSan: the exporter's concurrent
+    # record-vs-serialize hammer, the flight recorder's
+    # record-vs-snapshot hammer (the all-atomic ring design's
+    # certification), and the trace/top tools end to end.
+    run_config obs-export --tests 'export_test|flight_recorder_test|metrics_test|trace|top_tool' \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_TSAN=ON -DOJV_OBS=ON
+    # The same tests against -DOJV_OBS=OFF: Start() returns false (no
+    # exporter thread, no HTTP socket), the recorder records nothing,
+    # and the tools degrade to empty-but-valid outputs.
+    run_config obs-export-off --tests 'export_test|flight_recorder_test|metrics_test|trace|top_tool' \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_OBS=OFF
+    # Overhead claim for the OFF tree: all three instrumentation modes
+    # of bench_obs_overhead compile to the same uninstrumented loop, so
+    # ours_ms must match the committed obs_overhead_off numbers (the
+    # ON-tree overhead rows run in the bench-gate stage, where no
+    # sanitizer distorts them).
+    offdir="$root/build-check-obs-export-off"
+    cmake --build "$offdir" -j "$jobs" \
+        --target bench_obs_overhead bench_gate >/dev/null
+    "$offdir/bench/bench_obs_overhead" --batches=60,600 \
+        --json="$offdir/obs_overhead_off.json" >/dev/null
+    "$offdir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
+        --candidate="$offdir/obs_overhead_off.json" \
+        --section=obs_overhead_off --floor-ms=2
     ;;&
   simd-off|all)
     # The explicit-SIMD kernels compiled out: every columnar operator
@@ -104,7 +132,8 @@ case "$mode" in
     echo "==> [bench-gate] build"
     cmake --build "$dir" -j "$jobs" \
         --target bench_fig5_insert bench_fig5_delete bench_deferred \
-        bench_multiview bench_operators bench_gate >/dev/null
+        bench_multiview bench_operators bench_obs_overhead \
+        bench_gate >/dev/null
     echo "==> [bench-gate] run fig5 benchmarks"
     "$dir/bench/bench_fig5_insert" --threads=4 \
         --json="$dir/fig5_insert.json" >/dev/null
@@ -122,6 +151,10 @@ case "$mode" in
     # Row-vs-columnar kernel suite: one row per hot operator.
     "$dir/bench/bench_operators" --kernels \
         --json="$dir/kernels.json" >/dev/null
+    # Telemetry overhead: recorder-on and full-export timings over the
+    # bare maintenance loop (the "no measurable overhead" claim, gated).
+    "$dir/bench/bench_obs_overhead" --batches=60,600 \
+        --json="$dir/obs_overhead.json" >/dev/null
     echo "==> [bench-gate] compare against BENCH_pipeline.json"
     "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
         --candidate="$dir/fig5_insert.json" --section=fig5_insert
@@ -144,12 +177,17 @@ case "$mode" in
     "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
         --candidate="$dir/kernels.json" --section=kernels \
         --floor-ms=2
+    # Floor 2ms on the overhead rows: the maintenance loop is a few ms
+    # at these batch sizes, so only real instrumentation cost counts.
+    "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
+        --candidate="$dir/obs_overhead.json" --section=obs_overhead \
+        --floor-ms=2
     ;;&
-  release|sanitize|tsan|obs|simd-off|bench-gate|all)
+  release|sanitize|tsan|obs|obs-export|simd-off|bench-gate|all)
     echo "==> all requested configurations passed"
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|obs|simd-off|bench-gate|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|obs|obs-export|simd-off|bench-gate|all]" >&2
     exit 2
     ;;
 esac

@@ -25,8 +25,12 @@
 #include <string>
 #include <vector>
 
+#include "common/date.h"
+#include "deferred/admission.h"
 #include "ivm/database.h"
 #include "ivm/explain.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tpch/dbgen.h"
@@ -66,6 +70,43 @@ Options ParseArgs(int argc, char** argv) {
   return options;
 }
 
+/// Overlapping deferred views forming one shared-plan group: both share
+/// the Δorders first delta step (the same date filter over the orders
+/// scan, joined to an unfiltered customer side); the second view widens
+/// to lineitem so the suffixes differ. Mirrors bench_multiview's
+/// cluster shape at trace scale.
+ViewDef MakeSharedView(const Catalog& catalog, int index) {
+  auto col = [](const char* table, const char* column) {
+    return ScalarExpr::Column(table, column);
+  };
+  RelExprPtr orders_side = RelExpr::Select(
+      RelExpr::Scan("orders"),
+      ScalarExpr::Compare(
+          CompareOp::kGe, col("orders", "o_orderdate"),
+          ScalarExpr::Literal(Value::Date(ParseDate("1993-01-01")))));
+  RelExprPtr tree = RelExpr::Join(
+      JoinKind::kLeftOuter, RelExpr::Scan("customer"), std::move(orders_side),
+      ScalarExpr::Compare(CompareOp::kEq, col("customer", "c_custkey"),
+                          col("orders", "o_custkey")));
+  std::vector<ColumnRef> output = {{"customer", "c_custkey"},
+                                   {"customer", "c_acctbal"},
+                                   {"orders", "o_orderkey"},
+                                   {"orders", "o_custkey"},
+                                   {"orders", "o_orderdate"}};
+  if (index % 2 == 1) {
+    tree = RelExpr::Join(JoinKind::kLeftOuter, std::move(tree),
+                         RelExpr::Scan("lineitem"),
+                         ScalarExpr::Compare(CompareOp::kEq,
+                                             col("orders", "o_orderkey"),
+                                             col("lineitem", "l_orderkey")));
+    output.push_back({"lineitem", "l_orderkey"});
+    output.push_back({"lineitem", "l_linenumber"});
+    output.push_back({"lineitem", "l_quantity"});
+  }
+  return ViewDef("mv_shared" + std::to_string(index), std::move(tree),
+                 std::move(output), catalog);
+}
+
 int CheckTrace(const obs::TraceContext& trace) {
   int failures = 0;
   auto require = [&](bool ok, const char* what) {
@@ -88,6 +129,13 @@ int CheckTrace(const obs::TraceContext& trace) {
   // Normalization spans must be present (their durations can round to
   // zero microseconds on small views, so only presence is required).
   for (const char* span : {"ivm.plan.jdnf", "ivm.plan.table"}) {
+    require(trace.HasSpan(span), span);
+  }
+  // PR 5-6 spans: admission decisions and the shared-prefix group
+  // refresh must show up for the multiview/admission tail of the
+  // workload. Presence-only — tiny batches round to zero micros.
+  for (const char* span : {"deferred.admission", "multiview.group_refresh",
+                           "multiview.shared_prefix"}) {
     require(trace.HasSpan(span), span);
   }
   // Theorem 3 prunes the secondary delta of V3's lineitem updates: the
@@ -150,6 +198,33 @@ int Run(int argc, char** argv) {
   // Bring the deferred view up to date: consolidation + batched replay.
   db.Refresh("oj_view");
 
+  // --- multiview + admission tail ---------------------------------------
+  // Two overlapping deferred views cluster into one shared-plan group;
+  // refreshing a member under kShared drains the group through the
+  // shared Δorders prefix (multiview.group_refresh +
+  // multiview.shared_prefix spans).
+  db.SetMultiviewMode(MultiviewMode::kShared);
+  for (int i = 0; i < 2; ++i) {
+    ViewDef def = MakeSharedView(*db.catalog(), i);
+    const std::string name = def.name();
+    db.CreateMaterializedView(std::move(def));
+    db.SetRefreshPolicy(name, deferred::RefreshPolicy::kOnDemand);
+  }
+  db.Insert("orders", refresh.NewOrders(20));
+  db.Refresh("mv_shared0");
+
+  // Admission control on, with a pending threshold the next statement
+  // trips: the due-view scan goes through AdmitAndRefresh, recording a
+  // deferred.admission span with the plan's audit args.
+  deferred::AdmissionConfig admission;
+  admission.enabled = true;
+  db.SetAdmissionControl(admission);
+  deferred::ThresholdConfig tight;
+  tight.max_pending_rows = 1;
+  db.SetRefreshPolicy("mv_shared0", deferred::RefreshPolicy::kThreshold,
+                      tight);
+  db.Insert("orders", refresh.NewOrders(2));
+
   db.set_trace(nullptr);
 
   // --- outputs ----------------------------------------------------------
@@ -176,6 +251,23 @@ int Run(int argc, char** argv) {
   std::printf("wrote %s (%zu events) and %s\n", trace_path.c_str(),
               trace.event_count(), stats_path.c_str());
 
+  // Live-telemetry artifacts: the exporter's snapshot files (the input
+  // ojv_top reads in --file mode) and a flight-recorder dump in the
+  // same Chrome format as trace.json.
+  std::string export_error;
+  if (!obs::WriteSnapshotFiles(obs::Registry::Global(), options.out_dir,
+                               &export_error)) {
+    std::fprintf(stderr, "%s\n", export_error.c_str());
+    return 1;
+  }
+  if (!obs::FlightRecorder::Global().DumpToFile(
+          options.out_dir + "/flight.json", &export_error)) {
+    std::fprintf(stderr, "%s\n", export_error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s/{metrics.prom, snapshot.json, flight.json}\n",
+              options.out_dir.c_str());
+
   if (options.check) {
     if (!obs::kEnabled) {
       std::printf("OJV_OBS=OFF build: trace is empty by design, check"
@@ -183,6 +275,10 @@ int Run(int argc, char** argv) {
       return 0;
     }
     int failures = CheckTrace(trace);
+    if (obs::FlightRecorder::Global().Snapshot().empty()) {
+      std::fprintf(stderr, "CHECK FAILED: flight recorder saw no spans\n");
+      ++failures;
+    }
     if (failures != 0) {
       std::fprintf(stderr, "%d trace check(s) failed\n", failures);
       return 1;
