@@ -1,5 +1,8 @@
 #include "common/rng.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 
 namespace ojv {
@@ -64,6 +67,26 @@ std::string Rng::Text(int min_len, int max_len) {
 Rng Rng::Fork(uint64_t salt) {
   uint64_t seed = Next() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
   return Rng(seed);
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double s) : s_(s) {
+  OJV_CHECK(n >= 1, "Zipf domain must be non-empty");
+  OJV_CHECK(s >= 0, "Zipf exponent must be non-negative");
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0;
+  for (int64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[static_cast<size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+int64_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin());
 }
 
 }  // namespace ojv

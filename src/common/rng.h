@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ojv {
 
@@ -38,6 +39,28 @@ class Rng {
  private:
   uint64_t s0_;
   uint64_t s1_;
+};
+
+/// Zipf-distributed rank sampler: P(rank k) ∝ 1/(k+1)^s over ranks
+/// [0, n). s = 0 degenerates to uniform; s around 1 is the classic
+/// web/retail skew. The CDF is precomputed once (O(n) doubles) so each
+/// draw is one Uniform double plus a binary search — deterministic
+/// across platforms, like the generator itself. Used by the skew
+/// benchmarks and the heavy-light equivalence property tests.
+class ZipfDistribution {
+ public:
+  /// Requires n >= 1 and s >= 0.
+  ZipfDistribution(int64_t n, double s);
+
+  /// Draws a rank in [0, n); rank 0 is the most probable.
+  int64_t Sample(Rng* rng) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
 };
 
 }  // namespace ojv

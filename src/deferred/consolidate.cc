@@ -6,25 +6,11 @@
 
 namespace ojv {
 namespace deferred {
+
+NetFold::NetFold(std::vector<int> key_positions)
+    : key_positions_(std::move(key_positions)) {}
+
 namespace {
-
-struct RowKeyLess {
-  bool operator()(const Row& a, const Row& b) const {
-    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
-      int c = a[i].SortCompare(b[i]);
-      if (c != 0) return c < 0;
-    }
-    return a.size() < b.size();
-  }
-};
-
-/// Net state of one key while walking its entries in log order.
-struct NetState {
-  bool has_old = false;  // pre-image deleted from the batch's pre-state
-  bool has_new = false;  // post-image present in the batch's post-state
-  Row old_row;
-  Row new_row;
-};
 
 Row KeyOf(const Row& row, const std::vector<int>& key_positions) {
   Row key;
@@ -33,50 +19,77 @@ Row KeyOf(const Row& row, const std::vector<int>& key_positions) {
   return key;
 }
 
-TableDelta ConsolidateTable(const std::string& table,
-                            const std::vector<DeltaEntry>& entries,
-                            const std::vector<int>& key_positions) {
-  TableDelta delta;
-  delta.table = table;
-  delta.first_seq = entries.front().seq;
-  delta.raw_entries = static_cast<int64_t>(entries.size());
+}  // namespace
 
-  std::map<Row, NetState, RowKeyLess> by_key;
-  for (const DeltaEntry& entry : entries) {
-    NetState& state = by_key[KeyOf(entry.row, key_positions)];
-    if (entry.op == DeltaOp::kInsert) {
-      // A second insert of a live key cannot be logged: the base table
-      // rejects duplicate keys at statement time.
-      OJV_CHECK(!state.has_new, "duplicate pending insert for one key");
-      state.has_new = true;
-      state.new_row = entry.row;
-    } else {
-      if (state.has_new) {
-        // Deleting a row inserted within the batch: the insert never
-        // reaches the view. With a pre-image too, the key collapses back
-        // to a pure delete of the original row.
-        state.has_new = false;
-        state.new_row.clear();
-      } else {
-        OJV_CHECK(!state.has_old, "duplicate pending delete for one key");
-        state.has_old = true;
-        state.old_row = entry.row;
-      }
-    }
+void NetFold::AddInsert(const Row& row) {
+  ++raw_entries_;
+  NetState& state = by_key_[KeyOf(row, key_positions_)];
+  // A second insert of a live key cannot be logged: the base table
+  // rejects duplicate keys at statement time.
+  OJV_CHECK(!state.has_new, "duplicate pending insert for one key");
+  state.has_new = true;
+  state.new_row = row;
+}
+
+void NetFold::AddDelete(const Row& row) {
+  ++raw_entries_;
+  NetState& state = by_key_[KeyOf(row, key_positions_)];
+  if (state.has_new) {
+    // Deleting a row inserted within the batch: the insert never
+    // reaches the view. With a pre-image too, the key collapses back
+    // to a pure delete of the original row.
+    state.has_new = false;
+    state.new_row.clear();
+  } else {
+    OJV_CHECK(!state.has_old, "duplicate pending delete for one key");
+    state.has_old = true;
+    state.old_row = row;
   }
+}
 
-  for (auto& [key, state] : by_key) {
+NetFold::Net NetFold::Take() {
+  Net net;
+  net.raw_entries = raw_entries_;
+  for (auto& [key, state] : by_key_) {
     if (state.has_old && state.has_new && state.old_row == state.new_row) {
       // delete + reinsert of the identical row: no net effect.
       continue;
     }
-    if (state.has_old && state.has_new) ++delta.update_pairs;
-    if (state.has_old) delta.deletes.push_back(std::move(state.old_row));
-    if (state.has_new) delta.inserts.push_back(std::move(state.new_row));
+    if (state.has_old && state.has_new) ++net.update_pairs;
+    if (state.has_old) net.deletes.push_back(std::move(state.old_row));
+    if (state.has_new) net.inserts.push_back(std::move(state.new_row));
   }
-  delta.cancelled =
-      delta.raw_entries - static_cast<int64_t>(delta.deletes.size()) -
-      static_cast<int64_t>(delta.inserts.size());
+  net.cancelled = net.raw_entries -
+                  static_cast<int64_t>(net.deletes.size()) -
+                  static_cast<int64_t>(net.inserts.size());
+  by_key_.clear();
+  raw_entries_ = 0;
+  return net;
+}
+
+namespace {
+
+TableDelta ConsolidateTable(const std::string& table,
+                            const std::vector<DeltaEntry>& entries,
+                            const std::vector<int>& key_positions) {
+  NetFold fold(key_positions);
+  for (const DeltaEntry& entry : entries) {
+    if (entry.op == DeltaOp::kInsert) {
+      fold.AddInsert(entry.row);
+    } else {
+      fold.AddDelete(entry.row);
+    }
+  }
+  NetFold::Net net = fold.Take();
+
+  TableDelta delta;
+  delta.table = table;
+  delta.first_seq = entries.front().seq;
+  delta.raw_entries = net.raw_entries;
+  delta.deletes = std::move(net.deletes);
+  delta.inserts = std::move(net.inserts);
+  delta.update_pairs = net.update_pairs;
+  delta.cancelled = net.cancelled;
   return delta;
 }
 

@@ -1,0 +1,57 @@
+#include "exec/partition_split.h"
+
+#include "common/check.h"
+
+namespace ojv {
+namespace {
+
+bool RowIsHeavy(const Row& row, const std::vector<int>& probe_positions,
+                const HeavyProbe& probe) {
+  for (int pos : probe_positions) {
+    const Value& v = row[static_cast<size_t>(pos)];
+    if (v.is_null()) continue;
+    if (probe(pos, v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SplitResult SplitByHeavyKeys(const std::vector<Row>& rows,
+                             const std::vector<int>& probe_positions,
+                             const HeavyProbe& probe) {
+  SplitResult out;
+  out.light.reserve(rows.size());
+  for (const Row& row : rows) {
+    if (RowIsHeavy(row, probe_positions, probe)) {
+      out.heavy.push_back(row);
+    } else {
+      out.light.push_back(row);
+    }
+  }
+  return out;
+}
+
+SplitPairResult SplitPairsByHeavyKeys(const std::vector<Row>& old_rows,
+                                      const std::vector<Row>& new_rows,
+                                      const std::vector<int>& probe_positions,
+                                      const HeavyProbe& probe) {
+  OJV_CHECK(old_rows.size() == new_rows.size(),
+            "update pairs must be aligned");
+  SplitPairResult out;
+  out.light_old.reserve(old_rows.size());
+  out.light_new.reserve(new_rows.size());
+  for (size_t i = 0; i < old_rows.size(); ++i) {
+    if (RowIsHeavy(old_rows[i], probe_positions, probe) ||
+        RowIsHeavy(new_rows[i], probe_positions, probe)) {
+      out.heavy_old.push_back(old_rows[i]);
+      out.heavy_new.push_back(new_rows[i]);
+    } else {
+      out.light_old.push_back(old_rows[i]);
+      out.light_new.push_back(new_rows[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ojv

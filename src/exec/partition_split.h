@@ -1,0 +1,52 @@
+#ifndef OJV_EXEC_PARTITION_SPLIT_H_
+#define OJV_EXEC_PARTITION_SPLIT_H_
+
+#include <functional>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/value.h"
+
+namespace ojv {
+
+/// Partition-split operator for skew-adaptive maintenance (DESIGN.md
+/// §16): routes each delta row into the light or heavy partition by
+/// probing a classifier on the row's join-key columns. A row is heavy
+/// when ANY probed column classifies heavy — partitions must be closed
+/// under view-level key interaction (orphan fixup and duplicate-key
+/// application both match on join-key equality), so a row touching one
+/// hot join key is diverted whole.
+///
+/// The probe receives the column ordinal and the value at it; NULLs are
+/// never probed (a NULL join key matches nothing, hence fans out to
+/// nothing).
+using HeavyProbe = std::function<bool(int column_pos, const Value& value)>;
+
+struct SplitResult {
+  std::vector<Row> light;
+  std::vector<Row> heavy;
+};
+
+SplitResult SplitByHeavyKeys(const std::vector<Row>& rows,
+                             const std::vector<int>& probe_positions,
+                             const HeavyProbe& probe);
+
+/// Pair-aligned variant for UPDATE streams (delete+insert of one key):
+/// pair i is heavy when either half classifies heavy — the halves share
+/// a primary key, so they must land in the same partition or the eager
+/// half would touch view rows the lazy half still owes.
+struct SplitPairResult {
+  std::vector<Row> light_old;
+  std::vector<Row> light_new;
+  std::vector<Row> heavy_old;
+  std::vector<Row> heavy_new;
+};
+
+SplitPairResult SplitPairsByHeavyKeys(const std::vector<Row>& old_rows,
+                                      const std::vector<Row>& new_rows,
+                                      const std::vector<int>& probe_positions,
+                                      const HeavyProbe& probe);
+
+}  // namespace ojv
+
+#endif  // OJV_EXEC_PARTITION_SPLIT_H_

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "exec/evaluator.h"
+#include "obs/metrics.h"
 
 namespace ojv {
 namespace {
@@ -39,12 +40,21 @@ AggViewMaintainer::AggViewMaintainer(const Catalog* catalog, ViewDef base,
       aggregates_(std::move(aggregates)) {
   // Aggregation views always compute ΔV^I from base tables (§3.3/§5.3).
   options.secondary_strategy = SecondaryStrategy::kFromBaseTables;
+  // Heavy-light diversion happens in the wrapper, before the group
+  // merge; the inner plan-set maintainers must never divert themselves.
+  const SkewMode skew = options.skew;
+  options.skew = SkewMode::kUniform;
   inner_ = std::make_unique<ViewMaintainer>(catalog, base, options);
   if (options.exploit_foreign_keys) {
     MaintenanceOptions fkfree = options;
     fkfree.exploit_foreign_keys = false;
     fkfree_inner_ =
         std::make_unique<ViewMaintainer>(catalog, std::move(base), fkfree);
+  }
+  if (skew == SkewMode::kHeavyLight) {
+    heavy_ = std::make_unique<HeavyLightController>(
+        catalog, inner_->view_def(), options.heavy);
+    heavy_->set_drain_hook([this] { DrainHeavyState(); });
   }
 
   const BoundSchema& schema = inner_->view_def().output_schema();
@@ -147,6 +157,57 @@ void AggViewMaintainer::InitializeView() {
   for (const Row& row : contents.rows()) ApplyRow(row, +1, &groups_);
 }
 
+void AggViewMaintainer::CheckHeavyConflict(const std::string& table,
+                                           bool can_divert) const {
+  if (heavy_ == nullptr || draining_heavy_) return;
+  OJV_CHECK(!heavy_->NeedsDrainBefore(table, can_divert),
+            "pending heavy-key state conflicts with this operation; call "
+            "PrepareHeavyForOp before applying the base change");
+}
+
+void AggViewMaintainer::PrepareHeavyForOp(const std::string& table,
+                                          PlanPolicy policy, bool is_update) {
+  if (heavy_ == nullptr || draining_heavy_) return;
+  if (heavy_->NeedsDrainBefore(table, CanDivert(table, policy, is_update))) {
+    DrainHeavyState();
+  }
+}
+
+MaintenanceStats AggViewMaintainer::DrainHeavyState() {
+  MaintenanceStats stats;
+  if (heavy_ == nullptr || draining_heavy_ || !heavy_->HasPending()) {
+    return stats;
+  }
+  draining_heavy_ = true;
+  HeavyState::DrainBatch batch = heavy_->Take();
+  obs::Span span(inner_->trace(), "heavy_state.drain", "ivm");
+  span.AddArg("view", inner_->view_def().name());
+  span.AddArg("table", batch.table);
+  span.AddArg("raw_entries", batch.raw_entries);
+  span.AddArg("net_deletes", static_cast<int64_t>(batch.deletes.size()));
+  span.AddArg("net_inserts", static_cast<int64_t>(batch.inserts.size()));
+  span.AddArg("update_pairs", batch.update_pairs);
+  auto start = std::chrono::steady_clock::now();
+  const PlanPolicy policy = batch.update_pairs > 0
+                                ? PlanPolicy::kConstraintFree
+                                : PlanPolicy::kDefault;
+  if (!batch.deletes.empty()) {
+    stats.Merge(OnDelete(batch.table, batch.deletes, policy));
+  }
+  if (!batch.inserts.empty()) {
+    stats.Merge(OnInsert(batch.table, batch.inserts, policy));
+  }
+  if constexpr (obs::kEnabled) {
+    obs::Registry::Global()
+        .GetCounter("ojv.ivm.heavy.drained_rows")
+        .Add(static_cast<int64_t>(batch.deletes.size() +
+                                  batch.inserts.size()));
+  }
+  span.FinishWithDuration(MicrosSince(start));
+  draining_heavy_ = false;
+  return stats;
+}
+
 MaintenanceStats AggViewMaintainer::OnInsert(const std::string& table,
                                              const std::vector<Row>& rows,
                                              PlanPolicy policy) {
@@ -154,6 +215,18 @@ MaintenanceStats AggViewMaintainer::OnInsert(const std::string& table,
       policy == PlanPolicy::kConstraintFree && fkfree_inner_ != nullptr
           ? fkfree_inner_.get()
           : inner_.get();
+  if (heavy_ != nullptr) heavy_->OnInsert(table, rows);
+  const bool can_divert =
+      CanDivert(table, policy, /*is_update=*/false) && !draining_heavy_;
+  CheckHeavyConflict(table, can_divert);
+  if (can_divert) {
+    std::vector<Row> light =
+        heavy_->SplitBatch(table, rows, /*is_insert=*/true);
+    MaintenanceStats stats =
+        Maintain(planner, table, light, /*is_insert=*/true);
+    if (stats_hook_) stats_hook_(table, stats);
+    return stats;
+  }
   MaintenanceStats stats = Maintain(planner, table, rows, /*is_insert=*/true);
   if (stats_hook_) stats_hook_(table, stats);
   return stats;
@@ -166,6 +239,18 @@ MaintenanceStats AggViewMaintainer::OnDelete(const std::string& table,
       policy == PlanPolicy::kConstraintFree && fkfree_inner_ != nullptr
           ? fkfree_inner_.get()
           : inner_.get();
+  if (heavy_ != nullptr) heavy_->OnDelete(table, rows);
+  const bool can_divert =
+      CanDivert(table, policy, /*is_update=*/false) && !draining_heavy_;
+  CheckHeavyConflict(table, can_divert);
+  if (can_divert) {
+    std::vector<Row> light =
+        heavy_->SplitBatch(table, rows, /*is_insert=*/false);
+    MaintenanceStats stats =
+        Maintain(planner, table, light, /*is_insert=*/false);
+    if (stats_hook_) stats_hook_(table, stats);
+    return stats;
+  }
   MaintenanceStats stats = Maintain(planner, table, rows, /*is_insert=*/false);
   if (stats_hook_) stats_hook_(table, stats);
   return stats;
@@ -176,6 +261,22 @@ MaintenanceStats AggViewMaintainer::OnUpdate(const std::string& table,
                                              const std::vector<Row>& new_rows) {
   ViewMaintainer* planner =
       fkfree_inner_ != nullptr ? fkfree_inner_.get() : inner_.get();
+  if (heavy_ != nullptr) heavy_->OnUpdate(table, old_rows, new_rows);
+  const bool can_divert =
+      CanDivert(table, PlanPolicy::kConstraintFree, /*is_update=*/true) &&
+      !draining_heavy_;
+  CheckHeavyConflict(table, can_divert);
+  if (can_divert) {
+    std::vector<Row> light_old, light_new;
+    heavy_->SplitPairs(table, old_rows, new_rows, &light_old, &light_new);
+    MaintenanceStats stats =
+        Maintain(planner, table, light_old, /*is_insert=*/false);
+    stats.Merge(Maintain(planner, table, light_new, /*is_insert=*/true));
+    stats.direct_terms = 0;
+    stats.indirect_terms = 0;
+    if (stats_hook_) stats_hook_(table, stats);
+    return stats;
+  }
   MaintenanceStats stats = Maintain(planner, table, old_rows,
                                     /*is_insert=*/false);
   stats.Merge(Maintain(planner, table, new_rows, /*is_insert=*/true));
@@ -190,6 +291,9 @@ MaintenanceStats AggViewMaintainer::OnConsolidatedBatch(
     const std::vector<Row>& net_inserts, PlanPolicy policy) {
   OJV_CHECK(base != nullptr && base->name() == table,
             "consolidated batch must target its own base table");
+  // This entry point applies the base changes itself, so it can honor
+  // the pre-apply drain contract internally.
+  PrepareHeavyForOp(table, policy);
   MaintenanceStats stats;
   if (!net_deletes.empty()) {
     std::vector<Row> keys;
@@ -223,6 +327,14 @@ MaintenanceStats AggViewMaintainer::OnSharedDelta(
       policy == PlanPolicy::kConstraintFree && fkfree_inner_ != nullptr
           ? fkfree_inner_.get()
           : inner_.get();
+  if (heavy_ != nullptr) {
+    if (is_insert) {
+      heavy_->OnInsert(table, rows);
+    } else {
+      heavy_->OnDelete(table, rows);
+    }
+  }
+  CheckHeavyConflict(table, /*can_divert=*/false);
   MaintenanceStats stats = Maintain(planner, table, rows, is_insert,
                                     &shared_suffix, &shared_prefix);
   if (stats_hook_) stats_hook_(table, stats);

@@ -99,6 +99,27 @@ class AggViewMaintainer {
     stats_hook_ = std::move(hook);
   }
 
+  // --- skew-adaptive maintenance (options.skew = kHeavyLight) ---
+  // The wrapper owns its own heavy-light controller (the inner plan-set
+  // maintainers run kUniform — diversion must happen before the group
+  // merge, not inside the row-level pipeline the wrapper borrows plans
+  // from). Contracts mirror ViewMaintainer's.
+
+  /// See ViewMaintainer::PrepareHeavyForOp: call BEFORE applying a
+  /// conflicting base change.
+  void PrepareHeavyForOp(const std::string& table, PlanPolicy policy,
+                         bool is_update = false);
+
+  /// Folds pending heavy-key lazy state into the groups; no-op when
+  /// nothing pends.
+  MaintenanceStats DrainHeavyState();
+
+  int64_t HeavyPendingRows() const {
+    return heavy_ != nullptr ? heavy_->pending_rows() : 0;
+  }
+
+  HeavyLightController* heavy_controller() { return heavy_.get(); }
+
   int64_t num_groups() const { return static_cast<int64_t>(groups_.size()); }
 
   /// Snapshot: group columns, then "row_count", then the declared
@@ -182,6 +203,17 @@ class AggViewMaintainer {
   /// (name, first-key position in the base view's schema).
   std::vector<std::pair<std::string, int>> notnull_tables_;
   MaintenanceStatsHook stats_hook_;
+  /// Heavy-light partitioning state; null under skew = kUniform.
+  std::unique_ptr<HeavyLightController> heavy_;
+  bool draining_heavy_ = false;
+
+  bool CanDivert(const std::string& table, PlanPolicy policy,
+                 bool is_update) const {
+    return heavy_ != nullptr &&
+           (is_update || policy == PlanPolicy::kDefault) &&
+           heavy_->HasEdges(table);
+  }
+  void CheckHeavyConflict(const std::string& table, bool can_divert) const;
 };
 
 }  // namespace ojv

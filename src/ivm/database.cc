@@ -220,6 +220,42 @@ void Database::Accumulate(const std::string& view,
   total.micros += stats.total_micros;
 }
 
+void Database::PrepareHeavyViews(const std::string& table, bool is_update) {
+  const PlanPolicy policy = CurrentPolicy();
+  for (auto& [name, view] : views_) {
+    if (view->view_def().tables().count(table) == 0) continue;
+    if (DeferredNow(name)) continue;
+    view->PrepareHeavyForOp(table, policy, is_update);
+  }
+  for (auto& [name, view] : agg_views_) {
+    if (view->base_view().tables().count(table) == 0) continue;
+    if (DeferredNow(name)) continue;
+    view->PrepareHeavyForOp(table, policy, is_update);
+  }
+}
+
+MaintenanceStats Database::DrainHeavyView(const std::string& name) {
+  MaintenanceStats stats;
+  if (auto it = views_.find(name); it != views_.end()) {
+    stats = it->second->DrainHeavyState();
+  } else if (auto ait = agg_views_.find(name); ait != agg_views_.end()) {
+    stats = ait->second->DrainHeavyState();
+  }
+  if (stats.delta_rows > 0 || stats.total_micros > 0) {
+    Accumulate(name, stats);
+  }
+  return stats;
+}
+
+void Database::DrainHeavyBacklog() {
+  for (auto& [name, view] : views_) {
+    if (view->HeavyPendingRows() > 0) DrainHeavyView(name);
+  }
+  for (auto& [name, view] : agg_views_) {
+    if (view->HeavyPendingRows() > 0) DrainHeavyView(name);
+  }
+}
+
 std::string Database::StatsReport() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   std::ostringstream out;
@@ -281,6 +317,11 @@ void Database::SetRefreshPolicy(const std::string& view,
     RefreshLocked(view);
     delta_log_.UnregisterConsumer(view);
   }
+  if (!was_deferred && now_deferred) {
+    // The view must be fully up to date at registration — fold any
+    // heavy-key backlog its eager maintenance left behind.
+    DrainHeavyView(view);
+  }
   scheduler_.SetPolicy(view, policy, config);
   if (!was_deferred && now_deferred) delta_log_.RegisterConsumer(view);
 }
@@ -295,6 +336,16 @@ int64_t Database::PendingRows(const std::string& view) const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!scheduler_.IsDeferred(view)) return 0;
   return delta_log_.PendingRows(view, TablesOf(view));
+}
+
+int64_t Database::HeavyPendingRows(const std::string& view) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (auto it = views_.find(view); it != views_.end()) {
+    return it->second->HeavyPendingRows();
+  }
+  auto ait = agg_views_.find(view);
+  OJV_CHECK(ait != agg_views_.end(), "unknown view");
+  return ait->second->HeavyPendingRows();
 }
 
 int64_t Database::DeltaLogSize() const {
@@ -329,6 +380,7 @@ const MaterializedView* Database::ReadView(const std::string& name) {
   auto it = views_.find(name);
   if (it == views_.end()) return nullptr;
   if (!in_transaction_ && scheduler_.IsDeferred(name)) RefreshLocked(name);
+  DrainHeavyView(name);
   return &it->second->view();
 }
 
@@ -337,6 +389,7 @@ Relation Database::ReadAggregateRelation(const std::string& name) {
   auto it = agg_views_.find(name);
   OJV_CHECK(it != agg_views_.end(), "unknown aggregate view");
   if (!in_transaction_ && scheduler_.IsDeferred(name)) RefreshLocked(name);
+  DrainHeavyView(name);
   return it->second->AsRelation();
 }
 
@@ -433,6 +486,15 @@ deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
                                           PlanPolicy::kDefault)
                      : agg_view->OnInsert(d.table, d.inserts,
                                           PlanPolicy::kDefault));
+      }
+      // Heavy-key rows the replay diverted must fold before the refresh
+      // ends: statements mutate base without preparing deferred views,
+      // so pending lazy state must never outlive the refresh.
+      const MaintenanceStats drained =
+          row_view != nullptr ? row_view->DrainHeavyState()
+                              : agg_view->DrainHeavyState();
+      if (drained.delta_rows > 0 || drained.total_micros > 0) {
+        maintain(drained);
       }
     } else if (!active.empty()) {
       // General batch (several tables, or delete+reinsert pairs): revert
@@ -698,6 +760,14 @@ void Database::RefreshCohort(
     // pre- and post-batch states coincide by definition of cancellation.
   }
 
+  // As in RefreshLocked: heavy-key rows diverted during the cohort
+  // replay fold before the refresh ends, so no member leaves pending
+  // lazy state behind while statements keep mutating base unprepared.
+  for (const std::string& m : members) {
+    const MaintenanceStats drained = DrainHeavyView(m);
+    (*out)[m].maintenance_micros += drained.total_micros;
+  }
+
   for (const Boost& b : boosted) {
     if (b.row != nullptr) {
       b.row->set_exec(b.saved);
@@ -837,6 +907,10 @@ void Database::DrainDueViews() {
   if (in_transaction_) return;  // transactions drain at Begin and run eager
   if (admission_ != nullptr) {
     AdmitAndRefresh(nullptr);
+    // Heavy-key backlogs drain on the worker tick too, behind the same
+    // gate: while the controller is hot the lazy state keeps absorbing
+    // skew, and folds as soon as pressure fades.
+    if (!admission_->hot()) DrainHeavyBacklog();
     return;
   }
   for (const std::string& view : scheduler_.DeferredViews()) {
@@ -849,6 +923,7 @@ void Database::DrainDueViews() {
     PublishViewPressure(view, pending, staleness);
     if (scheduler_.Due(view, pending, staleness)) RefreshLocked(view);
   }
+  DrainHeavyBacklog();
 }
 
 std::vector<deferred::DueView> Database::CollectDueViews() const {
@@ -1060,6 +1135,9 @@ Database::StatementResult Database::Insert(const std::string& table,
     result.error = "unknown table " + table;
     return result;
   }
+  // Pre-apply contract: conflicting heavy-key lazy state must fold
+  // while base still matches the state its rows were diverted under.
+  PrepareHeavyViews(table, /*is_update=*/false);
   Table* base = catalog_.GetTable(table);
   std::vector<Row> accepted;
   accepted.reserve(rows.size());
@@ -1149,6 +1227,9 @@ Database::StatementResult Database::DeleteLocked(const std::string& table,
     }
   }
 
+  // Pre-apply contract (see Insert): fold conflicting heavy-key state
+  // before the base delete lands.
+  PrepareHeavyViews(table, /*is_update=*/false);
   Table* base = catalog_.GetTable(table);
   std::vector<Row> deleted = ApplyBaseDelete(base, keys);
   result.rows_rejected +=
@@ -1201,6 +1282,9 @@ Database::StatementResult Database::Update(const std::string& table,
     }
   }
 
+  // Pre-apply contract (see Insert). Update pairs may divert even on
+  // constraint-free plans, so only cross-table pending forces a fold.
+  PrepareHeavyViews(table, /*is_update=*/true);
   std::vector<Row> old_rows;
   std::vector<Row> applied_new;
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -1259,6 +1343,9 @@ bool Database::BeginTransaction() {
   for (const std::string& view : scheduler_.DeferredViews()) {
     RefreshLocked(view);
   }
+  // Heavy-key backlogs fold too: the undo log's inverse statements
+  // assume the views' contents are complete when the transaction opens.
+  DrainHeavyBacklog();
   in_transaction_ = true;
   undo_log_.clear();
   return true;
@@ -1290,6 +1377,10 @@ void Database::Rollback() {
   StatementResult scratch;
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
     Table* base = catalog_.GetTable(it->table);
+    // Inverse statements mutate base like forward ones: fold conflicting
+    // heavy-key state first (reversed updates may have diverted rows).
+    PrepareHeavyViews(it->table,
+                      it->kind == UndoEntry::Kind::kReverseUpdate);
     switch (it->kind) {
       case UndoEntry::Kind::kDeleteInserted: {
         std::vector<Row> keys;

@@ -148,8 +148,15 @@ class Database {
 
   /// Read-your-writes access: brings a deferred view up to date, then
   /// returns its contents. This is the intended read path for kOnDemand.
+  /// Under skew = kHeavyLight the read also folds any pending heavy-key
+  /// lazy state, so reads always observe the full view.
   const MaterializedView* ReadView(const std::string& name);
   Relation ReadAggregateRelation(const std::string& name);
+
+  /// Rows diverted into the view's heavy-key lazy state and not yet
+  /// folded into its contents (0 for kUniform views). Reads fold the
+  /// backlog first, so only out-of-band inspection ever observes > 0.
+  int64_t HeavyPendingRows(const std::string& view) const;
 
   /// Starts/stops the background worker that drains kThreshold views.
   /// While running, threshold trips ping the worker instead of
@@ -256,6 +263,20 @@ class Database {
   bool DeferredNow(const std::string& view) const {
     return !in_transaction_ && scheduler_.IsDeferred(view);
   }
+
+  // --- skew-adaptive (heavy-light) internals ---
+
+  /// Pre-apply heavy-state hook (see ViewMaintainer::PrepareHeavyForOp):
+  /// called BEFORE a statement mutates `table`, so every eager view that
+  /// references the table folds conflicting heavy-key lazy state while
+  /// the base still matches the state the rows were diverted under.
+  void PrepareHeavyViews(const std::string& table, bool is_update);
+  /// Folds one view's heavy-key backlog into its contents (no-op when
+  /// nothing pends or the view runs kUniform); stats are accumulated.
+  MaintenanceStats DrainHeavyView(const std::string& name);
+  /// Opportunistically folds every view's heavy-key backlog (background
+  /// refresher tick, gated off while the admission controller is hot).
+  void DrainHeavyBacklog();
   /// Tables referenced by the (row or aggregate) view.
   const std::set<std::string>& TablesOf(const std::string& view) const;
   /// Stages a statement's rows for the deferred views that reference

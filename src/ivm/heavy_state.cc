@@ -1,0 +1,241 @@
+#include "ivm/heavy_state.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace ojv {
+
+HeavyState::HeavyState(int64_t max_pending_rows)
+    : max_pending_rows_(max_pending_rows) {}
+
+void HeavyState::EnsureTable(const std::string& table,
+                             const std::vector<int>& key_positions) {
+  if (fold_ != nullptr && table_ == table) return;
+  OJV_CHECK(empty(), "pending lazy state spans tables");
+  table_ = table;
+  fold_ = std::make_unique<deferred::NetFold>(key_positions);
+  pinned_.clear();
+  pending_rows_ = 0;
+}
+
+void HeavyState::DivertInsert(const std::string& table,
+                              const std::vector<int>& key_positions,
+                              const Row& row) {
+  EnsureTable(table, key_positions);
+  fold_->AddInsert(row);
+  ++pending_rows_;
+}
+
+void HeavyState::DivertDelete(const std::string& table,
+                              const std::vector<int>& key_positions,
+                              const Row& row) {
+  EnsureTable(table, key_positions);
+  fold_->AddDelete(row);
+  ++pending_rows_;
+}
+
+void HeavyState::Pin(int column_pos, const Value& v) {
+  pinned_[column_pos].insert(v);
+}
+
+bool HeavyState::IsPinned(int column_pos, const Value& v) const {
+  auto it = pinned_.find(column_pos);
+  return it != pinned_.end() && it->second.count(v) > 0;
+}
+
+HeavyState::DrainBatch HeavyState::Take() {
+  DrainBatch batch;
+  batch.table = table_;
+  if (fold_ != nullptr) {
+    deferred::NetFold::Net net = fold_->Take();
+    batch.deletes = std::move(net.deletes);
+    batch.inserts = std::move(net.inserts);
+    batch.update_pairs = net.update_pairs;
+    batch.raw_entries = net.raw_entries;
+  }
+  fold_.reset();
+  table_.clear();
+  pinned_.clear();
+  pending_rows_ = 0;
+  return batch;
+}
+
+HeavyLightController::HeavyLightController(const Catalog* catalog,
+                                           const ViewDef& view,
+                                           opt::HeavyHitterConfig config)
+    : catalog_(catalog),
+      hitters_(catalog, config),
+      state_(config.max_pending_rows) {
+  hitters_.set_scope(view.name());
+  // Join edges: cross-table equality conjuncts. Heaviness of a ΔT row is
+  // the frequency of its join-key value in the counterpart column — the
+  // fanout the delta pipeline pays for that row.
+  for (const ScalarExprPtr& c : view.conjuncts()) {
+    if (c->kind() != ScalarKind::kCompare ||
+        c->compare_op() != CompareOp::kEq ||
+        c->left()->kind() != ScalarKind::kColumn ||
+        c->right()->kind() != ScalarKind::kColumn) {
+      continue;
+    }
+    const ColumnRef& l = c->left()->column();
+    const ColumnRef& r = c->right()->column();
+    if (l.table == r.table) continue;
+    const Table* lt = catalog_->GetTable(l.table);
+    const Table* rt = catalog_->GetTable(r.table);
+    OJV_CHECK(lt != nullptr && rt != nullptr, "view references unknown table");
+    edges_[l.table].push_back(
+        {lt->schema().IndexOf(l.column), r.table, r.column});
+    edges_[r.table].push_back(
+        {rt->schema().IndexOf(r.column), l.table, l.column});
+    hitters_.Track(l.table, l.column);
+    hitters_.Track(r.table, r.column);
+  }
+  for (const auto& [table, table_edges] : edges_) {
+    std::vector<int>& positions = probe_positions_[table];
+    for (const JoinEdge& e : table_edges) positions.push_back(e.position);
+    std::sort(positions.begin(), positions.end());
+    positions.erase(std::unique(positions.begin(), positions.end()),
+                    positions.end());
+  }
+}
+
+bool HeavyLightController::ProbeHeavy(const JoinEdge& edge, int pos,
+                                      const Value& v, bool* demoted) {
+  if (state_.IsPinned(pos, v)) return true;
+  bool demoted_now = false;
+  bool heavy =
+      hitters_.IsHeavy(edge.other_table, edge.other_column, v, &demoted_now);
+  if (demoted_now) {
+    *demoted = true;
+    if constexpr (obs::kEnabled) {
+      obs::Registry::Global().GetCounter("ojv.ivm.heavy.demotions").Add(1);
+    }
+  }
+  return heavy;
+}
+
+std::vector<Row> HeavyLightController::SplitBatch(const std::string& table,
+                                                  const std::vector<Row>& rows,
+                                                  bool is_insert) {
+  const Table* t = catalog_->GetTable(table);
+  OJV_CHECK(t != nullptr, "split over unknown table");
+  const std::vector<JoinEdge>& table_edges = edges_.at(table);
+  // Classification may demote a key that still has pinned pending state;
+  // the pin would keep diverting it forever, so fold everything in and
+  // classify once more with the pins gone. The second pass starts from an
+  // empty state and cannot need a third.
+  for (int pass = 0; pass < 2; ++pass) {
+    bool demoted = false;
+    auto probe = [&](int pos, const Value& v) {
+      bool heavy = false;
+      for (const JoinEdge& e : table_edges) {
+        if (e.position == pos && ProbeHeavy(e, pos, v, &demoted)) heavy = true;
+      }
+      return heavy;
+    };
+    SplitResult split =
+        SplitByHeavyKeys(rows, probe_positions_.at(table), probe);
+    if (pass == 0 && demoted && HasPending()) {
+      OJV_CHECK(drain_hook_ != nullptr, "heavy-light split without drain hook");
+      drain_hook_();
+      continue;
+    }
+    for (const Row& row : split.heavy) {
+      if (is_insert) {
+        state_.DivertInsert(table, t->key_positions(), row);
+      } else {
+        state_.DivertDelete(table, t->key_positions(), row);
+      }
+      PinRow(table, row);
+    }
+    if (!split.heavy.empty()) {
+      if constexpr (obs::kEnabled) {
+        obs::Registry::Global()
+            .GetCounter("ojv.ivm.heavy.diverted_rows")
+            .Add(static_cast<int64_t>(split.heavy.size()));
+      }
+    }
+    if (state_.AtCapacity() && drain_hook_ != nullptr) drain_hook_();
+    return std::move(split.light);
+  }
+  OJV_CHECK(false, "unreachable");
+  return {};
+}
+
+void HeavyLightController::SplitPairs(const std::string& table,
+                                      const std::vector<Row>& old_rows,
+                                      const std::vector<Row>& new_rows,
+                                      std::vector<Row>* light_old,
+                                      std::vector<Row>* light_new) {
+  const Table* t = catalog_->GetTable(table);
+  OJV_CHECK(t != nullptr, "split over unknown table");
+  const std::vector<JoinEdge>& table_edges = edges_.at(table);
+  for (int pass = 0; pass < 2; ++pass) {
+    bool demoted = false;
+    auto probe = [&](int pos, const Value& v) {
+      bool heavy = false;
+      for (const JoinEdge& e : table_edges) {
+        if (e.position == pos && ProbeHeavy(e, pos, v, &demoted)) heavy = true;
+      }
+      return heavy;
+    };
+    SplitPairResult split = SplitPairsByHeavyKeys(
+        old_rows, new_rows, probe_positions_.at(table), probe);
+    if (pass == 0 && demoted && HasPending()) {
+      OJV_CHECK(drain_hook_ != nullptr, "heavy-light split without drain hook");
+      drain_hook_();
+      continue;
+    }
+    for (size_t i = 0; i < split.heavy_old.size(); ++i) {
+      // The pair diverts as delete(old)+insert(new); the fold nets
+      // repeated updates of one key into a single update pair.
+      state_.DivertDelete(table, t->key_positions(), split.heavy_old[i]);
+      state_.DivertInsert(table, t->key_positions(), split.heavy_new[i]);
+      PinRow(table, split.heavy_old[i]);
+      PinRow(table, split.heavy_new[i]);
+    }
+    if (!split.heavy_old.empty()) {
+      if constexpr (obs::kEnabled) {
+        obs::Registry::Global()
+            .GetCounter("ojv.ivm.heavy.diverted_rows")
+            .Add(static_cast<int64_t>(split.heavy_old.size() +
+                                      split.heavy_new.size()));
+      }
+    }
+    *light_old = std::move(split.light_old);
+    *light_new = std::move(split.light_new);
+    if (state_.AtCapacity() && drain_hook_ != nullptr) drain_hook_();
+    return;
+  }
+  OJV_CHECK(false, "unreachable");
+}
+
+void HeavyLightController::PinRow(const std::string& table, const Row& row) {
+  for (int pos : probe_positions_.at(table)) {
+    const Value& v = row[static_cast<size_t>(pos)];
+    if (!v.is_null()) state_.Pin(pos, v);
+  }
+}
+
+std::unordered_map<std::string, opt::PartitionExclusion>
+HeavyLightController::Exclusions(const std::string& delta_table) {
+  std::unordered_map<std::string, opt::PartitionExclusion> out;
+  auto it = edges_.find(delta_table);
+  if (it == edges_.end()) return out;
+  for (const JoinEdge& e : it->second) {
+    // Max over the columns joining the same counterpart table: summing
+    // would double-count its rows.
+    opt::PartitionExclusion& ex = out[e.other_table];
+    ex.rows = std::max(
+        ex.rows, static_cast<double>(
+                     hitters_.PromotedMass(e.other_table, e.other_column)));
+    ex.keys = std::max(
+        ex.keys, static_cast<double>(
+                     hitters_.PromotedKeys(e.other_table, e.other_column)));
+  }
+  return out;
+}
+
+}  // namespace ojv

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/evaluator.h"
+#include "ivm/heavy_state.h"
 #include "ivm/materialized_view.h"
 #include "ivm/secondary_delta.h"
 #include "ivm/view_def.h"
@@ -27,6 +28,14 @@ namespace ojv {
 /// table and common delta-join prefix refresh together, the shared
 /// prefix evaluated once per batch. Results are identical either way.
 enum class MultiviewMode { kIndependent, kShared };
+
+/// Skew handling (DESIGN.md §16). kUniform (the default) runs every
+/// delta row through the eager pipeline — byte-for-byte the pre-skew
+/// behavior. kHeavyLight partitions each batch by join-key frequency:
+/// light rows stay eager, heavy rows divert into per-key lazy state
+/// (ivm::HeavyState) folded in at drain points. View contents at every
+/// drain point are identical either way.
+enum class SkewMode { kUniform, kHeavyLight };
 
 /// Knobs for the maintenance procedure; defaults match the paper's
 /// algorithm. Turning knobs off is used by the ablation benchmarks.
@@ -56,6 +65,11 @@ struct MaintenanceOptions {
   /// group catalog; the maintainer itself only executes the suffix
   /// plans handed to it).
   MultiviewMode multiview = MultiviewMode::kIndependent;
+  /// Skew-adaptive heavy-light partitioning; kUniform leaves the
+  /// pipeline untouched.
+  SkewMode skew = SkewMode::kUniform;
+  /// Heavy-hitter sketch and promotion thresholds (kHeavyLight only).
+  opt::HeavyHitterConfig heavy;
   /// Trace sink (not owned). When set, every maintenance operation
   /// records per-stage spans — plan build, primary delta with one span
   /// per exec operator, apply, secondary delta — into it. Null (the
@@ -186,6 +200,35 @@ class ViewMaintainer {
   void set_stats_hook(MaintenanceStatsHook hook) {
     stats_hook_ = std::move(hook);
   }
+
+  // --- skew-adaptive maintenance (options.skew = kHeavyLight) ---
+
+  /// Must be called BEFORE applying a base change of `table` (under the
+  /// policy the maintenance call will use; is_update for UPDATE pairs):
+  /// folds pending lazy state in when the op conflicts with it — a
+  /// different table, or a policy that cannot divert. Draining after the
+  /// base change is applied would double-count the cross term
+  /// Δpending ⋈ Δop (both replays would see the other's rows in base),
+  /// so OnInsert/OnDelete/OnUpdate abort on an unresolved conflict
+  /// instead of draining late. No-op under kUniform.
+  void PrepareHeavyForOp(const std::string& table, PlanPolicy policy,
+                         bool is_update = false);
+
+  /// Folds all pending heavy-key lazy state into the view: the netted
+  /// batch replays as OnDelete(net deletes) then OnInsert(net inserts),
+  /// constraint-free when the batch contains update pairs. No-op when
+  /// nothing pends. Never touches base tables — diverted rows were
+  /// already applied to the base at divert time, and maintenance of a
+  /// table never reads that table's own base state.
+  MaintenanceStats DrainHeavyState();
+
+  /// Raw diverted rows currently pending (0 under kUniform).
+  int64_t HeavyPendingRows() const {
+    return heavy_ != nullptr ? heavy_->pending_rows() : 0;
+  }
+
+  /// The heavy-light controller; null under kUniform.
+  HeavyLightController* heavy_controller() { return heavy_.get(); }
 
   // --- plan access for wrappers (aggregation views) and benchmarks ---
 
@@ -323,6 +366,25 @@ class ViewMaintainer {
   /// Internal sink for feedback harvesting when the caller did not
   /// attach a trace; created lazily, cleared after each harvest.
   std::unique_ptr<obs::TraceContext> feedback_trace_;
+  /// Heavy-light partitioning state; null under skew = kUniform, which
+  /// keeps every code path byte-identical to the pre-skew pipeline.
+  std::unique_ptr<HeavyLightController> heavy_;
+  /// Re-entrancy guard: a drain replays through OnInsert/OnDelete, which
+  /// must not split or re-divert the replayed rows.
+  bool draining_heavy_ = false;
+
+  /// True when an op of `table` may divert rows instead of draining:
+  /// default-policy statements (or UPDATE pairs, which divert whole) of
+  /// a table with join edges.
+  bool CanDivert(const std::string& table, PlanPolicy policy,
+                 bool is_update) const {
+    return heavy_ != nullptr &&
+           (is_update || policy == PlanPolicy::kDefault) &&
+           heavy_->HasEdges(table);
+  }
+  /// Aborts when pending lazy state conflicts with an op about to run —
+  /// the caller skipped PrepareHeavyForOp before the base change.
+  void CheckHeavyConflict(const std::string& table, bool can_divert) const;
 };
 
 /// Inserts rows into a base table; returns the rows actually inserted

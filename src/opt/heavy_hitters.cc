@@ -1,0 +1,265 @@
+#include "opt/heavy_hitters.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace ojv {
+namespace opt {
+
+SpaceSavingSketch::SpaceSavingSketch(int capacity) : capacity_(capacity) {
+  OJV_CHECK(capacity_ >= 1, "space-saving sketch needs at least one slot");
+}
+
+void SpaceSavingSketch::Add(const Value& v, int64_t delta) {
+  auto it = slots_.find(v);
+  if (it != slots_.end()) {
+    it->second.count = std::max<int64_t>(0, it->second.count + delta);
+    return;
+  }
+  if (delta <= 0) return;  // deletion of an untracked value: no signal
+  if (static_cast<int>(slots_.size()) < capacity_) {
+    slots_.emplace(v, Slot{delta, 0});
+    return;
+  }
+  // Evict the minimum-count slot; the newcomer inherits its count as
+  // possible overestimation (the space-saving replacement rule).
+  auto min_it = slots_.begin();
+  for (auto i = slots_.begin(); i != slots_.end(); ++i) {
+    if (i->second.count < min_it->second.count) min_it = i;
+  }
+  const int64_t floor = min_it->second.count;
+  slots_.erase(min_it);
+  slots_.emplace(v, Slot{floor + delta, floor});
+}
+
+int64_t SpaceSavingSketch::EstimateCount(const Value& v) const {
+  auto it = slots_.find(v);
+  return it == slots_.end() ? 0 : it->second.count;
+}
+
+HeavyKeyTracker::HeavyKeyTracker(const HeavyHitterConfig& config)
+    : config_(config), sketch_(config.sketch_capacity) {}
+
+bool HeavyKeyTracker::IsHeavy(const Value& v, bool* demoted_now) {
+  if (demoted_now != nullptr) *demoted_now = false;
+  if (v.is_null()) return false;
+  const int64_t count = sketch_.EstimateCount(v);
+  if (promoted_.count(v) > 0) {
+    const double low_water =
+        static_cast<double>(config_.promote_threshold) *
+        config_.demote_fraction;
+    if (static_cast<double>(count) < low_water) {
+      promoted_.erase(v);
+      ++demotions_;
+      if (demoted_now != nullptr) *demoted_now = true;
+      return false;
+    }
+    return true;
+  }
+  if (count >= config_.promote_threshold) {
+    promoted_.insert(v);
+    return true;
+  }
+  return false;
+}
+
+int64_t HeavyKeyTracker::promoted_mass() const {
+  int64_t mass = 0;
+  for (const Value& v : promoted_) mass += sketch_.EstimateCount(v);
+  return mass;
+}
+
+HeavyHitterCatalog::HeavyHitterCatalog(const Catalog* catalog,
+                                       HeavyHitterConfig config)
+    : catalog_(catalog), config_(config) {}
+
+void HeavyHitterCatalog::Track(const std::string& table,
+                               const std::string& column) {
+  const Table* t = catalog_->GetTable(table);
+  OJV_CHECK(t != nullptr, "tracking a column of an unknown table");
+  const int pos = t->schema().IndexOf(column);  // aborts on unknown column
+  Entry& entry = entries_[table];
+  if (entry.columns.count(column) > 0) return;
+  ColumnTracker tracker{pos, HeavyKeyTracker(config_)};
+  entry.columns.emplace(column, std::move(tracker));
+  entry.built = false;  // (re)scan picks up the new column
+}
+
+bool HeavyHitterCatalog::Tracks(const std::string& table) const {
+  auto it = entries_.find(table);
+  return it != entries_.end() && !it->second.columns.empty();
+}
+
+void HeavyHitterCatalog::Rebuild(const std::string& table, const Table& t,
+                                 Entry* entry) {
+  for (auto& [column, tracker] : entry->columns) {
+    tracker.tracker = HeavyKeyTracker(config_);
+  }
+  t.ForEach([&](const Row& row) { Apply(entry, row, +1); });
+  entry->expected_version = t.version();
+  entry->built = true;
+  ++rebuild_count_;
+  PublishGauge(table, *entry);
+}
+
+void HeavyHitterCatalog::Apply(Entry* entry, const Row& row, int64_t sign) {
+  for (auto& [column, tracker] : entry->columns) {
+    const Value& v = row[static_cast<size_t>(tracker.position)];
+    if (v.is_null()) continue;  // NULL joins nothing; don't sketch it
+    tracker.tracker.Add(v, sign);
+  }
+}
+
+HeavyHitterCatalog::Entry* HeavyHitterCatalog::EnsureBuilt(
+    const std::string& table) {
+  auto it = entries_.find(table);
+  if (it == entries_.end() || it->second.columns.empty()) return nullptr;
+  Entry& entry = it->second;
+  const Table* t = catalog_->GetTable(table);
+  OJV_CHECK(t != nullptr, "tracked table vanished from the catalog");
+  if (!entry.built) Rebuild(table, *t, &entry);
+  return &entry;
+}
+
+void HeavyHitterCatalog::OnInsert(const std::string& table,
+                                  const std::vector<Row>& rows) {
+  if (!Tracks(table)) return;
+  Entry* entry = EnsureBuilt(table);
+  const Table* t = catalog_->GetTable(table);
+  if (entry->expected_version == t->version()) return;  // already accounted
+  if (entry->expected_version + rows.size() != t->version()) {
+    // The table moved in a way we did not see: rescan.
+    Rebuild(table, *t, entry);
+    return;
+  }
+  for (const Row& row : rows) Apply(entry, row, +1);
+  entry->expected_version = t->version();
+  PublishGauge(table, *entry);
+}
+
+void HeavyHitterCatalog::OnDelete(const std::string& table,
+                                  const std::vector<Row>& rows) {
+  if (!Tracks(table)) return;
+  Entry* entry = EnsureBuilt(table);
+  const Table* t = catalog_->GetTable(table);
+  if (entry->expected_version == t->version()) return;
+  if (entry->expected_version + rows.size() != t->version()) {
+    Rebuild(table, *t, entry);
+    return;
+  }
+  for (const Row& row : rows) Apply(entry, row, -1);
+  entry->expected_version = t->version();
+  PublishGauge(table, *entry);
+}
+
+void HeavyHitterCatalog::OnUpdate(const std::string& table,
+                                  const std::vector<Row>& old_rows,
+                                  const std::vector<Row>& new_rows) {
+  if (!Tracks(table)) return;
+  Entry* entry = EnsureBuilt(table);
+  const Table* t = catalog_->GetTable(table);
+  if (entry->expected_version == t->version()) return;
+  if (entry->expected_version + old_rows.size() + new_rows.size() !=
+      t->version()) {
+    Rebuild(table, *t, entry);
+    return;
+  }
+  for (const Row& row : old_rows) Apply(entry, row, -1);
+  for (const Row& row : new_rows) Apply(entry, row, +1);
+  entry->expected_version = t->version();
+  PublishGauge(table, *entry);
+}
+
+bool HeavyHitterCatalog::IsHeavy(const std::string& table,
+                                 const std::string& column, const Value& v,
+                                 bool* demoted_now) {
+  if (demoted_now != nullptr) *demoted_now = false;
+  if (v.is_null()) return false;
+  Entry* entry = EnsureBuilt(table);
+  if (entry == nullptr) return false;
+  auto it = entry->columns.find(column);
+  if (it == entry->columns.end()) return false;
+  bool demoted = false;
+  const bool heavy = it->second.tracker.IsHeavy(v, &demoted);
+  if (demoted) {
+    if (demoted_now != nullptr) *demoted_now = true;
+    PublishGauge(table, *entry);
+  } else if (heavy) {
+    PublishGauge(table, *entry);
+  }
+  return heavy;
+}
+
+int64_t HeavyHitterCatalog::EstimateCount(const std::string& table,
+                                          const std::string& column,
+                                          const Value& v) {
+  Entry* entry = EnsureBuilt(table);
+  if (entry == nullptr) return 0;
+  auto it = entry->columns.find(column);
+  return it == entry->columns.end() ? 0
+                                    : it->second.tracker.EstimateCount(v);
+}
+
+int64_t HeavyHitterCatalog::PromotedKeys(const std::string& table) const {
+  auto it = entries_.find(table);
+  if (it == entries_.end()) return 0;
+  int64_t keys = 0;
+  for (const auto& [column, tracker] : it->second.columns) {
+    keys += tracker.tracker.promoted_count();
+  }
+  return keys;
+}
+
+int64_t HeavyHitterCatalog::PromotedKeys(const std::string& table,
+                                         const std::string& column) const {
+  auto it = entries_.find(table);
+  if (it == entries_.end()) return 0;
+  auto cit = it->second.columns.find(column);
+  return cit == it->second.columns.end()
+             ? 0
+             : cit->second.tracker.promoted_count();
+}
+
+int64_t HeavyHitterCatalog::PromotedMass(const std::string& table,
+                                         const std::string& column) const {
+  auto it = entries_.find(table);
+  if (it == entries_.end()) return 0;
+  auto cit = it->second.columns.find(column);
+  return cit == it->second.columns.end() ? 0
+                                         : cit->second.tracker.promoted_mass();
+}
+
+int64_t HeavyHitterCatalog::demotions() const {
+  int64_t total = 0;
+  for (const auto& [table, entry] : entries_) {
+    for (const auto& [column, tracker] : entry.columns) {
+      total += tracker.tracker.demotions();
+    }
+  }
+  return total;
+}
+
+void HeavyHitterCatalog::InvalidateAll() {
+  for (auto& [table, entry] : entries_) entry.built = false;
+}
+
+void HeavyHitterCatalog::PublishGauge(const std::string& table,
+                                      const Entry& entry) {
+  if constexpr (obs::kEnabled) {
+    int64_t keys = 0;
+    for (const auto& [column, tracker] : entry.columns) {
+      keys += tracker.tracker.promoted_count();
+    }
+    const std::string label =
+        scope_.empty() ? table : scope_ + "." + table;
+    obs::Registry::Global()
+        .GetGauge(obs::LabeledMetric("ojv.opt.heavy_keys", "table", label))
+        .Set(keys);
+  }
+}
+
+}  // namespace opt
+}  // namespace ojv

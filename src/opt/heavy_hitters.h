@@ -1,0 +1,182 @@
+#ifndef OJV_OPT_HEAVY_HITTERS_H_
+#define OJV_OPT_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/value.h"
+
+namespace ojv {
+namespace opt {
+
+/// Thresholds for skew-adaptive (heavy-light) maintenance. A join-key
+/// value is "heavy" when its frequency in the counterpart join column —
+/// which IS the join fanout a delta row carrying that value pays — is
+/// high enough that eager maintenance of every touch is a losing
+/// proposition (DESIGN.md §16).
+struct HeavyHitterConfig {
+  /// Candidate slots per tracked column (space-saving sketch size).
+  /// Must exceed the number of genuinely heavy keys; 64 is generous for
+  /// Zipf-like skew where a handful of keys dominate.
+  int sketch_capacity = 64;
+  /// Estimated frequency at which a key is promoted to heavy.
+  int64_t promote_threshold = 128;
+  /// Hysteresis: a promoted key is demoted only when its estimate falls
+  /// below promote_threshold * demote_fraction. Keys oscillating in
+  /// between keep their current side, so state migration cannot thrash.
+  double demote_fraction = 0.5;
+  /// Lazy-state self-drain cap: once this many raw rows are pending in
+  /// ivm::HeavyState the maintainer drains before diverting more.
+  int64_t max_pending_rows = 1 << 20;
+};
+
+/// Space-saving sketch (Metwally et al.) over Values with deletion
+/// support: the classic structure tracks the top `capacity` candidates
+/// with per-slot overestimation error; deletes decrement tracked slots
+/// (clamped at zero) and are dropped for untracked values. Decrements
+/// void the strict space-saving guarantee, but the consumer is a
+/// partitioning heuristic whose correctness never depends on the counts
+/// (the equivalence property tests run degenerate thresholds), so a
+/// drifted-low estimate only costs performance, never accuracy.
+class SpaceSavingSketch {
+ public:
+  explicit SpaceSavingSketch(int capacity);
+
+  /// Counts `delta` occurrences of `v` (negative for deletions).
+  void Add(const Value& v, int64_t delta);
+
+  /// Estimated frequency of `v`; 0 when untracked. Overestimates by at
+  /// most the evicted minimum at insertion time (the slot's error).
+  int64_t EstimateCount(const Value& v) const;
+
+  int64_t tracked() const { return static_cast<int64_t>(slots_.size()); }
+
+ private:
+  struct Slot {
+    int64_t count = 0;
+    int64_t error = 0;  // possible overestimation inherited at eviction
+  };
+
+  int capacity_;
+  std::unordered_map<Value, Slot, ValueHash> slots_;
+};
+
+/// Promotion state with hysteresis over one column's sketch. IsHeavy is
+/// deliberately stateful: a key crossing promote_threshold enters the
+/// promoted set and stays there until its estimate drops below the
+/// demotion low-water mark, at which point the caller is told
+/// (demoted_now) so it can fold the key's lazy state back in.
+class HeavyKeyTracker {
+ public:
+  explicit HeavyKeyTracker(const HeavyHitterConfig& config);
+
+  void Add(const Value& v, int64_t delta) { sketch_.Add(v, delta); }
+
+  /// Hysteresis classification; sets *demoted_now (when non-null) if
+  /// this very call moved the key from heavy to light.
+  bool IsHeavy(const Value& v, bool* demoted_now = nullptr);
+
+  int64_t EstimateCount(const Value& v) const {
+    return sketch_.EstimateCount(v);
+  }
+  int64_t promoted_count() const {
+    return static_cast<int64_t>(promoted_.size());
+  }
+  /// Sum of the promoted keys' estimates — the heavy partition's row
+  /// mass in the counterpart table, for partitioned cardinalities.
+  int64_t promoted_mass() const;
+  int64_t demotions() const { return demotions_; }
+
+ private:
+  HeavyHitterConfig config_;
+  SpaceSavingSketch sketch_;
+  std::unordered_set<Value, ValueHash> promoted_;
+  int64_t demotions_ = 0;
+};
+
+/// Per-(table, column) heavy-hitter trackers, incrementally fed by the
+/// maintenance entry points exactly like the KMV sketches in
+/// opt::StatsCatalog: built lazily by a full scan, advanced per batch,
+/// and rebuilt whenever Table::version() moved in a way the catalog did
+/// not see. Tracked columns are registered up front (the join columns of
+/// one view), so per-row feeding costs O(join columns), not O(schema).
+///
+/// Synchronization contract matches StatsCatalog: externally confined to
+/// one maintenance operation at a time.
+class HeavyHitterCatalog {
+ public:
+  HeavyHitterCatalog(const Catalog* catalog, HeavyHitterConfig config);
+
+  /// Registers interest in `table.column` (idempotent). Must be called
+  /// before any feed of `table`.
+  void Track(const std::string& table, const std::string& column);
+  bool Tracks(const std::string& table) const;
+
+  /// Scope label for the exported ojv.opt.heavy_keys gauge (the owning
+  /// view's name); gauge label values read "<scope>.<table>".
+  void set_scope(std::string scope) { scope_ = std::move(scope); }
+
+  /// Accounts an applied base-table batch (same contract as
+  /// StatsCatalog::OnInsert/OnDelete/OnUpdate: full rows, base already
+  /// updated, already-accounted version windows skipped).
+  void OnInsert(const std::string& table, const std::vector<Row>& rows);
+  void OnDelete(const std::string& table, const std::vector<Row>& rows);
+  void OnUpdate(const std::string& table, const std::vector<Row>& old_rows,
+                const std::vector<Row>& new_rows);
+
+  /// Hysteresis classification of `v` against `table.column`. NULL is
+  /// never heavy (it joins nothing). Builds the tracker on first use.
+  bool IsHeavy(const std::string& table, const std::string& column,
+               const Value& v, bool* demoted_now = nullptr);
+
+  int64_t EstimateCount(const std::string& table, const std::string& column,
+                        const Value& v);
+
+  /// Currently promoted keys across all tracked columns of `table`
+  /// (the ojv.opt.heavy_keys gauge value).
+  int64_t PromotedKeys(const std::string& table) const;
+  /// Promoted keys / row mass of one column, for the estimator's
+  /// partitioned cardinalities.
+  int64_t PromotedKeys(const std::string& table,
+                       const std::string& column) const;
+  int64_t PromotedMass(const std::string& table,
+                       const std::string& column) const;
+  int64_t demotions() const;
+
+  void InvalidateAll();
+
+  // --- test hooks ---
+  int64_t rebuild_count() const { return rebuild_count_; }
+
+ private:
+  struct ColumnTracker {
+    int position = -1;  // column ordinal in the table schema
+    HeavyKeyTracker tracker;
+  };
+  struct Entry {
+    std::unordered_map<std::string, ColumnTracker> columns;
+    uint64_t expected_version = 0;
+    bool built = false;
+  };
+
+  /// Full scan (re)build; records the table's current version.
+  void Rebuild(const std::string& table, const Table& t, Entry* entry);
+  void Apply(Entry* entry, const Row& row, int64_t sign);
+  Entry* EnsureBuilt(const std::string& table);
+  void PublishGauge(const std::string& table, const Entry& entry);
+
+  const Catalog* catalog_;
+  HeavyHitterConfig config_;
+  std::string scope_;
+  std::unordered_map<std::string, Entry> entries_;
+  int64_t rebuild_count_ = 0;
+};
+
+}  // namespace opt
+}  // namespace ojv
+
+#endif  // OJV_OPT_HEAVY_HITTERS_H_

@@ -68,6 +68,16 @@ class DeltaPlanner {
       double delta_rows,
       const std::unordered_map<std::string, double>* fanout_ema = nullptr);
 
+  /// Partitioned cardinalities for skew-adaptive maintenance: every
+  /// subsequent Plan estimates each listed table minus its heavy
+  /// partition (the light batch being planned never joins it). Stays in
+  /// effect until replaced; pass {} to clear (drain replays plan against
+  /// the full tables).
+  void SetPartitionExclusions(
+      std::unordered_map<std::string, PartitionExclusion> exclusions) {
+    exclusions_ = std::move(exclusions);
+  }
+
   /// Orders `tables` by ascending estimated row count (deterministic:
   /// ties break by name). Used for inner-join chains whose order is
   /// unconstrained, e.g. the secondary-delta from-base rk chains.
@@ -80,6 +90,7 @@ class DeltaPlanner {
  private:
   StatsCatalog* stats_;
   PlannerOptions options_;
+  std::unordered_map<std::string, PartitionExclusion> exclusions_;
 };
 
 const char* PlannerModeName(PlannerOptions::Mode mode);

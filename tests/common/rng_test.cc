@@ -69,5 +69,47 @@ TEST(RngTest, TextHasRequestedLength) {
   }
 }
 
+TEST(ZipfDistributionTest, RanksStayInRangeAndSkewToZero) {
+  Rng rng(21);
+  ZipfDistribution zipf(10, 1.2);
+  std::vector<int64_t> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t rank = zipf.Sample(&rng);
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, 10);
+    ++counts[static_cast<size_t>(rank)];
+  }
+  // Rank 0 dominates and frequencies are monotonically non-increasing
+  // within sampling noise: at s=1.2 rank 0 carries ~3.6x rank 3's mass.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_GT(counts[0], 3 * counts[3]);
+}
+
+TEST(ZipfDistributionTest, ZeroExponentDegeneratesToUniform) {
+  Rng rng(22);
+  ZipfDistribution zipf(8, 0.0);
+  std::vector<int64_t> counts(8, 0);
+  for (int i = 0; i < 16000; ++i) ++counts[static_cast<size_t>(zipf.Sample(&rng))];
+  for (int64_t c : counts) {
+    EXPECT_GT(c, 1600);  // expected 2000 each; allow 20% slack
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(ZipfDistributionTest, SingleElementDomain) {
+  Rng rng(23);
+  ZipfDistribution zipf(1, 1.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0);
+}
+
+TEST(ZipfDistributionTest, DeterministicForSameSeed) {
+  ZipfDistribution zipf(64, 0.8);
+  Rng a(5), b(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b));
+  }
+}
+
 }  // namespace
 }  // namespace ojv

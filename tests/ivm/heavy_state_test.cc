@@ -1,0 +1,231 @@
+// HeavyState / HeavyLightController unit tests: per-key netting of the
+// lazy delta state, the single-table invariant, pinning, the capacity
+// drain hook, and batch splitting against a skewed counterpart table.
+// End-to-end equivalence of the whole heavy-light pipeline is covered by
+// skew_equivalence_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "ivm/heavy_state.h"
+#include "test_util.h"
+
+namespace ojv {
+namespace {
+
+using testing_util::CreateRstuSchema;
+using testing_util::MakeV1;
+
+Value V(int64_t x) { return Value::Int64(x); }
+
+Row RRow(int64_t id, int64_t a, int64_t b) {
+  return {V(id), V(a), V(b), V(0)};
+}
+
+const std::vector<int> kKeyPos = {0};
+
+TEST(HeavyStateTest, NetsInsertThenDeleteToNothing) {
+  HeavyState state(1 << 20);
+  EXPECT_TRUE(state.empty());
+  state.DivertInsert("R", kKeyPos, RRow(1, 5, 5));
+  state.DivertDelete("R", kKeyPos, RRow(1, 5, 5));
+  EXPECT_EQ(state.pending_rows(), 2);
+
+  HeavyState::DrainBatch batch = state.Take();
+  EXPECT_EQ(batch.table, "R");
+  EXPECT_TRUE(batch.deletes.empty());
+  EXPECT_TRUE(batch.inserts.empty());
+  EXPECT_EQ(batch.raw_entries, 2);
+  EXPECT_TRUE(state.empty());
+  EXPECT_EQ(state.pending_rows(), 0);
+}
+
+TEST(HeavyStateTest, DeleteThenInsertIsAnUpdatePair) {
+  HeavyState state(1 << 20);
+  state.DivertDelete("R", kKeyPos, RRow(1, 5, 5));
+  state.DivertInsert("R", kKeyPos, RRow(1, 6, 6));
+
+  HeavyState::DrainBatch batch = state.Take();
+  ASSERT_EQ(batch.deletes.size(), 1u);
+  ASSERT_EQ(batch.inserts.size(), 1u);
+  EXPECT_EQ(batch.deletes[0][1], V(5));
+  EXPECT_EQ(batch.inserts[0][1], V(6));
+  EXPECT_EQ(batch.update_pairs, 1);
+}
+
+TEST(HeavyStateTest, ManyTouchesOfOneKeyNetToOneStatement) {
+  HeavyState state(1 << 20);
+  // insert, then 10 update pairs on the same key: net = one insert of
+  // the final image.
+  state.DivertInsert("R", kKeyPos, RRow(1, 0, 0));
+  for (int64_t i = 1; i <= 10; ++i) {
+    state.DivertDelete("R", kKeyPos, RRow(1, i - 1, 0));
+    state.DivertInsert("R", kKeyPos, RRow(1, i, 0));
+  }
+  EXPECT_EQ(state.pending_rows(), 21);
+
+  HeavyState::DrainBatch batch = state.Take();
+  EXPECT_TRUE(batch.deletes.empty());
+  ASSERT_EQ(batch.inserts.size(), 1u);
+  EXPECT_EQ(batch.inserts[0][1], V(10));
+  EXPECT_EQ(batch.raw_entries, 21);
+}
+
+TEST(HeavyStateTest, SingleTableInvariantIsChecked) {
+  HeavyState state(1 << 20);
+  state.DivertInsert("R", kKeyPos, RRow(1, 5, 5));
+  EXPECT_DEATH(state.DivertInsert("S", kKeyPos, RRow(2, 5, 5)),
+               "spans tables");
+}
+
+TEST(HeavyStateTest, PinsClearOnTake) {
+  HeavyState state(1 << 20);
+  state.Pin(1, V(5));
+  EXPECT_TRUE(state.IsPinned(1, V(5)));
+  EXPECT_FALSE(state.IsPinned(1, V(6)));
+  EXPECT_FALSE(state.IsPinned(2, V(5)));
+  state.DivertInsert("R", kKeyPos, RRow(1, 5, 5));
+  (void)state.Take();
+  EXPECT_FALSE(state.IsPinned(1, V(5)));
+}
+
+TEST(HeavyStateTest, CapacityTripsAtTheConfiguredRowCount) {
+  HeavyState state(3);
+  EXPECT_FALSE(state.AtCapacity());
+  state.DivertInsert("R", kKeyPos, RRow(1, 0, 0));
+  state.DivertInsert("R", kKeyPos, RRow(2, 0, 0));
+  EXPECT_FALSE(state.AtCapacity());
+  state.DivertInsert("R", kKeyPos, RRow(3, 0, 0));
+  EXPECT_TRUE(state.AtCapacity());
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() {
+    CreateRstuSchema(&catalog_);
+    // Make S.s_a = 7 a heavy key: fanout 12 for any R delta row with
+    // r_a = 7.
+    Table* s = catalog_.GetTable("S");
+    for (int64_t i = 0; i < 12; ++i) {
+      s->Insert({V(100 + i), V(7), V(0), V(0)});
+    }
+  }
+
+  opt::HeavyHitterConfig SmallConfig() {
+    opt::HeavyHitterConfig config;
+    config.sketch_capacity = 8;
+    config.promote_threshold = 10;
+    config.demote_fraction = 0.5;
+    return config;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ControllerTest, EdgesComeFromTheViewConjuncts) {
+  ViewDef view = MakeV1(catalog_);
+  HeavyLightController controller(&catalog_, view, SmallConfig());
+  // V1 joins: R.r_a=S.s_a, R.r_b=T.t_b, T.t_a=U.u_a — all four tables
+  // have at least one edge.
+  for (const char* table : {"R", "S", "T", "U"}) {
+    EXPECT_TRUE(controller.HasEdges(table)) << table;
+  }
+}
+
+TEST_F(ControllerTest, SplitDivertsRowsJoiningHeavyKeys) {
+  ViewDef view = MakeV1(catalog_);
+  HeavyLightController controller(&catalog_, view, SmallConfig());
+
+  // r_a = 7 probes S.s_a (count 12 >= 10: heavy); r_a = 3 is light.
+  // NULL join keys are never heavy.
+  std::vector<Row> rows = {RRow(1, 7, 1), RRow(2, 3, 1),
+                           {V(3), Value::Null(), V(1), V(0)}};
+  std::vector<Row> light = controller.SplitBatch("R", rows, /*is_insert=*/true);
+  ASSERT_EQ(light.size(), 2u);
+  EXPECT_EQ(light[0][0], V(2));
+  EXPECT_EQ(light[1][0], V(3));
+  EXPECT_TRUE(controller.HasPending());
+  EXPECT_EQ(controller.pending_rows(), 1);
+  EXPECT_EQ(controller.pending_table(), "R");
+
+  HeavyState::DrainBatch batch = controller.Take();
+  ASSERT_EQ(batch.inserts.size(), 1u);
+  EXPECT_EQ(batch.inserts[0][0], V(1));
+  EXPECT_FALSE(controller.HasPending());
+}
+
+TEST_F(ControllerTest, PinnedKeysKeepDivertingUntilDrain) {
+  ViewDef view = MakeV1(catalog_);
+  HeavyLightController controller(&catalog_, view, SmallConfig());
+
+  // Divert a row carrying the heavy key (pins s_a = 7)...
+  (void)controller.SplitBatch("R", {RRow(1, 7, 1)}, true);
+  ASSERT_EQ(controller.pending_rows(), 1);
+
+  // ...then shrink S so the sketch demotes 7 — the pin must keep the key
+  // diverting (an eager op would touch view rows the lazy state owes).
+  Table* s = catalog_.GetTable("S");
+  std::vector<Row> removed_rows;
+  for (int64_t i = 0; i < 10; ++i) {
+    Row removed;
+    ASSERT_TRUE(s->DeleteByKey({V(100 + i)}, &removed));
+    removed_rows.push_back(std::move(removed));
+  }
+  controller.hitters()->OnDelete("S", removed_rows);
+
+  std::vector<Row> light = controller.SplitBatch("R", {RRow(2, 7, 1)}, true);
+  EXPECT_TRUE(light.empty());
+  EXPECT_EQ(controller.pending_rows(), 2);
+
+  // After the drain clears the pins, the key classifies light again.
+  (void)controller.Take();
+  light = controller.SplitBatch("R", {RRow(3, 7, 1)}, true);
+  ASSERT_EQ(light.size(), 1u);
+  EXPECT_FALSE(controller.HasPending());
+}
+
+TEST_F(ControllerTest, NeedsDrainBeforeFollowsTheContract) {
+  ViewDef view = MakeV1(catalog_);
+  HeavyLightController controller(&catalog_, view, SmallConfig());
+  EXPECT_FALSE(controller.NeedsDrainBefore("R", true));
+
+  (void)controller.SplitBatch("R", {RRow(1, 7, 1)}, true);
+  ASSERT_TRUE(controller.HasPending());
+  // Same table, divertible op: accumulate without drain.
+  EXPECT_FALSE(controller.NeedsDrainBefore("R", true));
+  // Any other table, or a non-divertible op, forces a drain first.
+  EXPECT_TRUE(controller.NeedsDrainBefore("S", true));
+  EXPECT_TRUE(controller.NeedsDrainBefore("R", false));
+}
+
+TEST_F(ControllerTest, CapacityInvokesTheDrainHook) {
+  ViewDef view = MakeV1(catalog_);
+  opt::HeavyHitterConfig config = SmallConfig();
+  config.max_pending_rows = 2;
+  HeavyLightController controller(&catalog_, view, config);
+  int drains = 0;
+  controller.set_drain_hook([&] {
+    ++drains;
+    (void)controller.Take();
+  });
+
+  (void)controller.SplitBatch("R", {RRow(1, 7, 1), RRow(2, 7, 1)}, true);
+  EXPECT_EQ(drains, 1);  // cap hit after the batch's diversions
+  (void)controller.SplitBatch("R", {RRow(3, 7, 1)}, true);
+  EXPECT_EQ(controller.pending_rows(), 1);
+}
+
+TEST_F(ControllerTest, ExclusionsReflectThePromotedPartition) {
+  ViewDef view = MakeV1(catalog_);
+  HeavyLightController controller(&catalog_, view, SmallConfig());
+  (void)controller.SplitBatch("R", {RRow(1, 7, 1)}, true);  // promotes 7
+
+  auto exclusions = controller.Exclusions("R");
+  ASSERT_TRUE(exclusions.count("S") > 0);
+  EXPECT_DOUBLE_EQ(exclusions["S"].rows, 12.0);
+  EXPECT_DOUBLE_EQ(exclusions["S"].keys, 1.0);
+  // U is not a counterpart of any R edge.
+  EXPECT_EQ(exclusions.count("U"), 0u);
+}
+
+}  // namespace
+}  // namespace ojv

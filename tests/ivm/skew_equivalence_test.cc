@@ -1,0 +1,438 @@
+// Skew-adaptive maintenance equivalence property test: for randomized
+// Zipf-distributed insert/delete/update streams, a kHeavyLight
+// maintainer must produce exactly the same view contents as a kUniform
+// maintainer at every drain point — across promote-threshold settings
+// including the degenerate extremes (0: every non-null join key is
+// heavy, so everything routes through the lazy state; huge: nothing is
+// ever heavy, so the heavy-light path must be a byte-for-byte no-op).
+//
+// Covers row-level SPOJ views (the RSTU running example, random SPOJ
+// trees, the TPC-H outer-join view), aggregate views, and the
+// Database-level statement/read paths with deferred-policy interplay.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/recompute.h"
+#include "ivm/database.h"
+#include "ivm/maintainer.h"
+#include "ivm/aggregate_view.h"
+#include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/tpch_schema.h"
+#include "tpch/views.h"
+
+namespace ojv {
+namespace {
+
+using testing_util::CreateRandomSchema;
+using testing_util::CreateRstuSchema;
+using testing_util::MakeV1;
+using testing_util::RandomSpojView;
+using testing_util::SampleKeys;
+
+// Promote thresholds under test: 0 routes every probed key through the
+// lazy state, 4 mixes partitions under Zipf skew, and the huge value
+// keeps everything eager.
+const int64_t kThresholds[] = {0, 4, int64_t{1} << 30};
+
+opt::HeavyHitterConfig ConfigFor(int64_t threshold) {
+  opt::HeavyHitterConfig config;
+  config.sketch_capacity = 16;
+  config.promote_threshold = threshold;
+  config.demote_fraction = 0.5;
+  return config;
+}
+
+/// Zipf-skewed RSTU-style rows: join columns draw Zipf ranks so a
+/// handful of values dominate (with occasional NULLs).
+std::vector<Row> ZipfRows(Rng* rng, const ZipfDistribution& zipf, int n,
+                          int64_t* next_key) {
+  std::vector<Row> rows;
+  auto join_value = [&]() {
+    if (rng->Chance(0.08)) return Value::Null();
+    return Value::Int64(zipf.Sample(rng));
+  };
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Row{Value::Int64((*next_key)++), join_value(), join_value(),
+                       Value::Int64(rng->Uniform(0, 999))});
+  }
+  return rows;
+}
+
+struct MaintainerPair {
+  std::unique_ptr<ViewMaintainer> uniform;
+  std::unique_ptr<ViewMaintainer> heavy;
+};
+
+MaintainerPair MakePair(const Catalog* catalog, const ViewDef& view,
+                        int64_t threshold) {
+  MaintainerPair pair;
+  MaintenanceOptions uniform_options;
+  pair.uniform =
+      std::make_unique<ViewMaintainer>(catalog, view, uniform_options);
+  MaintenanceOptions heavy_options;
+  heavy_options.skew = SkewMode::kHeavyLight;
+  heavy_options.heavy = ConfigFor(threshold);
+  pair.heavy = std::make_unique<ViewMaintainer>(catalog, view, heavy_options);
+  pair.uniform->InitializeView();
+  pair.heavy->InitializeView();
+  return pair;
+}
+
+/// One random op applied to base and both maintainers, honoring the
+/// heavy maintainer's pre-apply contract.
+void RandomOp(Catalog* catalog, const std::vector<std::string>& tables,
+              Rng* rng, const ZipfDistribution& zipf, int64_t* fresh_key,
+              MaintainerPair* pair) {
+  const std::string& name = tables[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(tables.size()) - 1))];
+  Table* table = catalog->GetTable(name);
+  int choice = static_cast<int>(rng->Uniform(0, 2));
+  if (choice == 0 && table->size() > 3) {
+    pair->heavy->PrepareHeavyForOp(name, PlanPolicy::kDefault);
+    std::vector<Row> deleted = ApplyBaseDelete(
+        table,
+        SampleKeys(*table, rng, static_cast<int>(rng->Uniform(1, 5))));
+    pair->uniform->OnDelete(name, deleted);
+    pair->heavy->OnDelete(name, deleted);
+  } else if (choice == 1 && table->size() > 3) {
+    std::vector<Row> keys = SampleKeys(*table, rng, 2);
+    std::vector<Row> new_rows;
+    for (const Row& key : keys) {
+      Row row = *table->FindByKey(key);
+      row[1] = rng->Chance(0.1) ? Value::Null()
+                                : Value::Int64(zipf.Sample(rng));
+      new_rows.push_back(std::move(row));
+    }
+    pair->heavy->PrepareHeavyForOp(name, PlanPolicy::kDefault,
+                                   /*is_update=*/true);
+    std::vector<Row> old_rows;
+    ApplyBaseUpdate(table, keys, new_rows, &old_rows);
+    pair->uniform->OnUpdate(name, old_rows, new_rows);
+    pair->heavy->OnUpdate(name, old_rows, new_rows);
+  } else {
+    pair->heavy->PrepareHeavyForOp(name, PlanPolicy::kDefault);
+    std::vector<Row> inserted = ApplyBaseInsert(
+        table,
+        ZipfRows(rng, zipf, static_cast<int>(rng->Uniform(1, 7)), fresh_key));
+    pair->uniform->OnInsert(name, inserted);
+    pair->heavy->OnInsert(name, inserted);
+  }
+}
+
+void ExpectSameViews(const Catalog& catalog, const ViewDef& view,
+                     const MaintainerPair& pair, const char* where) {
+  std::string diff;
+  ASSERT_TRUE(
+      ViewMatchesRecompute(catalog, view, pair.heavy->view(), &diff))
+      << where << ": heavy view diverges from recompute: " << diff;
+  ASSERT_TRUE(pair.heavy->view().AsRelation().Equals(
+      pair.uniform->view().AsRelation()))
+      << where << ": heavy and uniform views differ";
+}
+
+class SkewEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int64_t>> {};
+
+TEST_P(SkewEquivalenceTest, RandomSpojZipfStream) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const int64_t threshold = std::get<1>(GetParam());
+
+  Rng rng(seed);
+  Catalog catalog;
+  std::vector<std::string> tables =
+      CreateRandomSchema(&catalog, static_cast<int>(rng.Uniform(3, 4)));
+  const ZipfDistribution zipf(6, 1.2);
+  int64_t next_key = 1;
+  for (const std::string& name : tables) {
+    Table* table = catalog.GetTable(name);
+    for (Row& row :
+         ZipfRows(&rng, zipf, static_cast<int>(rng.Uniform(10, 25)),
+                  &next_key)) {
+      table->Insert(std::move(row));
+    }
+  }
+  ViewDef view = RandomSpojView(catalog, tables, &rng);
+  MaintainerPair pair = MakePair(&catalog, view, threshold);
+
+  int64_t fresh_key = 100000 + static_cast<int64_t>(seed) * 1000;
+  int ops = static_cast<int>(rng.Uniform(8, 12));
+  for (int op = 0; op < ops; ++op) {
+    RandomOp(&catalog, tables, &rng, zipf, &fresh_key, &pair);
+    // Drain every third op so the lazy state accumulates across
+    // statements; between drains the views may legitimately differ.
+    if (op % 3 == 2 || op == ops - 1) {
+      pair.heavy->DrainHeavyState();
+      EXPECT_EQ(pair.heavy->HeavyPendingRows(), 0);
+      ExpectSameViews(catalog, view, pair,
+                      ("op " + std::to_string(op)).c_str());
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZipfStreams, SkewEquivalenceTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 13),
+                       ::testing::ValuesIn(kThresholds)),
+    [](const ::testing::TestParamInfo<SkewEquivalenceTest::ParamType>& info) {
+      const int64_t t = std::get<1>(info.param);
+      std::string name = t == 0             ? "AllHeavy"
+                         : t < (1 << 20)    ? "Mixed"
+                                            : "NoneHeavy";
+      return name + "_seed" + std::to_string(std::get<0>(info.param));
+    });
+
+// The fixed running-example view V1, heavier stream, every threshold.
+TEST(SkewEquivalenceV1Test, RunningExampleUnderHeavySkew) {
+  for (int64_t threshold : kThresholds) {
+    Rng rng(77);
+    Catalog catalog;
+    CreateRstuSchema(&catalog);
+    const ZipfDistribution zipf(8, 1.2);
+    int64_t next_key = 1;
+    for (const char* name : {"R", "S", "T", "U"}) {
+      Table* table = catalog.GetTable(name);
+      for (Row& row : ZipfRows(&rng, zipf, 30, &next_key)) {
+        table->Insert(std::move(row));
+      }
+    }
+    ViewDef view = MakeV1(catalog);
+    MaintainerPair pair = MakePair(&catalog, view, threshold);
+    std::vector<std::string> tables = {"R", "S", "T", "U"};
+
+    int64_t fresh_key = 500000;
+    for (int op = 0; op < 15; ++op) {
+      RandomOp(&catalog, tables, &rng, zipf, &fresh_key, &pair);
+      if (op % 4 == 3 || op == 14) {
+        pair.heavy->DrainHeavyState();
+        ExpectSameViews(catalog, view, pair,
+                        ("threshold " + std::to_string(threshold) + " op " +
+                         std::to_string(op))
+                            .c_str());
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+// TPC-H outer-join view (paper Example 1) under a hot-partkey stream:
+// many lineitems pile onto a few part keys, which is exactly the
+// join-fanout skew the heavy-light split targets.
+TEST(SkewEquivalenceTpchTest, HotPartkeyLineitemStream) {
+  tpch::DbgenOptions options;
+  options.scale_factor = 0.002;
+  Catalog catalog;
+  tpch::CreateSchema(&catalog);
+  tpch::Dbgen dbgen(options);
+  dbgen.Populate(&catalog);
+
+  ViewDef view = tpch::MakeOjView(catalog);
+  MaintainerPair pair = MakePair(&catalog, view, /*threshold=*/8);
+
+  Rng rng(11);
+  Table* lineitem = catalog.GetTable("lineitem");
+  Table* orders = catalog.GetTable("orders");
+  const ZipfDistribution zipf(16, 1.2);
+  int64_t next_order = dbgen.num_orders() + 1000;
+  for (int round = 0; round < 6; ++round) {
+    // New order...
+    const int64_t orderkey = tpch::Dbgen::SparseOrderKey(next_order++);
+    Row order_row = dbgen.MakeOrderRow(
+        orderkey, dbgen.RandomOrderingCustomer(&rng), &rng);
+    pair.heavy->PrepareHeavyForOp("orders", PlanPolicy::kDefault);
+    std::vector<Row> inserted = ApplyBaseInsert(orders, {order_row});
+    pair.uniform->OnInsert("orders", inserted);
+    pair.heavy->OnInsert("orders", inserted);
+
+    // ...with lines whose partkeys concentrate on a few hot parts.
+    std::vector<Row> lines;
+    for (int64_t ln = 1; ln <= 4; ++ln) {
+      Row line = dbgen.MakeLineitemRow(orderkey, ln, /*orderdate=*/9000,
+                                       &rng);
+      const int l_partkey = catalog.GetTable("lineitem")
+                                ->schema()
+                                .IndexOf("l_partkey");
+      line[static_cast<size_t>(l_partkey)] =
+          Value::Int64(1 + zipf.Sample(&rng));
+      lines.push_back(std::move(line));
+    }
+    pair.heavy->PrepareHeavyForOp("lineitem", PlanPolicy::kDefault);
+    inserted = ApplyBaseInsert(lineitem, lines);
+    pair.uniform->OnInsert("lineitem", inserted);
+    pair.heavy->OnInsert("lineitem", inserted);
+
+    if (round % 2 == 1) {
+      pair.heavy->DrainHeavyState();
+      ASSERT_TRUE(pair.heavy->view().AsRelation().Equals(
+          pair.uniform->view().AsRelation()))
+          << "round " << round << ": heavy and uniform views differ";
+    }
+  }
+}
+
+// Aggregate views: GROUP BY over the running example with COUNT(*) and
+// SUM, kHeavyLight wrapper vs kUniform wrapper.
+TEST(SkewEquivalenceAggTest, AggregateViewsMatchAtEveryDrainPoint) {
+  for (int64_t threshold : kThresholds) {
+    Rng rng(123);
+    Catalog catalog;
+    CreateRstuSchema(&catalog);
+    const ZipfDistribution zipf(6, 1.2);
+    int64_t next_key = 1;
+    for (const char* name : {"R", "S", "T", "U"}) {
+      Table* table = catalog.GetTable(name);
+      for (Row& row : ZipfRows(&rng, zipf, 25, &next_key)) {
+        table->Insert(std::move(row));
+      }
+    }
+    std::vector<ColumnRef> group_by = {{"R", "r_a"}};
+    std::vector<AggregateSpec> aggregates;
+    aggregates.push_back({AggregateSpec::Kind::kCountStar, {}, "cnt"});
+    aggregates.push_back(
+        {AggregateSpec::Kind::kSum, {"S", "s_v"}, "sum_sv"});
+
+    AggViewMaintainer uniform(&catalog, MakeV1(catalog), group_by,
+                              aggregates);
+    MaintenanceOptions heavy_options;
+    heavy_options.skew = SkewMode::kHeavyLight;
+    heavy_options.heavy = ConfigFor(threshold);
+    AggViewMaintainer heavy(&catalog, MakeV1(catalog), group_by, aggregates,
+                            heavy_options);
+    uniform.InitializeView();
+    heavy.InitializeView();
+
+    std::vector<std::string> tables = {"R", "S", "T", "U"};
+    int64_t fresh_key = 700000;
+    for (int op = 0; op < 12; ++op) {
+      const std::string& name = tables[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(tables.size()) - 1))];
+      Table* table = catalog.GetTable(name);
+      int choice = static_cast<int>(rng.Uniform(0, 2));
+      if (choice == 0 && table->size() > 3) {
+        heavy.PrepareHeavyForOp(name, PlanPolicy::kDefault);
+        std::vector<Row> deleted = ApplyBaseDelete(
+            table, SampleKeys(*table, &rng, 2));
+        uniform.OnDelete(name, deleted);
+        heavy.OnDelete(name, deleted);
+      } else if (choice == 1 && table->size() > 3) {
+        std::vector<Row> keys = SampleKeys(*table, &rng, 2);
+        std::vector<Row> new_rows;
+        for (const Row& key : keys) {
+          Row row = *table->FindByKey(key);
+          row[1] = Value::Int64(zipf.Sample(&rng));
+          new_rows.push_back(std::move(row));
+        }
+        heavy.PrepareHeavyForOp(name, PlanPolicy::kDefault,
+                                /*is_update=*/true);
+        std::vector<Row> old_rows;
+        ApplyBaseUpdate(table, keys, new_rows, &old_rows);
+        uniform.OnUpdate(name, old_rows, new_rows);
+        heavy.OnUpdate(name, old_rows, new_rows);
+      } else {
+        heavy.PrepareHeavyForOp(name, PlanPolicy::kDefault);
+        std::vector<Row> inserted = ApplyBaseInsert(
+            table, ZipfRows(&rng, zipf, 4, &fresh_key));
+        uniform.OnInsert(name, inserted);
+        heavy.OnInsert(name, inserted);
+      }
+      if (op % 3 == 2 || op == 11) {
+        heavy.DrainHeavyState();
+        EXPECT_EQ(heavy.HeavyPendingRows(), 0);
+        std::string diff;
+        ASSERT_TRUE(heavy.MatchesRecompute(1e-9, &diff))
+            << "threshold " << threshold << " op " << op << ": " << diff;
+        ASSERT_TRUE(heavy.AsRelation().Equals(uniform.AsRelation()))
+            << "threshold " << threshold << " op " << op
+            << ": aggregate groups differ";
+      }
+    }
+  }
+}
+
+// Database-level: statements call the pre-apply hook, reads fold the
+// backlog, and the deferred kOnDemand policy composes with kHeavyLight.
+TEST(SkewEquivalenceDatabaseTest, StatementsReadsAndDeferredInterplay) {
+  MaintenanceOptions options;
+  options.skew = SkewMode::kHeavyLight;
+  options.heavy = ConfigFor(4);
+  Database db(options);
+  CreateRstuSchema(db.catalog());
+
+  Rng rng(42);
+  const ZipfDistribution zipf(6, 1.2);
+  int64_t next_key = 1;
+  for (const char* name : {"R", "S", "T", "U"}) {
+    db.Insert(name, ZipfRows(&rng, zipf, 20, &next_key));
+  }
+  ViewDef view = MakeV1(*db.catalog());
+  db.CreateMaterializedView(view);
+
+  std::vector<std::string> tables = {"R", "S", "T", "U"};
+  int64_t fresh_key = 900000;
+  auto random_statement = [&]() {
+    const std::string& name = tables[static_cast<size_t>(
+        rng.Uniform(0, 3))];
+    Table* table = db.catalog()->GetTable(name);
+    int choice = static_cast<int>(rng.Uniform(0, 2));
+    if (choice == 0 && table->size() > 5) {
+      std::vector<Row> keys = SampleKeys(*table, &rng, 2);
+      ASSERT_TRUE(db.Delete(name, keys).ok());
+    } else if (choice == 1 && table->size() > 5) {
+      std::vector<Row> keys = SampleKeys(*table, &rng, 2);
+      std::vector<Row> new_rows;
+      for (const Row& key : keys) {
+        Row row = *table->FindByKey(key);
+        row[1] = Value::Int64(zipf.Sample(&rng));
+        new_rows.push_back(std::move(row));
+      }
+      ASSERT_TRUE(db.Update(name, keys, new_rows).ok());
+    } else {
+      ASSERT_TRUE(
+          db.Insert(name, ZipfRows(&rng, zipf, 3, &fresh_key)).ok());
+    }
+  };
+
+  for (int op = 0; op < 10; ++op) {
+    random_statement();
+    if (HasFatalFailure()) return;
+    if (op % 3 == 2) {
+      const MaterializedView* v = db.ReadView("v1");
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(db.HeavyPendingRows("v1"), 0);  // reads fold the backlog
+      std::string diff;
+      ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), view, *v, &diff))
+          << "op " << op << ": " << diff;
+    }
+  }
+
+  // Deferred interplay: stage statements while kOnDemand, then read.
+  db.SetRefreshPolicy("v1", deferred::RefreshPolicy::kOnDemand);
+  for (int op = 0; op < 6; ++op) {
+    random_statement();
+    if (HasFatalFailure()) return;
+  }
+  const MaterializedView* v = db.ReadView("v1");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(db.HeavyPendingRows("v1"), 0);
+  std::string diff;
+  ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), view, *v, &diff))
+      << "after deferred reads: " << diff;
+
+  // And back to immediate (drains on the policy switch), one more pass.
+  db.SetRefreshPolicy("v1", deferred::RefreshPolicy::kImmediate);
+  for (int op = 0; op < 4; ++op) {
+    random_statement();
+    if (HasFatalFailure()) return;
+  }
+  v = db.ReadView("v1");
+  ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), view, *v, &diff))
+      << "after returning to immediate: " << diff;
+}
+
+}  // namespace
+}  // namespace ojv

@@ -1,0 +1,214 @@
+// Space-saving sketch and heavy-key tracker tests, including the
+// promotion/demotion hysteresis band: a key oscillating around the
+// promote threshold must keep its side (no heavy<->light thrash), since
+// every flip migrates maintenance state between the eager and lazy
+// partitions.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "opt/heavy_hitters.h"
+
+namespace ojv {
+namespace opt {
+namespace {
+
+Value V(int64_t x) { return Value::Int64(x); }
+
+TEST(SpaceSavingSketchTest, TracksExactCountsUnderCapacity) {
+  SpaceSavingSketch sketch(4);
+  for (int i = 0; i < 10; ++i) sketch.Add(V(1), 1);
+  for (int i = 0; i < 3; ++i) sketch.Add(V(2), 1);
+  EXPECT_EQ(sketch.EstimateCount(V(1)), 10);
+  EXPECT_EQ(sketch.EstimateCount(V(2)), 3);
+  EXPECT_EQ(sketch.EstimateCount(V(3)), 0);
+}
+
+TEST(SpaceSavingSketchTest, EvictionInheritsMinimumAsOverestimate) {
+  SpaceSavingSketch sketch(2);
+  for (int i = 0; i < 5; ++i) sketch.Add(V(1), 1);
+  sketch.Add(V(2), 1);  // count 1 — the minimum slot
+  sketch.Add(V(3), 1);  // evicts 2, inherits its count as the error floor
+  EXPECT_EQ(sketch.EstimateCount(V(2)), 0);
+  EXPECT_EQ(sketch.EstimateCount(V(3)), 2);  // 1 (floor) + 1 (its add)
+  // Estimates never underestimate: the true count of 3 is 1 <= 2.
+}
+
+TEST(SpaceSavingSketchTest, DeletesClampAtZeroAndUntrackedAreDropped) {
+  SpaceSavingSketch sketch(4);
+  sketch.Add(V(1), 3);
+  sketch.Add(V(1), -5);
+  EXPECT_EQ(sketch.EstimateCount(V(1)), 0);
+  sketch.Add(V(9), -2);  // deletion of a value never seen: no slot
+  EXPECT_EQ(sketch.EstimateCount(V(9)), 0);
+}
+
+HeavyHitterConfig SmallConfig() {
+  HeavyHitterConfig config;
+  config.sketch_capacity = 8;
+  config.promote_threshold = 10;
+  config.demote_fraction = 0.5;
+  return config;
+}
+
+TEST(HeavyKeyTrackerTest, PromotesAtThresholdDemotesAtHalf) {
+  HeavyKeyTracker tracker(SmallConfig());
+  for (int i = 0; i < 9; ++i) tracker.Add(V(7), 1);
+  EXPECT_FALSE(tracker.IsHeavy(V(7)));
+  tracker.Add(V(7), 1);  // count 10 = threshold
+  EXPECT_TRUE(tracker.IsHeavy(V(7)));
+  EXPECT_EQ(tracker.promoted_count(), 1);
+
+  // Falling below the threshold — but not below threshold/2 — keeps the
+  // key heavy (hysteresis).
+  tracker.Add(V(7), -4);  // count 6, low water is 5
+  bool demoted = false;
+  EXPECT_TRUE(tracker.IsHeavy(V(7), &demoted));
+  EXPECT_FALSE(demoted);
+
+  tracker.Add(V(7), -2);  // count 4 < 5: demote
+  EXPECT_FALSE(tracker.IsHeavy(V(7), &demoted));
+  EXPECT_TRUE(demoted);
+  EXPECT_EQ(tracker.demotions(), 1);
+}
+
+// Regression: a key whose frequency oscillates inside the hysteresis
+// band [threshold * demote_fraction, threshold) must never change side,
+// no matter how many times it is probed. Before the band existed a
+// single promote/demote cutoff flapped every few ops under such a
+// workload, migrating lazy state back and forth.
+TEST(HeavyKeyTrackerTest, OscillationInsideTheBandNeverThrashes) {
+  HeavyKeyTracker tracker(SmallConfig());  // promote 10, demote < 5
+  // Never promoted: oscillate 5..9 from below.
+  for (int round = 0; round < 50; ++round) {
+    tracker.Add(V(1), round % 2 == 0 ? 9 : -9);  // alternates 9 and 0
+    tracker.Add(V(1), round % 2 == 0 ? -4 : 5);  // lands at 5
+    EXPECT_FALSE(tracker.IsHeavy(V(1))) << "round " << round;
+    tracker.Add(V(1), -5);  // reset to 0
+  }
+  EXPECT_EQ(tracker.demotions(), 0);
+
+  // Promoted once, then oscillating 5..9: stays heavy forever.
+  for (int i = 0; i < 10; ++i) tracker.Add(V(2), 1);
+  ASSERT_TRUE(tracker.IsHeavy(V(2)));
+  tracker.Add(V(2), -1);  // 9, inside the band
+  for (int round = 0; round < 50; ++round) {
+    tracker.Add(V(2), round % 2 == 0 ? -4 : 4);  // 5 <-> 9
+    bool demoted = false;
+    EXPECT_TRUE(tracker.IsHeavy(V(2), &demoted)) << "round " << round;
+    EXPECT_FALSE(demoted);
+  }
+  EXPECT_EQ(tracker.demotions(), 0);
+  EXPECT_EQ(tracker.promoted_count(), 1);
+}
+
+TEST(HeavyKeyTrackerTest, ExactBoundaryValues) {
+  HeavyKeyTracker tracker(SmallConfig());
+  for (int i = 0; i < 10; ++i) tracker.Add(V(3), 1);
+  ASSERT_TRUE(tracker.IsHeavy(V(3)));
+  // Exactly the low-water mark (5 = 10 * 0.5) is NOT below it: heavy.
+  tracker.Add(V(3), -5);
+  EXPECT_TRUE(tracker.IsHeavy(V(3)));
+  // One below demotes.
+  tracker.Add(V(3), -1);
+  EXPECT_FALSE(tracker.IsHeavy(V(3)));
+  // Climbing back to 9 (< threshold) does not re-promote...
+  tracker.Add(V(3), 5);
+  EXPECT_FALSE(tracker.IsHeavy(V(3)));
+  // ...until the full threshold is reached again.
+  tracker.Add(V(3), 1);
+  EXPECT_TRUE(tracker.IsHeavy(V(3)));
+  EXPECT_EQ(tracker.demotions(), 1);
+}
+
+TEST(HeavyKeyTrackerTest, NullIsNeverHeavy) {
+  HeavyKeyTracker tracker(SmallConfig());
+  EXPECT_FALSE(tracker.IsHeavy(Value::Null()));
+}
+
+class HeavyHitterCatalogTest : public ::testing::Test {
+ protected:
+  HeavyHitterCatalogTest() {
+    Schema schema({{"o_id", ValueType::kInt64, false},
+                   {"o_ck", ValueType::kInt64, true}});
+    catalog_.CreateTable("O", schema, {"o_id"});
+  }
+
+  std::vector<Row> MakeRows(int64_t first_id, int n, int64_t ck) {
+    std::vector<Row> rows;
+    for (int i = 0; i < n; ++i) {
+      rows.push_back({V(first_id + i), V(ck)});
+    }
+    return rows;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(HeavyHitterCatalogTest, ScansOnFirstUseAndSyncsIncrementally) {
+  Table* table = catalog_.GetTable("O");
+  for (Row& row : MakeRows(1, 12, 42)) table->Insert(std::move(row));
+
+  HeavyHitterConfig config = SmallConfig();
+  HeavyHitterCatalog hitters(&catalog_, config);
+  hitters.Track("O", "o_ck");
+  // First probe builds from the existing table: 12 >= 10 promotes.
+  EXPECT_TRUE(hitters.IsHeavy("O", "o_ck", V(42)));
+  EXPECT_EQ(hitters.rebuild_count(), 1);
+  EXPECT_EQ(hitters.PromotedKeys("O"), 1);
+
+  // Incremental feed: delete 8 rows of key 42 (count drops to 4 < 5).
+  std::vector<Row> deleted;
+  for (int64_t id = 1; id <= 8; ++id) {
+    Row removed;
+    ASSERT_TRUE(table->DeleteByKey({V(id)}, &removed));
+    deleted.push_back(std::move(removed));
+  }
+  hitters.OnDelete("O", deleted);
+  bool demoted = false;
+  EXPECT_FALSE(hitters.IsHeavy("O", "o_ck", V(42), &demoted));
+  EXPECT_TRUE(demoted);
+  EXPECT_EQ(hitters.rebuild_count(), 1);  // no rescan was needed
+  EXPECT_EQ(hitters.demotions(), 1);
+}
+
+TEST_F(HeavyHitterCatalogTest, UnseenVersionDriftForcesRescan) {
+  Table* table = catalog_.GetTable("O");
+  for (Row& row : MakeRows(1, 3, 7)) table->Insert(std::move(row));
+
+  HeavyHitterCatalog hitters(&catalog_, SmallConfig());
+  hitters.Track("O", "o_ck");
+  EXPECT_FALSE(hitters.IsHeavy("O", "o_ck", V(7)));  // builds at count 3
+
+  // Mutate behind the catalog's back, then feed a batch whose size does
+  // not explain the version delta: the catalog must rescan.
+  for (Row& row : MakeRows(100, 9, 7)) table->Insert(std::move(row));
+  std::vector<Row> fed = MakeRows(200, 1, 7);
+  table->Insert(Row{V(200), V(7)});
+  hitters.OnInsert("O", fed);
+  EXPECT_EQ(hitters.rebuild_count(), 2);
+  EXPECT_TRUE(hitters.IsHeavy("O", "o_ck", V(7)));  // true count 13
+}
+
+TEST_F(HeavyHitterCatalogTest, RedundantFeedIsIgnoredByVersionGuard) {
+  Table* table = catalog_.GetTable("O");
+  for (Row& row : MakeRows(1, 4, 9)) table->Insert(std::move(row));
+
+  HeavyHitterCatalog hitters(&catalog_, SmallConfig());
+  hitters.Track("O", "o_ck");
+  EXPECT_FALSE(hitters.IsHeavy("O", "o_ck", V(9)));
+
+  // Feeding the same batch twice (e.g. two maintainers observing one
+  // statement) must count it once: the second feed sees no version
+  // advance and is dropped.
+  std::vector<Row> batch = MakeRows(50, 6, 9);
+  for (const Row& row : batch) table->Insert(row);
+  hitters.OnInsert("O", batch);
+  hitters.OnInsert("O", batch);
+  EXPECT_EQ(hitters.EstimateCount("O", "o_ck", V(9)), 10);
+  EXPECT_TRUE(hitters.IsHeavy("O", "o_ck", V(9)));
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace ojv

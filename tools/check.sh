@@ -18,7 +18,9 @@
 #   tools/check.sh obs-export # live telemetry: exporter/recorder under TSan,
 #                             # OBS=OFF inertness, OFF-tree overhead gate
 #   tools/check.sh simd-off   # columnar scalar fallback under UBSan
-#   tools/check.sh bench-gate # fig5 + kernel timings vs BENCH_pipeline.json
+#   tools/check.sh skew       # heavy-light partitioning tests + the
+#                             # uniform==heavy-light equivalence suite (TSan)
+#   tools/check.sh bench-gate # fig5 + kernel + skew timings vs BENCH_pipeline.json
 
 set -euo pipefail
 
@@ -96,6 +98,15 @@ case "$mode" in
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_SIMD=OFF \
         -DOJV_SANITIZE=undefined
     ;;&
+  skew|all)
+    # Skew-adaptive maintenance: the space-saving sketch / lazy-state
+    # unit tests plus the Zipf-stream equivalence property suite that
+    # pins kHeavyLight == kUniform view contents at every drain point.
+    # TSan because the Database drain paths interleave with the
+    # background refresher and admission worker.
+    run_config skew --tests 'heavy_hitters|heavy_state|skew_equivalence' \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_TSAN=ON
+    ;;&
   obs|all)
     # Instrumented run: the trace tool replays a TPC-H workload with
     # tracing on and asserts the expected stage set + valid JSON output.
@@ -132,7 +143,7 @@ case "$mode" in
     echo "==> [bench-gate] build"
     cmake --build "$dir" -j "$jobs" \
         --target bench_fig5_insert bench_fig5_delete bench_deferred \
-        bench_multiview bench_operators bench_obs_overhead \
+        bench_multiview bench_operators bench_obs_overhead bench_skew \
         bench_gate >/dev/null
     echo "==> [bench-gate] run fig5 benchmarks"
     "$dir/bench/bench_fig5_insert" --threads=4 \
@@ -155,6 +166,9 @@ case "$mode" in
     # bare maintenance loop (the "no measurable overhead" claim, gated).
     "$dir/bench/bench_obs_overhead" --batches=60,600 \
         --json="$dir/obs_overhead.json" >/dev/null
+    # Heavy-light vs uniform under Zipf join keys (self-checks view
+    # equality before reporting).
+    "$dir/bench/bench_skew" --json="$dir/skew.json" >/dev/null
     echo "==> [bench-gate] compare against BENCH_pipeline.json"
     "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
         --candidate="$dir/fig5_insert.json" --section=fig5_insert
@@ -182,12 +196,18 @@ case "$mode" in
     "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
         --candidate="$dir/obs_overhead.json" --section=obs_overhead \
         --floor-ms=2
+    # Floor 5ms on the skew rows: the control row's ours_ms runs ~100ms
+    # and the skewed rows hundreds of ms, so 5ms only filters noise; a
+    # lost diversion path costs seconds and trips the ratio regardless.
+    "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
+        --candidate="$dir/skew.json" --section=skew \
+        --floor-ms=5
     ;;&
-  release|sanitize|tsan|obs|obs-export|simd-off|bench-gate|all)
+  release|sanitize|tsan|obs|obs-export|simd-off|skew|bench-gate|all)
     echo "==> all requested configurations passed"
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|obs|obs-export|simd-off|bench-gate|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|obs|obs-export|simd-off|skew|bench-gate|all]" >&2
     exit 2
     ;;
 esac
