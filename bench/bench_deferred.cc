@@ -225,8 +225,8 @@ int Run(int argc, char** argv) {
     deferred.v3->set_stats_hook(nullptr);
 
     Database::AdmissionStats adm_stats = deferred.db.GetAdmissionStats();
-    const deferred::ViewRefreshState* state = deferred.db.RefreshState("v3");
-    double stale_ms = state->last.staleness_micros / 1000.0;
+    const deferred::ViewRefreshState state = deferred.db.RefreshState("v3");
+    double stale_ms = state.last.staleness_micros / 1000.0;
 
     char stale[32];
     std::snprintf(stale, sizeof(stale), "%.1f/%.0fms", stale_ms,

@@ -12,9 +12,13 @@ Relation RecomputeView(const Catalog& catalog, const ViewDef& view) {
 bool ViewMatchesRecompute(const Catalog& catalog, const ViewDef& view,
                           const MaterializedView& materialized,
                           std::string* diff) {
+  return ViewMatchesRecompute(catalog, view, materialized.AsRelation(), diff);
+}
+
+bool ViewMatchesRecompute(const Catalog& catalog, const ViewDef& view,
+                          const Relation& contents, std::string* diff) {
   Relation expected = RecomputeView(catalog, view);
-  Relation actual = materialized.AsRelation();
-  return SameBag(expected, actual, diff);
+  return SameBag(expected, contents, diff);
 }
 
 }  // namespace ojv

@@ -19,6 +19,11 @@ bool ViewMatchesRecompute(const Catalog& catalog, const ViewDef& view,
                           const MaterializedView& materialized,
                           std::string* diff);
 
+/// Same oracle over already-materialized contents (e.g. a pinned
+/// ViewSnapshot's relation).
+bool ViewMatchesRecompute(const Catalog& catalog, const ViewDef& view,
+                          const Relation& contents, std::string* diff);
+
 }  // namespace ojv
 
 #endif  // OJV_BASELINE_RECOMPUTE_H_

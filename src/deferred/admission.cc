@@ -39,7 +39,8 @@ void BumpAdmissionCounter(const char* which, int64_t delta) {
 AdmissionController::AdmissionController(const AdmissionConfig& config)
     : config_(config),
       statement_latency_(config.epoch_micros, config.epochs),
-      refresh_latency_(config.epoch_micros, config.epochs) {
+      refresh_latency_(config.epoch_micros, config.epochs),
+      read_latency_(config.epoch_micros, config.epochs) {
   OJV_CHECK(config.enter_hot >= config.exit_hot,
             "admission hysteresis inverted: enter_hot < exit_hot");
   OJV_CHECK(config.hot_slice >= 0, "negative admission hot_slice");
@@ -67,6 +68,10 @@ void AdmissionController::ObserveRefresh(double micros, int64_t now_micros) {
   refresh_latency_.Record(static_cast<int64_t>(micros), now_micros);
 }
 
+void AdmissionController::ObserveRead(double micros, int64_t now_micros) {
+  read_latency_.Record(static_cast<int64_t>(micros), now_micros);
+}
+
 double AdmissionController::LoadScore(int64_t log_depth,
                                       int64_t now_micros) const {
   const double stmt =
@@ -83,7 +88,11 @@ double AdmissionController::LoadScore(int64_t log_depth,
       static_cast<double>(log_depth) /
       static_cast<double>(std::max<int64_t>(config_.log_depth_budget_rows,
                                             1));
-  return std::max({stmt, refresh, depth});
+  const double read =
+      static_cast<double>(read_latency_.PercentileBound(
+          config_.read_percentile, now_micros)) /
+      static_cast<double>(std::max<int64_t>(config_.read_budget_micros, 1));
+  return std::max({stmt, refresh, depth, read});
 }
 
 AdmissionPlan AdmissionController::Plan(const std::vector<DueView>& due,

@@ -33,6 +33,7 @@ struct AdmissionConfig {
   /// Percentiles fed into the load score.
   double statement_percentile = 99.0;
   double refresh_percentile = 99.0;
+  double read_percentile = 99.0;
 
   /// Budgets that normalize each signal: signal/budget == 1.0 means
   /// "at the hot line". The load score is the max of the normalized
@@ -42,6 +43,10 @@ struct AdmissionConfig {
   int64_t statement_budget_micros = 2'000;
   int64_t refresh_budget_micros = 20'000;
   int64_t log_depth_budget_rows = 4'096;
+  /// Blocking (kFresh/kBounded-upgraded) view reads contend with
+  /// statements and refreshes for the same mutex; their recent latency
+  /// percentile is the serving-path load signal.
+  int64_t read_budget_micros = 5'000;
 
   /// Hysteresis on the load score: enter hot at >= enter_hot, leave at
   /// <= exit_hot. The gap is what keeps the controller from flapping
@@ -109,6 +114,9 @@ class AdmissionController {
   void ObserveStatement(double micros, int64_t now_micros);
   /// Feed one refresh's wall latency.
   void ObserveRefresh(double micros, int64_t now_micros);
+  /// Feed one blocking view read's wall latency (snapshot reads never
+  /// block and are observed through the obs histogram instead).
+  void ObserveRead(double micros, int64_t now_micros);
 
   /// Normalized load score at `now_micros` (1.0 = at the hot line).
   double LoadScore(int64_t log_depth, int64_t now_micros) const;
@@ -143,6 +151,7 @@ class AdmissionController {
   AdmissionConfig config_;
   obs::WindowedHistogram statement_latency_;
   obs::WindowedHistogram refresh_latency_;
+  obs::WindowedHistogram read_latency_;
   std::map<std::string, ViewState> views_;
   bool hot_ = false;
   int64_t deferred_total_ = 0;

@@ -65,6 +65,7 @@ ViewMaintainer* Database::CreateMaterializedView(
   ViewMaintainer* raw = maintainer.get();
   views_[name] = std::move(maintainer);
   RegisterMultiview(name);
+  InstallSnapshotStore(name);
   return raw;
 }
 
@@ -83,6 +84,7 @@ AggViewMaintainer* Database::CreateAggregateView(
   AggViewMaintainer* raw = maintainer.get();
   agg_views_[name] = std::move(maintainer);
   RegisterMultiview(name);
+  InstallSnapshotStore(name);
   return raw;
 }
 
@@ -117,6 +119,13 @@ bool Database::DropView(const std::string& name) {
   // shared plans cached for the view's former group, so a later view
   // re-created under the same name can never be served a stale plan.
   mv_catalog_.Remove(name);
+  {
+    // Readers still holding a ViewSnapshot keep their pinned generation
+    // (and the store) alive through their own refcounts; dropping the
+    // map entry only stops new generations from being published.
+    std::lock_guard<std::mutex> slock(snapshot_mu_);
+    snapshots_.erase(name);
+  }
   bool dropped = views_.erase(name) > 0 || agg_views_.erase(name) > 0;
   SyncGroupLabels();
   return dropped;
@@ -218,19 +227,37 @@ void Database::Accumulate(const std::string& view,
   total.primary_rows += stats.primary_rows;
   total.secondary_rows += stats.secondary_rows;
   total.micros += stats.total_micros;
+  // Every maintenance path funnels its stats through here, which makes
+  // this the one chokepoint where the stored view's contents may have
+  // moved past the published snapshot generation.
+  if (auto store = SnapshotStoreFor(view); store != nullptr) {
+    store->NoteContentChanged(obs::SteadyNowMicros());
+  }
 }
 
 void Database::PrepareHeavyViews(const std::string& table, bool is_update) {
   const PlanPolicy policy = CurrentPolicy();
+  // Pre-apply folds mutate view contents without reporting stats
+  // through Accumulate, so invalidate the snapshot generation here
+  // whenever a fold could have happened (pending heavy rows existed).
+  auto note = [&](const std::string& name) {
+    if (auto store = SnapshotStoreFor(name); store != nullptr) {
+      store->NoteContentChanged(obs::SteadyNowMicros());
+    }
+  };
   for (auto& [name, view] : views_) {
     if (view->view_def().tables().count(table) == 0) continue;
     if (DeferredNow(name)) continue;
+    const bool had_pending = view->HeavyPendingRows() > 0;
     view->PrepareHeavyForOp(table, policy, is_update);
+    if (had_pending) note(name);
   }
   for (auto& [name, view] : agg_views_) {
     if (view->base_view().tables().count(table) == 0) continue;
     if (DeferredNow(name)) continue;
+    const bool had_pending = view->HeavyPendingRows() > 0;
     view->PrepareHeavyForOp(table, policy, is_update);
+    if (had_pending) note(name);
   }
 }
 
@@ -296,10 +323,19 @@ void Database::StageDeferred(const std::string& table, deferred::DeltaOp op,
     return;
   }
   // Stage only when some deferred view will ever consume the entries.
+  // Every consumer's published snapshot generation goes stale the
+  // moment the change is staged: the stored view is now behind base
+  // even though its contents have not moved.
+  bool staged = false;
+  const int64_t now = obs::SteadyNowMicros();
   for (const std::string& view : scheduler_.DeferredViews()) {
-    if (TablesOf(view).count(table) > 0) {
+    if (TablesOf(view).count(table) == 0) continue;
+    if (!staged) {
       delta_log_.Append(table, op, rows, update_pair);
-      return;
+      staged = true;
+    }
+    if (auto store = SnapshotStoreFor(view); store != nullptr) {
+      store->NoteStaleness(now);
     }
   }
 }
@@ -353,10 +389,11 @@ int64_t Database::DeltaLogSize() const {
   return delta_log_.size();
 }
 
-const deferred::ViewRefreshState* Database::RefreshState(
+deferred::ViewRefreshState Database::RefreshState(
     const std::string& view) const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  return scheduler_.state(view);
+  const deferred::ViewRefreshState* state = scheduler_.state(view);
+  return state != nullptr ? *state : deferred::ViewRefreshState();
 }
 
 deferred::RefreshStats Database::Refresh(const std::string& view) {
@@ -375,22 +412,140 @@ std::map<std::string, deferred::RefreshStats> Database::RefreshAll() {
   return out;
 }
 
-const MaterializedView* Database::ReadView(const std::string& name) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto it = views_.find(name);
-  if (it == views_.end()) return nullptr;
-  if (!in_transaction_ && scheduler_.IsDeferred(name)) RefreshLocked(name);
-  DrainHeavyView(name);
-  return &it->second->view();
+std::shared_ptr<GenerationStore> Database::SnapshotStoreFor(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> slock(snapshot_mu_);
+  auto it = snapshots_.find(name);
+  return it == snapshots_.end() ? nullptr : it->second;
 }
 
-Relation Database::ReadAggregateRelation(const std::string& name) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto it = agg_views_.find(name);
-  OJV_CHECK(it != agg_views_.end(), "unknown aggregate view");
-  if (!in_transaction_ && scheduler_.IsDeferred(name)) RefreshLocked(name);
+void Database::InstallSnapshotStore(const std::string& name) {
+  auto store = std::make_shared<GenerationStore>(
+      name, agg_views_.find(name) != agg_views_.end());
+  {
+    std::lock_guard<std::mutex> slock(snapshot_mu_);
+    snapshots_[name] = store;
+  }
+  PublishSnapshotLocked(name, store);
+}
+
+void Database::PublishSnapshotLocked(
+    const std::string& name, const std::shared_ptr<GenerationStore>& store) {
+  if (store->UpToDate()) return;  // identical rows — keep the generation
+  Relation contents;
+  if (auto it = views_.find(name); it != views_.end()) {
+    contents = it->second->view().AsRelation();
+  } else if (auto ait = agg_views_.find(name); ait != agg_views_.end()) {
+    contents = ait->second->AsRelation();
+  } else {
+    return;  // dropped between lookups
+  }
+  const int64_t now = obs::SteadyNowMicros();
+  int64_t stale_since = 0;
+  if (scheduler_.IsDeferred(name)) {
+    // Deltas still pending in the log are not part of the stored
+    // contents: the new generation is born stale, aged from the oldest
+    // unconsumed change.
+    const double age = delta_log_.OldestPendingMicros(name, TablesOf(name));
+    if (age > 0) stale_since = now - static_cast<int64_t>(age);
+  }
+  store->Publish(std::move(contents), now, stale_since);
+}
+
+ViewSnapshot Database::SnapshotReadLocked(
+    const std::string& name, const std::shared_ptr<GenerationStore>& store,
+    bool allow_refresh) {
+  if (allow_refresh && !in_transaction_ && scheduler_.IsDeferred(name)) {
+    RefreshLocked(name);
+  }
   DrainHeavyView(name);
-  return it->second->AsRelation();
+  PublishSnapshotLocked(name, store);
+  return store->Acquire();
+}
+
+ViewSnapshot Database::AcquireSnapshotImpl(
+    const std::string& name, const std::shared_ptr<GenerationStore>& store,
+    const ReadOptions& options) {
+  const auto read_start = std::chrono::steady_clock::now();
+  ViewSnapshot snap;
+  bool blocked = false;
+  switch (options.freshness) {
+    case ReadFreshness::kSnapshot: {
+      snap = store->Acquire();
+      // Opportunistic catch-up: if no statement or refresh holds the
+      // mutex, fold pending work and publish a fresher generation —
+      // the same work the old ReadView always did, minus the waiting.
+      // Never inside a transaction (its contents are uncommitted).
+      if (!snap.valid() || !store->UpToDate()) {
+        std::unique_lock<std::recursive_mutex> lock(mu_, std::try_to_lock);
+        if (lock.owns_lock() && !in_transaction_) {
+          snap = SnapshotReadLocked(name, store, /*allow_refresh=*/false);
+        }
+      }
+      break;
+    }
+    case ReadFreshness::kBounded: {
+      snap = store->Acquire();
+      if (snap.valid() &&
+          snap.staleness_micros(obs::SteadyNowMicros()) <=
+              options.max_staleness_micros) {
+        break;
+      }
+      [[fallthrough]];
+    }
+    case ReadFreshness::kFresh: {
+      std::lock_guard<std::recursive_mutex> lock(mu_);
+      blocked = true;
+      snap = SnapshotReadLocked(name, store, /*allow_refresh=*/true);
+      break;
+    }
+  }
+  const double micros = MicrosSince(read_start);
+  if (blocked) {
+    // Blocking reads contend with statements and refreshes for the
+    // same mutex — their latency is a load signal just like statement
+    // latency, so feed it to the admission controller.
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    if (admission_ != nullptr) {
+      admission_->ObserveRead(micros, obs::SteadyNowMicros());
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    obs::Registry::Global()
+        .GetHistogram("ojv.serve.read_micros")
+        .Record(static_cast<int64_t>(micros));
+    if (snap.valid() &&
+        snap.staleness_micros(obs::SteadyNowMicros()) > 0) {
+      static obs::Counter& stale = obs::Registry::Global().GetCounter(
+          "ojv.serve.stale_reads");
+      stale.Add(1);
+    }
+  }
+  return snap;
+}
+
+ViewSnapshot Database::AcquireSnapshot(const std::string& name,
+                                       const ReadOptions& options) {
+  auto store = SnapshotStoreFor(name);
+  if (store == nullptr) return ViewSnapshot();
+  return AcquireSnapshotImpl(name, store, options);
+}
+
+ViewSnapshot Database::ReadView(const std::string& name,
+                                const ReadOptions& options) {
+  // Historical contract: ReadView answers for row views only
+  // (aggregate views read through ReadAggregateRelation).
+  auto store = SnapshotStoreFor(name);
+  if (store == nullptr || store->is_aggregate()) return ViewSnapshot();
+  return AcquireSnapshotImpl(name, store, options);
+}
+
+ViewSnapshot Database::ReadAggregateRelation(const std::string& name,
+                                             const ReadOptions& options) {
+  auto store = SnapshotStoreFor(name);
+  OJV_CHECK(store != nullptr && store->is_aggregate(),
+            "unknown aggregate view");
+  return AcquireSnapshotImpl(name, store, options);
 }
 
 deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
@@ -558,6 +713,12 @@ deferred::RefreshStats Database::RefreshLocked(const std::string& name) {
   delta_log_.TruncateConsumed();
   stats.refresh_micros = MicrosSince(start);
   scheduler_.RecordRefresh(name, stats);
+  // The stored view is caught up and its heavy state folded: publish
+  // the refreshed contents so snapshot readers see them without
+  // touching the statement mutex. (No-op when the batch was empty.)
+  if (auto store = SnapshotStoreFor(name); store != nullptr) {
+    PublishSnapshotLocked(name, store);
+  }
   if (admission_ != nullptr) {
     admission_->ObserveRefresh(stats.refresh_micros, obs::SteadyNowMicros());
   }
@@ -616,6 +777,12 @@ std::map<std::string, deferred::RefreshStats> Database::RefreshGroupLocked(
   for (const std::string& m : members) {
     out[m].refresh_micros = out[m].maintenance_micros + shared_micros;
     scheduler_.RecordRefresh(m, out[m]);
+    // Per-member generation publish: every cohort member left the
+    // replay caught up with its heavy state drained (RefreshCohort
+    // folds it), so each gets a fresh snapshot generation.
+    if (auto store = SnapshotStoreFor(m); store != nullptr) {
+      PublishSnapshotLocked(m, store);
+    }
   }
   // One group refresh = one admission decision = one cost observation.
   if (admission_ != nullptr) {
@@ -1414,14 +1581,24 @@ void Database::Rollback() {
         }
         std::vector<Row> current;
         ApplyBaseUpdate(base, keys, it->old_rows, &current);
+        // These reversals bypass Accumulate (rollback is not a
+        // maintenance statement), so invalidate the snapshot
+        // generations explicitly.
+        const int64_t now = obs::SteadyNowMicros();
         for (auto& [name, view] : views_) {
           if (view->view_def().tables().count(it->table) > 0) {
             view->OnUpdate(it->table, current, it->old_rows);
+            if (auto store = SnapshotStoreFor(name)) {
+              store->NoteContentChanged(now);
+            }
           }
         }
         for (auto& [name, view] : agg_views_) {
           if (view->base_view().tables().count(it->table) > 0) {
             view->OnUpdate(it->table, current, it->old_rows);
+            if (auto store = SnapshotStoreFor(name)) {
+              store->NoteContentChanged(now);
+            }
           }
         }
         break;

@@ -14,6 +14,7 @@
 #include "ivm/aggregate_view.h"
 #include "ivm/maintainer.h"
 #include "ivm/view_def.h"
+#include "ivm/view_snapshot.h"
 #include "multiview/shared_plan.h"
 #include "multiview/view_group.h"
 
@@ -142,16 +143,39 @@ class Database {
   /// to 0 once every deferred consumer has refreshed past them).
   int64_t DeltaLogSize() const;
 
-  /// Cumulative refresh bookkeeping, or null for unknown views.
-  const deferred::ViewRefreshState* RefreshState(
-      const std::string& view) const;
+  /// Cumulative refresh bookkeeping (zero-valued for unknown views).
+  /// Returned by value: the scheduler's state is assembled under `mu_`
+  /// and keeps changing after this call returns, so a reference or
+  /// pointer into it would be the same torn-read hazard the old
+  /// ReadView had.
+  deferred::ViewRefreshState RefreshState(const std::string& view) const;
 
-  /// Read-your-writes access: brings a deferred view up to date, then
-  /// returns its contents. This is the intended read path for kOnDemand.
-  /// Under skew = kHeavyLight the read also folds any pending heavy-key
-  /// lazy state, so reads always observe the full view.
-  const MaterializedView* ReadView(const std::string& name);
-  Relation ReadAggregateRelation(const std::string& name);
+  /// Read access to a view's contents, returned as a refcounted
+  /// ViewSnapshot pinned to one published generation (see
+  /// ivm/view_snapshot.h and DESIGN.md §17). The defaults keep the
+  /// historical contract — ReadOptions::Fresh() read-your-writes: a
+  /// deferred view catches up first and, under skew = kHeavyLight, any
+  /// pending heavy-key lazy state folds, so the read observes the full
+  /// view. Pass ReadOptions::Snapshot()/Bounded() for the non-blocking
+  /// serving path. An invalid snapshot (== nullptr) means unknown view
+  /// (ReadAggregateRelation aborts instead, as it always has).
+  ViewSnapshot ReadView(const std::string& name,
+                        const ReadOptions& options = ReadOptions::Fresh());
+  ViewSnapshot ReadAggregateRelation(
+      const std::string& name,
+      const ReadOptions& options = ReadOptions::Fresh());
+
+  /// The serving-path read: pins a generation of any registered view
+  /// (row or aggregate) under `options`, defaulting to kSnapshot —
+  /// return the last published generation without waiting on statements
+  /// or refreshes. kSnapshot never blocks: if the statement mutex is
+  /// free it opportunistically folds pending work and publishes a
+  /// fresher generation first; if maintenance holds the lock it pins
+  /// what is already published. kBounded blocks only when the published
+  /// generation's staleness exceeds options.max_staleness_micros.
+  /// Invalid snapshot (== nullptr) for unknown views.
+  ViewSnapshot AcquireSnapshot(const std::string& name,
+                               const ReadOptions& options = ReadOptions());
 
   /// Rows diverted into the view's heavy-key lazy state and not yet
   /// folded into its contents (0 for kUniform views). Reads fold the
@@ -297,6 +321,34 @@ class Database {
   /// Feeds one finished statement's wall latency to the controller.
   void ObserveStatementLatency(std::chrono::steady_clock::time_point start);
 
+  // --- snapshot-read internals (ivm/view_snapshot.h) ---
+
+  /// The view's generation store, or null for unknown views. Safe to
+  /// call with or without `mu_` (`snapshot_mu_` orders map access).
+  std::shared_ptr<GenerationStore> SnapshotStoreFor(
+      const std::string& name) const;
+  /// Registers a fresh store for a just-created view and publishes its
+  /// initial generation. Caller holds `mu_`.
+  void InstallSnapshotStore(const std::string& name);
+  /// Publishes the view's current stored contents as a new generation
+  /// if the published one is out of date. Caller holds `mu_` (the
+  /// stored view must not move while we copy it). Pending deferred
+  /// deltas (not part of the stored contents) set the new generation's
+  /// staleness origin.
+  void PublishSnapshotLocked(const std::string& name,
+                             const std::shared_ptr<GenerationStore>& store);
+  /// Shared blocking read path: refresh (unless mid-transaction or
+  /// !allow_refresh), fold heavy state, publish, pin. Caller holds
+  /// `mu_`.
+  ViewSnapshot SnapshotReadLocked(const std::string& name,
+                                  const std::shared_ptr<GenerationStore>& store,
+                                  bool allow_refresh);
+  /// AcquireSnapshot body once the store is known; `is_aggregate` only
+  /// gates the unknown-view CHECK semantics of the callers.
+  ViewSnapshot AcquireSnapshotImpl(const std::string& name,
+                                   const std::shared_ptr<GenerationStore>& store,
+                                   const ReadOptions& options);
+
   deferred::RefreshStats RefreshLocked(const std::string& view);
   StatementResult DeleteLocked(const std::string& table,
                                const std::vector<Row>& keys);
@@ -361,6 +413,12 @@ class Database {
   /// worker. Recursive because cascading deletes and inline threshold
   /// refreshes re-enter locked paths.
   mutable std::recursive_mutex mu_;
+  /// Orders access to the `snapshots_` map only (never held while
+  /// taking `mu_`; Create/Drop take it under `mu_`, readers take it
+  /// alone). The stores themselves synchronize their own generation
+  /// swaps — snapshot readers never need `mu_`.
+  mutable std::mutex snapshot_mu_;
+  std::map<std::string, std::shared_ptr<GenerationStore>> snapshots_;
   deferred::DeltaLog delta_log_;
   deferred::RefreshScheduler scheduler_;
   deferred::BackgroundRefresher refresher_;

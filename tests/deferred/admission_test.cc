@@ -354,15 +354,15 @@ TEST_F(AdmissionDatabaseTest, DisabledConfigReproducesLegacySchedule) {
         << "after statement " << i;
     ASSERT_EQ(cold.PendingRows("dept_emp"), legacy.PendingRows("dept_emp"))
         << "after statement " << i;
-    ASSERT_EQ(disabled.RefreshState("dept_emp")->refreshes,
-              legacy.RefreshState("dept_emp")->refreshes)
+    ASSERT_EQ(disabled.RefreshState("dept_emp").refreshes,
+              legacy.RefreshState("dept_emp").refreshes)
         << "after statement " << i;
-    ASSERT_EQ(cold.RefreshState("dept_emp")->refreshes,
-              legacy.RefreshState("dept_emp")->refreshes)
+    ASSERT_EQ(cold.RefreshState("dept_emp").refreshes,
+              legacy.RefreshState("dept_emp").refreshes)
         << "after statement " << i;
   }
   // The threshold tripped at least once over ten single-row inserts.
-  EXPECT_GE(legacy.RefreshState("dept_emp")->refreshes, 2);
+  EXPECT_GE(legacy.RefreshState("dept_emp").refreshes, 2);
   EXPECT_EQ(cold.GetAdmissionStats().deferred, 0);
   EXPECT_FALSE(cold.GetAdmissionStats().hot);
 }
@@ -404,7 +404,7 @@ TEST_F(AdmissionDatabaseTest, HotLoadDefersThenStalenessPromotes) {
   EXPECT_EQ(db.PendingRows("dept_emp"), 0);
   stats = db.GetAdmissionStats();
   EXPECT_GE(stats.promoted, 1);
-  EXPECT_GE(db.RefreshState("dept_emp")->refreshes, 1);
+  EXPECT_GE(db.RefreshState("dept_emp").refreshes, 1);
   // The promotion happened because the recent staleness percentile sat
   // above the ceiling at decision time.
   EXPECT_GE(db.AdmissionStalenessPercentile("dept_emp", 99.0), 1500);
@@ -471,7 +471,7 @@ TEST_F(AdmissionDatabaseTest, BackgroundWorkerDefersUntilPromotion) {
   EXPECT_GE(stats.deferred, 1);
   EXPECT_GE(stats.promoted, 1);
   EXPECT_GE(stats.hot_transitions, 1);
-  EXPECT_GE(db.RefreshState("dept_emp")->refreshes, 1);
+  EXPECT_GE(db.RefreshState("dept_emp").refreshes, 1);
 }
 
 }  // namespace

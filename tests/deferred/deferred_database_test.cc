@@ -87,7 +87,7 @@ TEST_F(DeferredDatabaseTest, OnDemandDefersUntilRead) {
   EXPECT_EQ(db_.PendingRows("dept_emp"), 3);
 
   // The read path catches up first (read-your-writes).
-  const MaterializedView* contents = db_.ReadView("dept_emp");
+  ViewSnapshot contents = db_.ReadView("dept_emp");
   ASSERT_NE(contents, nullptr);
   EXPECT_EQ(contents->size(), 2);  // dept 1 + emp 10 joined, dept 2 orphan
   EXPECT_EQ(db_.PendingRows("dept_emp"), 0);
@@ -184,10 +184,9 @@ TEST_F(DeferredDatabaseTest, ThresholdRefreshesInlineWhenPendingRowsTrip) {
   EXPECT_TRUE(Matches(view));
   EXPECT_GT(result.view_micros.count("dept_emp"), 0u);
 
-  const deferred::ViewRefreshState* state = db_.RefreshState("dept_emp");
-  ASSERT_NE(state, nullptr);
-  EXPECT_EQ(state->refreshes, 1);
-  EXPECT_EQ(state->raw_entries, 4);
+  const deferred::ViewRefreshState state = db_.RefreshState("dept_emp");
+  EXPECT_EQ(state.refreshes, 1);
+  EXPECT_EQ(state.raw_entries, 4);
 }
 
 TEST_F(DeferredDatabaseTest, ThresholdStalenessLimitTrips) {
@@ -313,7 +312,8 @@ TEST_F(DeferredDatabaseTest, AggregateViewsRefreshOnDemandToo) {
   db_.Delete("emp", {Key(11)});
   db_.Update("emp", {Key(12)}, {Emp(12, 2, 75.0)});
 
-  Relation groups = db_.ReadAggregateRelation("dept_emp");  // refreshes
+  Relation groups =
+      db_.ReadAggregateRelation("dept_emp").AsRelation();  // refreshes
   EXPECT_EQ(db_.PendingRows("dept_emp"), 0);
   std::string diff;
   EXPECT_TRUE(db_.GetAggregateView("dept_emp")->MatchesRecompute(1e-9, &diff))

@@ -107,11 +107,10 @@ TEST_F(DeferredTpchTest, PoliciesConvergeOnRandomizedRefreshMix) {
   // refreshed, the threshold view has (64-row trips), and both logged
   // real batches.
   EXPECT_GT(on_demand_.PendingRows("v3"), 0);
-  const deferred::ViewRefreshState* threshold_state =
+  const deferred::ViewRefreshState threshold_state =
       threshold_.RefreshState("v3");
-  ASSERT_NE(threshold_state, nullptr);
-  EXPECT_GT(threshold_state->refreshes, 0);
-  EXPECT_GT(threshold_state->raw_entries, 0);
+  EXPECT_GT(threshold_state.refreshes, 0);
+  EXPECT_GT(threshold_state.raw_entries, 0);
 
   deferred::RefreshStats stats = on_demand_.Refresh("v3");
   EXPECT_GT(stats.raw_entries, 0);

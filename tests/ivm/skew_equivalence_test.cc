@@ -401,11 +401,12 @@ TEST(SkewEquivalenceDatabaseTest, StatementsReadsAndDeferredInterplay) {
     random_statement();
     if (HasFatalFailure()) return;
     if (op % 3 == 2) {
-      const MaterializedView* v = db.ReadView("v1");
+      ViewSnapshot v = db.ReadView("v1");
       ASSERT_NE(v, nullptr);
       EXPECT_EQ(db.HeavyPendingRows("v1"), 0);  // reads fold the backlog
       std::string diff;
-      ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), view, *v, &diff))
+      ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), view, v.relation(),
+                                       &diff))
           << "op " << op << ": " << diff;
     }
   }
@@ -416,11 +417,11 @@ TEST(SkewEquivalenceDatabaseTest, StatementsReadsAndDeferredInterplay) {
     random_statement();
     if (HasFatalFailure()) return;
   }
-  const MaterializedView* v = db.ReadView("v1");
+  ViewSnapshot v = db.ReadView("v1");
   ASSERT_NE(v, nullptr);
   EXPECT_EQ(db.HeavyPendingRows("v1"), 0);
   std::string diff;
-  ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), view, *v, &diff))
+  ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), view, v.relation(), &diff))
       << "after deferred reads: " << diff;
 
   // And back to immediate (drains on the policy switch), one more pass.
@@ -430,7 +431,7 @@ TEST(SkewEquivalenceDatabaseTest, StatementsReadsAndDeferredInterplay) {
     if (HasFatalFailure()) return;
   }
   v = db.ReadView("v1");
-  ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), view, *v, &diff))
+  ASSERT_TRUE(ViewMatchesRecompute(*db.catalog(), view, v.relation(), &diff))
       << "after returning to immediate: " << diff;
 }
 

@@ -20,7 +20,11 @@
 #   tools/check.sh simd-off   # columnar scalar fallback under UBSan
 #   tools/check.sh skew       # heavy-light partitioning tests + the
 #                             # uniform==heavy-light equivalence suite (TSan)
-#   tools/check.sh bench-gate # fig5 + kernel + skew timings vs BENCH_pipeline.json
+#   tools/check.sh serve      # snapshot serving path: the ReadView
+#                             # lock-escape regression + generation
+#                             # equivalence suite under TSan
+#   tools/check.sh bench-gate # fig5 + kernel + skew + serve timings vs
+#                             # BENCH_pipeline.json
 
 set -euo pipefail
 
@@ -57,7 +61,7 @@ case "$mode" in
     # The full suite is serial-dominated; under TSan only the tests that
     # actually spawn threads carry signal, and they carry all of it.
     # metrics/trace join the filter for their thread-hammer cases.
-    run_config tsan --tests 'parallel_executor|columnar|deferred|database|metrics|trace|admission|multiview' \
+    run_config tsan --tests 'parallel_executor|columnar|deferred|database|metrics|trace|admission|multiview|snapshot' \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_TSAN=ON
     ;;&
   obs-export|all)
@@ -107,6 +111,14 @@ case "$mode" in
     run_config skew --tests 'heavy_hitters|heavy_state|skew_equivalence' \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_TSAN=ON
     ;;&
+  serve|all)
+    # Snapshot serving path: the ReadView lock-escape regression (reader
+    # threads scanning pinned generations while the background refresher
+    # storms the same view — the exact race the old interior-pointer API
+    # had) plus the generation-boundary equivalence suite, under TSan.
+    run_config serve --tests 'snapshot_read|snapshot_equivalence' \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOJV_TSAN=ON
+    ;;&
   obs|all)
     # Instrumented run: the trace tool replays a TPC-H workload with
     # tracing on and asserts the expected stage set + valid JSON output.
@@ -144,7 +156,7 @@ case "$mode" in
     cmake --build "$dir" -j "$jobs" \
         --target bench_fig5_insert bench_fig5_delete bench_deferred \
         bench_multiview bench_operators bench_obs_overhead bench_skew \
-        bench_gate >/dev/null
+        bench_serve bench_gate >/dev/null
     echo "==> [bench-gate] run fig5 benchmarks"
     "$dir/bench/bench_fig5_insert" --threads=4 \
         --json="$dir/fig5_insert.json" >/dev/null
@@ -169,6 +181,10 @@ case "$mode" in
     # Heavy-light vs uniform under Zipf join keys (self-checks view
     # equality before reporting).
     "$dir/bench/bench_skew" --json="$dir/skew.json" >/dev/null
+    # Serving under a refresh storm: snapshot-read p50/p99 while the
+    # background worker replays consolidated batches into V3.
+    "$dir/bench/bench_serve" --batches=60,600 \
+        --json="$dir/serve.json" >/dev/null
     echo "==> [bench-gate] compare against BENCH_pipeline.json"
     "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
         --candidate="$dir/fig5_insert.json" --section=fig5_insert
@@ -202,12 +218,20 @@ case "$mode" in
     "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
         --candidate="$dir/skew.json" --section=skew \
         --floor-ms=5
+    # Floor 2ms on the serve rows: snapshot-read p99 is tens of
+    # microseconds when the read path stays off the maintenance mutex,
+    # so the gate only trips when reads start blocking on refreshes
+    # again (~10ms p99) — the regression this PR exists to prevent. The
+    # fresh contrast rows carry no ours_ms and are not gated.
+    "$dir/tools/bench_gate" --baseline="$root/BENCH_pipeline.json" \
+        --candidate="$dir/serve.json" --section=serve \
+        --floor-ms=2
     ;;&
-  release|sanitize|tsan|obs|obs-export|simd-off|skew|bench-gate|all)
+  release|sanitize|tsan|obs|obs-export|simd-off|skew|serve|bench-gate|all)
     echo "==> all requested configurations passed"
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|obs|obs-export|simd-off|skew|bench-gate|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|obs|obs-export|simd-off|skew|serve|bench-gate|all]" >&2
     exit 2
     ;;
 esac
